@@ -1,0 +1,270 @@
+//! Flextensor-like fixed-length RL tuner.
+//!
+//! Reproduces the comparator behind Observation 2 / Fig. 1(c): an RL agent
+//! explores schedule tracks of a *fixed* length with a *fixed* sketch (no
+//! subgraph/sketch hierarchy — Table 1), measuring every visited schedule
+//! on hardware. The position of the best-performing schedule along each
+//! track (the *critical step*) is recorded, showing that most tracks peak
+//! early and the remaining steps are wasted.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use harl_nnet::{PpoAgent, PpoConfig};
+use harl_tensor_ir::{
+    apply_action, compute_at_mask, extract_features, generate_sketches, parallel_mask,
+    tile_action_mask, unroll_mask, Action, ActionSpace, Schedule, Sketch, StepDir, Subgraph,
+};
+use harl_tensor_sim::{Measurer, TuneTrace};
+
+/// Configuration of the fixed-length tuner.
+#[derive(Debug, Clone)]
+pub struct FlextensorConfig {
+    /// Fixed track length `L`.
+    pub episode_len: usize,
+    /// Tracks per episode `I`.
+    pub tracks: usize,
+    /// PPO settings for the fixed-length agent.
+    pub ppo: PpoConfig,
+    /// Train the networks every `T_rl` steps.
+    pub train_interval: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlextensorConfig {
+    fn default() -> Self {
+        FlextensorConfig {
+            episode_len: 16,
+            tracks: 8,
+            ppo: PpoConfig::default(),
+            train_interval: 2,
+            seed: 0xf1e,
+        }
+    }
+}
+
+/// Relative position of the best-performing schedule on one track.
+#[derive(Debug, Clone, Copy)]
+pub struct CriticalStep {
+    /// Step index of the best schedule (0 = initial sample).
+    pub position: usize,
+    /// Track length (steps actually taken).
+    pub length: usize,
+}
+
+impl CriticalStep {
+    /// Position normalized to `[0, 1]` (the x-axis of Fig. 1(c) / 7(b)).
+    pub fn relative(&self) -> f64 {
+        if self.length == 0 {
+            0.0
+        } else {
+            self.position as f64 / self.length as f64
+        }
+    }
+}
+
+/// The fixed-length RL tuner.
+pub struct FlextensorTuner<'m> {
+    /// The operator being tuned (fixed first sketch).
+    pub graph: Subgraph,
+    sketch: Sketch,
+    space: ActionSpace,
+    agent: PpoAgent,
+    measurer: &'m Measurer,
+    /// Best noise-free execution time found.
+    pub best_time: f64,
+    /// The schedule achieving `best_time`.
+    pub best_schedule: Option<Schedule>,
+    /// Per-track critical steps (Fig. 1(c)).
+    pub critical_steps: Vec<CriticalStep>,
+    /// Hardware measurements consumed.
+    pub trials_used: u64,
+    /// Best-so-far curve.
+    pub trace: TuneTrace,
+    cfg: FlextensorConfig,
+    rng: StdRng,
+}
+
+impl<'m> FlextensorTuner<'m> {
+    /// Creates a tuner over the first (fixed) sketch of `graph`.
+    pub fn new(graph: Subgraph, measurer: &'m Measurer, cfg: FlextensorConfig) -> Self {
+        let target = measurer.hardware().target();
+        // fixed sketch: the first (plain multi-level tiling) — Table 1.
+        let sketch = generate_sketches(&graph, target)
+            .into_iter()
+            .next()
+            .expect("subgraph has at least one sketch");
+        let space = ActionSpace::of(&sketch);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ graph.name.len() as u64);
+        let head_sizes = [space.tile_actions(), StepDir::COUNT, StepDir::COUNT, StepDir::COUNT];
+        let agent = PpoAgent::new(
+            harl_tensor_ir::FEATURE_DIM,
+            &head_sizes,
+            cfg.ppo.clone(),
+            &mut rng,
+        );
+        FlextensorTuner {
+            graph,
+            sketch,
+            space,
+            agent,
+            measurer,
+            best_time: f64::INFINITY,
+            best_schedule: None,
+            critical_steps: Vec::new(),
+            trials_used: 0,
+            trace: TuneTrace::new(),
+            cfg,
+            rng,
+        }
+    }
+
+    fn masks(&self, s: &Schedule) -> Vec<Vec<bool>> {
+        let target = self.measurer.hardware().target();
+        vec![
+            tile_action_mask(&self.sketch, s, &self.space),
+            compute_at_mask(&self.sketch, s).to_vec(),
+            parallel_mask(&self.sketch, s).to_vec(),
+            unroll_mask(target, s).to_vec(),
+        ]
+    }
+
+    /// Runs one fixed-length episode; returns trials used.
+    pub fn episode(&mut self, budget: u64) -> u64 {
+        if budget == 0 {
+            return 0;
+        }
+        let target = self.measurer.hardware().target();
+        let mut used = 0u64;
+
+        // sample and measure the initial schedules
+        let mut states: Vec<Schedule> = Vec::with_capacity(self.cfg.tracks);
+        let mut perf: Vec<f64> = Vec::with_capacity(self.cfg.tracks);
+        let mut best_pos: Vec<usize> = vec![0; self.cfg.tracks];
+        let mut best_perf: Vec<f64> = Vec::with_capacity(self.cfg.tracks);
+        for _ in 0..self.cfg.tracks {
+            if used >= budget {
+                break;
+            }
+            let s = Schedule::random(&self.sketch, target, &mut self.rng);
+            let m = self.measurer.measure(&self.graph, &self.sketch, &s);
+            used += 1;
+            self.note_measurement(&s, m.time);
+            perf.push(1.0 / m.time);
+            best_perf.push(1.0 / m.time);
+            states.push(s);
+        }
+
+        let mut steps_taken = 0usize;
+        'outer: for step in 1..=self.cfg.episode_len {
+            for i in 0..states.len() {
+                if used >= budget {
+                    break 'outer;
+                }
+                let feat = extract_features(&self.graph, &self.sketch, target, &states[i]);
+                let masks = self.masks(&states[i]);
+                let (acts, logp) = self.agent.act(&feat, &masks, &mut self.rng);
+                let action = Action {
+                    tile: acts[0],
+                    compute_at: StepDir::from_index(acts[1]),
+                    parallel: StepDir::from_index(acts[2]),
+                    unroll: StepDir::from_index(acts[3]),
+                };
+                let next = apply_action(&self.sketch, target, &states[i], &action);
+                let m = self.measurer.measure(&self.graph, &self.sketch, &next);
+                used += 1;
+                self.note_measurement(&next, m.time);
+                let new_perf = 1.0 / m.time;
+                let reward = ((new_perf - perf[i]) / perf[i]) as f32;
+                let next_feat = extract_features(&self.graph, &self.sketch, target, &next);
+                self.agent.record(feat, acts, logp, reward, &next_feat, masks);
+                if new_perf > best_perf[i] {
+                    best_perf[i] = new_perf;
+                    best_pos[i] = step;
+                }
+                perf[i] = new_perf;
+                states[i] = next;
+            }
+            steps_taken = step;
+            if step % self.cfg.train_interval == 0 {
+                self.agent.train_step(&mut self.rng);
+                self.measurer.charge_search_time(0.3);
+            }
+        }
+
+        for &pos in best_pos.iter().take(states.len()) {
+            self.critical_steps.push(CriticalStep { position: pos, length: steps_taken });
+        }
+        self.trials_used += used;
+        self.trace.record(self.measurer.trials(), self.measurer.sim_seconds(), self.best_time);
+        used
+    }
+
+    fn note_measurement(&mut self, s: &Schedule, _measured: f64) {
+        let truth = self.measurer.true_time(&self.graph, &self.sketch, s);
+        if truth < self.best_time {
+            self.best_time = truth;
+            self.best_schedule = Some(s.clone());
+        }
+    }
+
+    /// Tunes with a total measurement budget.
+    pub fn tune(&mut self, total_trials: u64) {
+        while self.trials_used < total_trials {
+            let remaining = total_trials - self.trials_used;
+            if self.episode(remaining) == 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harl_tensor_ir::workload;
+    use harl_tensor_sim::{Hardware, MeasureConfig};
+
+    fn cfg() -> FlextensorConfig {
+        FlextensorConfig { episode_len: 6, tracks: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn episode_respects_budget() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(128, 128, 128);
+        let mut t = FlextensorTuner::new(g, &measurer, cfg());
+        let used = t.episode(10);
+        assert!(used <= 10);
+        assert_eq!(t.trials_used, used);
+        assert_eq!(measurer.trials(), used);
+    }
+
+    #[test]
+    fn records_critical_steps_within_length() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(128, 128, 128);
+        let mut t = FlextensorTuner::new(g, &measurer, cfg());
+        t.tune(120);
+        assert!(!t.critical_steps.is_empty());
+        for cs in &t.critical_steps {
+            assert!(cs.position <= cs.length);
+            assert!((0.0..=1.0).contains(&cs.relative()));
+        }
+    }
+
+    #[test]
+    fn finds_some_improvement() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(256, 256, 256);
+        let mut t = FlextensorTuner::new(g, &measurer, cfg());
+        t.episode(u64::MAX >> 1);
+        let first = t.best_time;
+        for _ in 0..5 {
+            t.episode(u64::MAX >> 1);
+        }
+        assert!(t.best_time <= first);
+        assert!(t.best_schedule.is_some());
+    }
+}

@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks of every substrate component on the hot
+//! path of the auto-schedulers.
+
+use std::collections::HashSet;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use harl_ansor::{evolve_candidates, EvoConfig};
+use harl_bandit::{Bandit, SlidingWindowUcb};
+use harl_gbt::{CostModel, Gbt, GbtParams};
+use harl_nnet::{PpoAgent, PpoConfig};
+use harl_tensor_ir::{
+    apply_action, extract_features, generate_sketches, tile_action_mask, Action, ActionSpace,
+    Schedule, StepDir, Target,
+};
+use harl_tensor_sim::Hardware;
+
+fn bench_sketch_generation(c: &mut Criterion) {
+    let g = harl_tensor_ir::workload::gemm(1024, 1024, 1024);
+    c.bench_function("sketch_generation_gemm", |b| {
+        b.iter(|| generate_sketches(std::hint::black_box(&g), Target::Cpu))
+    });
+    let conv = harl_tensor_ir::workload::conv2d_bn_relu(1, 56, 56, 64, 64, 3, 1, 1);
+    c.bench_function("sketch_generation_conv_fused", |b| {
+        b.iter(|| generate_sketches(std::hint::black_box(&conv), Target::Cpu))
+    });
+}
+
+fn bench_schedule_ops(c: &mut Criterion) {
+    let g = harl_tensor_ir::workload::gemm(1024, 1024, 1024);
+    let sk = &generate_sketches(&g, Target::Cpu)[0];
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("schedule_random_sample", |b| {
+        b.iter(|| Schedule::random(std::hint::black_box(sk), Target::Cpu, &mut rng))
+    });
+    let s = Schedule::random(sk, Target::Cpu, &mut rng);
+    let space = ActionSpace::of(sk);
+    let a = Action {
+        tile: space.encode_tile(0, 1),
+        compute_at: StepDir::Stay,
+        parallel: StepDir::Up,
+        unroll: StepDir::Up,
+    };
+    c.bench_function("apply_action", |b| {
+        b.iter(|| apply_action(sk, Target::Cpu, std::hint::black_box(&s), &a))
+    });
+    c.bench_function("tile_action_mask", |b| {
+        b.iter(|| tile_action_mask(sk, std::hint::black_box(&s), &space))
+    });
+    c.bench_function("feature_extraction", |b| {
+        b.iter(|| extract_features(&g, sk, Target::Cpu, std::hint::black_box(&s)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let g = harl_tensor_ir::workload::gemm(1024, 1024, 1024);
+    let sk = &generate_sketches(&g, Target::Cpu)[0];
+    let mut rng = StdRng::seed_from_u64(2);
+    let s = Schedule::random(sk, Target::Cpu, &mut rng);
+    let cpu = Hardware::cpu();
+    let gpu = Hardware::gpu();
+    c.bench_function("simulator_cpu_exec_time", |b| {
+        b.iter(|| cpu.execution_time(&g, sk, std::hint::black_box(&s)))
+    });
+    let skg = &generate_sketches(&g, Target::Gpu)[0];
+    let sg = Schedule::random(skg, Target::Gpu, &mut rng);
+    c.bench_function("simulator_gpu_exec_time", |b| {
+        b.iter(|| gpu.execution_time(&g, skg, std::hint::black_box(&sg)))
+    });
+}
+
+fn bench_gbt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = harl_tensor_ir::workload::gemm(512, 512, 512);
+    let sk = &generate_sketches(&g, Target::Cpu)[0];
+    let cpu = Hardware::cpu();
+    let data: Vec<(Vec<f32>, f64)> = (0..256)
+        .map(|_| {
+            let s = Schedule::random(sk, Target::Cpu, &mut rng);
+            let f = extract_features(&g, sk, Target::Cpu, &s);
+            let y = g.flops() / cpu.execution_time(&g, sk, &s);
+            (f, y)
+        })
+        .collect();
+    let xs: Vec<Vec<f32>> = data.iter().map(|(f, _)| f.clone()).collect();
+    let ys: Vec<f64> = data.iter().map(|(_, y)| *y / 1e12).collect();
+    c.bench_function("gbt_fit_256x64", |b| {
+        b.iter(|| Gbt::fit(&xs, &ys, GbtParams { n_rounds: 12, ..Default::default() }))
+    });
+    let model = Gbt::fit(&xs, &ys, GbtParams { n_rounds: 12, ..Default::default() });
+    c.bench_function("gbt_predict", |b| {
+        b.iter(|| model.predict(std::hint::black_box(&xs[0])))
+    });
+}
+
+fn bench_ppo(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = harl_tensor_ir::workload::gemm(1024, 1024, 1024);
+    let sk = &generate_sketches(&g, Target::Cpu)[0];
+    let space = ActionSpace::of(sk);
+    let mut agent = PpoAgent::new(
+        harl_tensor_ir::FEATURE_DIM,
+        &[space.tile_actions(), 3, 3, 3],
+        PpoConfig::default(),
+        &mut rng,
+    );
+    let s = Schedule::random(sk, Target::Cpu, &mut rng);
+    let feat = extract_features(&g, sk, Target::Cpu, &s);
+    let masks =
+        vec![tile_action_mask(sk, &s, &space), vec![true; 3], vec![true; 3], vec![true; 3]];
+    c.bench_function("ppo_act", |b| {
+        b.iter(|| agent.act(std::hint::black_box(&feat), &masks, &mut rng))
+    });
+    for _ in 0..128 {
+        let (a, lp) = agent.act(&feat, &masks, &mut rng);
+        agent.record(feat.clone(), a, lp, 0.1, &feat, masks.clone());
+    }
+    c.bench_function("ppo_train_step_minibatch64", |b| {
+        b.iter(|| agent.train_step(&mut rng))
+    });
+}
+
+fn bench_bandit(c: &mut Criterion) {
+    let mut b1 = SlidingWindowUcb::with_paper_defaults(24);
+    let mut rng = StdRng::seed_from_u64(5);
+    c.bench_function("swucb_select_update", |b| {
+        b.iter(|| {
+            let a = b1.select(&mut rng);
+            b1.update(a, 0.5);
+            a
+        })
+    });
+}
+
+fn bench_evolution(c: &mut Criterion) {
+    let g = harl_tensor_ir::workload::gemm(512, 512, 512);
+    let sketches = generate_sketches(&g, Target::Cpu);
+    let cm = CostModel::new(GbtParams { n_rounds: 12, ..Default::default() });
+    let seen = HashSet::new();
+    let cfg = EvoConfig { population: 128, generations: 3, ..Default::default() };
+    c.bench_function("evolution_round_pop128", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(6),
+            |mut rng| {
+                evolve_candidates(&g, &sketches, Target::Cpu, &cm, &[], &seen, 16, &cfg, &mut rng)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sketch_generation,
+    bench_schedule_ops,
+    bench_simulator,
+    bench_gbt,
+    bench_ppo,
+    bench_bandit,
+    bench_evolution
+);
+criterion_main!(benches);

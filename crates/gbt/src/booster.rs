@@ -1,0 +1,237 @@
+//! Gradient-boosted tree ensemble (XGBoost-lite) for squared-error
+//! regression, plus the incremental dataset used for on-line cost-model
+//! training during search.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tree::{RegressionTree, TreeParams};
+
+/// Booster hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GbtParams {
+    /// Boosting rounds (number of trees).
+    pub n_rounds: usize,
+    /// Shrinkage (learning rate η).
+    pub eta: f64,
+    /// Per-tree parameters.
+    pub tree: TreeParams,
+    /// Base prediction before any trees.
+    pub base_score: f64,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        GbtParams { n_rounds: 30, eta: 0.3, tree: TreeParams::default(), base_score: 0.0 }
+    }
+}
+
+/// A trained gradient-boosted regression model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gbt {
+    params: GbtParams,
+    trees: Vec<RegressionTree>,
+}
+
+impl Gbt {
+    /// Fits a fresh ensemble to `(features, targets)`.
+    pub fn fit(features: &[Vec<f32>], targets: &[f64], params: GbtParams) -> Self {
+        assert_eq!(features.len(), targets.len());
+        let mut preds = vec![params.base_score; targets.len()];
+        let mut trees = Vec::with_capacity(params.n_rounds);
+        for _ in 0..params.n_rounds {
+            if features.is_empty() {
+                break;
+            }
+            let grad: Vec<f64> = preds.iter().zip(targets).map(|(p, t)| p - t).collect();
+            let tree = RegressionTree::fit(features, &grad, &params.tree);
+            for (p, x) in preds.iter_mut().zip(features) {
+                *p += params.eta * tree.predict(x);
+            }
+            trees.push(tree);
+        }
+        Gbt { params, trees }
+    }
+
+    /// Predicts the regression target for one sample.
+    pub fn predict(&self, x: &[f32]) -> f64 {
+        self.params.base_score
+            + self.trees.iter().map(|t| self.params.eta * t.predict(x)).sum::<f64>()
+    }
+
+    /// Predicts a batch of samples.
+    pub fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Split-frequency feature importance over the whole ensemble:
+    /// `importance[f]` counts how many splits test feature `f`.
+    pub fn feature_importance(&self, n_features: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; n_features];
+        for t in &self.trees {
+            t.accumulate_importance(&mut counts);
+        }
+        counts
+    }
+
+    /// Root-mean-squared error on a dataset.
+    pub fn rmse(&self, features: &[Vec<f32>], targets: &[f64]) -> f64 {
+        if features.is_empty() {
+            return 0.0;
+        }
+        let se: f64 = features
+            .iter()
+            .zip(targets)
+            .map(|(x, t)| {
+                let d = self.predict(x) - t;
+                d * d
+            })
+            .sum();
+        (se / features.len() as f64).sqrt()
+    }
+}
+
+/// On-line training dataset with a capacity cap (keeps the most recent
+/// samples, as the cost model is retrained on the fly from measurements).
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    features: Vec<Vec<f32>>,
+    targets: Vec<f64>,
+    cap: usize,
+}
+
+impl Dataset {
+    /// A dataset that keeps at most `cap` most-recent samples (0 = unbounded).
+    pub fn with_capacity(cap: usize) -> Self {
+        Dataset { features: Vec::new(), targets: Vec::new(), cap }
+    }
+
+    /// Appends a sample, evicting the oldest when over capacity.
+    pub fn push(&mut self, x: Vec<f32>, y: f64) {
+        self.features.push(x);
+        self.targets.push(y);
+        if self.cap > 0 && self.features.len() > self.cap {
+            let excess = self.features.len() - self.cap;
+            self.features.drain(0..excess);
+            self.targets.drain(0..excess);
+        }
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// The stored feature rows.
+    pub fn features(&self) -> &[Vec<f32>] {
+        &self.features
+    }
+
+    /// The stored targets (raw, unnormalized).
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synthetic(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f32>> =
+            (0..n).map(|_| (0..4).map(|_| rng.gen_range(-2.0f32..2.0)).collect()).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| {
+                (x[0] as f64) * 2.0 + (x[1] as f64).powi(2) - (x[2] as f64) * (x[3] as f64)
+            })
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let (xs, ys) = synthetic(600, 1);
+        let model = Gbt::fit(&xs, &ys, GbtParams::default());
+        let train_rmse = model.rmse(&xs, &ys);
+        let (xt, yt) = synthetic(200, 2);
+        let test_rmse = model.rmse(&xt, &yt);
+        assert!(train_rmse < 0.5, "train rmse {train_rmse}");
+        assert!(test_rmse < 1.2, "test rmse {test_rmse}");
+    }
+
+    #[test]
+    fn more_rounds_reduce_train_error() {
+        let (xs, ys) = synthetic(300, 3);
+        let few = Gbt::fit(&xs, &ys, GbtParams { n_rounds: 3, ..Default::default() });
+        let many = Gbt::fit(&xs, &ys, GbtParams { n_rounds: 40, ..Default::default() });
+        assert!(many.rmse(&xs, &ys) < few.rmse(&xs, &ys));
+    }
+
+    #[test]
+    fn empty_training_is_base_score() {
+        let model = Gbt::fit(&[], &[], GbtParams { base_score: 0.25, ..Default::default() });
+        assert_eq!(model.predict(&[1.0, 2.0]), 0.25);
+        assert_eq!(model.num_trees(), 0);
+    }
+
+    #[test]
+    fn ranking_is_preserved_on_monotone_target() {
+        // cost-model usage cares about ordering more than absolute values
+        let xs: Vec<Vec<f32>> = (0..200).map(|i| vec![i as f32 / 10.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] as f64).sqrt()).collect();
+        let model = Gbt::fit(&xs, &ys, GbtParams::default());
+        let p10 = model.predict(&[1.0]);
+        let p100 = model.predict(&[10.0]);
+        let p190 = model.predict(&[19.0]);
+        assert!(p10 < p100 && p100 < p190);
+    }
+
+    #[test]
+    fn ensemble_importance_finds_informative_features() {
+        // y depends on x0 and x1 only; x2/x3 are noise the trees may touch
+        // occasionally, but the informative features must dominate
+        let (xs, ys) = synthetic(400, 7);
+        let model = Gbt::fit(&xs, &ys, GbtParams::default());
+        let imp = model.feature_importance(4);
+        let informative = imp[0] + imp[1];
+        let rest = imp[2] + imp[3];
+        assert!(informative > 0);
+        assert!(
+            informative as f64 >= rest as f64 * 0.8,
+            "importance {imp:?} should favour informative features"
+        );
+    }
+
+    #[test]
+    fn dataset_capacity_evicts_oldest() {
+        let mut d = Dataset::with_capacity(3);
+        for i in 0..5 {
+            d.push(vec![i as f32], i as f64);
+        }
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.targets(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let (xs, ys) = synthetic(100, 4);
+        let model = Gbt::fit(&xs, &ys, GbtParams::default());
+        let batch = model.predict_batch(&xs);
+        for (b, x) in batch.iter().zip(&xs) {
+            assert_eq!(*b, model.predict(x));
+        }
+    }
+}

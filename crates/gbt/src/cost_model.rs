@@ -1,0 +1,189 @@
+//! The light-weight cost model of §3.2 / §4.3.
+//!
+//! Wraps the GBT booster as an on-line learned predictor of *normalized
+//! throughput* (measured FLOP/s divided by a per-workload scale). It is the
+//! RL reward function `r(s_t, s_{t-1}) = (C(s_t) − C(s_{t-1})) / C(s_{t-1})`
+//! and the top-K filter before hardware measurements, retrained on the fly
+//! from measurement results (Algorithm 1, line 22).
+
+use crate::booster::{Dataset, Gbt, GbtParams};
+
+/// On-line cost model over feature vectors.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    params: GbtParams,
+    data: Dataset,
+    model: Option<Gbt>,
+    /// Throughput scale so targets sit near [0, 1].
+    scale: f64,
+    /// Retrain after this many new samples.
+    retrain_every: usize,
+    since_train: usize,
+    /// Prediction floor: scores are clamped to stay positive so the
+    /// relative-improvement reward is well-defined.
+    floor: f64,
+}
+
+impl CostModel {
+    /// An empty (untrained) cost model.
+    pub fn new(params: GbtParams) -> Self {
+        CostModel {
+            params,
+            data: Dataset::with_capacity(4096),
+            model: None,
+            scale: 0.0,
+            retrain_every: 32,
+            since_train: 0,
+            floor: 1e-3,
+        }
+    }
+
+    /// Number of measurement samples absorbed.
+    pub fn num_samples(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True once at least one retrain has happened.
+    pub fn is_trained(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Records a measured `(features, flops_per_sec)` pair and retrains
+    /// periodically. Returns `true` when a retrain happened.
+    ///
+    /// Raw throughputs are stored; normalization by the running maximum
+    /// happens at retrain time so early samples are rescaled consistently.
+    pub fn update(&mut self, features: Vec<f32>, flops_per_sec: f64) -> bool {
+        self.scale = self.scale.max(flops_per_sec);
+        self.data.push(features, flops_per_sec);
+        self.since_train += 1;
+        if self.since_train >= self.retrain_every || self.model.is_none() {
+            self.retrain();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a whole batch, then retrains once.
+    pub fn update_batch(&mut self, batch: impl IntoIterator<Item = (Vec<f32>, f64)>) {
+        for (f, y) in batch {
+            self.scale = self.scale.max(y);
+            self.data.push(f, y);
+        }
+        self.retrain();
+    }
+
+    fn retrain(&mut self) {
+        if self.data.is_empty() {
+            return;
+        }
+        let scale = if self.scale > 0.0 { self.scale } else { 1.0 };
+        let targets: Vec<f64> = self.data.targets().iter().map(|&y| y / scale).collect();
+        self.model = Some(Gbt::fit(self.data.features(), &targets, self.params.clone()));
+        self.since_train = 0;
+    }
+
+    /// Predicted score (normalized throughput, clamped positive). Before
+    /// any training data exists, returns a neutral constant so rewards are
+    /// zero rather than undefined.
+    pub fn score(&self, features: &[f32]) -> f64 {
+        match &self.model {
+            Some(m) => m.predict(features).max(self.floor),
+            None => 0.5,
+        }
+    }
+
+    /// Scores a batch of feature vectors.
+    pub fn score_batch(&self, features: &[Vec<f32>]) -> Vec<f64> {
+        features.iter().map(|f| self.score(f)).collect()
+    }
+
+    /// RL reward: relative improvement from `prev` to `next` feature
+    /// vectors, `(C(s') − C(s)) / C(s)`.
+    pub fn reward(&self, prev: &[f32], next: &[f32]) -> f64 {
+        let cp = self.score(prev);
+        let cn = self.score(next);
+        (cn - cp) / cp
+    }
+
+    /// The throughput scale used for target normalization (max observed
+    /// FLOP/s).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Split-frequency feature importance of the current model (empty when
+    /// untrained). Useful for diagnosing which schedule features drive the
+    /// cost model's predictions.
+    pub fn feature_importance(&self, n_features: usize) -> Vec<u64> {
+        match &self.model {
+            Some(m) => m.feature_importance(n_features),
+            None => vec![0; n_features],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(v: f32) -> Vec<f32> {
+        vec![v, v * v, 1.0 - v]
+    }
+
+    #[test]
+    fn untrained_is_neutral() {
+        let cm = CostModel::new(GbtParams::default());
+        assert_eq!(cm.score(&feat(0.3)), 0.5);
+        assert_eq!(cm.reward(&feat(0.1), &feat(0.9)), 0.0);
+    }
+
+    #[test]
+    fn learns_ordering_from_measurements() {
+        let mut cm = CostModel::new(GbtParams::default());
+        // throughput rises with the feature
+        let batch: Vec<(Vec<f32>, f64)> =
+            (0..200).map(|i| (feat(i as f32 / 200.0), 1e9 * (1.0 + i as f64 / 50.0))).collect();
+        cm.update_batch(batch);
+        assert!(cm.is_trained());
+        assert!(cm.score(&feat(0.95)) > cm.score(&feat(0.05)));
+        assert!(cm.reward(&feat(0.05), &feat(0.95)) > 0.0);
+        assert!(cm.reward(&feat(0.95), &feat(0.05)) < 0.0);
+    }
+
+    #[test]
+    fn retrains_periodically() {
+        let mut cm = CostModel::new(GbtParams { n_rounds: 5, ..Default::default() });
+        let mut retrains = 0;
+        for i in 0..100 {
+            if cm.update(feat(i as f32 / 100.0), 1e9 + i as f64) {
+                retrains += 1;
+            }
+        }
+        assert!(retrains >= 3, "expected periodic retrains, got {retrains}");
+    }
+
+    #[test]
+    fn scores_stay_positive() {
+        let mut cm = CostModel::new(GbtParams::default());
+        cm.update_batch((0..64).map(|i| (feat(i as f32), if i % 2 == 0 { 1.0 } else { 1e12 })));
+        for i in 0..64 {
+            assert!(cm.score(&feat(i as f32)) > 0.0);
+        }
+    }
+
+    #[test]
+    fn untrained_importance_is_zero() {
+        let cm = CostModel::new(GbtParams::default());
+        assert!(cm.feature_importance(3).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn scale_tracks_max_throughput() {
+        let mut cm = CostModel::new(GbtParams::default());
+        cm.update(feat(0.1), 5e9);
+        cm.update(feat(0.2), 2e9);
+        assert_eq!(cm.scale(), 5e9);
+    }
+}

@@ -1,0 +1,253 @@
+//! Single regression tree with XGBoost-style split gain.
+//!
+//! Exact greedy splitting on pre-sorted feature columns. Squared-error
+//! objective: gradient `g = pred - target`, hessian `h = 1`, leaf weight
+//! `w = -G / (H + λ)`, split gain `½ [G_L²/(H_L+λ) + G_R²/(H_R+λ) −
+//! G²/(H+λ)] − γ`.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of one tree (shared with the booster).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum hessian sum (= sample count for squared loss) per child.
+    pub min_child_weight: f64,
+    /// L2 regularisation on leaf weights.
+    pub lambda: f64,
+    /// Minimum gain to split (γ).
+    pub gamma: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 6, min_child_weight: 2.0, lambda: 1.0, gamma: 1e-6 }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        /// child indices into the node arena
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A trained regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree to gradients `g` (hessians are all 1).
+    ///
+    /// `features` is row-major: `features[i]` is sample `i`.
+    pub fn fit(features: &[Vec<f32>], grad: &[f64], params: &TreeParams) -> Self {
+        assert_eq!(features.len(), grad.len());
+        let n_features = features.first().map(|f| f.len()).unwrap_or(0);
+        let mut tree = RegressionTree { nodes: Vec::new(), n_features };
+        let idx: Vec<usize> = (0..features.len()).collect();
+        tree.build(features, grad, idx, params, 0);
+        tree
+    }
+
+    fn build(
+        &mut self,
+        features: &[Vec<f32>],
+        grad: &[f64],
+        idx: Vec<usize>,
+        params: &TreeParams,
+        depth: usize,
+    ) -> usize {
+        let g_sum: f64 = idx.iter().map(|&i| grad[i]).sum();
+        let h_sum = idx.len() as f64;
+
+        let make_leaf = |tree: &mut Self| {
+            let weight = -g_sum / (h_sum + params.lambda);
+            tree.nodes.push(Node::Leaf { weight });
+            tree.nodes.len() - 1
+        };
+
+        if depth >= params.max_depth || idx.len() < 2 * params.min_child_weight.ceil() as usize {
+            return make_leaf(self);
+        }
+
+        // best split over all features
+        let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+        let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, gain)
+
+        let mut order = idx.clone();
+        for f in 0..self.n_features {
+            order.sort_unstable_by(|&a, &b| {
+                features[a][f].partial_cmp(&features[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut gl = 0.0f64;
+            let mut hl = 0.0f64;
+            for w in 0..order.len().saturating_sub(1) {
+                gl += grad[order[w]];
+                hl += 1.0;
+                let va = features[order[w]][f];
+                let vb = features[order[w + 1]][f];
+                if va == vb {
+                    continue; // can't split between equal values
+                }
+                let hr = h_sum - hl;
+                if hl < params.min_child_weight || hr < params.min_child_weight {
+                    continue;
+                }
+                let gr = g_sum - gl;
+                let gain = 0.5
+                    * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                        - parent_score)
+                    - params.gamma;
+                if gain > best.map(|(_, _, g)| g).unwrap_or(0.0) {
+                    best = Some((f, (va + vb) * 0.5, gain));
+                }
+            }
+        }
+
+        let (feature, threshold, _) = match best {
+            Some(b) => b,
+            None => return make_leaf(self),
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            idx.into_iter().partition(|&i| features[i][feature] < threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            // numeric degeneracy: fall back to leaf
+            let weight = -g_sum / (h_sum + params.lambda);
+            self.nodes.push(Node::Leaf { weight });
+            return self.nodes.len() - 1;
+        }
+
+        // reserve this node's slot, then build children
+        self.nodes.push(Node::Leaf { weight: 0.0 });
+        let me = self.nodes.len() - 1;
+        let left = self.build(features, grad, left_idx, params, depth + 1);
+        let right = self.build(features, grad, right_idx, params, depth + 1);
+        self.nodes[me] = Node::Split { feature, threshold, left, right };
+        me
+    }
+
+    /// Predicts the leaf weight for one sample. The tree's root is the node
+    /// pushed first for the full index set — but because children are pushed
+    /// after their parent reserves a slot, the root is at a known position:
+    /// the first node created by `fit` (index 0 when the root is a leaf,
+    /// otherwise the reserved slot which is also the first push of `build`).
+    pub fn predict(&self, x: &[f32]) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { weight } => return *weight,
+                Node::Split { feature, threshold, left, right } => {
+                    at = if x.get(*feature).copied().unwrap_or(0.0) < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Total node count (leaves + splits).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Accumulates split counts per feature into `counts`
+    /// (split-frequency feature importance).
+    pub fn accumulate_importance(&self, counts: &mut [u64]) {
+        for n in &self.nodes {
+            if let Node::Split { feature, .. } = n {
+                if let Some(c) = counts.get_mut(*feature) {
+                    *c += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|i| vec![i as f32, (i % 7) as f32]).collect()
+    }
+
+    #[test]
+    fn fits_step_function() {
+        let xs = grid(100);
+        // target: 1.0 when x0 >= 50 else -1.0; gradients for first round
+        // from pred=0: g = pred - y = -y
+        let grad: Vec<f64> =
+            xs.iter().map(|x| if x[0] >= 50.0 { -1.0 } else { 1.0 }).collect();
+        let t = RegressionTree::fit(&xs, &grad, &TreeParams::default());
+        assert!(t.predict(&[10.0, 0.0]) < -0.5);
+        assert!(t.predict(&[90.0, 0.0]) > 0.5);
+    }
+
+    #[test]
+    fn pure_leaf_when_no_split_helps() {
+        let xs = vec![vec![1.0f32], vec![1.0], vec![1.0], vec![1.0]];
+        let grad = vec![-2.0, -2.0, -2.0, -2.0];
+        let t = RegressionTree::fit(&xs, &grad, &TreeParams::default());
+        assert_eq!(t.num_nodes(), 1);
+        // w = -G/(H+λ) = 8/(4+1)
+        assert!((t.predict(&[1.0]) - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let xs = grid(256);
+        let grad: Vec<f64> = (0..256).map(|i| (i as f64).sin()).collect();
+        let p = TreeParams { max_depth: 2, ..Default::default() };
+        let t = RegressionTree::fit(&xs, &grad, &p);
+        // depth-2 binary tree has at most 7 nodes
+        assert!(t.num_nodes() <= 7);
+    }
+
+    #[test]
+    fn empty_input_predicts_zero() {
+        let t = RegressionTree::fit(&[], &[], &TreeParams::default());
+        assert_eq!(t.predict(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn importance_counts_split_features() {
+        let xs: Vec<Vec<f32>> =
+            (0..100).map(|i| vec![i as f32, 0.0]).collect();
+        // target depends only on feature 0
+        let grad: Vec<f64> = xs.iter().map(|x| if x[0] >= 50.0 { -1.0 } else { 1.0 }).collect();
+        let t = RegressionTree::fit(&xs, &grad, &TreeParams::default());
+        let mut counts = vec![0u64; 2];
+        t.accumulate_importance(&mut counts);
+        assert!(counts[0] >= 1, "feature 0 must be split on");
+        assert_eq!(counts[1], 0, "constant feature never splits");
+    }
+
+    #[test]
+    fn min_child_weight_prevents_tiny_leaves() {
+        let xs = grid(10);
+        let grad: Vec<f64> = (0..10).map(|i| if i == 0 { -100.0 } else { 0.0 }).collect();
+        let p = TreeParams { min_child_weight: 5.0, ..Default::default() };
+        let t = RegressionTree::fit(&xs, &grad, &p);
+        // cannot isolate the single outlier into a leaf of weight < 5
+        for x in &xs {
+            assert!(t.predict(x).abs() < 25.0);
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! One parameter-search episode — Algorithm 1, lines 3–19.
+//!
+//! `I` initial schedules are sampled from the selected sketch; each leads a
+//! *schedule track*. At every step the actor proposes one sub-action per
+//! modification type, the cost model scores the new states (the reward is
+//! the relative predicted improvement), the critic's advantage feeds the
+//! adaptive-stopping module, and the actor-critic trains from the replay
+//! buffer every `T_rl` steps. All traversed schedules are collected for the
+//! top-K selection phase.
+
+use rand::rngs::StdRng;
+
+use harl_gbt::CostModel;
+use harl_nnet::PpoAgent;
+use harl_tensor_ir::{
+    apply_action, compute_at_mask, extract_features, parallel_mask, tile_action_mask,
+    unroll_mask, Action, ActionSpace, Schedule, Sketch, StepDir, Subgraph, Target,
+};
+
+use crate::adaptive::{select_survivors, CriticalStep, TrackWindow};
+use crate::config::HarlConfig;
+
+/// Everything an episode produces.
+#[derive(Debug)]
+pub struct EpisodeResult {
+    /// All traversed schedules with their cost-model scores and the id of
+    /// the schedule track that produced them (Algorithm 1's heap `H`), in
+    /// visit order.
+    pub visited: Vec<(f64, Schedule, usize)>,
+    /// Per-track critical steps (position of the best-scored schedule).
+    pub critical_steps: Vec<CriticalStep>,
+    /// Steps executed before the episode ended.
+    pub steps: usize,
+}
+
+struct Track {
+    id: usize,
+    /// Warm-started from a measured elite (excluded from critical-step
+    /// statistics: it starts at its peak by construction).
+    seeded: bool,
+    schedule: Schedule,
+    features: Vec<f32>,
+    score: f64,
+    window: TrackWindow,
+    best_score: f64,
+    best_pos: usize,
+}
+
+/// Runs one episode of parameter modification on `sketch`.
+///
+/// `seeds` warm-start a fraction of the schedule tracks from previously
+/// measured good schedules of the *same sketch* (exploitation); the rest
+/// are sampled randomly from the sketch's parameter space (Algorithm 1,
+/// line 5).
+#[allow(clippy::too_many_arguments)]
+pub fn run_episode(
+    graph: &Subgraph,
+    sketch: &Sketch,
+    target: Target,
+    agent: &mut PpoAgent,
+    cost: &CostModel,
+    cfg: &HarlConfig,
+    seeds: &[Schedule],
+    rng: &mut StdRng,
+) -> EpisodeResult {
+    let space = ActionSpace::of(sketch);
+    let mut visited: Vec<(f64, Schedule, usize)> = Vec::new();
+    let mut critical: Vec<CriticalStep> = Vec::new();
+
+    // --- initial schedule tracks (Algorithm 1, line 5) --------------------
+    let n_seeded = ((cfg.tracks_per_round as f64 * cfg.elite_track_fraction) as usize)
+        .min(seeds.len());
+    let mut tracks: Vec<Track> = (0..cfg.tracks_per_round)
+        .map(|i| {
+            let s = if i < n_seeded {
+                seeds[i].clone()
+            } else {
+                Schedule::random(sketch, target, rng)
+            };
+            let f = extract_features(graph, sketch, target, &s);
+            let score = cost.score(&f);
+            visited.push((score, s.clone(), i));
+            Track {
+                id: i,
+                seeded: i < n_seeded,
+                schedule: s,
+                features: f,
+                score,
+                window: TrackWindow::default(),
+                best_score: score,
+                best_pos: 0,
+            }
+        })
+        .collect();
+
+    let mut step = 0usize;
+    let max_steps = if cfg.adaptive_stopping {
+        // safety bound: a full elimination cascade can't run longer than
+        // this many windows even with rho ≈ 0.
+        cfg.lambda * 64
+    } else {
+        cfg.fixed_length
+    };
+
+    // Algorithm 1, line 6: while |S| ≥ p̂ (adaptive) / fixed length.
+    while !tracks.is_empty() && step < max_steps {
+        step += 1;
+        for t in tracks.iter_mut() {
+            let masks = vec![
+                tile_action_mask(sketch, &t.schedule, &space),
+                compute_at_mask(sketch, &t.schedule).to_vec(),
+                parallel_mask(sketch, &t.schedule).to_vec(),
+                unroll_mask(target, &t.schedule).to_vec(),
+            ];
+            // the actor proposes several candidate modifications; the cost
+            // model prunes all but the best-scored one (§3.2)
+            let mut best: Option<(Vec<usize>, f32, Schedule, Vec<f32>, f64)> = None;
+            for _ in 0..cfg.action_samples.max(1) {
+                let (acts, logp) = agent.act(&t.features, &masks, rng);
+                let action = Action {
+                    tile: acts[0],
+                    compute_at: StepDir::from_index(acts[1]),
+                    parallel: StepDir::from_index(acts[2]),
+                    unroll: StepDir::from_index(acts[3]),
+                };
+                let cand = apply_action(sketch, target, &t.schedule, &action);
+                let cand_features = extract_features(graph, sketch, target, &cand);
+                let cand_score = cost.score(&cand_features);
+                visited.push((cand_score, cand.clone(), t.id));
+                if best.as_ref().map(|b| cand_score > b.4).unwrap_or(true) {
+                    best = Some((acts, logp, cand, cand_features, cand_score));
+                }
+            }
+            let (acts, logp, next, next_features, next_score) =
+                best.expect("action_samples >= 1");
+            // reward: relative predicted improvement (line 9)
+            let reward = ((next_score - t.score) / t.score.max(1e-9)) as f32;
+            // record (S, M, S', R, Y) (lines 10–12): advantage computed by
+            // the critic inside `record`
+            let adv = agent.record(
+                t.features.clone(),
+                acts,
+                logp,
+                reward,
+                &next_features,
+                masks,
+            );
+            t.window.push(adv as f64);
+            if next_score > t.best_score {
+                t.best_score = next_score;
+                t.best_pos = step;
+            }
+            t.schedule = next;
+            t.features = next_features;
+            t.score = next_score;
+        }
+
+        // Train actor + critic every T_rl steps (lines 14–17).
+        if step % cfg.train_interval == 0 {
+            for _ in 0..cfg.train_epochs.max(1) {
+                agent.train_step(rng);
+            }
+        }
+
+        // Adaptive stopping every λ steps (line 11 / §5).
+        if cfg.adaptive_stopping && step % cfg.lambda == 0 {
+            let advs: Vec<f64> = tracks.iter().map(|t| t.window.mean()).collect();
+            let kept = select_survivors(&advs, cfg.rho);
+            let kept_set: Vec<bool> = {
+                let mut v = vec![false; tracks.len()];
+                for &k in &kept {
+                    v[k] = true;
+                }
+                v
+            };
+            let mut survivors = Vec::with_capacity(kept.len());
+            for (i, mut t) in tracks.drain(..).enumerate() {
+                if kept_set[i] {
+                    t.window.reset();
+                    survivors.push(t);
+                } else {
+                    if !t.seeded {
+                        critical.push(CriticalStep { position: t.best_pos, length: step });
+                    }
+                }
+            }
+            tracks = survivors;
+            if tracks.len() < cfg.min_tracks {
+                break;
+            }
+        }
+    }
+
+    for t in tracks.iter().filter(|t| !t.seeded) {
+        critical.push(CriticalStep { position: t.best_pos, length: step });
+    }
+
+    EpisodeResult { visited, critical_steps: critical, steps: step }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harl_gbt::GbtParams;
+    use harl_nnet::PpoConfig;
+    use harl_tensor_ir::{generate_sketches, workload};
+    use rand::SeedableRng;
+
+    fn setup() -> (Subgraph, Sketch, PpoAgent, StdRng) {
+        let g = workload::gemm(256, 256, 256);
+        let sk = generate_sketches(&g, Target::Cpu)[0].clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        let space = ActionSpace::of(&sk);
+        let agent = PpoAgent::new(
+            harl_tensor_ir::FEATURE_DIM,
+            &[space.tile_actions(), 3, 3, 3],
+            PpoConfig { hidden: 32, ..Default::default() },
+            &mut rng,
+        );
+        (g, sk, agent, rng)
+    }
+
+    #[test]
+    fn adaptive_episode_ends_below_min_tracks() {
+        let (g, sk, mut agent, mut rng) = setup();
+        let cost = CostModel::new(GbtParams::default());
+        let cfg = HarlConfig { lambda: 3, tracks_per_round: 8, min_tracks: 4, ..HarlConfig::tiny() };
+        let res = run_episode(&g, &sk, Target::Cpu, &mut agent, &cost, &cfg, &[], &mut rng);
+        // 8 tracks, ρ=0.5: after window1 → 4 (≥ min, continue), window2 → 2 < 4 stop.
+        assert_eq!(res.steps, 6);
+        assert_eq!(res.critical_steps.len(), 8, "every track gets a critical step");
+        // visited = 8 initial + (8*3 + 4*3) track-steps × action_samples
+        assert_eq!(res.visited.len(), 8 + (8 * 3 + 4 * 3) * cfg.action_samples);
+    }
+
+    #[test]
+    fn fixed_episode_runs_exact_length() {
+        let (g, sk, mut agent, mut rng) = setup();
+        let cost = CostModel::new(GbtParams::default());
+        let cfg = HarlConfig {
+            adaptive_stopping: false,
+            fixed_length: 5,
+            tracks_per_round: 6,
+            ..HarlConfig::tiny()
+        };
+        let res = run_episode(&g, &sk, Target::Cpu, &mut agent, &cost, &cfg, &[], &mut rng);
+        assert_eq!(res.steps, 5);
+        assert_eq!(res.visited.len(), 6 + 6 * 5 * cfg.action_samples);
+        assert!(res.critical_steps.iter().all(|c| c.length == 5));
+    }
+
+    #[test]
+    fn visited_schedules_are_valid() {
+        let (g, sk, mut agent, mut rng) = setup();
+        let cost = CostModel::new(GbtParams::default());
+        let cfg = HarlConfig::tiny();
+        let res = run_episode(&g, &sk, Target::Cpu, &mut agent, &cost, &cfg, &[], &mut rng);
+        for (score, s, _) in &res.visited {
+            assert!(score.is_finite());
+            s.validate(&sk, Target::Cpu).expect("visited schedule valid");
+        }
+    }
+
+    #[test]
+    fn episode_trains_the_agent() {
+        let (g, sk, mut agent, mut rng) = setup();
+        let cost = CostModel::new(GbtParams::default());
+        let cfg = HarlConfig { train_interval: 2, ..HarlConfig::tiny() };
+        let before = agent.num_updates();
+        run_episode(&g, &sk, Target::Cpu, &mut agent, &cost, &cfg, &[], &mut rng);
+        assert!(agent.num_updates() > before);
+    }
+}

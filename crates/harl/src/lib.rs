@@ -1,0 +1,31 @@
+//! # harl-core
+//!
+//! The paper's system: a hierarchical, adaptive, RL-based auto-scheduler
+//! for tensor programs.
+//!
+//! * **Subgraph selection** `π_t(n)` — non-stationary SW-UCB with the
+//!   gradient estimate of Eq. 3 as reward ([`network::HarlNetworkTuner`]).
+//! * **Sketch selection** `π_t^n(u)` — SW-UCB with the normalized maximal
+//!   performance `X_t` as reward ([`tuner::HarlOperatorTuner`]).
+//! * **Parameter modification** `π_t^{n,u}(s_t|s_{t-1})` — PPO actor-critic
+//!   over the Table 3 action space ([`episode::run_episode`]).
+//! * **Adaptive stopping** — track elimination every λ steps by critic
+//!   advantage ([`adaptive`]).
+//!
+//! All Table 5 hyper-parameters live in [`config::HarlConfig`]; ablation
+//! toggles (`adaptive_stopping`, `subgraph_mab`, `sketch_mab`) reproduce the
+//! paper's §6 ablations.
+
+pub mod adaptive;
+pub mod config;
+pub mod episode;
+pub mod network;
+pub mod report;
+pub mod tuner;
+
+pub use adaptive::{critical_step_histogram, select_survivors, CriticalStep, TrackWindow};
+pub use config::HarlConfig;
+pub use episode::{run_episode, EpisodeResult};
+pub use network::{HarlNetworkTuner, NetRound};
+pub use report::{NetworkReport, OperatorReport, SubgraphSummary};
+pub use tuner::{HarlOperatorTuner, RoundLog};

@@ -1,0 +1,315 @@
+//! The HARL operator tuner: sketch-level SW-UCB on top of the PPO
+//! parameter search, with top-K measurement and on-line cost-model
+//! training (Algorithm 1's outer loop, §4).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use harl_bandit::{AnyBandit, Bandit};
+use harl_gbt::CostModel;
+use harl_nnet::PpoAgent;
+use harl_tensor_ir::{
+    extract_features, generate_sketches, ActionSpace, Schedule, Sketch, Subgraph, Target,
+};
+use harl_tensor_sim::{Measurer, TuneTrace};
+
+use crate::adaptive::CriticalStep;
+use crate::config::HarlConfig;
+use crate::episode::run_episode;
+
+/// Log entry of one tuning round.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundLog {
+    pub sketch: usize,
+    pub trials: u64,
+    /// Best throughput measured in this round (FLOP/s).
+    pub round_best_flops: f64,
+}
+
+/// Tunes one subgraph with the full HARL stack below the subgraph level:
+/// sketch MAB → PPO parameter search with adaptive stopping → top-K
+/// measurement → cost-model update.
+pub struct HarlOperatorTuner<'m> {
+    pub graph: Subgraph,
+    pub sketches: Vec<Sketch>,
+    target: Target,
+    measurer: &'m Measurer,
+    cost_model: CostModel,
+    agent: PpoAgent,
+    sketch_bandit: AnyBandit,
+    seen: HashSet<u64>,
+    /// Best measured schedules per sketch, `(measured time, schedule)`
+    /// sorted best-first — warm-start seeds for later episodes.
+    elites: Vec<Vec<(f64, Schedule)>>,
+    /// Best noise-free execution time found.
+    pub best_time: f64,
+    pub best_schedule: Option<Schedule>,
+    pub trials_used: u64,
+    pub trace: TuneTrace,
+    /// Critical steps of every schedule track explored (Fig. 7(b)).
+    pub critical_steps: Vec<CriticalStep>,
+    pub rounds: Vec<RoundLog>,
+    cfg: HarlConfig,
+    rng: StdRng,
+}
+
+impl<'m> HarlOperatorTuner<'m> {
+    pub fn new(graph: Subgraph, measurer: &'m Measurer, cfg: HarlConfig) -> Self {
+        let target = measurer.hardware().target();
+        let sketches = generate_sketches(&graph, target);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (graph.name.len() as u64) << 3);
+        let space = ActionSpace::of(&sketches[0]);
+        let agent = PpoAgent::new(
+            harl_tensor_ir::FEATURE_DIM,
+            &[space.tile_actions(), 3, 3, 3],
+            cfg.ppo.clone(),
+            &mut rng,
+        );
+        let mut mab_kind = cfg.mab_kind;
+        if let harl_bandit::BanditKind::SwUcb { c, tau } = &mut mab_kind {
+            *c = cfg.mab_c;
+            *tau = cfg.mab_tau;
+        }
+        let sketch_bandit = mab_kind.build(sketches.len());
+        let elites = vec![Vec::new(); sketches.len()];
+        HarlOperatorTuner {
+            graph,
+            sketches,
+            target,
+            measurer,
+            cost_model: CostModel::new(cfg.gbt.clone()),
+            agent,
+            sketch_bandit,
+            seen: HashSet::new(),
+            elites,
+            best_time: f64::INFINITY,
+            best_schedule: None,
+            trials_used: 0,
+            trace: TuneTrace::new(),
+            critical_steps: Vec::new(),
+            rounds: Vec::new(),
+            cfg,
+            rng,
+        }
+    }
+
+    /// Current cost-model sample count (for diagnostics).
+    pub fn cost_model_samples(&self) -> usize {
+        self.cost_model.num_samples()
+    }
+
+    /// The shared measurer this tuner charges trials to.
+    pub fn measurer_ref(&self) -> &'m Measurer {
+        self.measurer
+    }
+
+    /// One tuning round (sketch selection → episode → top-K measurement).
+    /// Returns the trials used (≤ `budget`).
+    pub fn round(&mut self, budget: usize) -> usize {
+        if budget == 0 {
+            return 0;
+        }
+        // --- sketch selection (§4.1, Eq. 2) -------------------------------
+        let sketch_id = if self.cfg.sketch_mab {
+            self.sketch_bandit.select(&mut self.rng)
+        } else {
+            self.rng.gen_range(0..self.sketches.len())
+        };
+        let sketch = self.sketches[sketch_id].clone();
+
+        // --- parameter modification phase (Algorithm 1) --------------------
+        let seeds: Vec<Schedule> =
+            self.elites[sketch_id].iter().map(|(_, s)| s.clone()).collect();
+        let episode = run_episode(
+            &self.graph,
+            &sketch,
+            self.target,
+            &mut self.agent,
+            &self.cost_model,
+            &self.cfg,
+            &seeds,
+            &mut self.rng,
+        );
+        self.critical_steps.extend(episode.critical_steps.iter().copied());
+
+        // --- top-K selection phase (lines 20–22) ----------------------------
+        // Schedules are ranked by predicted score; picks are capped per
+        // schedule track so the measurement set stays diverse instead of
+        // collapsing onto the single best-predicted track's neighbourhood.
+        let k = budget.min(self.cfg.measure_per_round);
+        let mut scored = episode.visited;
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let per_track_cap = (k / 8).max(2);
+        let mut track_counts: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut picks: Vec<Schedule> = Vec::with_capacity(k);
+        let mut local = HashSet::new();
+        for pass in 0..2 {
+            for (_, s, track) in &scored {
+                if picks.len() >= k {
+                    break;
+                }
+                // pass 0 enforces the diversity cap; pass 1 fills leftovers
+                if pass == 0 && track_counts.get(track).copied().unwrap_or(0) >= per_track_cap {
+                    continue;
+                }
+                let key = s.dedup_key();
+                if self.seen.contains(&key) || !local.insert(key) {
+                    continue;
+                }
+                *track_counts.entry(*track).or_insert(0) += 1;
+                picks.push(s.clone());
+            }
+        }
+        // fall back to random sampling when the episode didn't yield enough
+        // unseen schedules
+        let mut guard = 0;
+        while picks.len() < k && guard < 50 * k {
+            guard += 1;
+            let s = Schedule::random(&sketch, self.target, &mut self.rng);
+            let key = s.dedup_key();
+            if self.seen.contains(&key) || !local.insert(key) {
+                continue;
+            }
+            picks.push(s);
+        }
+        if picks.is_empty() {
+            return 0;
+        }
+
+        let mut round_best_flops = 0.0f64;
+        let mut updates = Vec::with_capacity(picks.len());
+        for s in &picks {
+            let sk = &self.sketches[s.sketch_id];
+            let m = self.measurer.measure(&self.graph, sk, s);
+            self.seen.insert(s.dedup_key());
+            round_best_flops = round_best_flops.max(m.flops_per_sec);
+            let truth = self.measurer.true_time(&self.graph, sk, s);
+            if truth < self.best_time {
+                self.best_time = truth;
+                self.best_schedule = Some(s.clone());
+            }
+            self.elites[s.sketch_id].push((m.time, s.clone()));
+            updates.push((extract_features(&self.graph, sk, self.target, s), m.flops_per_sec));
+        }
+        for pool in &mut self.elites {
+            pool.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            pool.truncate(32);
+        }
+        // train the cost model with the measurements (line 22)
+        self.cost_model.update_batch(updates);
+
+        // --- sketch MAB reward: normalized maximal performance X_t ---------
+        let x_t = if self.cost_model.scale() > 0.0 {
+            round_best_flops / self.cost_model.scale()
+        } else {
+            0.0
+        };
+        self.sketch_bandit.update(sketch_id, x_t);
+
+        // simulated algorithm overhead: fixed + per-evaluation + per-RL-step
+        self.measurer.charge_search_time(
+            self.cfg.round_overhead
+                + scored.len() as f64 * self.cfg.eval_cost
+                + episode.steps as f64 * self.cfg.ppo_step_cost,
+        );
+        self.trials_used += picks.len() as u64;
+        self.rounds.push(RoundLog {
+            sketch: sketch_id,
+            trials: picks.len() as u64,
+            round_best_flops,
+        });
+        self.trace.record(self.measurer.trials(), self.measurer.sim_seconds(), self.best_time);
+        picks.len()
+    }
+
+    /// Tunes until `total_trials` measurements have been used.
+    pub fn tune(&mut self, total_trials: u64) {
+        while self.trials_used < total_trials {
+            let remaining = (total_trials - self.trials_used) as usize;
+            if self.round(remaining) == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Per-sketch windowed pull counts of the sketch bandit
+    /// (diagnostics/tests; NaN for policies without counts).
+    pub fn sketch_pulls(&self) -> Vec<f64> {
+        (0..self.sketches.len()).map(|a| self.sketch_bandit.pulls(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harl_tensor_ir::workload;
+    use harl_tensor_sim::{Hardware, MeasureConfig};
+
+    #[test]
+    fn operator_tuning_improves() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(256, 256, 256);
+        let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+        t.round(16);
+        let first = t.best_time;
+        t.tune(160);
+        assert!(t.best_time < first, "no improvement: {first} → {}", t.best_time);
+        assert!(t.best_schedule.is_some());
+    }
+
+    #[test]
+    fn budget_and_accounting_consistent() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(128, 128, 128);
+        let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+        t.tune(48);
+        assert_eq!(t.trials_used, measurer.trials());
+        assert_eq!(t.trials_used, t.rounds.iter().map(|r| r.trials).sum::<u64>());
+        assert!(t.trials_used >= 48);
+    }
+
+    #[test]
+    fn sketch_mab_explores_all_sketches() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(512, 512, 512);
+        let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+        // gemm has 3 sketches; after ≥3 rounds every sketch must be pulled
+        for _ in 0..6 {
+            t.round(8);
+        }
+        let pulls = t.sketch_pulls();
+        assert!(pulls.iter().all(|&p| p > 0.0), "sketch pulls {pulls:?}");
+    }
+
+    #[test]
+    fn critical_steps_accumulate() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(128, 256, 128);
+        let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+        t.round(8);
+        assert_eq!(t.critical_steps.len(), HarlConfig::tiny().tracks_per_round);
+    }
+
+    #[test]
+    fn measured_schedules_never_repeat() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(128, 128, 128);
+        let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+        t.tune(64);
+        // `seen` is exactly the set of measured keys; sizes must agree
+        assert_eq!(t.seen.len() as u64, t.trials_used);
+    }
+
+    #[test]
+    fn fixed_length_mode_also_works() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(128, 128, 128);
+        let cfg = HarlConfig { adaptive_stopping: false, ..HarlConfig::tiny() };
+        let mut t = HarlOperatorTuner::new(g, &measurer, cfg);
+        t.tune(32);
+        assert!(t.best_time.is_finite());
+    }
+}

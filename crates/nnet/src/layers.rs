@@ -1,0 +1,220 @@
+//! Dense layers with manual backprop and Adam state.
+//!
+//! The networks in the paper are small MLPs (the PPO reference
+//! implementation (reference \[4\] of the paper) uses two hidden layers of 64 tanh units), so a
+//! straightforward single-sample forward/backward is plenty fast and keeps
+//! the code auditable.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer `y = W·x + b` with gradient accumulators and
+/// Adam moments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Input dimensionality.
+    pub in_dim: usize,
+    /// Output dimensionality.
+    pub out_dim: usize,
+    /// Row-major `out_dim × in_dim`.
+    pub w: Vec<f32>,
+    /// Bias vector.
+    pub b: Vec<f32>,
+    /// Accumulated weight gradients.
+    pub gw: Vec<f32>,
+    /// Accumulated bias gradients.
+    pub gb: Vec<f32>,
+    mw: Vec<f32>,
+    vw: Vec<f32>,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+}
+
+impl Linear {
+    /// Orthogonal-ish init: scaled uniform (He-style) — adequate for the
+    /// shallow nets used here.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let w = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        Linear {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+            mw: vec![0.0; in_dim * out_dim],
+            vw: vec![0.0; in_dim * out_dim],
+            mb: vec![0.0; out_dim],
+            vb: vec![0.0; out_dim],
+        }
+    }
+
+    /// Computes `y = W·x + b` into `y`.
+    pub fn forward(&self, x: &[f32], y: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        y.clear();
+        y.reserve(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            y.push(acc);
+        }
+    }
+
+    /// Accumulates gradients for one sample and returns `∂L/∂x` into `gx`.
+    pub fn backward(&mut self, x: &[f32], gy: &[f32], gx: &mut Vec<f32>) {
+        debug_assert_eq!(gy.len(), self.out_dim);
+        gx.clear();
+        gx.resize(self.in_dim, 0.0);
+        for o in 0..self.out_dim {
+            let g = gy[o];
+            self.gb[o] += g;
+            let row = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.gw[row + i] += g * x[i];
+                gx[i] += self.w[row + i] * g;
+            }
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw.iter_mut().for_each(|g| *g = 0.0);
+        self.gb.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Adam update with bias correction; `t` is the 1-based step count and
+    /// `scale` divides accumulated gradients (e.g. by the minibatch size).
+    pub fn adam_step(&mut self, lr: f32, t: u64, scale: f32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        for i in 0..self.w.len() {
+            let g = self.gw[i] * scale;
+            self.mw[i] = B1 * self.mw[i] + (1.0 - B1) * g;
+            self.vw[i] = B2 * self.vw[i] + (1.0 - B2) * g * g;
+            self.w[i] -= lr * (self.mw[i] / bc1) / ((self.vw[i] / bc2).sqrt() + EPS);
+        }
+        for i in 0..self.b.len() {
+            let g = self.gb[i] * scale;
+            self.mb[i] = B1 * self.mb[i] + (1.0 - B1) * g;
+            self.vb[i] = B2 * self.vb[i] + (1.0 - B2) * g * g;
+            self.b[i] -= lr * (self.mb[i] / bc1) / ((self.vb[i] / bc2).sqrt() + EPS);
+        }
+    }
+
+    /// Trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// In-place tanh and its backward pass.
+pub fn tanh_forward(x: &mut [f32]) {
+    for v in x {
+        *v = v.tanh();
+    }
+}
+
+/// `gx = gy * (1 - y²)` where `y = tanh(x)` is the forward output.
+pub fn tanh_backward(y: &[f32], gy: &mut [f32]) {
+    for (g, &yv) in gy.iter_mut().zip(y) {
+        *g *= 1.0 - yv * yv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.w = vec![1.0, 2.0, 3.0, 4.0];
+        l.b = vec![0.5, -0.5];
+        let mut y = Vec::new();
+        l.forward(&[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![1.0 - 2.0 + 0.5, 3.0 - 4.0 - 0.5]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = [0.3f32, -0.7, 1.1];
+        // loss = sum(y)
+        let gy = [1.0f32, 1.0];
+        let mut gx = Vec::new();
+        l.zero_grad();
+        l.backward(&x, &gy, &mut gx);
+
+        let eps = 1e-3f32;
+        for i in 0..l.w.len() {
+            let orig = l.w[i];
+            let mut y = Vec::new();
+            l.w[i] = orig + eps;
+            l.forward(&x, &mut y);
+            let lp: f32 = y.iter().sum();
+            l.w[i] = orig - eps;
+            l.forward(&x, &mut y);
+            let lm: f32 = y.iter().sum();
+            l.w[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - l.gw[i]).abs() < 1e-2, "w[{i}]: fd {fd} vs {}", l.gw[i]);
+        }
+        // input grads
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut y = Vec::new();
+            l.forward(&xp, &mut y);
+            let lp: f32 = y.iter().sum();
+            xp[i] = x[i] - eps;
+            l.forward(&xp, &mut y);
+            let lm: f32 = y.iter().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - gx[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn adam_reduces_quadratic_loss() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(1, 1, &mut rng);
+        // learn y = 2x: loss = (y - 2x)^2 on x=1
+        let mut t = 0;
+        for _ in 0..500 {
+            let mut y = Vec::new();
+            l.forward(&[1.0], &mut y);
+            let err = y[0] - 2.0;
+            l.zero_grad();
+            let mut gx = Vec::new();
+            l.backward(&[1.0], &[2.0 * err], &mut gx);
+            t += 1;
+            l.adam_step(0.05, t, 1.0);
+        }
+        let mut y = Vec::new();
+        l.forward(&[1.0], &mut y);
+        assert!((y[0] - 2.0).abs() < 0.05, "converged to {}", y[0]);
+    }
+
+    #[test]
+    fn tanh_backward_matches_derivative() {
+        let mut y = vec![0.5f32, -0.25, 0.0];
+        tanh_forward(&mut y);
+        let mut g = vec![1.0f32; 3];
+        tanh_backward(&y, &mut g);
+        for (gi, yi) in g.iter().zip(&y) {
+            assert!((gi - (1.0 - yi * yi)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! # harl-nnet
+//!
+//! Minimal from-scratch neural network stack: dense layers with manual
+//! backprop and Adam, tanh MLPs, a masked multi-head categorical policy,
+//! and PPO with the paper's loss weights (Table 5). Substitutes for the
+//! PyTorch PPO reference implementation the paper adopts.
+
+pub mod layers;
+pub mod mlp;
+pub mod policy;
+pub mod ppo;
+
+pub use layers::Linear;
+pub use mlp::{masked_softmax, Mlp};
+pub use policy::{sample_categorical, MultiHeadPolicy};
+pub use ppo::{PpoAgent, PpoConfig, ReplayBuffer, Transition};

@@ -1,0 +1,248 @@
+//! Multi-layer perceptron with tanh hidden activations.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{tanh_backward, tanh_forward, Linear};
+
+/// An MLP: linear layers with tanh between them; the final layer is linear
+/// (logits / value output).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    /// The dense layers, in forward order.
+    pub layers: Vec<Linear>,
+    /// Cached post-activation outputs of each layer from the last forward
+    /// pass (needed by backprop).
+    #[serde(skip)]
+    cache: Vec<Vec<f32>>,
+    #[serde(skip)]
+    cached_input: Vec<f32>,
+    adam_t: u64,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[64, 64, 64, 10]`
+    /// creates two hidden tanh layers of 64 and a 10-dim linear output.
+    pub fn new<R: Rng + ?Sized>(sizes: &[usize], rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output dims");
+        let layers = sizes.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        Mlp { layers, cache: Vec::new(), cached_input: Vec::new(), adam_t: 0 }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim
+    }
+
+    /// Forward pass, caching activations for a subsequent [`Mlp::backward`].
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        self.cached_input = x.to_vec();
+        self.cache.clear();
+        let n = self.layers.len();
+        let mut cur = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut next = Vec::new();
+            layer.forward(&cur, &mut next);
+            if li + 1 < n {
+                tanh_forward(&mut next);
+            }
+            self.cache.push(next.clone());
+            cur = next;
+        }
+        cur
+    }
+
+    /// Inference-only forward (no caching; usable through `&self`).
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        let n = self.layers.len();
+        let mut cur = x.to_vec();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut next = Vec::new();
+            layer.forward(&cur, &mut next);
+            if li + 1 < n {
+                tanh_forward(&mut next);
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// Backward pass for the most recent [`Mlp::forward`]; accumulates
+    /// parameter gradients and returns `∂L/∂input`.
+    pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        let n = self.layers.len();
+        assert_eq!(self.cache.len(), n, "backward without forward");
+        let mut gy = grad_out.to_vec();
+        let mut gx = Vec::new();
+        for li in (0..n).rev() {
+            if li + 1 < n {
+                // gy is w.r.t. the post-tanh output of layer li
+                tanh_backward(&self.cache[li], &mut gy);
+            }
+            let input_owned;
+            let input: &[f32] = if li == 0 {
+                &self.cached_input
+            } else {
+                input_owned = self.cache[li - 1].clone();
+                &input_owned
+            };
+            self.layers[li].backward(input, &gy, &mut gx);
+            gy = std::mem::take(&mut gx);
+        }
+        gy
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Applies an Adam update with the accumulated gradients.
+    pub fn adam_step(&mut self, lr: f32, scale: f32) {
+        self.adam_t += 1;
+        for l in &mut self.layers {
+            l.adam_step(lr, self.adam_t, scale);
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Linear::num_params).sum()
+    }
+}
+
+/// Softmax over logits with an optional validity mask; invalid entries get
+/// probability 0. Returns the probability vector.
+pub fn masked_softmax(logits: &[f32], mask: Option<&[bool]>) -> Vec<f32> {
+    let mut mx = f32::NEG_INFINITY;
+    for (i, &z) in logits.iter().enumerate() {
+        if mask.map(|m| m[i]).unwrap_or(true) {
+            mx = mx.max(z);
+        }
+    }
+    if mx == f32::NEG_INFINITY {
+        // no valid action: uniform (caller should avoid this)
+        return vec![1.0 / logits.len() as f32; logits.len()];
+    }
+    let mut probs: Vec<f32> = logits
+        .iter()
+        .enumerate()
+        .map(|(i, &z)| {
+            if mask.map(|m| m[i]).unwrap_or(true) {
+                (z - mx).exp()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let sum: f32 = probs.iter().sum();
+    for p in &mut probs {
+        *p /= sum;
+    }
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mlp = Mlp::new(&[8, 16, 3], &mut rng);
+        let y = mlp.forward(&vec![0.1; 8]);
+        assert_eq!(y.len(), 3);
+        assert_eq!(mlp.in_dim(), 8);
+        assert_eq!(mlp.out_dim(), 3);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp = Mlp::new(&[4, 8, 2], &mut rng);
+        let x = vec![0.3, -0.2, 0.8, 0.0];
+        assert_eq!(mlp.forward(&x), mlp.infer(&x));
+    }
+
+    #[test]
+    fn gradcheck_full_network() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mlp = Mlp::new(&[3, 5, 2], &mut rng);
+        let x = vec![0.2f32, -0.4, 0.9];
+        // loss = sum of outputs
+        let y = mlp.forward(&x);
+        let _ = y;
+        mlp.zero_grad();
+        let gin = mlp.backward(&[1.0, 1.0]);
+
+        let eps = 1e-3f32;
+        // check one weight in each layer
+        for li in 0..mlp.layers.len() {
+            let orig = mlp.layers[li].w[0];
+            mlp.layers[li].w[0] = orig + eps;
+            let lp: f32 = mlp.infer(&x).iter().sum();
+            mlp.layers[li].w[0] = orig - eps;
+            let lm: f32 = mlp.infer(&x).iter().sum();
+            mlp.layers[li].w[0] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - mlp.layers[li].gw[0]).abs() < 2e-2,
+                "layer {li}: fd {fd} vs {}",
+                mlp.layers[li].gw[0]
+            );
+        }
+        // input gradient check
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let lp: f32 = mlp.infer(&xp).iter().sum();
+            xp[i] = x[i] - eps;
+            let lm: f32 = mlp.infer(&xp).iter().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - gin[i]).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn can_learn_xor() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(&[2, 16, 1], &mut rng);
+        let data = [([0.0f32, 0.0], 0.0f32), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+        for _ in 0..2000 {
+            mlp.zero_grad();
+            for (x, t) in &data {
+                let y = mlp.forward(x);
+                let err = y[0] - t;
+                mlp.backward(&[2.0 * err]);
+            }
+            mlp.adam_step(0.01, 0.25);
+        }
+        for (x, t) in &data {
+            let y = mlp.infer(x)[0];
+            assert!((y - t).abs() < 0.2, "xor({x:?}) = {y}, want {t}");
+        }
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_invalid() {
+        let p = masked_softmax(&[1.0, 2.0, 3.0], Some(&[true, false, true]));
+        assert_eq!(p[1], 0.0);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[0]);
+    }
+
+    #[test]
+    fn masked_softmax_all_invalid_is_uniform() {
+        let p = masked_softmax(&[1.0, 2.0], Some(&[false, false]));
+        assert_eq!(p, vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Multi-head categorical policy network.
+//!
+//! The actor of §4.3 outputs one categorical distribution per modification
+//! type (tiling pairs, compute-at, parallel-loops, auto-unroll — Appendix
+//! A.1: `num_iters² + 1` actions for tiling, 3 for each of the others). A
+//! shared tanh trunk feeds independent linear heads; invalid actions are
+//! masked out of the softmax.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::layers::{tanh_backward, tanh_forward, Linear};
+use crate::mlp::{masked_softmax, Mlp};
+
+/// Shared-trunk, multi-head categorical policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiHeadPolicy {
+    trunk: Mlp,
+    heads: Vec<Linear>,
+    #[serde(skip)]
+    cached_trunk_out: Vec<f32>,
+    adam_t: u64,
+}
+
+impl MultiHeadPolicy {
+    /// `state_dim → hidden (tanh) → hidden (tanh) → heads`.
+    pub fn new<R: Rng + ?Sized>(
+        state_dim: usize,
+        hidden: usize,
+        head_sizes: &[usize],
+        rng: &mut R,
+    ) -> Self {
+        let trunk = Mlp::new(&[state_dim, hidden, hidden], rng);
+        let heads = head_sizes.iter().map(|&h| Linear::new(hidden, h, rng)).collect();
+        MultiHeadPolicy { trunk, heads, cached_trunk_out: Vec::new(), adam_t: 0 }
+    }
+
+    /// Number of action heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Per-head action-space sizes.
+    pub fn head_sizes(&self) -> Vec<usize> {
+        self.heads.iter().map(|h| h.out_dim).collect()
+    }
+
+    /// Training forward pass: caches intermediates, returns per-head logits.
+    pub fn forward(&mut self, x: &[f32]) -> Vec<Vec<f32>> {
+        let mut t = self.trunk.forward(x);
+        tanh_forward(&mut t);
+        self.cached_trunk_out = t.clone();
+        self.heads
+            .iter()
+            .map(|h| {
+                let mut y = Vec::new();
+                h.forward(&t, &mut y);
+                y
+            })
+            .collect()
+    }
+
+    /// Inference forward (no caching).
+    pub fn infer(&self, x: &[f32]) -> Vec<Vec<f32>> {
+        let mut t = self.trunk.infer(x);
+        tanh_forward(&mut t);
+        self.heads
+            .iter()
+            .map(|h| {
+                let mut y = Vec::new();
+                h.forward(&t, &mut y);
+                y
+            })
+            .collect()
+    }
+
+    /// Backward pass for the most recent [`Self::forward`]: accumulates
+    /// gradients given per-head logit gradients.
+    pub fn backward(&mut self, grad_logits: &[Vec<f32>]) {
+        assert_eq!(grad_logits.len(), self.heads.len());
+        let t = self.cached_trunk_out.clone();
+        let mut g_trunk = vec![0.0f32; t.len()];
+        let mut gx = Vec::new();
+        for (h, gl) in self.heads.iter_mut().zip(grad_logits) {
+            h.backward(&t, gl, &mut gx);
+            for (a, b) in g_trunk.iter_mut().zip(&gx) {
+                *a += *b;
+            }
+        }
+        tanh_backward(&t, &mut g_trunk);
+        let _ = self.trunk.backward(&g_trunk);
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.trunk.zero_grad();
+        for h in &mut self.heads {
+            h.zero_grad();
+        }
+    }
+
+    /// Applies an Adam update with the accumulated gradients.
+    pub fn adam_step(&mut self, lr: f32, scale: f32) {
+        self.adam_t += 1;
+        self.trunk.adam_step(lr, scale);
+        for h in &mut self.heads {
+            h.adam_step(lr, self.adam_t, scale);
+        }
+    }
+
+    /// Samples one action per head; returns `(actions, total logp)`.
+    /// `masks[h]` may be empty to mean "all valid".
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        x: &[f32],
+        masks: &[Vec<bool>],
+        rng: &mut R,
+    ) -> (Vec<usize>, f32) {
+        let logits = self.infer(x);
+        let mut actions = Vec::with_capacity(logits.len());
+        let mut logp = 0.0f32;
+        for (h, lg) in logits.iter().enumerate() {
+            let mask = masks.get(h).filter(|m| !m.is_empty()).map(|m| m.as_slice());
+            let probs = masked_softmax(lg, mask);
+            let a = sample_categorical(&probs, rng);
+            actions.push(a);
+            logp += probs[a].max(1e-12).ln();
+        }
+        (actions, logp)
+    }
+
+    /// Greedy (argmax) action per head.
+    pub fn greedy(&self, x: &[f32], masks: &[Vec<bool>]) -> Vec<usize> {
+        let logits = self.infer(x);
+        logits
+            .iter()
+            .enumerate()
+            .map(|(h, lg)| {
+                let mask = masks.get(h).filter(|m| !m.is_empty()).map(|m| m.as_slice());
+                let probs = masked_softmax(lg, mask);
+                probs
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.trunk.num_params() + self.heads.iter().map(Linear::num_params).sum::<usize>()
+    }
+}
+
+/// Samples an index from a probability vector.
+pub fn sample_categorical<R: Rng + ?Sized>(probs: &[f32], rng: &mut R) -> usize {
+    let r: f32 = rng.gen();
+    let mut acc = 0.0f32;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if r < acc {
+            return i;
+        }
+    }
+    // numeric tail: last valid index
+    probs
+        .iter()
+        .rposition(|&p| p > 0.0)
+        .unwrap_or(probs.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn heads_have_requested_sizes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let p = MultiHeadPolicy::new(10, 16, &[101, 3, 3, 3], &mut rng);
+        assert_eq!(p.head_sizes(), vec![101, 3, 3, 3]);
+        let logits = p.infer(&vec![0.0; 10]);
+        assert_eq!(logits.len(), 4);
+        assert_eq!(logits[0].len(), 101);
+    }
+
+    #[test]
+    fn sample_respects_masks() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = MultiHeadPolicy::new(4, 8, &[5, 3], &mut rng);
+        let masks = vec![vec![false, false, true, false, false], vec![true, true, true]];
+        for _ in 0..50 {
+            let (a, logp) = p.sample(&[0.1, 0.2, 0.3, 0.4], &masks, &mut rng);
+            assert_eq!(a[0], 2, "masked sampling must pick the only valid action");
+            assert!(logp.is_finite());
+        }
+    }
+
+    #[test]
+    fn backward_changes_sampled_probability() {
+        // pushing gradient toward an action should raise its probability
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut p = MultiHeadPolicy::new(3, 8, &[4], &mut rng);
+        let x = [0.5f32, -0.5, 0.25];
+        let target = 2usize;
+        for _ in 0..200 {
+            let logits = p.forward(&x);
+            let probs = masked_softmax(&logits[0], None);
+            // gradient of -logp(target): p - onehot
+            let g: Vec<f32> = probs
+                .iter()
+                .enumerate()
+                .map(|(i, &pi)| pi - if i == target { 1.0 } else { 0.0 })
+                .collect();
+            p.zero_grad();
+            p.backward(&[g]);
+            p.adam_step(0.01, 1.0);
+        }
+        let probs = masked_softmax(&p.infer(&x)[0], None);
+        assert!(probs[target] > 0.9, "target prob {}", probs[target]);
+    }
+
+    #[test]
+    fn sample_categorical_degenerate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(sample_categorical(&[0.0, 1.0, 0.0], &mut rng), 1);
+        // all-mass-on-last with fp dust
+        assert_eq!(sample_categorical(&[0.0, 0.0, 1.0], &mut rng), 2);
+    }
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut p = MultiHeadPolicy::new(2, 4, &[3], &mut rng);
+        // force strong logits via a head bias
+        p.heads[0].b = vec![-5.0, 10.0, -5.0];
+        let a = p.greedy(&[0.0, 0.0], &[vec![]]);
+        assert_eq!(a[0], 1);
+    }
+}

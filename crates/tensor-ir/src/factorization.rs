@@ -1,0 +1,207 @@
+//! Integer factorization utilities used by the tiling machinery.
+//!
+//! Tile sizes in a schedule are *factorizations*: the per-level factors of a
+//! loop iterator always multiply back to the iterator extent. The search
+//! algorithms move prime factors between levels (the paper's tiling
+//! modification, Table 3) or resample whole factorizations, so everything
+//! here is exact integer arithmetic — no rounding, no padding.
+
+use rand::Rng;
+
+/// Returns the prime factors of `n` in non-decreasing order.
+///
+/// `prime_factors(0)` and `prime_factors(1)` return an empty vector.
+pub fn prime_factors(mut n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut d = 2u32;
+    while d.saturating_mul(d) <= n {
+        while n % d == 0 {
+            out.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Smallest prime factor of `n` that is greater than 1, or `None` when
+/// `n <= 1` (nothing to move).
+pub fn smallest_prime_factor(n: u32) -> Option<u32> {
+    if n <= 1 {
+        return None;
+    }
+    let mut d = 2u32;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            return Some(d);
+        }
+        d += 1;
+    }
+    Some(n)
+}
+
+/// All divisors of `n` in increasing order.
+pub fn divisors(n: u32) -> Vec<u32> {
+    let mut small = Vec::new();
+    let mut large = Vec::new();
+    let mut d = 1u32;
+    while (d as u64) * (d as u64) <= n as u64 {
+        if n % d == 0 {
+            small.push(d);
+            if d != n / d {
+                large.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    large.reverse();
+    small.extend(large);
+    small
+}
+
+/// Samples a uniformly random ordered factorization of `extent` into
+/// exactly `parts` factors (each ≥ 1, product = `extent`).
+///
+/// The distribution assigns every prime factor independently to a uniformly
+/// random part, which covers the whole factorization space (every ordered
+/// factorization has non-zero probability).
+pub fn random_factorization<R: Rng + ?Sized>(extent: u32, parts: usize, rng: &mut R) -> Vec<u32> {
+    assert!(parts >= 1, "factorization needs at least one part");
+    let mut out = vec![1u32; parts];
+    for p in prime_factors(extent.max(1)) {
+        let idx = rng.gen_range(0..parts);
+        out[idx] *= p;
+    }
+    out
+}
+
+/// Counts the ordered factorizations of `extent` into `parts` factors.
+///
+/// For `extent = p^k` this is the stars-and-bars count
+/// `C(k + parts - 1, parts - 1)`; for general extents it is the product over
+/// prime powers. The paper's footnote (1024 into 4 groups → 286 per
+/// iterator) is reproduced by this function.
+pub fn count_factorizations(extent: u32, parts: usize) -> u64 {
+    let mut counts: Vec<(u32, u32)> = Vec::new();
+    for p in prime_factors(extent.max(1)) {
+        match counts.last_mut() {
+            Some((q, k)) if *q == p => *k += 1,
+            _ => counts.push((p, 1)),
+        }
+    }
+    counts
+        .iter()
+        .map(|&(_, k)| binomial(k as u64 + parts as u64 - 1, parts as u64 - 1))
+        .product()
+}
+
+/// Binomial coefficient with saturating u64 arithmetic (exact for the sizes
+/// used in tiling-space accounting).
+pub fn binomial(n: u64, mut k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    if k > n - k {
+        k = n - k;
+    }
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+    }
+    acc
+}
+
+/// Moves the smallest prime factor (>1) from `from` to `to` inside a
+/// factor list, preserving the product. Returns `false` (and leaves the
+/// factors untouched) when the move is impossible (`from == to`, index out
+/// of range, or `factors[from] == 1`).
+pub fn move_smallest_factor(factors: &mut [u32], from: usize, to: usize) -> bool {
+    if from == to || from >= factors.len() || to >= factors.len() {
+        return false;
+    }
+    match smallest_prime_factor(factors[from]) {
+        Some(p) => {
+            factors[from] /= p;
+            factors[to] = factors[to].saturating_mul(p);
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prime_factors_basic() {
+        assert_eq!(prime_factors(1), Vec::<u32>::new());
+        assert_eq!(prime_factors(2), vec![2]);
+        assert_eq!(prime_factors(12), vec![2, 2, 3]);
+        assert_eq!(prime_factors(1024), vec![2; 10]);
+        assert_eq!(prime_factors(97), vec![97]);
+    }
+
+    #[test]
+    fn smallest_prime_factor_basic() {
+        assert_eq!(smallest_prime_factor(1), None);
+        assert_eq!(smallest_prime_factor(2), Some(2));
+        assert_eq!(smallest_prime_factor(15), Some(3));
+        assert_eq!(smallest_prime_factor(49), Some(7));
+        assert_eq!(smallest_prime_factor(97), Some(97));
+    }
+
+    #[test]
+    fn divisors_basic() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(7), vec![1, 7]);
+    }
+
+    #[test]
+    fn random_factorization_product_invariant() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &extent in &[1u32, 2, 36, 1024, 3072, 97] {
+            for parts in 1..=5 {
+                let f = random_factorization(extent, parts, &mut rng);
+                assert_eq!(f.len(), parts);
+                assert_eq!(f.iter().product::<u32>(), extent.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_footnote_tiling_count() {
+        // 1024 = 2^10 split into 4 tile levels: C(10+3, 3) = 286 as the
+        // paper's footnote states.
+        assert_eq!(count_factorizations(1024, 4), 286);
+        // Whole 1024^3 GEMM tile space: 286^3 ≈ 23.4M single-op tilings; the
+        // paper's ~180M figure also counts the other knobs.
+        assert_eq!(count_factorizations(1024, 4).pow(3), 23_393_656);
+    }
+
+    #[test]
+    fn move_factor_roundtrip() {
+        let mut f = vec![4, 2, 1, 8];
+        assert!(move_smallest_factor(&mut f, 0, 2));
+        assert_eq!(f, vec![2, 2, 2, 8]);
+        assert_eq!(f.iter().product::<u32>(), 64);
+        assert!(!move_smallest_factor(&mut f, 1, 1));
+        let mut g = vec![1, 4];
+        assert!(!move_smallest_factor(&mut g, 0, 1));
+        assert_eq!(g, vec![1, 4]);
+    }
+
+    #[test]
+    fn binomial_edges() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(13, 3), 286);
+    }
+}

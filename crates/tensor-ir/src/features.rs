@@ -1,0 +1,161 @@
+//! Schedule feature extraction.
+//!
+//! One fixed-length vector per (subgraph, sketch, schedule) triple, shared
+//! by the XGBoost-style cost model (as in Ansor) and by the PPO networks as
+//! the RL state observation. All magnitudes are log-compressed so trees and
+//! MLPs both see well-scaled inputs.
+
+use crate::schedule::Schedule;
+use crate::sketch::{Sketch, Target};
+use crate::stage::{IterKind, Subgraph};
+
+/// Maximum number of flattened tiled loops encoded positionally
+/// (C3D on GPU needs 5*5 + 4*3 = 37).
+pub const MAX_LOOPS: usize = 40;
+
+/// Length of the feature vector.
+pub const FEATURE_DIM: usize = MAX_LOOPS + 24;
+
+fn log2p(x: f64) -> f32 {
+    (x.max(0.0) + 1.0).log2() as f32
+}
+
+/// Extracts the feature vector for a schedule.
+pub fn extract_features(
+    graph: &Subgraph,
+    sketch: &Sketch,
+    target: Target,
+    schedule: &Schedule,
+) -> Vec<f32> {
+    let mut f = vec![0.0f32; FEATURE_DIM];
+    let anchor = graph.anchor_stage();
+
+    // --- positional: log2 of every tile factor --------------------------
+    let mut slot = 0;
+    for tiles in &schedule.tiles {
+        for &factor in tiles {
+            if slot < MAX_LOOPS {
+                f[slot] = log2p(factor as f64);
+            }
+            slot += 1;
+        }
+    }
+
+    let base = MAX_LOOPS;
+    let flops = graph.flops();
+    let out_elems = anchor.output_elems() as f64;
+    let red_elems = anchor.reduction_elems() as f64;
+    let bytes = (graph.input_bytes() + graph.output_bytes()) as f64;
+
+    // --- aggregates ------------------------------------------------------
+    f[base] = log2p(flops);
+    f[base + 1] = log2p(out_elems);
+    f[base + 2] = log2p(red_elems);
+    f[base + 3] = log2p(flops / bytes.max(1.0)); // arithmetic intensity
+
+    // vectorization-related: innermost factor of the innermost spatial iter
+    let innermost_spatial = sketch
+        .tiled_iters
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind == IterKind::Spatial)
+        .next_back()
+        .map(|(k, _)| schedule.innermost(k))
+        .unwrap_or(1);
+    f[base + 4] = log2p(innermost_spatial as f64);
+    f[base + 5] = if innermost_spatial % 8 == 0 { 1.0 } else { 0.0 };
+    f[base + 6] = if innermost_spatial % 16 == 0 { 1.0 } else { 0.0 };
+
+    // parallelism
+    let tasks = schedule.parallel_tasks(sketch) * schedule.rfactor_tasks(sketch);
+    f[base + 7] = log2p(tasks as f64);
+    f[base + 8] = schedule.parallel_fuse as f32;
+
+    // unroll
+    f[base + 9] = log2p(schedule.unroll_depth(target) as f64);
+    f[base + 10] = log2p(schedule.inner_body_size() as f64);
+
+    // compute-at position (normalized)
+    let nca = sketch.compute_at_candidates.len().max(1);
+    f[base + 11] = schedule.compute_at as f32 / nca as f32;
+    f[base + 12] = if sketch.fused_consumer.is_some() { 1.0 } else { 0.0 };
+
+    // working sets at three tile depths
+    f[base + 13] = log2p(schedule.tile_working_set(graph, sketch, 1) as f64);
+    f[base + 14] = log2p(schedule.tile_working_set(graph, sketch, 2) as f64);
+    f[base + 15] = log2p(schedule.tile_working_set(graph, sketch, 3) as f64);
+
+    // structure flags
+    f[base + 16] = if sketch.cache_write { 1.0 } else { 0.0 };
+    f[base + 17] = if sketch.rfactor { 1.0 } else { 0.0 };
+    f[base + 18] = sketch.inlined.len() as f32;
+    f[base + 19] = match target {
+        Target::Cpu => 0.0,
+        Target::Gpu => 1.0,
+    };
+
+    // per-task grain (work per parallel task)
+    f[base + 20] = log2p(flops / tasks as f64);
+    // outermost tile factor product over all spatial iterators
+    let outer: u64 = sketch
+        .tiled_iters
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind == IterKind::Spatial)
+        .map(|(k, _)| schedule.tiles[k][0] as u64)
+        .product();
+    f[base + 21] = log2p(outer as f64);
+    f[base + 22] = sketch.num_loops() as f32 / MAX_LOOPS as f32;
+    f[base + 23] = log2p(anchor.inputs.len() as f64);
+
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::generate_sketches;
+    use crate::workload::{conv2d, gemm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn feature_dim_is_stable() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for g in [gemm(1024, 1024, 1024), conv2d(1, 56, 56, 64, 64, 3, 1, 1)] {
+            for t in [Target::Cpu, Target::Gpu] {
+                for sk in generate_sketches(&g, t) {
+                    let s = Schedule::random(&sk, t, &mut rng);
+                    let f = extract_features(&g, &sk, t, &s);
+                    assert_eq!(f.len(), FEATURE_DIM);
+                    assert!(f.iter().all(|x| x.is_finite()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn features_distinguish_schedules() {
+        let g = gemm(1024, 512, 256);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = Schedule::random(sk, Target::Cpu, &mut rng);
+        let mut b = a.clone();
+        b.unroll_idx = (b.unroll_idx + 1) % Target::Cpu.unroll_depths().len();
+        let fa = extract_features(&g, sk, Target::Cpu, &a);
+        let fb = extract_features(&g, sk, Target::Cpu, &b);
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn deterministic_extraction() {
+        let g = gemm(512, 512, 512);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let mut rng = StdRng::seed_from_u64(23);
+        let s = Schedule::random(sk, Target::Cpu, &mut rng);
+        assert_eq!(
+            extract_features(&g, sk, Target::Cpu, &s),
+            extract_features(&g, sk, Target::Cpu, &s)
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Random schedule mutations and crossover.
+//!
+//! These primitives back the Ansor-baseline evolutionary search and the
+//! uniform next-schedule sampling of Observation 1 / Figure 1(b). They move
+//! in the *same* parameter space as the RL actions but without learned
+//! guidance.
+
+use rand::Rng;
+
+use crate::factorization::random_factorization;
+use crate::schedule::Schedule;
+use crate::sketch::{Sketch, Target};
+
+/// Kinds of random mutation, mirroring the four modification types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Resample one iterator's whole tile factorization.
+    TileResample,
+    /// Move one random prime factor between two levels of one iterator.
+    TileShift,
+    /// Resample the compute-at position uniformly.
+    ComputeAt,
+    /// Resample the number of fused parallel loops uniformly.
+    Parallel,
+    /// Resample the auto-unroll depth index uniformly.
+    Unroll,
+}
+
+const ALL_KINDS: [MutationKind; 5] = [
+    MutationKind::TileResample,
+    MutationKind::TileShift,
+    MutationKind::ComputeAt,
+    MutationKind::Parallel,
+    MutationKind::Unroll,
+];
+
+/// Applies one uniformly random mutation, returning the mutated schedule.
+/// The result is always valid for `sketch`.
+pub fn mutate<R: Rng + ?Sized>(
+    sketch: &Sketch,
+    target: Target,
+    schedule: &Schedule,
+    rng: &mut R,
+) -> Schedule {
+    let kind = ALL_KINDS[rng.gen_range(0..ALL_KINDS.len())];
+    mutate_kind(sketch, target, schedule, kind, rng)
+}
+
+/// Applies one mutation of a specific kind.
+pub fn mutate_kind<R: Rng + ?Sized>(
+    sketch: &Sketch,
+    target: Target,
+    schedule: &Schedule,
+    kind: MutationKind,
+    rng: &mut R,
+) -> Schedule {
+    let mut next = schedule.clone();
+    match kind {
+        MutationKind::TileResample => {
+            let k = rng.gen_range(0..next.tiles.len());
+            let t = &sketch.tiled_iters[k];
+            next.tiles[k] = random_factorization(t.extent, t.levels, rng);
+        }
+        MutationKind::TileShift => {
+            let k = rng.gen_range(0..next.tiles.len());
+            let levels = next.tiles[k].len();
+            if levels >= 2 {
+                let from = rng.gen_range(0..levels);
+                let mut to = rng.gen_range(0..levels - 1);
+                if to >= from {
+                    to += 1;
+                }
+                crate::factorization::move_smallest_factor(&mut next.tiles[k], from, to);
+            }
+        }
+        MutationKind::ComputeAt => {
+            let n = sketch.compute_at_candidates.len();
+            if n > 1 {
+                next.compute_at = rng.gen_range(0..n);
+            }
+        }
+        MutationKind::Parallel => {
+            let ns = sketch.num_spatial_iters().max(1);
+            next.parallel_fuse = rng.gen_range(1..=ns);
+        }
+        MutationKind::Unroll => {
+            next.unroll_idx = rng.gen_range(0..target.unroll_depths().len());
+        }
+    }
+    next
+}
+
+/// Uniform crossover of two schedules of the same sketch: each parameter
+/// group is inherited from a random parent.
+pub fn crossover<R: Rng + ?Sized>(
+    a: &Schedule,
+    b: &Schedule,
+    rng: &mut R,
+) -> Schedule {
+    debug_assert_eq!(a.sketch_id, b.sketch_id);
+    let mut child = a.clone();
+    for k in 0..child.tiles.len() {
+        if rng.gen_bool(0.5) {
+            child.tiles[k] = b.tiles[k].clone();
+        }
+    }
+    if rng.gen_bool(0.5) {
+        child.compute_at = b.compute_at;
+    }
+    if rng.gen_bool(0.5) {
+        child.parallel_fuse = b.parallel_fuse;
+    }
+    if rng.gen_bool(0.5) {
+        child.unroll_idx = b.unroll_idx;
+    }
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::generate_sketches;
+    use crate::workload::gemm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutations_preserve_validity() {
+        let g = gemm(1024, 512, 384);
+        let mut rng = StdRng::seed_from_u64(31);
+        for sk in generate_sketches(&g, Target::Cpu) {
+            let mut s = Schedule::random(&sk, Target::Cpu, &mut rng);
+            for _ in 0..300 {
+                s = mutate(&sk, Target::Cpu, &s, &mut rng);
+                s.validate(&sk, Target::Cpu).expect("mutation keeps validity");
+            }
+        }
+    }
+
+    #[test]
+    fn each_kind_preserves_validity() {
+        let g = gemm(128, 3072, 768);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let mut rng = StdRng::seed_from_u64(32);
+        let s = Schedule::random(sk, Target::Cpu, &mut rng);
+        for kind in ALL_KINDS {
+            for _ in 0..50 {
+                let m = mutate_kind(sk, Target::Cpu, &s, kind, &mut rng);
+                m.validate(sk, Target::Cpu).expect("kind mutation valid");
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_preserves_validity() {
+        let g = gemm(256, 1536, 768);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..100 {
+            let a = Schedule::random(sk, Target::Cpu, &mut rng);
+            let b = Schedule::random(sk, Target::Cpu, &mut rng);
+            let c = crossover(&a, &b, &mut rng);
+            c.validate(sk, Target::Cpu).expect("crossover valid");
+        }
+    }
+
+    #[test]
+    fn mutation_eventually_changes_something() {
+        let g = gemm(512, 512, 512);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let mut rng = StdRng::seed_from_u64(34);
+        let s = Schedule::random(sk, Target::Cpu, &mut rng);
+        let changed = (0..50).any(|_| mutate(sk, Target::Cpu, &s, &mut rng) != s);
+        assert!(changed);
+    }
+}

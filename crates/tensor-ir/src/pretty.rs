@@ -1,0 +1,223 @@
+//! Pretty-printing of scheduled tensor programs.
+//!
+//! Renders a (subgraph, sketch, schedule) triple as the loop nest a code
+//! generator would emit: multi-level tiled loops with their factors,
+//! `parallel` on the fused outer spatial loops, `vectorize` on the
+//! innermost spatial loop, `unroll` pragmas, compute-at placement of the
+//! fused stage, cache-write and rfactor stages. Used by the examples and
+//! invaluable when debugging search behaviour.
+
+use std::fmt::Write;
+
+use crate::schedule::Schedule;
+use crate::sketch::{ComputeAt, Sketch, Target};
+use crate::stage::{IterKind, Subgraph};
+
+/// Renders the scheduled loop nest as readable pseudo-code.
+pub fn render_program(
+    graph: &Subgraph,
+    sketch: &Sketch,
+    target: Target,
+    schedule: &Schedule,
+) -> String {
+    let anchor = graph.anchor_stage();
+    let mut out = String::new();
+    let _ = writeln!(out, "// {} — sketch #{} ({})", graph.name, sketch.id, sketch.desc);
+    for &si in &sketch.inlined {
+        let _ = writeln!(out, "// stage {} inlined into its consumer", graph.stages[si].name);
+    }
+    if sketch.rfactor {
+        let _ = writeln!(out, "// rfactor: outer reduction split executes in parallel");
+    }
+
+    // Build the loop order: level-major (all level-0 loops, then level-1, …),
+    // spatial before reduction inside a level — the canonical "SSRSRS"
+    // interleave collapses to this ordering for printing purposes.
+    let max_levels =
+        sketch.tiled_iters.iter().map(|t| t.levels).max().unwrap_or(0);
+    let mut indent = 0usize;
+    let unroll = schedule.unroll_depth(target);
+    let fused_stage = sketch.fused_consumer.map(|c| graph.stages[c].name.clone());
+    let compute_at = sketch.compute_at_candidates[schedule.compute_at];
+
+    for level in 0..max_levels {
+        // spatial loops first, then reduction loops of this level
+        for pass in [IterKind::Spatial, IterKind::Reduction] {
+            for (k, t) in sketch.tiled_iters.iter().enumerate() {
+                if t.kind != pass || level >= t.levels {
+                    continue;
+                }
+                let factor = schedule.tiles[k][level];
+                if factor == 1 {
+                    continue; // trivial loop elided, like real codegen
+                }
+                let iv = &anchor.iters[t.iter];
+                let mut attrs: Vec<&str> = Vec::new();
+                let is_parallel = level == 0
+                    && t.kind == IterKind::Spatial
+                    && spatial_rank(sketch, k) < schedule.parallel_fuse;
+                if is_parallel {
+                    attrs.push("parallel");
+                }
+                if sketch.rfactor && level == 0 && t.kind == IterKind::Reduction {
+                    attrs.push("rfactor-parallel");
+                }
+                let innermost_spatial = t.kind == IterKind::Spatial
+                    && level + 1 == t.levels
+                    && is_innermost_spatial(sketch, k);
+                if innermost_spatial {
+                    attrs.push("vectorize");
+                }
+                let attr_str = if attrs.is_empty() {
+                    String::new()
+                } else {
+                    format!("  // {}", attrs.join(", "))
+                };
+                let _ = writeln!(
+                    out,
+                    "{}for {}.{} in 0..{} {{{}",
+                    "  ".repeat(indent),
+                    iv.name,
+                    level,
+                    factor,
+                    attr_str
+                );
+                indent += 1;
+            }
+        }
+        // compute-at stage lands after the tile level it was assigned to
+        if let (Some(name), ComputeAt::TileLevel(l)) = (&fused_stage, compute_at) {
+            if l == level + 1 {
+                let _ = writeln!(
+                    out,
+                    "{}compute_at: {}  // fused consumer",
+                    "  ".repeat(indent),
+                    name
+                );
+            }
+        }
+    }
+
+    if unroll > 0 {
+        let _ = writeln!(out, "{}#pragma unroll({})", "  ".repeat(indent), unroll);
+    }
+    let _ = writeln!(out, "{}{};  // body", "  ".repeat(indent), body_expr(graph));
+    if sketch.cache_write {
+        let _ = writeln!(out, "{}// cache-write: accumulate in local buffer", "  ".repeat(indent));
+    }
+    for _ in 0..indent {
+        indent -= 1;
+        let _ = writeln!(out, "{}}}", "  ".repeat(indent));
+    }
+    if let (Some(name), ComputeAt::Root) = (&fused_stage, compute_at) {
+        let _ = writeln!(out, "{name}: computed at root (separate loop nest)");
+    }
+    out
+}
+
+/// Rank of tiled iterator `k` among the spatial iterators (0 = outermost).
+fn spatial_rank(sketch: &Sketch, k: usize) -> usize {
+    sketch
+        .tiled_iters
+        .iter()
+        .take(k)
+        .filter(|t| t.kind == IterKind::Spatial)
+        .count()
+}
+
+fn is_innermost_spatial(sketch: &Sketch, k: usize) -> bool {
+    sketch
+        .tiled_iters
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind == IterKind::Spatial)
+        .next_back()
+        .map(|(i, _)| i == k)
+        .unwrap_or(false)
+}
+
+fn body_expr(graph: &Subgraph) -> String {
+    let anchor = graph.anchor_stage();
+    match anchor.inputs.len() {
+        2 => format!(
+            "out += {} * {}",
+            anchor.inputs[0].name, anchor.inputs[1].name
+        ),
+        1 => format!("out = f({})", anchor.inputs[0].name),
+        _ => "out = f(...)".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::generate_sketches;
+    use crate::workload::{conv2d_bn_relu, gemm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn renders_gemm_with_balanced_braces() {
+        let g = gemm(256, 256, 256);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = Schedule::random(sk, Target::Cpu, &mut rng);
+        let text = render_program(&g, sk, Target::Cpu, &s);
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced braces:\n{text}"
+        );
+        assert!(text.contains("// body"));
+    }
+
+    #[test]
+    fn parallel_and_vectorize_attributes_present() {
+        let g = gemm(1024, 1024, 1024);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let s = Schedule {
+            sketch_id: sk.id,
+            tiles: vec![vec![32, 4, 2, 4], vec![16, 4, 1, 16], vec![64, 16]],
+            compute_at: 0,
+            parallel_fuse: 2,
+            unroll_idx: 2,
+        };
+        let text = render_program(&g, sk, Target::Cpu, &s);
+        assert!(text.contains("parallel"), "{text}");
+        assert!(text.contains("vectorize"), "{text}");
+        assert!(text.contains("#pragma unroll(64)"), "{text}");
+    }
+
+    #[test]
+    fn fused_consumer_appears_at_compute_at_level() {
+        let g = conv2d_bn_relu(1, 56, 56, 64, 64, 3, 1, 1);
+        let sketches = generate_sketches(&g, Target::Cpu);
+        let sk = sketches
+            .iter()
+            .find(|s| {
+                s.fused_consumer.is_some()
+                    && s.compute_at_candidates
+                        .iter()
+                        .any(|c| matches!(c, ComputeAt::TileLevel(_)))
+            })
+            .expect("fused sketch exists");
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Schedule::random(sk, Target::Cpu, &mut rng);
+        let text = render_program(&g, sk, Target::Cpu, &s);
+        assert!(text.contains("compute_at: bn_relu"), "{text}");
+    }
+
+    #[test]
+    fn unfused_consumer_at_root() {
+        let g = conv2d_bn_relu(1, 28, 28, 32, 32, 3, 1, 1);
+        let sketches = generate_sketches(&g, Target::Cpu);
+        let sk = sketches
+            .iter()
+            .find(|s| s.compute_at_candidates == vec![ComputeAt::Root] && s.fused_consumer.is_some())
+            .expect("root-consumer sketch exists");
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = Schedule::random(sk, Target::Cpu, &mut rng);
+        let text = render_program(&g, sk, Target::Cpu, &s);
+        assert!(text.contains("computed at root"), "{text}");
+    }
+}

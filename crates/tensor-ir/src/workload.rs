@@ -1,0 +1,494 @@
+//! Workload constructors: the tensor operators evaluated in the paper
+//! (Table 6) and the fused subgraphs used by the end-to-end networks.
+//!
+//! All tensors are f32 (4 bytes/element). Convolution output sizes follow
+//! `out = (in + 2*pad - k) / stride + 1`; transposed convolutions follow
+//! `out = (in - 1) * stride - 2*pad + k`.
+
+use crate::stage::{AccessDim, InputAccess, IterVar, Stage, StageKind, Subgraph};
+
+const F32: u32 = 4;
+
+/// Plain GEMM: `C[M,N] = sum_k A[M,K] * B[K,N]`.
+pub fn gemm(m: u32, k: u32, n: u32) -> Subgraph {
+    let stage = Stage {
+        name: format!("gemm_{m}x{k}x{n}"),
+        kind: StageKind::Anchor,
+        iters: vec![
+            IterVar::spatial("m", m),
+            IterVar::spatial("n", n),
+            IterVar::reduction("k", k),
+        ],
+        inputs: vec![
+            InputAccess {
+                name: "A".into(),
+                dims: vec![AccessDim::direct(0), AccessDim::direct(2)],
+                elem_bytes: F32,
+            },
+            InputAccess {
+                name: "B".into(),
+                dims: vec![AccessDim::direct(2), AccessDim::direct(1)],
+                elem_bytes: F32,
+            },
+        ],
+        producers: vec![],
+        flops_per_point: 2.0,
+    };
+    Subgraph::single(format!("GEMM-{m}x{k}x{n}"), stage)
+}
+
+/// Batched GEMM: `C[B,M,N] = sum_k A[B,M,K] * B[B,K,N]`.
+pub fn batch_gemm(b: u32, m: u32, k: u32, n: u32) -> Subgraph {
+    let stage = Stage {
+        name: format!("bgemm_{b}x{m}x{k}x{n}"),
+        kind: StageKind::Anchor,
+        iters: vec![
+            IterVar::spatial("b", b),
+            IterVar::spatial("m", m),
+            IterVar::spatial("n", n),
+            IterVar::reduction("k", k),
+        ],
+        inputs: vec![
+            InputAccess {
+                name: "A".into(),
+                dims: vec![AccessDim::direct(0), AccessDim::direct(1), AccessDim::direct(3)],
+                elem_bytes: F32,
+            },
+            InputAccess {
+                name: "B".into(),
+                dims: vec![AccessDim::direct(0), AccessDim::direct(3), AccessDim::direct(2)],
+                elem_bytes: F32,
+            },
+        ],
+        producers: vec![],
+        flops_per_point: 2.0,
+    };
+    Subgraph::single(format!("BatchGEMM-{b}x{m}x{k}x{n}"), stage)
+}
+
+fn conv_out(len: u32, k: u32, stride: u32, pad: u32) -> u32 {
+    (len + 2 * pad).saturating_sub(k) / stride + 1
+}
+
+/// 1D convolution, NCW layout: input `[N, Ci, L]`, kernel `[Co, Ci, K]`.
+pub fn conv1d(batch: u32, l: u32, ci: u32, co: u32, k: u32, stride: u32, pad: u32) -> Subgraph {
+    let lo = conv_out(l, k, stride, pad);
+    let stage = Stage {
+        name: format!("c1d_{l}x{ci}x{co}k{k}"),
+        kind: StageKind::Anchor,
+        iters: vec![
+            IterVar::spatial("n", batch),
+            IterVar::spatial("co", co),
+            IterVar::spatial("x", lo),
+            IterVar::reduction("ci", ci),
+            IterVar::reduction("kx", k),
+        ],
+        inputs: vec![
+            InputAccess {
+                name: "data".into(),
+                dims: vec![
+                    AccessDim::direct(0),
+                    AccessDim::direct(3),
+                    AccessDim::windowed(2, k - 1, stride),
+                ],
+                elem_bytes: F32,
+            },
+            InputAccess {
+                name: "weight".into(),
+                dims: vec![AccessDim::direct(1), AccessDim::direct(3), AccessDim::direct(4)],
+                elem_bytes: F32,
+            },
+        ],
+        producers: vec![],
+        flops_per_point: 2.0,
+    };
+    Subgraph::single(format!("C1D-{l}x{ci}x{co}k{k}s{stride}b{batch}"), stage)
+}
+
+/// 2D convolution, NCHW layout.
+pub fn conv2d(
+    batch: u32,
+    h: u32,
+    w: u32,
+    ci: u32,
+    co: u32,
+    k: u32,
+    stride: u32,
+    pad: u32,
+) -> Subgraph {
+    let ho = conv_out(h, k, stride, pad);
+    let wo = conv_out(w, k, stride, pad);
+    let stage = conv2d_stage(batch, ho, wo, ci, co, k, stride);
+    Subgraph::single(format!("C2D-{h}x{w}x{ci}x{co}k{k}s{stride}b{batch}"), stage)
+}
+
+fn conv2d_stage(batch: u32, ho: u32, wo: u32, ci: u32, co: u32, k: u32, stride: u32) -> Stage {
+    Stage {
+        name: format!("c2d_{ho}x{wo}x{ci}x{co}k{k}"),
+        kind: StageKind::Anchor,
+        iters: vec![
+            IterVar::spatial("n", batch),
+            IterVar::spatial("co", co),
+            IterVar::spatial("y", ho),
+            IterVar::spatial("x", wo),
+            IterVar::reduction("ci", ci),
+            IterVar::reduction("ky", k),
+            IterVar::reduction("kx", k),
+        ],
+        inputs: vec![
+            InputAccess {
+                name: "data".into(),
+                dims: vec![
+                    AccessDim::direct(0),
+                    AccessDim::direct(4),
+                    AccessDim::windowed(2, k - 1, stride),
+                    AccessDim::windowed(3, k - 1, stride),
+                ],
+                elem_bytes: F32,
+            },
+            InputAccess {
+                name: "weight".into(),
+                dims: vec![
+                    AccessDim::direct(1),
+                    AccessDim::direct(4),
+                    AccessDim::direct(5),
+                    AccessDim::direct(6),
+                ],
+                elem_bytes: F32,
+            },
+        ],
+        producers: vec![],
+        flops_per_point: 2.0,
+    }
+}
+
+/// 3D convolution, NCDHW layout.
+#[allow(clippy::too_many_arguments)]
+pub fn conv3d(
+    batch: u32,
+    d: u32,
+    h: u32,
+    w: u32,
+    ci: u32,
+    co: u32,
+    k: u32,
+    stride: u32,
+    pad: u32,
+) -> Subgraph {
+    let do_ = conv_out(d, k, stride, pad);
+    let ho = conv_out(h, k, stride, pad);
+    let wo = conv_out(w, k, stride, pad);
+    let stage = Stage {
+        name: format!("c3d_{d}x{h}x{w}x{ci}x{co}k{k}"),
+        kind: StageKind::Anchor,
+        iters: vec![
+            IterVar::spatial("n", batch),
+            IterVar::spatial("co", co),
+            IterVar::spatial("z", do_),
+            IterVar::spatial("y", ho),
+            IterVar::spatial("x", wo),
+            IterVar::reduction("ci", ci),
+            IterVar::reduction("kz", k),
+            IterVar::reduction("ky", k),
+            IterVar::reduction("kx", k),
+        ],
+        inputs: vec![
+            InputAccess {
+                name: "data".into(),
+                dims: vec![
+                    AccessDim::direct(0),
+                    AccessDim::direct(5),
+                    AccessDim::windowed(2, k - 1, stride),
+                    AccessDim::windowed(3, k - 1, stride),
+                    AccessDim::windowed(4, k - 1, stride),
+                ],
+                elem_bytes: F32,
+            },
+            InputAccess {
+                name: "weight".into(),
+                dims: vec![
+                    AccessDim::direct(1),
+                    AccessDim::direct(5),
+                    AccessDim::direct(6),
+                    AccessDim::direct(7),
+                    AccessDim::direct(8),
+                ],
+                elem_bytes: F32,
+            },
+        ],
+        producers: vec![],
+        flops_per_point: 2.0,
+    };
+    Subgraph::single(format!("C3D-{d}x{h}x{w}x{ci}x{co}k{k}s{stride}b{batch}"), stage)
+}
+
+/// Transposed 2D convolution (deconvolution). Arithmetically modeled as a
+/// convolution over the upsampled output grid.
+pub fn conv2d_transposed(
+    batch: u32,
+    h: u32,
+    w: u32,
+    ci: u32,
+    co: u32,
+    k: u32,
+    stride: u32,
+    pad: u32,
+) -> Subgraph {
+    let ho = (h - 1) * stride + k - 2 * pad;
+    let wo = (w - 1) * stride + k - 2 * pad;
+    let stage = Stage {
+        name: format!("t2d_{h}x{w}x{ci}x{co}k{k}"),
+        kind: StageKind::Anchor,
+        iters: vec![
+            IterVar::spatial("n", batch),
+            IterVar::spatial("co", co),
+            IterVar::spatial("y", ho),
+            IterVar::spatial("x", wo),
+            IterVar::reduction("ci", ci),
+            IterVar::reduction("ky", k),
+            IterVar::reduction("kx", k),
+        ],
+        inputs: vec![
+            InputAccess {
+                name: "data".into(),
+                dims: vec![
+                    AccessDim::direct(0),
+                    AccessDim::direct(4),
+                    // the input grid is stride-times smaller than the output
+                    AccessDim { iters: vec![2], window: k - 1, stride: 1 },
+                    AccessDim { iters: vec![3], window: k - 1, stride: 1 },
+                ],
+                elem_bytes: F32,
+            },
+            InputAccess {
+                name: "weight".into(),
+                dims: vec![
+                    AccessDim::direct(4),
+                    AccessDim::direct(1),
+                    AccessDim::direct(5),
+                    AccessDim::direct(6),
+                ],
+                elem_bytes: F32,
+            },
+        ],
+        producers: vec![],
+        flops_per_point: 2.0,
+    };
+    Subgraph::single(format!("T2D-{h}x{w}x{ci}x{co}k{k}s{stride}b{batch}"), stage)
+}
+
+/// Depthwise 2D convolution (MobileNet building block): each channel is
+/// convolved with its own kernel, so there is no channel reduction.
+pub fn depthwise_conv2d(
+    batch: u32,
+    h: u32,
+    w: u32,
+    c: u32,
+    k: u32,
+    stride: u32,
+    pad: u32,
+) -> Subgraph {
+    let ho = conv_out(h, k, stride, pad);
+    let wo = conv_out(w, k, stride, pad);
+    let stage = Stage {
+        name: format!("dw2d_{h}x{w}x{c}k{k}"),
+        kind: StageKind::Anchor,
+        iters: vec![
+            IterVar::spatial("n", batch),
+            IterVar::spatial("c", c),
+            IterVar::spatial("y", ho),
+            IterVar::spatial("x", wo),
+            IterVar::reduction("ky", k),
+            IterVar::reduction("kx", k),
+        ],
+        inputs: vec![
+            InputAccess {
+                name: "data".into(),
+                dims: vec![
+                    AccessDim::direct(0),
+                    AccessDim::direct(1),
+                    AccessDim::windowed(2, k - 1, stride),
+                    AccessDim::windowed(3, k - 1, stride),
+                ],
+                elem_bytes: F32,
+            },
+            InputAccess {
+                name: "weight".into(),
+                dims: vec![AccessDim::direct(1), AccessDim::direct(4), AccessDim::direct(5)],
+                elem_bytes: F32,
+            },
+        ],
+        producers: vec![],
+        flops_per_point: 2.0,
+    };
+    Subgraph::single(format!("DW2D-{h}x{w}x{c}k{k}s{stride}b{batch}"), stage)
+}
+
+/// Softmax over the last dimension of a `[rows, cols]` tensor. Modeled as a
+/// row-reduce stage (max+sum) followed by an elementwise normalization.
+pub fn softmax(rows: u32, cols: u32) -> Subgraph {
+    let reduce = Stage {
+        name: format!("softmax_reduce_{rows}x{cols}"),
+        kind: StageKind::RowReduce,
+        iters: vec![IterVar::spatial("r", rows), IterVar::reduction("c", cols)],
+        inputs: vec![InputAccess {
+            name: "logits".into(),
+            dims: vec![AccessDim::direct(0), AccessDim::direct(1)],
+            elem_bytes: F32,
+        }],
+        producers: vec![],
+        // max, subtract, exp, accumulate ≈ 4 ops per point
+        flops_per_point: 4.0,
+    };
+    let norm = Stage {
+        name: format!("softmax_norm_{rows}x{cols}"),
+        kind: StageKind::Elementwise,
+        iters: vec![IterVar::spatial("r", rows), IterVar::spatial("c", cols)],
+        inputs: vec![],
+        producers: vec![0],
+        flops_per_point: 1.0,
+    };
+    // RowReduce cannot be an anchor; wrap it: anchor is a pseudo compute
+    // stage equal to the reduce (tiled on rows / reduction on cols).
+    let mut reduce = reduce;
+    reduce.kind = StageKind::Anchor;
+    Subgraph {
+        name: format!("Softmax-{rows}x{cols}"),
+        stages: vec![reduce, norm],
+        anchor: 0,
+        weight: 1.0,
+    }
+}
+
+/// GEMM followed by a fused elementwise epilogue (bias+activation).
+/// `epilogue_flops` is the per-element cost of the epilogue (e.g. tanh ≈ 8).
+pub fn gemm_epilogue(m: u32, k: u32, n: u32, epilogue: &str, epilogue_flops: f64) -> Subgraph {
+    let mut g = gemm(m, k, n);
+    let ep = Stage {
+        name: format!("{epilogue}_{m}x{n}"),
+        kind: StageKind::Elementwise,
+        iters: vec![IterVar::spatial("m", m), IterVar::spatial("n", n)],
+        inputs: vec![],
+        producers: vec![0],
+        flops_per_point: epilogue_flops,
+    };
+    g.stages.push(ep);
+    g.name = format!("GEMM+{epilogue}-{m}x{k}x{n}");
+    g
+}
+
+/// Convolution + bias + ReLU subgraph (the ResNet/MobileNet building block).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_bn_relu(
+    batch: u32,
+    h: u32,
+    w: u32,
+    ci: u32,
+    co: u32,
+    k: u32,
+    stride: u32,
+    pad: u32,
+) -> Subgraph {
+    let mut g = conv2d(batch, h, w, ci, co, k, stride, pad);
+    let ho = conv_out(h, k, stride, pad);
+    let wo = conv_out(w, k, stride, pad);
+    let ep = Stage {
+        name: "bn_relu".into(),
+        kind: StageKind::Elementwise,
+        iters: vec![
+            IterVar::spatial("n", batch),
+            IterVar::spatial("co", co),
+            IterVar::spatial("y", ho),
+            IterVar::spatial("x", wo),
+        ],
+        inputs: vec![],
+        producers: vec![0],
+        flops_per_point: 3.0,
+    };
+    g.stages.push(ep);
+    g.name = format!("C2D+BnRelu-{h}x{w}x{ci}x{co}k{k}s{stride}b{batch}");
+    g
+}
+
+/// Pure elementwise subgraph (residual add + layer-norm style); the anchor
+/// is a row-reduce-as-anchor stage so sketches still exist.
+pub fn elementwise(rows: u32, cols: u32, flops_per_point: f64) -> Subgraph {
+    let stage = Stage {
+        name: format!("eltwise_{rows}x{cols}"),
+        kind: StageKind::Anchor,
+        iters: vec![IterVar::spatial("r", rows), IterVar::spatial("c", cols)],
+        inputs: vec![
+            InputAccess {
+                name: "x".into(),
+                dims: vec![AccessDim::direct(0), AccessDim::direct(1)],
+                elem_bytes: F32,
+            },
+            InputAccess {
+                name: "y".into(),
+                dims: vec![AccessDim::direct(0), AccessDim::direct(1)],
+                elem_bytes: F32,
+            },
+        ],
+        producers: vec![],
+        flops_per_point,
+    };
+    Subgraph::single(format!("Eltwise-{rows}x{cols}"), stage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_constructors_validate() {
+        for g in [
+            gemm(128, 128, 128),
+            batch_gemm(16, 128, 64, 128),
+            conv1d(1, 256, 64, 128, 3, 2, 1),
+            conv2d(1, 224, 224, 3, 64, 7, 2, 3),
+            conv3d(1, 16, 56, 56, 64, 64, 1, 1, 0),
+            conv2d_transposed(1, 4, 4, 512, 256, 4, 2, 1),
+            depthwise_conv2d(1, 56, 56, 144, 3, 2, 1),
+            softmax(1536, 128),
+            gemm_epilogue(128, 768, 768, "tanh", 8.0),
+            conv2d_bn_relu(1, 56, 56, 64, 64, 3, 1, 1),
+            elementwise(128, 768, 4.0),
+        ] {
+            g.validate().unwrap_or_else(|e| panic!("{}: {}", g.name, e));
+        }
+    }
+
+    #[test]
+    fn conv2d_shapes() {
+        let g = conv2d(1, 224, 224, 3, 64, 7, 2, 3);
+        let a = g.anchor_stage();
+        // (224 + 6 - 7)/2 + 1 = 112
+        assert_eq!(a.iters[2].extent, 112);
+        assert_eq!(a.iters[3].extent, 112);
+        let flops = a.flops();
+        assert!((flops - 2.0 * 112.0 * 112.0 * 64.0 * 3.0 * 49.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn t2d_output_shape() {
+        let g = conv2d_transposed(1, 4, 4, 512, 256, 4, 2, 1);
+        let a = g.anchor_stage();
+        // (4-1)*2 + 4 - 2 = 8
+        assert_eq!(a.iters[2].extent, 8);
+    }
+
+    #[test]
+    fn fused_subgraphs_have_consumers() {
+        let g = conv2d_bn_relu(1, 56, 56, 64, 64, 3, 1, 1);
+        assert_eq!(g.anchor_consumers(), vec![1]);
+        let s = softmax(1536, 128);
+        assert_eq!(s.anchor_consumers(), vec![1]);
+    }
+
+    #[test]
+    fn batch_gemm_flops_scale() {
+        let g1 = batch_gemm(1, 128, 64, 128);
+        let g16 = batch_gemm(16, 128, 64, 128);
+        assert!((g16.flops() / g1.flops() - 16.0).abs() < 1e-9);
+    }
+}

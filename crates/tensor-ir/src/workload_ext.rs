@@ -1,0 +1,262 @@
+//! Extended workload zoo beyond the paper's Table 6: grouped and dilated
+//! convolutions, pooling, and layer normalization. These exercise the same
+//! sketch/schedule machinery on structures downstream users will bring
+//! (ResNeXt, dilated segmentation backbones, transformer norms).
+
+use crate::stage::{AccessDim, InputAccess, IterVar, Stage, StageKind, Subgraph};
+
+const F32: u32 = 4;
+
+fn conv_out(len: u32, k_eff: u32, stride: u32, pad: u32) -> u32 {
+    (len + 2 * pad).saturating_sub(k_eff) / stride + 1
+}
+
+/// Grouped 2D convolution (ResNeXt-style): channels are split into
+/// `groups` independent convolutions, shrinking the reduction extent.
+#[allow(clippy::too_many_arguments)]
+pub fn grouped_conv2d(
+    batch: u32,
+    h: u32,
+    w: u32,
+    ci: u32,
+    co: u32,
+    k: u32,
+    stride: u32,
+    pad: u32,
+    groups: u32,
+) -> Subgraph {
+    assert!(ci % groups == 0 && co % groups == 0, "channels must divide groups");
+    let ho = conv_out(h, k, stride, pad);
+    let wo = conv_out(w, k, stride, pad);
+    let cig = ci / groups;
+    let stage = Stage {
+        name: format!("gconv_{h}x{w}x{ci}x{co}k{k}g{groups}"),
+        kind: StageKind::Anchor,
+        iters: vec![
+            IterVar::spatial("n", batch),
+            IterVar::spatial("g", groups),
+            IterVar::spatial("co_g", co / groups),
+            IterVar::spatial("y", ho),
+            IterVar::spatial("x", wo),
+            IterVar::reduction("ci_g", cig),
+            IterVar::reduction("ky", k),
+            IterVar::reduction("kx", k),
+        ],
+        inputs: vec![
+            InputAccess {
+                name: "data".into(),
+                dims: vec![
+                    AccessDim::direct(0),
+                    AccessDim::direct(1),
+                    AccessDim::direct(5),
+                    AccessDim::windowed(3, k - 1, stride),
+                    AccessDim::windowed(4, k - 1, stride),
+                ],
+                elem_bytes: F32,
+            },
+            InputAccess {
+                name: "weight".into(),
+                dims: vec![
+                    AccessDim::direct(1),
+                    AccessDim::direct(2),
+                    AccessDim::direct(5),
+                    AccessDim::direct(6),
+                    AccessDim::direct(7),
+                ],
+                elem_bytes: F32,
+            },
+        ],
+        producers: vec![],
+        flops_per_point: 2.0,
+    };
+    Subgraph::single(format!("GC2D-{h}x{w}x{ci}x{co}k{k}g{groups}b{batch}"), stage)
+}
+
+/// Dilated 2D convolution: the effective kernel spans
+/// `(k-1)·dilation + 1` input elements.
+#[allow(clippy::too_many_arguments)]
+pub fn dilated_conv2d(
+    batch: u32,
+    h: u32,
+    w: u32,
+    ci: u32,
+    co: u32,
+    k: u32,
+    dilation: u32,
+    pad: u32,
+) -> Subgraph {
+    let k_eff = (k - 1) * dilation + 1;
+    let ho = conv_out(h, k_eff, 1, pad);
+    let wo = conv_out(w, k_eff, 1, pad);
+    let stage = Stage {
+        name: format!("dconv_{h}x{w}x{ci}x{co}k{k}d{dilation}"),
+        kind: StageKind::Anchor,
+        iters: vec![
+            IterVar::spatial("n", batch),
+            IterVar::spatial("co", co),
+            IterVar::spatial("y", ho),
+            IterVar::spatial("x", wo),
+            IterVar::reduction("ci", ci),
+            IterVar::reduction("ky", k),
+            IterVar::reduction("kx", k),
+        ],
+        inputs: vec![
+            InputAccess {
+                name: "data".into(),
+                dims: vec![
+                    AccessDim::direct(0),
+                    AccessDim::direct(4),
+                    AccessDim::windowed(2, k_eff - 1, 1),
+                    AccessDim::windowed(3, k_eff - 1, 1),
+                ],
+                elem_bytes: F32,
+            },
+            InputAccess {
+                name: "weight".into(),
+                dims: vec![
+                    AccessDim::direct(1),
+                    AccessDim::direct(4),
+                    AccessDim::direct(5),
+                    AccessDim::direct(6),
+                ],
+                elem_bytes: F32,
+            },
+        ],
+        producers: vec![],
+        flops_per_point: 2.0,
+    };
+    Subgraph::single(
+        format!("DC2D-{h}x{w}x{ci}x{co}k{k}d{dilation}b{batch}"),
+        stage,
+    )
+}
+
+/// Max/avg pooling: a windowed reduction without channel mixing.
+pub fn pool2d(batch: u32, h: u32, w: u32, c: u32, k: u32, stride: u32) -> Subgraph {
+    let ho = conv_out(h, k, stride, 0);
+    let wo = conv_out(w, k, stride, 0);
+    let stage = Stage {
+        name: format!("pool_{h}x{w}x{c}k{k}"),
+        kind: StageKind::Anchor,
+        iters: vec![
+            IterVar::spatial("n", batch),
+            IterVar::spatial("c", c),
+            IterVar::spatial("y", ho),
+            IterVar::spatial("x", wo),
+            IterVar::reduction("ky", k),
+            IterVar::reduction("kx", k),
+        ],
+        inputs: vec![InputAccess {
+            name: "data".into(),
+            dims: vec![
+                AccessDim::direct(0),
+                AccessDim::direct(1),
+                AccessDim::windowed(2, k - 1, stride),
+                AccessDim::windowed(3, k - 1, stride),
+            ],
+            elem_bytes: F32,
+        }],
+        producers: vec![],
+        flops_per_point: 1.0,
+    };
+    Subgraph::single(format!("Pool2D-{h}x{w}x{c}k{k}s{stride}b{batch}"), stage)
+}
+
+/// Layer normalization over the last dimension: row reduction (mean, var)
+/// + elementwise normalization, like the softmax structure.
+pub fn layer_norm(rows: u32, cols: u32) -> Subgraph {
+    let reduce = Stage {
+        name: format!("ln_reduce_{rows}x{cols}"),
+        kind: StageKind::Anchor,
+        iters: vec![IterVar::spatial("r", rows), IterVar::reduction("c", cols)],
+        inputs: vec![InputAccess {
+            name: "x".into(),
+            dims: vec![AccessDim::direct(0), AccessDim::direct(1)],
+            elem_bytes: F32,
+        }],
+        producers: vec![],
+        // accumulate sum and sum-of-squares
+        flops_per_point: 3.0,
+    };
+    let norm = Stage {
+        name: format!("ln_norm_{rows}x{cols}"),
+        kind: StageKind::Elementwise,
+        iters: vec![IterVar::spatial("r", rows), IterVar::spatial("c", cols)],
+        inputs: vec![],
+        producers: vec![0],
+        // subtract mean, multiply rstd, scale, shift
+        flops_per_point: 4.0,
+    };
+    Subgraph {
+        name: format!("LayerNorm-{rows}x{cols}"),
+        stages: vec![reduce, norm],
+        anchor: 0,
+        weight: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use crate::sketch::{generate_sketches, Target};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn zoo() -> Vec<Subgraph> {
+        vec![
+            grouped_conv2d(1, 56, 56, 128, 128, 3, 1, 1, 32),
+            dilated_conv2d(1, 56, 56, 64, 64, 3, 2, 2),
+            pool2d(1, 112, 112, 64, 3, 2),
+            layer_norm(128, 768),
+        ]
+    }
+
+    #[test]
+    fn extended_workloads_validate_and_schedule() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for g in zoo() {
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name));
+            for target in [Target::Cpu, Target::Gpu] {
+                for sk in generate_sketches(&g, target) {
+                    let s = Schedule::random(&sk, target, &mut rng);
+                    s.validate(&sk, target).expect("schedulable");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_conv_reduces_flops() {
+        let full = crate::workload::conv2d(1, 56, 56, 128, 128, 3, 1, 1);
+        let grouped = grouped_conv2d(1, 56, 56, 128, 128, 3, 1, 1, 32);
+        assert!(
+            (full.flops() / grouped.flops() - 32.0).abs() < 0.01,
+            "grouping by 32 divides flops by 32"
+        );
+    }
+
+    #[test]
+    fn dilation_shrinks_output() {
+        let d1 = dilated_conv2d(1, 56, 56, 32, 32, 3, 1, 0);
+        let d4 = dilated_conv2d(1, 56, 56, 32, 32, 3, 4, 0);
+        let out = |g: &Subgraph| g.anchor_stage().iters[2].extent;
+        assert!(out(&d4) < out(&d1));
+        // k_eff = 9 → out = 56 - 8 = 48
+        assert_eq!(out(&d4), 48);
+    }
+
+    #[test]
+    fn layer_norm_fuses_normalizer() {
+        let g = layer_norm(128, 768);
+        let sk = generate_sketches(&g, Target::Cpu);
+        assert!(sk.iter().any(|s| s.fused_consumer == Some(1)));
+    }
+
+    #[test]
+    fn pool_has_no_second_input() {
+        let g = pool2d(1, 112, 112, 64, 3, 2);
+        assert_eq!(g.anchor_stage().inputs.len(), 1);
+        assert_eq!(g.anchor_stage().iters[2].extent, 55);
+    }
+}

@@ -1,0 +1,657 @@
+//! Analytical hardware performance models.
+//!
+//! These models replace the paper's Intel Xeon 6226R / Nvidia RTX 3090
+//! testbed. Each model maps a complete schedule to an execution time via a
+//! roofline estimate refined by cache-fit, parallel-efficiency,
+//! vectorization, unrolling, fusion and cache-write terms, multiplied by a
+//! deterministic rugged texture (see [`crate::rugged`]). The point is not
+//! absolute accuracy but a landscape that rewards the same structural
+//! decisions real hardware rewards, so search-algorithm comparisons carry
+//! over.
+
+use serde::{Deserialize, Serialize};
+
+use harl_tensor_ir::{ComputeAt, IterKind, Schedule, Sketch, StageKind, Subgraph, Target};
+
+use crate::rugged::structured_rugged;
+
+/// CPU model parameters (defaults ≈ the paper's Xeon 6226R box).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Physical cores.
+    pub cores: u32,
+    /// Core clock, GHz.
+    pub freq_ghz: f64,
+    /// Peak f32 FLOPs per cycle per core (AVX-512: 2 FMA ports × 16 lanes × 2).
+    pub flops_per_cycle: f64,
+    /// Per-core L1 data cache bytes.
+    pub l1_bytes: u64,
+    /// Per-core L2 cache bytes.
+    pub l2_bytes: u64,
+    /// Shared last-level cache bytes.
+    pub l3_bytes: u64,
+    /// Sustained DRAM bandwidth, bytes/s.
+    pub dram_bw: f64,
+    /// Per-parallel-task launch overhead, seconds.
+    pub task_overhead: f64,
+    /// Fixed kernel launch/loop setup cost, seconds.
+    pub startup: f64,
+    /// Ruggedness amplitude.
+    pub rugged_amp: f64,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            cores: 32,
+            freq_ghz: 2.9,
+            flops_per_cycle: 64.0,
+            l1_bytes: 32 * 1024,
+            l2_bytes: 1024 * 1024,
+            l3_bytes: 22 * 1024 * 1024,
+            dram_bw: 120e9,
+            task_overhead: 8e-7,
+            startup: 2e-6,
+            rugged_amp: 0.25,
+        }
+    }
+}
+
+/// GPU model parameters (defaults ≈ RTX 3090).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// SM clock, GHz.
+    pub freq_ghz: f64,
+    /// f32 FLOPs per cycle per SM (128 FMA lanes × 2).
+    pub flops_per_cycle: f64,
+    /// Shared memory per SM, bytes.
+    pub shared_mem_bytes: u64,
+    /// Device L2 cache bytes.
+    pub l2_bytes: u64,
+    /// HBM bandwidth, bytes/s.
+    pub hbm_bw: f64,
+    /// Threadblock launch overhead, seconds.
+    pub block_overhead: f64,
+    /// Kernel launch cost, seconds.
+    pub startup: f64,
+    /// Ruggedness amplitude.
+    pub rugged_amp: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            sms: 82,
+            freq_ghz: 1.7,
+            flops_per_cycle: 256.0,
+            shared_mem_bytes: 100 * 1024,
+            l2_bytes: 6 * 1024 * 1024,
+            hbm_bw: 900e9,
+            block_overhead: 2e-7,
+            startup: 5e-6,
+            rugged_amp: 0.25,
+        }
+    }
+}
+
+impl CpuModel {
+    /// The paper's CPU testbed: Intel Xeon 6226R (32 cores, 2.9 GHz,
+    /// AVX-512) — identical to `Default`.
+    pub fn xeon_6226r() -> Self {
+        Self::default()
+    }
+
+    /// A mainstream AVX2 desktop part (8 cores, 3.6 GHz, 2×8-lane FMA):
+    /// useful for checking that schedule preferences shift with the
+    /// platform (smaller vectors, fewer cores, smaller LLC).
+    pub fn avx2_desktop() -> Self {
+        CpuModel {
+            cores: 8,
+            freq_ghz: 3.6,
+            flops_per_cycle: 32.0,
+            l1_bytes: 32 * 1024,
+            l2_bytes: 512 * 1024,
+            l3_bytes: 16 * 1024 * 1024,
+            dram_bw: 45e9,
+            ..Self::default()
+        }
+    }
+}
+
+impl GpuModel {
+    /// The paper's GPU testbed: Nvidia GeForce RTX 3090 — identical to
+    /// `Default`.
+    pub fn rtx_3090() -> Self {
+        Self::default()
+    }
+
+    /// Nvidia A100 (SXM4 40 GB): more SMs, much larger L2 and HBM
+    /// bandwidth.
+    pub fn a100() -> Self {
+        GpuModel {
+            sms: 108,
+            freq_ghz: 1.41,
+            shared_mem_bytes: 164 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            hbm_bw: 1555e9,
+            ..Self::default()
+        }
+    }
+}
+
+/// A hardware platform the measurer can target.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Hardware {
+    /// A multicore CPU model.
+    Cpu(CpuModel),
+    /// A SIMT GPU model.
+    Gpu(GpuModel),
+}
+
+impl Hardware {
+    /// The default CPU platform (Xeon 6226R-like).
+    pub fn cpu() -> Self {
+        Hardware::Cpu(CpuModel::default())
+    }
+
+    /// The default GPU platform (RTX 3090-like).
+    pub fn gpu() -> Self {
+        Hardware::Gpu(GpuModel::default())
+    }
+
+    /// The `Target` this platform schedules for.
+    pub fn target(&self) -> Target {
+        match self {
+            Hardware::Cpu(_) => Target::Cpu,
+            Hardware::Gpu(_) => Target::Gpu,
+        }
+    }
+
+    /// Theoretical peak f32 throughput in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        match self {
+            Hardware::Cpu(c) => c.cores as f64 * c.freq_ghz * 1e9 * c.flops_per_cycle,
+            Hardware::Gpu(g) => g.sms as f64 * g.freq_ghz * 1e9 * g.flops_per_cycle,
+        }
+    }
+
+    /// Noise-free execution time of `schedule` in seconds.
+    pub fn execution_time(&self, graph: &Subgraph, sketch: &Sketch, schedule: &Schedule) -> f64 {
+        match self {
+            Hardware::Cpu(c) => cpu_time(c, graph, sketch, schedule),
+            Hardware::Gpu(g) => gpu_time(g, graph, sketch, schedule),
+        }
+    }
+}
+
+/// Workload-identity seed for the rugged texture.
+fn graph_seed(graph: &Subgraph) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in graph.name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Per-aspect schedule hashes for the structured rugged texture: outer
+/// tiling, inner tiling, parallel/unroll/compute-at combo, and the full
+/// schedule identity (fine-grained residue).
+fn rugged_aspects(schedule: &Schedule) -> [u64; 4] {
+    let fnv = |vals: &mut dyn Iterator<Item = u64>| -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for v in vals {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        }
+        h
+    };
+    let outer = fnv(&mut schedule.tiles.iter().map(|t| t[0] as u64));
+    let inner = fnv(&mut schedule.tiles.iter().map(|t| *t.last().unwrap_or(&1) as u64));
+    let combo = fnv(&mut [
+        schedule.parallel_fuse as u64,
+        schedule.unroll_idx as u64,
+        schedule.compute_at as u64,
+        schedule.sketch_id as u64,
+    ]
+    .iter()
+    .copied());
+    [outer, inner, combo, schedule.dedup_key()]
+}
+
+/// Amplitudes of the four rugged components; the first three are the
+/// structured (search-exploitable) texture, the last is fine iid residue.
+const RUGGED_AMPS_SCALE: [f64; 4] = [0.45, 0.3, 0.15, 0.1];
+
+fn rugged_of(seed: u64, schedule: &Schedule, total_amp: f64) -> f64 {
+    let amps: Vec<f64> = RUGGED_AMPS_SCALE.iter().map(|s| s * total_amp).collect();
+    structured_rugged(seed, &rugged_aspects(schedule), &amps)
+}
+
+/// Common tiling analysis shared by the CPU and GPU formulas.
+struct TileAnalysis {
+    /// Total FLOPs of the subgraph (anchor + non-inlined stages count the
+    /// same; inlining changes memory behaviour, not arithmetic).
+    flops: f64,
+    /// Parallel tasks exposed (outer fused spatial loops × rfactor).
+    tasks: u64,
+    /// Innermost spatial factor (vector/coalescing candidate).
+    inner_vec: u32,
+    /// DRAM traffic estimate in bytes.
+    traffic: f64,
+    /// Register-tile, L1-tile, L2-tile working sets in bytes.
+    ws_reg: u64,
+    ws_l1: u64,
+    ws_l2: u64,
+    /// Unrollable inner body size (points).
+    body: u64,
+}
+
+fn outer_trips_above(schedule: &Schedule, sketch: &Sketch, depth: usize, pred: impl Fn(usize) -> bool) -> f64 {
+    // product of tile factors at levels shallower than `depth`-from-inner,
+    // over tiled iterators selected by `pred(anchor iter index)`.
+    let mut trips = 1.0f64;
+    for (k, t) in sketch.tiled_iters.iter().enumerate() {
+        if !pred(t.iter) {
+            continue;
+        }
+        let cut = t.levels.saturating_sub(depth);
+        for lvl in 0..cut {
+            trips *= schedule.tiles[k][lvl] as f64;
+        }
+    }
+    trips
+}
+
+fn analyze(graph: &Subgraph, sketch: &Sketch, schedule: &Schedule, reuse_depth: usize) -> TileAnalysis {
+    let anchor = graph.anchor_stage();
+    let flops = graph.flops();
+    let tasks = schedule.parallel_tasks(sketch) * schedule.rfactor_tasks(sketch);
+
+    let inner_vec = sketch
+        .tiled_iters
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind == IterKind::Spatial)
+        .next_back()
+        .map(|(k, _)| schedule.innermost(k))
+        .unwrap_or(1);
+
+    let ws_reg = schedule.tile_working_set(graph, sketch, 1);
+    let ws_l1 = schedule.tile_working_set(graph, sketch, 2);
+    let ws_l2 = schedule.tile_working_set(graph, sketch, reuse_depth);
+
+    // DRAM traffic: each anchor input is streamed once per iteration of the
+    // outer loops (above the reuse tile) that do NOT index it.
+    let mut traffic = 0.0f64;
+    for input in &anchor.inputs {
+        let total = input.total_bytes(&anchor.iters) as f64;
+        let indexed: Vec<usize> =
+            input.dims.iter().flat_map(|d| d.iters.iter().copied()).collect();
+        let reread =
+            outer_trips_above(schedule, sketch, reuse_depth, |iter| !indexed.contains(&iter));
+        traffic += total * reread;
+    }
+
+    // Output traffic. Without cache-write, the output tile is re-read and
+    // re-written once per outer reduction trip (the accumulator spills).
+    let out_bytes = anchor.output_elems() as f64 * 4.0;
+    let red_outer =
+        outer_trips_above(schedule, sketch, reuse_depth, |iter| {
+            anchor.iters[iter].kind == IterKind::Reduction
+        });
+    if sketch.cache_write || red_outer <= 1.0 {
+        traffic += out_bytes;
+    } else {
+        traffic += out_bytes * (2.0 * red_outer - 1.0);
+    }
+
+    // rfactor: partial results must be combined (one extra pass over the
+    // output per rfactor task).
+    let rf = schedule.rfactor_tasks(sketch) as f64;
+    if rf > 1.0 {
+        traffic += out_bytes * rf;
+    }
+
+    // Non-inlined, non-fused extra stages round-trip memory; fused/inlined
+    // ones stay in cache.
+    for (si, st) in graph.stages.iter().enumerate() {
+        if si == graph.anchor {
+            continue;
+        }
+        let st_bytes = st.output_elems() as f64 * 4.0;
+        let inlined = sketch.inlined.contains(&si);
+        let fused_here = sketch.fused_consumer == Some(si)
+            && matches!(
+                sketch.compute_at_candidates[schedule.compute_at],
+                ComputeAt::TileLevel(_)
+            );
+        if inlined || fused_here {
+            // stays in registers / cache: negligible extra traffic
+            traffic += st_bytes * 0.1;
+        } else {
+            // write + read back
+            traffic += st_bytes * 2.0;
+        }
+        if st.kind == StageKind::Elementwise || st.kind == StageKind::RowReduce {
+            // its own inputs stream once
+            traffic += st.inputs.iter().map(|a| a.total_bytes(&st.iters) as f64).sum::<f64>();
+        }
+    }
+
+    TileAnalysis {
+        flops,
+        tasks: tasks.max(1),
+        inner_vec,
+        traffic,
+        ws_reg,
+        ws_l1,
+        ws_l2,
+        body: schedule.inner_body_size(),
+    }
+}
+
+/// Smooth "fits in capacity" factor: 1.0 when `ws ≤ cap`, degrading towards
+/// `floor` as the working set overflows.
+fn fit_factor(ws: u64, cap: u64, floor: f64) -> f64 {
+    if ws <= cap {
+        1.0
+    } else {
+        let ratio = cap as f64 / ws as f64; // < 1
+        floor + (1.0 - floor) * ratio.powf(0.5)
+    }
+}
+
+fn unroll_factor(depth: u32, body: u64) -> f64 {
+    let u = (depth.max(1) as u64).min(body.max(1)) as f64;
+    // no unroll → loop overhead; sweet spot 64–512; huge bodies thrash the
+    // µop cache / instruction memory.
+    let gain = 0.86 + 0.14 * (u / (u + 24.0));
+    let icache = if u > 2048.0 { 0.93 } else { 1.0 };
+    gain * icache
+}
+
+fn parallel_wall_factor(tasks: u64, workers: u64) -> f64 {
+    // serial_time / wall_time for `tasks` equal chunks on `workers` lanes
+    let blocks = tasks.div_ceil(workers);
+    tasks as f64 / (blocks * workers) as f64 // ≤ 1, =1 when tasks % workers == 0 and tasks ≥ workers
+}
+
+fn cpu_time(cpu: &CpuModel, graph: &Subgraph, sketch: &Sketch, schedule: &Schedule) -> f64 {
+    let a = analyze(graph, sketch, schedule, 3);
+    let peak_core = cpu.freq_ghz * 1e9 * cpu.flops_per_cycle;
+
+    // Vectorization: AVX-512 wants the innermost spatial loop to be a
+    // multiple of 16 f32 lanes.
+    let vec_eff = if a.inner_vec % 16 == 0 {
+        1.0
+    } else if a.inner_vec % 8 == 0 {
+        0.82
+    } else if a.inner_vec >= 4 {
+        0.55
+    } else {
+        0.28
+    };
+
+    // Cache fit of the register/L1/L2 tiles.
+    let cache_eff = fit_factor(a.ws_reg, 4 * 1024, 0.55)
+        * fit_factor(a.ws_l1, cpu.l1_bytes, 0.6)
+        * fit_factor(a.ws_l2, cpu.l2_bytes, 0.65);
+
+    let unroll_eff = unroll_factor(schedule.unroll_depth(Target::Cpu), a.body);
+
+    // Compute roofline
+    let eff_flops = peak_core * vec_eff * cache_eff * unroll_eff;
+    let serial_compute = a.flops / eff_flops;
+
+    // Parallel execution across cores
+    let workers = cpu.cores as u64;
+    let used = a.tasks.min(workers);
+    let wall_eff = parallel_wall_factor(a.tasks, workers);
+    let compute_wall = serial_compute / (workers as f64 * wall_eff.max(1e-9));
+    // when tasks < workers only `tasks` cores are busy
+    let compute_wall = if a.tasks < workers {
+        serial_compute / used as f64
+    } else {
+        compute_wall
+    };
+
+    // Memory roofline: L3 absorbs part of the traffic.
+    let l3_factor = fit_factor(a.ws_l2.saturating_mul(4), cpu.l3_bytes, 0.8);
+    let mem_wall = a.traffic / (cpu.dram_bw * l3_factor);
+
+    let overhead = cpu.startup + a.tasks as f64 * cpu.task_overhead;
+    let rug = rugged_of(graph_seed(graph), schedule, cpu.rugged_amp);
+
+    (compute_wall.max(mem_wall) + overhead) / rug
+}
+
+fn gpu_time(gpu: &GpuModel, graph: &Subgraph, sketch: &Sketch, schedule: &Schedule) -> f64 {
+    let a = analyze(graph, sketch, schedule, 2);
+    let peak_sm = gpu.freq_ghz * 1e9 * gpu.flops_per_cycle;
+
+    // Coalescing: innermost spatial extent vs. 32-wide warps.
+    let coalesce = if a.inner_vec % 32 == 0 {
+        1.0
+    } else if a.inner_vec % 16 == 0 {
+        0.85
+    } else if a.inner_vec >= 8 {
+        0.6
+    } else {
+        0.3
+    };
+
+    // Shared-memory tile fit (L1 tile ≈ shared memory staging).
+    let smem_eff = fit_factor(a.ws_l1, gpu.shared_mem_bytes, 0.5)
+        * fit_factor(a.ws_reg, 48 * 1024, 0.6);
+
+    let unroll_eff = unroll_factor(schedule.unroll_depth(Target::Gpu), a.body);
+
+    // Occupancy: want ≥ 2 blocks per SM to hide latency.
+    let blocks = a.tasks;
+    let occupancy = ((blocks as f64) / (2.0 * gpu.sms as f64)).min(1.0);
+    let occ_eff = 0.25 + 0.75 * occupancy;
+
+    let eff_flops = peak_sm * coalesce * smem_eff * unroll_eff * occ_eff;
+    let serial_compute = a.flops / eff_flops;
+    let workers = gpu.sms as u64;
+    let used = blocks.min(workers);
+    let wall_eff = parallel_wall_factor(blocks, workers);
+    let compute_wall = if blocks < workers {
+        serial_compute / used as f64
+    } else {
+        serial_compute / (workers as f64 * wall_eff.max(1e-9))
+    };
+
+    let l2_factor = fit_factor(a.ws_l2, gpu.l2_bytes, 0.8);
+    let mem_wall = a.traffic / (gpu.hbm_bw * l2_factor);
+
+    let overhead = gpu.startup + blocks as f64 * gpu.block_overhead;
+    let rug = rugged_of(graph_seed(graph) ^ 0x9d7f, schedule, gpu.rugged_amp);
+
+    (compute_wall.max(mem_wall) + overhead) / rug
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harl_tensor_ir::{generate_sketches, workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_time(hw: &Hardware, g: &Subgraph, seed: u64) -> f64 {
+        let sk = &generate_sketches(g, hw.target())[0];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = Schedule::random(sk, hw.target(), &mut rng);
+        hw.execution_time(g, sk, &s)
+    }
+
+    #[test]
+    fn times_positive_and_finite() {
+        let cpu = Hardware::cpu();
+        let gpu = Hardware::gpu();
+        for g in [
+            workload::gemm(1024, 1024, 1024),
+            workload::conv2d(1, 56, 56, 64, 64, 3, 1, 1),
+            workload::softmax(1536, 128),
+        ] {
+            for seed in 0..20 {
+                for hw in [&cpu, &gpu] {
+                    let t = random_time(hw, &g, seed);
+                    assert!(t.is_finite() && t > 0.0, "{}: t={t}", g.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_workload_takes_longer_on_average() {
+        let cpu = Hardware::cpu();
+        let small = workload::gemm(128, 128, 128);
+        let large = workload::gemm(1024, 1024, 1024);
+        let avg = |g: &Subgraph| -> f64 {
+            (0..30).map(|s| random_time(&cpu, g, s)).sum::<f64>() / 30.0
+        };
+        assert!(avg(&large) > 10.0 * avg(&small));
+    }
+
+    #[test]
+    fn never_beats_peak() {
+        let cpu = Hardware::cpu();
+        let g = workload::gemm(1024, 1024, 1024);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = Schedule::random(sk, Target::Cpu, &mut rng);
+            let t = cpu.execution_time(&g, sk, &s);
+            let peak_t = g.flops() / cpu.peak_flops();
+            assert!(t >= peak_t * 0.999, "exec time below peak roofline");
+        }
+    }
+
+    #[test]
+    fn vectorized_inner_loop_helps() {
+        let cpu = Hardware::cpu();
+        let g = workload::gemm(1024, 1024, 1024);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        // good: 16-wide innermost n, parallel outer, fitting tiles
+        let good = Schedule {
+            sketch_id: sk.id,
+            tiles: vec![vec![32, 4, 2, 4], vec![16, 4, 1, 16], vec![64, 16]],
+            compute_at: 0,
+            parallel_fuse: 2,
+            unroll_idx: 2,
+        };
+        // bad: innermost 1 (scalar), serial
+        let bad = Schedule {
+            sketch_id: sk.id,
+            tiles: vec![vec![1, 1, 1, 1024], vec![1024, 1, 1, 1], vec![1, 1024]],
+            compute_at: 0,
+            parallel_fuse: 1,
+            unroll_idx: 0,
+        };
+        good.validate(sk, Target::Cpu).unwrap();
+        bad.validate(sk, Target::Cpu).unwrap();
+        let tg = cpu.execution_time(&g, sk, &good);
+        let tb = cpu.execution_time(&g, sk, &bad);
+        assert!(tb > 3.0 * tg, "bad schedule ({tb}) should be ≫ good ({tg})");
+    }
+
+    #[test]
+    fn parallel_tasks_reduce_time() {
+        let cpu = Hardware::cpu();
+        let g = workload::gemm(1024, 1024, 1024);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let mk = |outer_m: u32| Schedule {
+            sketch_id: sk.id,
+            tiles: vec![
+                vec![outer_m, 1024 / outer_m / 8, 1, 8],
+                vec![8, 8, 1, 16],
+                vec![64, 16],
+            ],
+            compute_at: 0,
+            parallel_fuse: 1,
+            unroll_idx: 2,
+        };
+        let serial = mk(1);
+        let parallel = mk(32);
+        serial.validate(sk, Target::Cpu).unwrap();
+        parallel.validate(sk, Target::Cpu).unwrap();
+        let ts = cpu.execution_time(&g, sk, &serial);
+        let tp = cpu.execution_time(&g, sk, &parallel);
+        assert!(ts > 8.0 * tp, "serial {ts} vs parallel {tp}");
+    }
+
+    #[test]
+    fn deterministic_model() {
+        let cpu = Hardware::cpu();
+        let g = workload::conv2d(1, 14, 14, 256, 256, 3, 1, 1);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = Schedule::random(sk, Target::Cpu, &mut rng);
+        assert_eq!(cpu.execution_time(&g, sk, &s), cpu.execution_time(&g, sk, &s));
+    }
+
+    #[test]
+    fn hardware_presets_have_expected_ordering() {
+        // peak throughput: AVX2 desktop < Xeon 6226R < RTX 3090 < A100
+        let desktop = Hardware::Cpu(CpuModel::avx2_desktop());
+        let xeon = Hardware::Cpu(CpuModel::xeon_6226r());
+        let g3090 = Hardware::Gpu(GpuModel::rtx_3090());
+        let a100 = Hardware::Gpu(GpuModel::a100());
+        assert!(desktop.peak_flops() < xeon.peak_flops());
+        assert!(xeon.peak_flops() < g3090.peak_flops());
+        assert!(g3090.peak_flops() < a100.peak_flops());
+    }
+
+    #[test]
+    fn desktop_prefers_smaller_parallel_grain() {
+        // the same highly-parallel schedule helps the 32-core Xeon more
+        // than the 8-core desktop (relative to a serial schedule)
+        let g = workload::gemm(1024, 1024, 1024);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let serial = Schedule {
+            sketch_id: sk.id,
+            tiles: vec![vec![1, 8, 8, 16], vec![8, 8, 1, 16], vec![64, 16]],
+            compute_at: 0,
+            parallel_fuse: 1,
+            unroll_idx: 2,
+        };
+        let parallel = Schedule {
+            sketch_id: sk.id,
+            tiles: vec![vec![64, 1, 1, 16], vec![8, 8, 1, 16], vec![64, 16]],
+            compute_at: 0,
+            parallel_fuse: 1,
+            unroll_idx: 2,
+        };
+        let speedup = |hw: &Hardware| {
+            hw.execution_time(&g, sk, &serial) / hw.execution_time(&g, sk, &parallel)
+        };
+        let xeon = Hardware::Cpu(CpuModel::xeon_6226r());
+        let desktop = Hardware::Cpu(CpuModel::avx2_desktop());
+        assert!(speedup(&xeon) > speedup(&desktop));
+    }
+
+    #[test]
+    fn gpu_faster_than_cpu_on_large_gemm() {
+        // with decent schedules the 3090 should beat the Xeon on 1024^3
+        let cpu = Hardware::cpu();
+        let gpu = Hardware::gpu();
+        let g = workload::gemm(1024, 1024, 1024);
+        let best = |hw: &Hardware| -> f64 {
+            let sk = &generate_sketches(&g, hw.target())[0];
+            let mut rng = StdRng::seed_from_u64(10);
+            (0..400)
+                .map(|_| {
+                    let s = Schedule::random(sk, hw.target(), &mut rng);
+                    hw.execution_time(&g, sk, &s)
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(best(&gpu) < best(&cpu));
+    }
+}

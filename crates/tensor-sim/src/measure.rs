@@ -1,0 +1,261 @@
+//! The measurer: hardware-in-the-loop measurement with a simulated clock.
+//!
+//! The paper's "search time" metric is dominated by on-device measurements
+//! (each schedule is built and run repeatedly for at least `r_min = 1 s`,
+//! Table 5). The [`Measurer`] reproduces that accounting: every measurement
+//! advances a *simulated* wall clock by the compile + run cost, applies
+//! multiplicative noise to the analytical execution time, and counts
+//! trials. Search algorithms compare against each other in simulated
+//! seconds and trial counts, exactly the two x-axes used by the paper.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use harl_tensor_ir::{Schedule, Sketch, Subgraph};
+
+use crate::hardware::Hardware;
+
+/// Configuration of the measurement process.
+#[derive(Debug, Clone)]
+pub struct MeasureConfig {
+    /// Relative noise (std-dev of the multiplicative lognormal term).
+    pub noise: f64,
+    /// Minimum seconds of repeated execution per measurement (`r_min`).
+    pub r_min: f64,
+    /// Simulated compile + RPC overhead per measurement, seconds.
+    pub build_overhead: f64,
+    /// RNG seed for the noise stream.
+    pub seed: u64,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig { noise: 0.02, r_min: 1.0, build_overhead: 0.5, seed: 0x4a11 }
+    }
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The measured schedule.
+    pub schedule: Schedule,
+    /// Measured (noisy) execution time, seconds.
+    pub time: f64,
+    /// Measured throughput, FLOP/s.
+    pub flops_per_sec: f64,
+}
+
+/// Measures schedules on a [`Hardware`] model while accounting simulated
+/// search time. Thread-safe: batch measurement fans out across threads.
+pub struct Measurer {
+    hw: Hardware,
+    cfg: MeasureConfig,
+    state: Mutex<MeasureState>,
+}
+
+struct MeasureState {
+    rng: StdRng,
+    trials: u64,
+    sim_seconds: f64,
+}
+
+impl Measurer {
+    /// Creates a measurer over a hardware model.
+    pub fn new(hw: Hardware, cfg: MeasureConfig) -> Self {
+        let seed = cfg.seed;
+        Measurer {
+            hw,
+            cfg,
+            state: Mutex::new(MeasureState {
+                rng: StdRng::seed_from_u64(seed),
+                trials: 0,
+                sim_seconds: 0.0,
+            }),
+        }
+    }
+
+    /// The underlying hardware model.
+    pub fn hardware(&self) -> &Hardware {
+        &self.hw
+    }
+
+    /// Total measurements performed so far.
+    pub fn trials(&self) -> u64 {
+        self.state.lock().trials
+    }
+
+    /// Simulated seconds spent measuring so far.
+    pub fn sim_seconds(&self) -> f64 {
+        self.state.lock().sim_seconds
+    }
+
+    /// Charges non-measurement search time (e.g. RL training, evolution)
+    /// to the simulated clock.
+    pub fn charge_search_time(&self, seconds: f64) {
+        self.state.lock().sim_seconds += seconds;
+    }
+
+    /// Noise-free execution time (for evaluation/reporting only; search
+    /// code must use [`Measurer::measure`]).
+    pub fn true_time(&self, graph: &Subgraph, sketch: &Sketch, schedule: &Schedule) -> f64 {
+        self.hw.execution_time(graph, sketch, schedule)
+    }
+
+    /// Measures one schedule: returns the noisy execution time and advances
+    /// the simulated clock by the measurement cost.
+    pub fn measure(&self, graph: &Subgraph, sketch: &Sketch, schedule: &Schedule) -> Measurement {
+        let t = self.hw.execution_time(graph, sketch, schedule);
+        let mut st = self.state.lock();
+        let noisy = t * lognormal_factor(&mut st.rng, self.cfg.noise);
+        st.trials += 1;
+        // repeated execution until r_min seconds have elapsed, plus build
+        st.sim_seconds += self.cfg.r_min.max(t) + self.cfg.build_overhead;
+        drop(st);
+        Measurement { schedule: schedule.clone(), time: noisy, flops_per_sec: graph.flops() / noisy }
+    }
+
+    /// Measures a batch. Execution-time evaluation fans out over threads;
+    /// noise application and clock accounting stay deterministic in input
+    /// order regardless of thread interleaving.
+    pub fn measure_batch(
+        &self,
+        graph: &Subgraph,
+        sketch: &Sketch,
+        schedules: &[Schedule],
+    ) -> Vec<Measurement> {
+        let times = self.eval_batch_parallel(graph, sketch, schedules);
+        let mut st = self.state.lock();
+        let mut out = Vec::with_capacity(schedules.len());
+        for (s, t) in schedules.iter().zip(times) {
+            let noisy = t * lognormal_factor(&mut st.rng, self.cfg.noise);
+            st.trials += 1;
+            st.sim_seconds += self.cfg.r_min.max(t) + self.cfg.build_overhead;
+            out.push(Measurement {
+                schedule: s.clone(),
+                time: noisy,
+                flops_per_sec: graph.flops() / noisy,
+            });
+        }
+        out
+    }
+
+    /// Noise-free batch evaluation without touching the clock (used by the
+    /// search internals and tests).
+    pub fn eval_batch_parallel(
+        &self,
+        graph: &Subgraph,
+        sketch: &Sketch,
+        schedules: &[Schedule],
+    ) -> Vec<f64> {
+        const PAR_THRESHOLD: usize = 64;
+        if schedules.len() < PAR_THRESHOLD {
+            return schedules.iter().map(|s| self.hw.execution_time(graph, sketch, s)).collect();
+        }
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let chunk = schedules.len().div_ceil(workers);
+        let mut times = vec![0.0f64; schedules.len()];
+        std::thread::scope(|scope| {
+            for (slice_in, slice_out) in
+                schedules.chunks(chunk).zip(times.chunks_mut(chunk))
+            {
+                scope.spawn(move || {
+                    for (s, t) in slice_in.iter().zip(slice_out.iter_mut()) {
+                        *t = self.hw.execution_time(graph, sketch, s);
+                    }
+                });
+            }
+        });
+        times
+    }
+}
+
+/// Multiplicative lognormal noise factor with relative std-dev `sigma`.
+fn lognormal_factor<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    // Box-Muller
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harl_tensor_ir::{generate_sketches, workload, Target};
+
+    fn setup() -> (Subgraph, Sketch, Vec<Schedule>) {
+        let g = workload::gemm(512, 512, 512);
+        let sk = generate_sketches(&g, Target::Cpu)[0].clone();
+        let mut rng = StdRng::seed_from_u64(77);
+        let scheds = (0..100).map(|_| Schedule::random(&sk, Target::Cpu, &mut rng)).collect();
+        (g, sk, scheds)
+    }
+
+    #[test]
+    fn clock_advances_by_rmin_plus_overhead() {
+        let (g, sk, scheds) = setup();
+        let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        m.measure(&g, &sk, &scheds[0]);
+        assert_eq!(m.trials(), 1);
+        // exec time ≪ 1 s, so cost = r_min + build_overhead = 1.5 s
+        assert!((m.sim_seconds() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_equals_sequential_accounting() {
+        let (g, sk, scheds) = setup();
+        let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let res = m.measure_batch(&g, &sk, &scheds);
+        assert_eq!(res.len(), scheds.len());
+        assert_eq!(m.trials(), scheds.len() as u64);
+        assert!((m.sim_seconds() - 1.5 * scheds.len() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noise_is_bounded_and_centered() {
+        let (g, sk, scheds) = setup();
+        let m = Measurer::new(Hardware::cpu(), MeasureConfig { noise: 0.02, ..Default::default() });
+        let truth = m.true_time(&g, &sk, &scheds[0]);
+        let samples: Vec<f64> =
+            (0..500).map(|_| m.measure(&g, &sk, &scheds[0]).time).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean / truth - 1.0).abs() < 0.01, "mean ratio {}", mean / truth);
+        assert!(samples.iter().all(|&t| (t / truth - 1.0).abs() < 0.15));
+    }
+
+    #[test]
+    fn zero_noise_is_exact() {
+        let (g, sk, scheds) = setup();
+        let m = Measurer::new(
+            Hardware::cpu(),
+            MeasureConfig { noise: 0.0, ..Default::default() },
+        );
+        let truth = m.true_time(&g, &sk, &scheds[3]);
+        assert_eq!(m.measure(&g, &sk, &scheds[3]).time, truth);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_eval() {
+        let (g, sk, scheds) = setup();
+        let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let par = m.eval_batch_parallel(&g, &sk, &scheds);
+        let ser: Vec<f64> =
+            scheds.iter().map(|s| m.true_time(&g, &sk, s)).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn flops_per_sec_consistent() {
+        let (g, sk, scheds) = setup();
+        let m = Measurer::new(
+            Hardware::cpu(),
+            MeasureConfig { noise: 0.0, ..Default::default() },
+        );
+        let r = m.measure(&g, &sk, &scheds[5]);
+        assert!((r.flops_per_sec * r.time - g.flops()).abs() / g.flops() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic landscape ruggedness.
+//!
+//! Real hardware performance is not a smooth function of schedule
+//! parameters: conflict misses, TLB pressure, frequency transitions and
+//! instruction-selection cliffs add high-frequency texture. The analytical
+//! model alone would be too smooth — local search would look better than it
+//! is on real machines. We add a *deterministic* multiplicative term keyed
+//! on the schedule identity, so the same schedule always measures the same
+//! (up to explicit measurement noise), but neighbouring schedules differ by
+//! a few percent in unpredictable ways.
+
+/// SplitMix64 finalizer — a high-quality 64-bit mixing function.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Maps a key to a uniform f64 in `[0, 1)`.
+#[inline]
+pub fn unit_hash(key: u64) -> f64 {
+    (mix64(key) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Multiplicative ruggedness factor in `[1 - amplitude, 1]`.
+///
+/// `seed` identifies the workload/hardware pair so the texture differs per
+/// operator; `key` identifies the schedule.
+#[inline]
+pub fn rugged_factor(seed: u64, key: u64, amplitude: f64) -> f64 {
+    1.0 - amplitude * unit_hash(seed ^ key.rotate_left(17))
+}
+
+/// Structured multi-component ruggedness.
+///
+/// Real hardware texture is not iid noise over schedules: a conflict-miss
+/// pattern depends on the outer tiling, an instruction-selection cliff on
+/// the inner tile shape, a scheduling quirk on the parallel/unroll combo.
+/// Each component hashes one *aspect* of the schedule, so neighbouring
+/// schedules share most components — the texture is locally correlated and
+/// therefore *exploitable* by search, unlike pure per-schedule noise.
+///
+/// `aspect_keys` are the per-aspect hashes; `amplitudes[i]` bounds each
+/// component's penalty. The result lies in `[Π(1-aᵢ), 1]`.
+#[inline]
+pub fn structured_rugged(seed: u64, aspect_keys: &[u64], amplitudes: &[f64]) -> f64 {
+    debug_assert_eq!(aspect_keys.len(), amplitudes.len());
+    let mut f = 1.0;
+    for (i, (&k, &a)) in aspect_keys.iter().zip(amplitudes).enumerate() {
+        f *= 1.0 - a * unit_hash(seed ^ mix64(k.wrapping_add(i as u64 * 0x9e3779b9)));
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_hash_in_range() {
+        for k in 0..10_000u64 {
+            let u = unit_hash(k);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn rugged_factor_bounds() {
+        for k in 0..10_000u64 {
+            let f = rugged_factor(42, k, 0.06);
+            assert!(f <= 1.0 + 1e-12 && f >= 1.0 - 0.06 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(rugged_factor(7, 123, 0.05), rugged_factor(7, 123, 0.05));
+        assert_ne!(rugged_factor(7, 123, 0.05), rugged_factor(8, 123, 0.05));
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(unit_hash).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} not ~0.5");
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: tune one GEMM operator with HARL on the simulated CPU and
+//! print what the auto-scheduler found.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use harl_repro::prelude::*;
+
+fn main() {
+    // 1. Pick a workload: the paper's flagship 1024x1024x1024 GEMM.
+    let gemm = harl_repro::ir::workload::gemm(1024, 1024, 1024);
+    println!("workload: {} ({:.2} GFLOPs)", gemm.name, gemm.flops() / 1e9);
+
+    // 2. A measurer wraps the hardware model (here: the Xeon-6226R-like
+    //    CPU) and accounts simulated search time like a real testbed.
+    let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+
+    // 3. Show the sketches the Table-2 rules generate.
+    let sketches = generate_sketches(&gemm, Target::Cpu);
+    println!("sketches generated ({}):", sketches.len());
+    for s in &sketches {
+        println!("  #{}: {}", s.id, s.desc);
+    }
+
+    // 4. Tune. `HarlConfig::paper()` is the full Table-5 setup; `fast()`
+    //    scales the track counts down so this example finishes in seconds.
+    let mut tuner = HarlOperatorTuner::new(gemm.clone(), &measurer, HarlConfig::fast());
+    tuner.tune(160);
+
+    // 5. Report.
+    let best = tuner.best_schedule.as_ref().expect("tuning found a schedule");
+    let gflops = gemm.flops() / tuner.best_time / 1e9;
+    println!("\nafter {} measurement trials:", tuner.trials_used);
+    println!("  best execution time: {:.3} ms", tuner.best_time * 1e3);
+    println!("  throughput:          {:.1} GFLOP/s", gflops);
+    println!("  simulated search:    {:.0} s", measurer.sim_seconds());
+    println!("\nbest schedule (sketch #{}):", best.sketch_id);
+    for (k, tiles) in best.tiles.iter().enumerate() {
+        let it = &sketches[best.sketch_id].tiled_iters[k];
+        println!(
+            "  iter {} ({:?}, extent {}): tile factors {:?}",
+            k, it.kind, it.extent, tiles
+        );
+    }
+    println!("  parallel outer loops: {}", best.parallel_fuse);
+    println!(
+        "  auto-unroll depth:    {}",
+        best.unroll_depth(Target::Cpu)
+    );
+
+    // 6. The scheduled loop nest as a code generator would emit it.
+    println!("\nscheduled loop nest:");
+    print!(
+        "{}",
+        harl_repro::ir::render_program(&gemm, &sketches[best.sketch_id], Target::Cpu, best)
+    );
+}

@@ -1,0 +1,53 @@
+//! # harl-repro
+//!
+//! A from-scratch Rust reproduction of **HARL: Hierarchical Adaptive
+//! Reinforcement Learning Based Auto Scheduler for Neural Networks**
+//! (Zhang, He, Zhang — ICPP 2022).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`ir`] — tensor-program IR: subgraphs, sketches (Table 2 rules),
+//!   schedules, the Table 3 action space, feature extraction.
+//! * [`sim`] — analytical CPU/GPU performance models + the measurer with
+//!   simulated search-time accounting (substitutes for the paper's
+//!   Xeon 6226R / RTX 3090 testbed).
+//! * [`gbt`] — XGBoost-lite cost model.
+//! * [`nnet`] — from-scratch MLP + PPO actor-critic.
+//! * [`bandit`] — SW-UCB and baseline bandit policies.
+//! * [`ansor`] — the Ansor baseline (evolutionary search, gradient task
+//!   scheduler) and the Flextensor-like fixed-length RL tuner.
+//! * [`harl`] — the paper's system: hierarchical MABs + PPO parameter
+//!   search + adaptive stopping.
+//! * [`models`] — BERT / ResNet-50 / MobileNet-V2 workloads and the
+//!   Table 6 operator suite.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use harl_repro::prelude::*;
+//!
+//! // tune a small GEMM with HARL on the simulated CPU
+//! let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+//! let gemm = harl_repro::ir::workload::gemm(128, 128, 128);
+//! let mut tuner = HarlOperatorTuner::new(gemm, &measurer, HarlConfig::tiny());
+//! tuner.tune(16);
+//! assert!(tuner.best_time.is_finite());
+//! ```
+
+pub use harl_ansor as ansor;
+pub use harl_bandit as bandit;
+pub use harl_core as harl;
+pub use harl_gbt as gbt;
+pub use harl_nn_models as models;
+pub use harl_nnet as nnet;
+pub use harl_tensor_ir as ir;
+pub use harl_tensor_sim as sim;
+
+/// The most commonly used types, one import away.
+pub mod prelude {
+    pub use harl_ansor::{AnsorConfig, AnsorNetworkTuner, AnsorTuner, FlextensorTuner};
+    pub use harl_core::{HarlConfig, HarlNetworkTuner, HarlOperatorTuner};
+    pub use harl_nn_models::{operator_suite, Network, OperatorClass};
+    pub use harl_tensor_ir::{generate_sketches, Schedule, Sketch, Subgraph, Target};
+    pub use harl_tensor_sim::{Hardware, MeasureConfig, Measurer, TuneTrace};
+}

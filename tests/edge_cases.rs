@@ -1,0 +1,138 @@
+//! Edge-case and failure-injection tests across the stack.
+
+use harl_repro::prelude::*;
+use harl_repro::ir::{workload, ActionSpace};
+
+#[test]
+fn extent_one_iterators_are_schedulable() {
+    // batch-1 convolutions carry extent-1 iterators; everything must cope
+    let g = workload::conv2d(1, 7, 7, 1, 1, 1, 1, 0);
+    g.validate().unwrap();
+    let sketches = generate_sketches(&g, Target::Cpu);
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1);
+    for sk in &sketches {
+        for _ in 0..20 {
+            let s = Schedule::random(sk, Target::Cpu, &mut rng);
+            s.validate(sk, Target::Cpu).unwrap();
+            assert!(Hardware::cpu().execution_time(&g, sk, &s) > 0.0);
+        }
+    }
+}
+
+#[test]
+fn prime_extent_iterators_tile_correctly() {
+    // 97 and 13 are prime: tiling can only put the whole factor in one slot
+    let g = workload::gemm(97, 13, 101);
+    let sketches = generate_sketches(&g, Target::Cpu);
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(2);
+    for sk in &sketches {
+        for _ in 0..30 {
+            let s = Schedule::random(sk, Target::Cpu, &mut rng);
+            s.validate(sk, Target::Cpu).unwrap();
+            for (k, t) in sk.tiled_iters.iter().enumerate() {
+                let prod: u64 = s.tiles[k].iter().map(|&f| f as u64).product();
+                assert_eq!(prod, t.extent as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn tuning_survives_extreme_measurement_noise() {
+    // 50% noise: the tuner must still terminate and return something sane
+    let cfg = MeasureConfig { noise: 0.5, ..Default::default() };
+    let measurer = Measurer::new(Hardware::cpu(), cfg);
+    let g = workload::gemm(128, 128, 128);
+    let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+    t.tune(24);
+    assert!(t.best_time.is_finite() && t.best_time > 0.0);
+    assert!(t.best_schedule.is_some());
+}
+
+#[test]
+fn tuning_with_zero_noise_is_fully_deterministic_across_tuners() {
+    let run = || {
+        let cfg = MeasureConfig { noise: 0.0, ..Default::default() };
+        let measurer = Measurer::new(Hardware::cpu(), cfg);
+        let g = workload::gemm(128, 256, 128);
+        let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+        t.tune(16);
+        t.best_time
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn single_sketch_subgraph_tunes() {
+    // elementwise has one sketch and no reduction; sketch MAB has 1 arm
+    let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let g = workload::elementwise(256, 256, 2.0);
+    let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+    t.tune(16);
+    assert!(t.best_time.is_finite());
+}
+
+#[test]
+fn tiny_budget_one_trial() {
+    let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let g = workload::gemm(64, 64, 64);
+    let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+    t.tune(1);
+    assert_eq!(t.trials_used, 1);
+    assert!(t.best_time.is_finite());
+}
+
+#[test]
+fn ansor_and_harl_agree_on_zero_budget() {
+    let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let g = workload::gemm(64, 64, 64);
+    let mut a = AnsorTuner::new(g.clone(), &measurer, AnsorConfig::default());
+    assert_eq!(a.round(0), 0);
+    let mut h = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+    assert_eq!(h.round(0), 0);
+    assert_eq!(measurer.trials(), 0);
+}
+
+#[test]
+fn huge_tile_head_workload_runs() {
+    // C3D has 9 iterators → 28 tiled loops on CPU → 785-way tile head;
+    // make sure the policy machinery handles the big head
+    let g = workload::conv3d(1, 4, 8, 8, 4, 4, 3, 1, 1);
+    let sk = &generate_sketches(&g, Target::Cpu)[0];
+    let space = ActionSpace::of(sk);
+    assert!(space.tile_actions() > 500);
+    let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+    t.tune(8);
+    assert!(t.best_time.is_finite());
+}
+
+#[test]
+fn network_with_single_subgraph() {
+    let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut nt = HarlNetworkTuner::new(
+        vec![workload::gemm(128, 128, 128)],
+        &measurer,
+        HarlConfig::tiny(),
+    );
+    nt.tune(16);
+    assert!(nt.network_latency().is_finite());
+    assert_eq!(nt.allocations().len(), 1);
+}
+
+#[test]
+fn weighted_latency_respects_weights() {
+    let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut g1 = workload::gemm(128, 128, 128);
+    g1.weight = 10.0;
+    let g2 = workload::gemm(128, 128, 128);
+    // same graph tuned twice; weight must scale the latency contribution
+    let mut nt = HarlNetworkTuner::new(vec![g1, g2], &measurer, HarlConfig::tiny());
+    nt.tune(32);
+    let lat = nt.network_latency();
+    let t1 = nt.states[0].best_time * 10.0;
+    let t2 = nt.states[1].best_time;
+    assert!((lat - (t1 + t2)).abs() / lat < 1e-9);
+}

@@ -1,0 +1,186 @@
+//! Property-based cross-crate invariants: every workload × target × random
+//! schedule × random action sequence must keep the system's contracts.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use harl_repro::ir::{
+    apply_action, extract_features, generate_sketches, mutate, Action, ActionSpace, Schedule,
+    StepDir, Subgraph, Target, FEATURE_DIM,
+};
+use harl_repro::sim::Hardware;
+
+/// A strategy over the workload zoo.
+fn arb_workload() -> impl Strategy<Value = Subgraph> {
+    use harl_repro::ir::workload::*;
+    prop_oneof![
+        (1u32..=9, 1u32..=9, 1u32..=9)
+            .prop_map(|(m, k, n)| gemm(1 << m, 1 << k, 1 << n)),
+        (1u32..=4, 4u32..=64, 4u32..=64).prop_map(|(b, m, n)| batch_gemm(b, m, 32, n)),
+        (16u32..=64, 3u32..=64, 3u32..=64)
+            .prop_map(|(l, ci, co)| conv1d(1, l, ci, co, 3, 1, 1)),
+        (7u32..=56, 3u32..=64, 3u32..=64)
+            .prop_map(|(h, ci, co)| conv2d(1, h, h, ci, co, 3, 1, 1)),
+        (7u32..=28, 8u32..=64).prop_map(|(h, c)| depthwise_conv2d(1, h, h, c, 3, 1, 1)),
+        (16u32..=512, 16u32..=256).prop_map(|(r, c)| softmax(r, c)),
+        (8u32..=128, 8u32..=128, 8u32..=128)
+            .prop_map(|(m, k, n)| gemm_epilogue(m, k, n, "tanh", 8.0)),
+        (7u32..=28, 8u32..=64, 8u32..=64)
+            .prop_map(|(h, ci, co)| conv2d_bn_relu(1, h, h, ci, co, 3, 1, 1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_schedules_valid_for_all_workloads(
+        g in arb_workload(),
+        target_gpu in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let target = if target_gpu { Target::Gpu } else { Target::Cpu };
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert!(g.validate().is_ok());
+        for sk in generate_sketches(&g, target) {
+            let s = Schedule::random(&sk, target, &mut rng);
+            prop_assert!(s.validate(&sk, target).is_ok());
+        }
+    }
+
+    #[test]
+    fn action_sequences_preserve_validity_and_extents(
+        g in arb_workload(),
+        seed in any::<u64>(),
+        steps in 1usize..40,
+    ) {
+        let target = Target::Cpu;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sketches = generate_sketches(&g, target);
+        let sk = &sketches[0];
+        let space = ActionSpace::of(sk);
+        let mut s = Schedule::random(sk, target, &mut rng);
+        use rand::Rng;
+        for _ in 0..steps {
+            let a = Action {
+                tile: rng.gen_range(0..space.tile_actions()),
+                compute_at: StepDir::from_index(rng.gen_range(0..3)),
+                parallel: StepDir::from_index(rng.gen_range(0..3)),
+                unroll: StepDir::from_index(rng.gen_range(0..3)),
+            };
+            s = apply_action(sk, target, &s, &a);
+        }
+        prop_assert!(s.validate(sk, target).is_ok());
+        // every tile factorization still multiplies to its extent
+        for (k, t) in sk.tiled_iters.iter().enumerate() {
+            let prod: u64 = s.tiles[k].iter().map(|&f| f as u64).product();
+            prop_assert_eq!(prod, t.extent as u64);
+        }
+    }
+
+    #[test]
+    fn simulator_is_positive_finite_and_deterministic(
+        g in arb_workload(),
+        gpu in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let hw = if gpu { Hardware::gpu() } else { Hardware::cpu() };
+        let target = hw.target();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for sk in generate_sketches(&g, target) {
+            let s = Schedule::random(&sk, target, &mut rng);
+            let t1 = hw.execution_time(&g, &sk, &s);
+            let t2 = hw.execution_time(&g, &sk, &s);
+            prop_assert!(t1.is_finite() && t1 > 0.0);
+            prop_assert_eq!(t1, t2);
+            // roofline: never faster than peak
+            prop_assert!(t1 >= g.flops() / hw.peak_flops() * 0.999);
+        }
+    }
+
+    #[test]
+    fn features_are_fixed_length_and_finite(
+        g in arb_workload(),
+        gpu in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let target = if gpu { Target::Gpu } else { Target::Cpu };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for sk in generate_sketches(&g, target) {
+            let s = Schedule::random(&sk, target, &mut rng);
+            let f = extract_features(&g, &sk, target, &s);
+            prop_assert_eq!(f.len(), FEATURE_DIM);
+            prop_assert!(f.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn mutations_never_break_schedules(
+        g in arb_workload(),
+        seed in any::<u64>(),
+        steps in 1usize..60,
+    ) {
+        let target = Target::Cpu;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sketches = generate_sketches(&g, target);
+        let sk = &sketches[seed as usize % sketches.len()];
+        let mut s = Schedule::random(sk, target, &mut rng);
+        for _ in 0..steps {
+            s = mutate(sk, target, &s, &mut rng);
+        }
+        prop_assert!(s.validate(sk, target).is_ok());
+    }
+
+    #[test]
+    fn schedule_order_covers_iteration_space_exactly_once(
+        m in 1u32..=8,
+        k in 1u32..=8,
+        n in 1u32..=8,
+        gpu in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use harl_repro::ir::exec::coverage_counts;
+        let g = harl_repro::ir::workload::gemm(1 << (m % 4), 1 << (k % 4), 1 << (n % 4));
+        let target = if gpu { Target::Gpu } else { Target::Cpu };
+        let mut rng = StdRng::seed_from_u64(seed);
+        for sk in generate_sketches(&g, target) {
+            let s = Schedule::random(&sk, target, &mut rng);
+            let counts = coverage_counts(&sk, &s, g.anchor_stage());
+            prop_assert!(counts.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn scheduled_gemm_execution_is_semantics_preserving(
+        seed in any::<u64>(),
+    ) {
+        use harl_repro::ir::exec::{gemm_reference, gemm_scheduled, Tensor};
+        let (m, k, n) = (6usize, 8, 10);
+        let g = harl_repro::ir::workload::gemm(m as u32, k as u32, n as u32);
+        let a = Tensor::iota_mod(&[m, k], 7);
+        let b = Tensor::iota_mod(&[k, n], 5);
+        let reference = gemm_reference(m, k, n, &a, &b);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for sk in generate_sketches(&g, Target::Cpu) {
+            let s = Schedule::random(&sk, Target::Cpu, &mut rng);
+            prop_assert_eq!(&gemm_scheduled(&sk, &s, m, k, n, &a, &b), &reference);
+        }
+    }
+
+    #[test]
+    fn dedup_key_is_stable_and_sensitive(
+        g in arb_workload(),
+        seed in any::<u64>(),
+    ) {
+        let target = Target::Cpu;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = &generate_sketches(&g, target)[0];
+        let s = Schedule::random(sk, target, &mut rng);
+        prop_assert_eq!(s.dedup_key(), s.clone().dedup_key());
+        let m = mutate(sk, target, &s, &mut rng);
+        if m != s {
+            prop_assert_ne!(m.dedup_key(), s.dedup_key());
+        }
+    }
+}
