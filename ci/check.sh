@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: formatting, lints-as-errors, full test suite.
+# Run from the repository root. Pass --offline (the default when the
+# registry is unreachable) through CARGO_FLAGS if needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=${CARGO_FLAGS:---offline}
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy $CARGO_FLAGS --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test $CARGO_FLAGS -q --workspace
+
+echo "==> lint-schedules smoke run"
+cargo run $CARGO_FLAGS -q -p harl-verify --bin lint-schedules -- 40
+
+echo "OK: all checks passed"

@@ -13,9 +13,7 @@ use std::collections::HashSet;
 use rand::Rng;
 
 use harl_gbt::CostModel;
-use harl_tensor_ir::{
-    crossover, extract_features, mutate, Schedule, Sketch, Subgraph, Target,
-};
+use harl_tensor_ir::{crossover, extract_features, mutate, Schedule, Sketch, Subgraph, Target};
 
 /// Evolutionary-search hyper-parameters (defaults follow Ansor's published
 /// settings scaled to this simulator).
@@ -67,7 +65,10 @@ pub fn evolve_candidates<R: Rng + ?Sized>(
     cfg: &EvoConfig,
     rng: &mut R,
 ) -> Vec<Schedule> {
-    assert!(!sketches.is_empty(), "subgraph must have at least one sketch");
+    assert!(
+        !sketches.is_empty(),
+        "subgraph must have at least one sketch"
+    );
 
     // --- initial population ---------------------------------------------
     let n_elite = ((cfg.population as f64 * cfg.elite_ratio) as usize).min(elites.len());
@@ -222,7 +223,15 @@ mod tests {
         );
         let seen: HashSet<u64> = first.iter().map(Schedule::dedup_key).collect();
         let second = evolve_candidates(
-            &g, &sk, Target::Cpu, &cm, &first, &seen, 16, &EvoConfig::default(), &mut rng,
+            &g,
+            &sk,
+            Target::Cpu,
+            &cm,
+            &first,
+            &seen,
+            16,
+            &EvoConfig::default(),
+            &mut rng,
         );
         for s in &second {
             assert!(!seen.contains(&s.dedup_key()));
@@ -257,6 +266,9 @@ mod tests {
         );
         let max_unroll = Target::Cpu.unroll_depths().len() - 1;
         let high = cands.iter().filter(|c| c.unroll_idx == max_unroll).count();
-        assert!(high > 16, "evolution should exploit the model: {high}/32 high-unroll");
+        assert!(
+            high > 16,
+            "evolution should exploit the model: {high}/32 high-unroll"
+        );
     }
 }

@@ -16,6 +16,7 @@ use harl_tensor_ir::{
     tile_action_mask, unroll_mask, Action, ActionSpace, Schedule, Sketch, StepDir, Subgraph,
 };
 use harl_tensor_sim::{Measurer, TuneTrace};
+use harl_verify::{Analyzer, LintStats};
 
 /// Configuration of the fixed-length tuner.
 #[derive(Debug, Clone)]
@@ -82,6 +83,10 @@ pub struct FlextensorTuner<'m> {
     pub trials_used: u64,
     /// Best-so-far curve.
     pub trace: TuneTrace,
+    /// Lint findings over every proposed schedule; rejected ones are never
+    /// measured on hardware.
+    pub lint_stats: LintStats,
+    analyzer: Analyzer,
     cfg: FlextensorConfig,
     rng: StdRng,
 }
@@ -97,7 +102,12 @@ impl<'m> FlextensorTuner<'m> {
             .expect("subgraph has at least one sketch");
         let space = ActionSpace::of(&sketch);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ graph.name.len() as u64);
-        let head_sizes = [space.tile_actions(), StepDir::COUNT, StepDir::COUNT, StepDir::COUNT];
+        let head_sizes = [
+            space.tile_actions(),
+            StepDir::COUNT,
+            StepDir::COUNT,
+            StepDir::COUNT,
+        ];
         let agent = PpoAgent::new(
             harl_tensor_ir::FEATURE_DIM,
             &head_sizes,
@@ -115,6 +125,8 @@ impl<'m> FlextensorTuner<'m> {
             critical_steps: Vec::new(),
             trials_used: 0,
             trace: TuneTrace::new(),
+            lint_stats: LintStats::new(),
+            analyzer: Analyzer::for_hardware(measurer.hardware()),
             cfg,
             rng,
         }
@@ -148,6 +160,10 @@ impl<'m> FlextensorTuner<'m> {
                 break;
             }
             let s = Schedule::random(&self.sketch, target, &mut self.rng);
+            let diags = self.analyzer.analyze(&self.graph, &self.sketch, target, &s);
+            if self.lint_stats.record(&diags) {
+                continue;
+            }
             let m = self.measurer.measure(&self.graph, &self.sketch, &s);
             used += 1;
             self.note_measurement(&s, m.time);
@@ -172,13 +188,21 @@ impl<'m> FlextensorTuner<'m> {
                     unroll: StepDir::from_index(acts[3]),
                 };
                 let next = apply_action(&self.sketch, target, &states[i], &action);
+                // reject illegal proposals before spending a measurement
+                let diags = self
+                    .analyzer
+                    .analyze(&self.graph, &self.sketch, target, &next);
+                if self.lint_stats.record(&diags) {
+                    continue;
+                }
                 let m = self.measurer.measure(&self.graph, &self.sketch, &next);
                 used += 1;
                 self.note_measurement(&next, m.time);
                 let new_perf = 1.0 / m.time;
                 let reward = ((new_perf - perf[i]) / perf[i]) as f32;
                 let next_feat = extract_features(&self.graph, &self.sketch, target, &next);
-                self.agent.record(feat, acts, logp, reward, &next_feat, masks);
+                self.agent
+                    .record(feat, acts, logp, reward, &next_feat, masks);
                 if new_perf > best_perf[i] {
                     best_perf[i] = new_perf;
                     best_pos[i] = step;
@@ -194,10 +218,17 @@ impl<'m> FlextensorTuner<'m> {
         }
 
         for &pos in best_pos.iter().take(states.len()) {
-            self.critical_steps.push(CriticalStep { position: pos, length: steps_taken });
+            self.critical_steps.push(CriticalStep {
+                position: pos,
+                length: steps_taken,
+            });
         }
         self.trials_used += used;
-        self.trace.record(self.measurer.trials(), self.measurer.sim_seconds(), self.best_time);
+        self.trace.record(
+            self.measurer.trials(),
+            self.measurer.sim_seconds(),
+            self.best_time,
+        );
         used
     }
 
@@ -227,7 +258,11 @@ mod tests {
     use harl_tensor_sim::{Hardware, MeasureConfig};
 
     fn cfg() -> FlextensorConfig {
-        FlextensorConfig { episode_len: 6, tracks: 4, ..Default::default() }
+        FlextensorConfig {
+            episode_len: 6,
+            tracks: 4,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -239,6 +274,9 @@ mod tests {
         assert!(used <= 10);
         assert_eq!(t.trials_used, used);
         assert_eq!(measurer.trials(), used);
+        // legal proposals only: the analyzer checked but never rejected
+        assert!(t.lint_stats.checked >= used);
+        assert_eq!(t.lint_stats.rejected, 0);
     }
 
     #[test]

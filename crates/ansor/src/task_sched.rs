@@ -44,7 +44,11 @@ pub struct TaskState {
 
 impl Default for TaskState {
     fn default() -> Self {
-        TaskState { best_time: f64::INFINITY, trials: 0, history: Vec::new() }
+        TaskState {
+            best_time: f64::INFINITY,
+            trials: 0,
+            history: Vec::new(),
+        }
     }
 }
 
@@ -87,7 +91,11 @@ pub struct GradientParams {
 
 impl Default for GradientParams {
     fn default() -> Self {
-        GradientParams { alpha: 0.2, beta: 2.0, dt: 64 }
+        GradientParams {
+            alpha: 0.2,
+            beta: 2.0,
+            dt: 64,
+        }
     }
 }
 
@@ -108,7 +116,11 @@ pub fn task_gradient(
 
     // history slope (≤ 0 when improving)
     let g_prev = st.best_time_before(p.dt);
-    let term1 = if g_prev.is_finite() { (g - g_prev) / p.dt as f64 } else { 0.0 };
+    let term1 = if g_prev.is_finite() {
+        (g - g_prev) / p.dt as f64
+    } else {
+        0.0
+    };
 
     // optimistic headroom: either keep the historical rate −g/t, or close
     // the gap to β × the time predicted from similar tasks' throughput.
@@ -167,7 +179,13 @@ pub fn weighted_latency(infos: &[TaskInfo], states: &[TaskState]) -> f64 {
     infos
         .iter()
         .zip(states)
-        .map(|(i, s)| if s.best_time.is_finite() { i.weight * s.best_time } else { f64::INFINITY })
+        .map(|(i, s)| {
+            if s.best_time.is_finite() {
+                i.weight * s.best_time
+            } else {
+                f64::INFINITY
+            }
+        })
         .sum()
 }
 
@@ -192,7 +210,7 @@ mod tests {
     fn warmup_visits_all_tasks() {
         let (infos, mut states) = mk_tasks(3);
         let sched = GreedyTaskScheduler::new(GradientParams::default());
-        let mut visited = vec![false; 3];
+        let mut visited = [false; 3];
         for _ in 0..3 {
             let i = sched.select(&infos, &states);
             visited[i] = true;
@@ -205,7 +223,7 @@ mod tests {
     fn greedy_prefers_improving_heavy_task() {
         let (mut infos, mut states) = mk_tasks(2);
         infos[0].weight = 10.0; // heavy task
-        // both warmed up with same time
+                                // both warmed up with same time
         states[0].record_round(64, 1.0);
         states[1].record_round(64, 1.0);
         // task 0 keeps improving, task 1 stagnates
@@ -225,7 +243,10 @@ mod tests {
         states[1].record_round(64, 0.1);
         let g0 = task_gradient(&infos, &states, 0, &p);
         let g1 = task_gradient(&infos, &states, 1, &p);
-        assert!(g1 > g0, "lagging similar task should be prioritised: {g1} vs {g0}");
+        assert!(
+            g1 > g0,
+            "lagging similar task should be prioritised: {g1} vs {g0}"
+        );
     }
 
     #[test]

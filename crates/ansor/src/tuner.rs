@@ -9,6 +9,7 @@ use rand::SeedableRng;
 use harl_gbt::{CostModel, GbtParams};
 use harl_tensor_ir::{extract_features, generate_sketches, Schedule, Sketch, Subgraph, Target};
 use harl_tensor_sim::{Measurer, TuneTrace};
+use harl_verify::{Analyzer, LintStats};
 
 use crate::evolution::{evolve_candidates, EvoConfig};
 use crate::task_sched::{
@@ -70,6 +71,10 @@ pub struct AnsorTuner<'m> {
     pub trials_used: u64,
     /// Best-so-far curve.
     pub trace: TuneTrace,
+    /// Lint findings over every evolved candidate; rejected ones never
+    /// reach the measurer.
+    pub lint_stats: LintStats,
+    analyzer: Analyzer,
     cfg: AnsorConfig,
     rng: StdRng,
 }
@@ -92,6 +97,8 @@ impl<'m> AnsorTuner<'m> {
             best_schedule: None,
             trials_used: 0,
             trace: TuneTrace::new(),
+            lint_stats: LintStats::new(),
+            analyzer: Analyzer::for_hardware(measurer.hardware()),
             cfg,
             rng: StdRng::seed_from_u64(seed),
         }
@@ -104,9 +111,8 @@ impl<'m> AnsorTuner<'m> {
             return 0;
         }
         let k = budget.min(self.cfg.measure_per_round);
-        let elite_scheds: Vec<Schedule> =
-            self.elites.iter().map(|(_, s)| s.clone()).collect();
-        let cands = evolve_candidates(
+        let elite_scheds: Vec<Schedule> = self.elites.iter().map(|(_, s)| s.clone()).collect();
+        let mut cands = evolve_candidates(
             &self.graph,
             &self.sketches,
             self.target,
@@ -117,6 +123,12 @@ impl<'m> AnsorTuner<'m> {
             &self.cfg.evo,
             &mut self.rng,
         );
+        // drop illegal candidates before they reach the measurer
+        cands.retain(|s| {
+            let sk = &self.sketches[s.sketch_id];
+            let diags = self.analyzer.analyze(&self.graph, sk, self.target, s);
+            !self.lint_stats.record(&diags)
+        });
         if cands.is_empty() {
             return 0;
         }
@@ -132,7 +144,10 @@ impl<'m> AnsorTuner<'m> {
                 self.best_schedule = Some(s.clone());
             }
             self.elites.push((m.time, s.clone()));
-            updates.push((extract_features(&self.graph, sk, self.target, s), m.flops_per_sec));
+            updates.push((
+                extract_features(&self.graph, sk, self.target, s),
+                m.flops_per_sec,
+            ));
         }
         self.cost_model.update_batch(updates);
 
@@ -143,8 +158,7 @@ impl<'m> AnsorTuner<'m> {
         // simulated algorithm overhead: fixed + per-fitness-evaluation
         self.measurer.charge_search_time(
             self.cfg.round_overhead
-                + (self.cfg.evo.population * self.cfg.evo.generations) as f64
-                    * self.cfg.eval_cost,
+                + (self.cfg.evo.population * self.cfg.evo.generations) as f64 * self.cfg.eval_cost,
         );
         self.trials_used += cands.len() as u64;
         self.trace.record(
@@ -293,7 +307,11 @@ mod tests {
     fn small_cfg() -> AnsorConfig {
         AnsorConfig {
             measure_per_round: 16,
-            evo: EvoConfig { population: 64, generations: 2, ..Default::default() },
+            evo: EvoConfig {
+                population: 64,
+                generations: 2,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -309,6 +327,9 @@ mod tests {
         assert!(t.best_time <= first);
         assert!(t.best_schedule.is_some());
         assert!(t.trials_used >= 150, "used {}", t.trials_used);
+        // evolved candidates all pass the analyzer (legal by construction)
+        assert!(t.lint_stats.checked >= t.trials_used);
+        assert_eq!(t.lint_stats.rejected, 0);
         // improvement should be real: best beats the first round by some margin
         assert!(
             t.best_time < first * 0.999,
@@ -340,7 +361,10 @@ mod tests {
             AnsorNetworkTuner::new(graphs, &measurer, small_cfg(), GradientParams::default());
         nt.tune(32 * 6);
         let alloc = nt.allocations();
-        assert!(alloc.iter().all(|&a| a > 0), "warm-up must touch all tasks: {alloc:?}");
+        assert!(
+            alloc.iter().all(|&a| a > 0),
+            "warm-up must touch all tasks: {alloc:?}"
+        );
         assert_eq!(alloc.iter().sum::<u64>(), nt.total_trials_used);
         assert!(nt.network_latency().is_finite());
         assert!(!nt.rounds.is_empty());

@@ -61,9 +61,7 @@ impl BanditKind {
     /// Instantiates the policy over `arms` arms.
     pub fn build(self, arms: usize) -> AnyBandit {
         match self {
-            BanditKind::SwUcb { c, tau } => {
-                AnyBandit::SwUcb(SlidingWindowUcb::new(arms, c, tau))
-            }
+            BanditKind::SwUcb { c, tau } => AnyBandit::SwUcb(SlidingWindowUcb::new(arms, c, tau)),
             BanditKind::DUcb { c, gamma } => AnyBandit::DUcb(DiscountedUcb::new(arms, c, gamma)),
             BanditKind::Thompson { gamma } => {
                 AnyBandit::Thompson(GaussianThompson::new(arms, gamma))
@@ -161,7 +159,10 @@ mod tests {
 
     const ALL_KINDS: [BanditKind; 8] = [
         BanditKind::SwUcb { c: 0.25, tau: 64 },
-        BanditKind::DUcb { c: 0.25, gamma: 0.98 },
+        BanditKind::DUcb {
+            c: 0.25,
+            gamma: 0.98,
+        },
         BanditKind::Thompson { gamma: 0.99 },
         BanditKind::Ucb1 { c: 0.5 },
         BanditKind::Greedy,
@@ -189,7 +190,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for kind in [
             BanditKind::SwUcb { c: 0.25, tau: 64 },
-            BanditKind::DUcb { c: 0.25, gamma: 0.98 },
+            BanditKind::DUcb {
+                c: 0.25,
+                gamma: 0.98,
+            },
             BanditKind::Ucb1 { c: 0.5 },
             BanditKind::EpsilonGreedy { epsilon: 0.1 },
         ] {
@@ -209,6 +213,9 @@ mod tests {
 
     #[test]
     fn paper_default_is_swucb() {
-        assert_eq!(BanditKind::paper_default(), BanditKind::SwUcb { c: 0.25, tau: 256 });
+        assert_eq!(
+            BanditKind::paper_default(),
+            BanditKind::SwUcb { c: 0.25, tau: 256 }
+        );
     }
 }

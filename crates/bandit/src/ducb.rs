@@ -33,7 +33,12 @@ impl DiscountedUcb {
     pub fn new(arms: usize, c: f64, gamma: f64) -> Self {
         assert!(arms > 0);
         assert!((0.0..1.0).contains(&gamma), "gamma must be in (0,1)");
-        DiscountedUcb { gamma, c, counts: vec![0.0; arms], sums: vec![0.0; arms] }
+        DiscountedUcb {
+            gamma,
+            c,
+            counts: vec![0.0; arms],
+            sums: vec![0.0; arms],
+        }
     }
 
     /// Discounted mean reward of an arm.
@@ -67,7 +72,9 @@ impl Bandit for DiscountedUcb {
     fn select<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> usize {
         (0..self.counts.len())
             .max_by(|&a, &b| {
-                self.ucb(a).partial_cmp(&self.ucb(b)).unwrap_or(std::cmp::Ordering::Equal)
+                self.ucb(a)
+                    .partial_cmp(&self.ucb(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .unwrap_or(0)
     }
@@ -151,7 +158,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn run<B: Bandit>(b: &mut B, means: impl Fn(u64, usize) -> f64, steps: u64, seed: u64) -> Vec<u64> {
+    fn run<B: Bandit>(
+        b: &mut B,
+        means: impl Fn(u64, usize) -> f64,
+        steps: u64,
+        seed: u64,
+    ) -> Vec<u64> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pulls = vec![0u64; b.num_arms()];
         for t in 0..steps {
@@ -177,7 +189,11 @@ mod tests {
         let mut late = [0u64; 2];
         for t in 0..1500u64 {
             let a = b.select(&mut rng);
-            let r = if t < 500 { [0.9, 0.1][a] } else { [0.1, 0.9][a] };
+            let r = if t < 500 {
+                [0.9, 0.1][a]
+            } else {
+                [0.1, 0.9][a]
+            };
             b.update(a, r);
             if t >= 1000 {
                 late[a] += 1;

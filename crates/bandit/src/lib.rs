@@ -41,7 +41,10 @@ pub struct GreedyBandit {
 impl GreedyBandit {
     /// Greedy policy over `arms` arms.
     pub fn new(arms: usize) -> Self {
-        GreedyBandit { sums: vec![0.0; arms], counts: vec![0; arms] }
+        GreedyBandit {
+            sums: vec![0.0; arms],
+            counts: vec![0; arms],
+        }
     }
 }
 
@@ -108,7 +111,10 @@ pub struct EpsilonGreedy {
 impl EpsilonGreedy {
     /// ε-greedy policy over `arms` arms.
     pub fn new(arms: usize, epsilon: f64) -> Self {
-        EpsilonGreedy { inner: GreedyBandit::new(arms), epsilon }
+        EpsilonGreedy {
+            inner: GreedyBandit::new(arms),
+            epsilon,
+        }
     }
 }
 
@@ -142,7 +148,12 @@ pub struct Ucb1 {
 impl Ucb1 {
     /// UCB1 over `arms` arms with exploration constant `c`.
     pub fn new(arms: usize, c: f64) -> Self {
-        Ucb1 { sums: vec![0.0; arms], counts: vec![0; arms], t: 0, c }
+        Ucb1 {
+            sums: vec![0.0; arms],
+            counts: vec![0; arms],
+            t: 0,
+            c,
+        }
     }
 }
 
@@ -208,13 +219,22 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn bernoulli_env<B: Bandit>(bandit: &mut B, probs: &[f64], steps: usize, seed: u64) -> Vec<u64> {
+    fn bernoulli_env<B: Bandit>(
+        bandit: &mut B,
+        probs: &[f64],
+        steps: usize,
+        seed: u64,
+    ) -> Vec<u64> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut pulls = vec![0u64; probs.len()];
         for _ in 0..steps {
             let a = bandit.select(&mut rng);
             pulls[a] += 1;
-            let r = if rng.gen::<f64>() < probs[a] { 1.0 } else { 0.0 };
+            let r = if rng.gen::<f64>() < probs[a] {
+                1.0
+            } else {
+                0.0
+            };
             bandit.update(a, r);
         }
         pulls

@@ -31,6 +31,8 @@ pub struct SlidingWindowUcb {
     counts: Vec<u64>,
     /// Total pulls `t`.
     t: u64,
+    /// NaN/infinite rewards caught (and clamped to 0) by the V006 guard.
+    non_finite: u64,
 }
 
 impl SlidingWindowUcb {
@@ -46,6 +48,7 @@ impl SlidingWindowUcb {
             sums: vec![0.0; arms],
             counts: vec![0; arms],
             t: 0,
+            non_finite: 0,
         }
     }
 
@@ -71,6 +74,11 @@ impl SlidingWindowUcb {
     /// Total pulls so far.
     pub fn total_pulls(&self) -> u64 {
         self.t
+    }
+
+    /// NaN/infinite rewards caught by the V006 guard in [`Bandit::update`].
+    pub fn non_finite_rewards(&self) -> u64 {
+        self.non_finite
     }
 
     /// The UCB score of Eq. 1 for one arm; infinite when the arm has no
@@ -104,6 +112,14 @@ impl Bandit for SlidingWindowUcb {
 
     fn update(&mut self, arm: usize, reward: f64) {
         assert!(arm < self.arms);
+        // V006: a single NaN reward would poison the windowed sums forever
+        let reward = match harl_verify::check_finite("SW-UCB reward", reward) {
+            Some(_) => {
+                self.non_finite += 1;
+                0.0
+            }
+            None => reward,
+        };
         self.window.push_back((arm, reward));
         self.sums[arm] += reward;
         self.counts[arm] += 1;
@@ -145,7 +161,10 @@ mod tests {
             pulls[a] += 1;
             b.update(a, [0.2, 0.9, 0.4][a]);
         }
-        assert!(pulls[1] > pulls[0] && pulls[1] > pulls[2], "pulls {pulls:?}");
+        assert!(
+            pulls[1] > pulls[0] && pulls[1] > pulls[2],
+            "pulls {pulls:?}"
+        );
     }
 
     #[test]
@@ -198,6 +217,20 @@ mod tests {
             b.update(0, 0.0);
         }
         assert!(b.q(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_rewards_are_clamped_and_counted() {
+        let mut b = SlidingWindowUcb::new(2, 0.25, 8);
+        b.update(0, 0.5);
+        b.update(0, f64::NAN);
+        b.update(0, f64::INFINITY);
+        b.update(0, f64::NEG_INFINITY);
+        assert_eq!(b.non_finite_rewards(), 3);
+        // clamped to 0 → the windowed mean stays finite and correct
+        assert!(b.q(0).is_finite());
+        assert!((b.q(0) - 0.125).abs() < 1e-12);
+        assert!(b.ucb(0).is_finite());
     }
 
     #[test]

@@ -87,9 +87,25 @@ fn bench_gbt(c: &mut Criterion) {
     let xs: Vec<Vec<f32>> = data.iter().map(|(f, _)| f.clone()).collect();
     let ys: Vec<f64> = data.iter().map(|(_, y)| *y / 1e12).collect();
     c.bench_function("gbt_fit_256x64", |b| {
-        b.iter(|| Gbt::fit(&xs, &ys, GbtParams { n_rounds: 12, ..Default::default() }))
+        b.iter(|| {
+            Gbt::fit(
+                &xs,
+                &ys,
+                GbtParams {
+                    n_rounds: 12,
+                    ..Default::default()
+                },
+            )
+        })
     });
-    let model = Gbt::fit(&xs, &ys, GbtParams { n_rounds: 12, ..Default::default() });
+    let model = Gbt::fit(
+        &xs,
+        &ys,
+        GbtParams {
+            n_rounds: 12,
+            ..Default::default()
+        },
+    );
     c.bench_function("gbt_predict", |b| {
         b.iter(|| model.predict(std::hint::black_box(&xs[0])))
     });
@@ -108,8 +124,12 @@ fn bench_ppo(c: &mut Criterion) {
     );
     let s = Schedule::random(sk, Target::Cpu, &mut rng);
     let feat = extract_features(&g, sk, Target::Cpu, &s);
-    let masks =
-        vec![tile_action_mask(sk, &s, &space), vec![true; 3], vec![true; 3], vec![true; 3]];
+    let masks = vec![
+        tile_action_mask(sk, &s, &space),
+        vec![true; 3],
+        vec![true; 3],
+        vec![true; 3],
+    ];
     c.bench_function("ppo_act", |b| {
         b.iter(|| agent.act(std::hint::black_box(&feat), &masks, &mut rng))
     });
@@ -137,14 +157,31 @@ fn bench_bandit(c: &mut Criterion) {
 fn bench_evolution(c: &mut Criterion) {
     let g = harl_tensor_ir::workload::gemm(512, 512, 512);
     let sketches = generate_sketches(&g, Target::Cpu);
-    let cm = CostModel::new(GbtParams { n_rounds: 12, ..Default::default() });
+    let cm = CostModel::new(GbtParams {
+        n_rounds: 12,
+        ..Default::default()
+    });
     let seen = HashSet::new();
-    let cfg = EvoConfig { population: 128, generations: 3, ..Default::default() };
+    let cfg = EvoConfig {
+        population: 128,
+        generations: 3,
+        ..Default::default()
+    };
     c.bench_function("evolution_round_pop128", |b| {
         b.iter_batched(
             || StdRng::seed_from_u64(6),
             |mut rng| {
-                evolve_candidates(&g, &sketches, Target::Cpu, &cm, &[], &seen, 16, &cfg, &mut rng)
+                evolve_candidates(
+                    &g,
+                    &sketches,
+                    Target::Cpu,
+                    &cm,
+                    &[],
+                    &seen,
+                    16,
+                    &cfg,
+                    &mut rng,
+                )
             },
             BatchSize::SmallInput,
         )

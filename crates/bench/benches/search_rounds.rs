@@ -17,14 +17,24 @@ use harl_tensor_sim::{Hardware, MeasureConfig, Measurer};
 fn small_ansor_cfg() -> AnsorConfig {
     AnsorConfig {
         measure_per_round: 16,
-        evo: EvoConfig { population: 64, generations: 2, ..Default::default() },
-        gbt: GbtParams { n_rounds: 8, ..Default::default() },
+        evo: EvoConfig {
+            population: 64,
+            generations: 2,
+            ..Default::default()
+        },
+        gbt: GbtParams {
+            n_rounds: 8,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
 
 fn small_harl_cfg() -> HarlConfig {
-    HarlConfig { measure_per_round: 16, ..HarlConfig::fast() }
+    HarlConfig {
+        measure_per_round: 16,
+        ..HarlConfig::fast()
+    }
 }
 
 fn bench_ansor_round(c: &mut Criterion) {
@@ -67,7 +77,11 @@ fn bench_flextensor_episode(c: &mut Criterion) {
                 (m, workload::gemm(256, 256, 256))
             },
             |(m, g)| {
-                let cfg = FlextensorConfig { episode_len: 8, tracks: 4, ..Default::default() };
+                let cfg = FlextensorConfig {
+                    episode_len: 8,
+                    tracks: 4,
+                    ..Default::default()
+                };
                 let mut t = FlextensorTuner::new(g, &m, cfg);
                 t.episode(64)
             },

@@ -72,7 +72,10 @@ pub fn ablate_elite_fraction(scale: &Scale) -> AblationSweep {
         .map(|f| {
             run_variant(
                 scale,
-                HarlConfig { elite_track_fraction: f, ..base.clone() },
+                HarlConfig {
+                    elite_track_fraction: f,
+                    ..base.clone()
+                },
                 &format!("elite_fraction={f}"),
             )
         })
@@ -88,7 +91,10 @@ pub fn ablate_action_samples(scale: &Scale) -> AblationSweep {
         .map(|n| {
             run_variant(
                 scale,
-                HarlConfig { action_samples: n, ..base.clone() },
+                HarlConfig {
+                    action_samples: n,
+                    ..base.clone()
+                },
                 &format!("action_samples={n}"),
             )
         })
@@ -101,14 +107,27 @@ pub fn ablate_bandit_kind(scale: &Scale) -> AblationSweep {
     let base = scale.harl_config();
     let kinds: [(&str, BanditKind); 4] = [
         ("SW-UCB (paper)", BanditKind::paper_default()),
-        ("D-UCB", BanditKind::DUcb { c: 0.25, gamma: 0.99 }),
+        (
+            "D-UCB",
+            BanditKind::DUcb {
+                c: 0.25,
+                gamma: 0.99,
+            },
+        ),
         ("Thompson", BanditKind::Thompson { gamma: 0.99 }),
         ("Uniform (Ansor)", BanditKind::Uniform),
     ];
     let raw = kinds
         .into_iter()
         .map(|(label, kind)| {
-            run_variant(scale, HarlConfig { mab_kind: kind, ..base.clone() }, label)
+            run_variant(
+                scale,
+                HarlConfig {
+                    mab_kind: kind,
+                    ..base.clone()
+                },
+                label,
+            )
         })
         .collect();
     finish("sketch-selection bandit", raw)
@@ -117,7 +136,12 @@ pub fn ablate_bandit_kind(scale: &Scale) -> AblationSweep {
 pub fn render_sweep(s: &AblationSweep) -> String {
     let mut t = Table::new(
         format!("Ablation: {}", s.name),
-        &["variant", "best time (ms)", "normalized perf", "trials to best"],
+        &[
+            "variant",
+            "best time (ms)",
+            "normalized perf",
+            "trials to best",
+        ],
     );
     for r in &s.rows {
         t.row(vec![

@@ -59,8 +59,8 @@ fn main() {
     }
     if wanted.is_empty() || wanted.contains("all") {
         for e in [
-            "fig1a", "fig1b", "fig1c", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9",
-            "fig10", "table4", "table7", "table8", "ablation",
+            "fig1a", "fig1b", "fig1c", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10",
+            "table4", "table7", "table8", "ablation",
         ] {
             wanted.insert(e.to_string());
         }

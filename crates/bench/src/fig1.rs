@@ -90,7 +90,14 @@ pub fn fig1a(scale: &Scale) -> Fig1a {
 
     let all: u64 = total.iter().sum();
     let all_late: u64 = late.iter().sum();
-    Fig1a { rows, wasted_fraction: if all > 0 { all_late as f64 / all as f64 } else { 0.0 } }
+    Fig1a {
+        rows,
+        wasted_fraction: if all > 0 {
+            all_late as f64 / all as f64
+        } else {
+            0.0
+        },
+    }
 }
 
 pub fn render_fig1a(r: &Fig1a) -> String {
@@ -159,7 +166,14 @@ pub fn fig1b(scale: &Scale) -> Fig1b {
         let b = (((r + 0.5) / 1.0 * 20.0) as isize).clamp(0, 19) as usize;
         histogram[b] += 1;
     }
-    Fig1b { mean, median: q(0.5), p25: q(0.25), p75: q(0.75), near_zero_fraction: near_zero, histogram }
+    Fig1b {
+        mean,
+        median: q(0.5),
+        p25: q(0.25),
+        p75: q(0.75),
+        near_zero_fraction: near_zero,
+        histogram,
+    }
 }
 
 pub fn render_fig1b(r: &Fig1b) -> String {
@@ -215,7 +229,10 @@ pub fn fig1c(scale: &Scale) -> Fig1c {
     }
     let early =
         all_steps.iter().filter(|&&r| r <= 0.4).count() as f64 / all_steps.len().max(1) as f64;
-    Fig1c { histogram, early_fraction: early }
+    Fig1c {
+        histogram,
+        early_fraction: early,
+    }
 }
 
 pub fn render_fig1c(r: &Fig1c) -> String {
@@ -223,9 +240,16 @@ pub fn render_fig1c(r: &Fig1c) -> String {
     let max = r.histogram.iter().copied().max().unwrap_or(1).max(1);
     for (i, &h) in r.histogram.iter().enumerate() {
         let bar = "#".repeat((h * 40 / max) as usize);
-        s.push_str(&format!("{:.1}-{:.1} | {bar} {h}\n", i as f64 / 10.0, (i + 1) as f64 / 10.0));
+        s.push_str(&format!(
+            "{:.1}-{:.1} | {bar} {h}\n",
+            i as f64 / 10.0,
+            (i + 1) as f64 / 10.0
+        ));
     }
-    s.push_str(&format!("best found within first 40% of path: {}\n", pct(r.early_fraction)));
+    s.push_str(&format!(
+        "best found within first 40% of path: {}\n",
+        pct(r.early_fraction)
+    ));
     s
 }
 
@@ -234,7 +258,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { net_trials: Some(100), ..Scale::tiny() }
+        Scale {
+            net_trials: Some(100),
+            ..Scale::tiny()
+        }
     }
 
     #[test]

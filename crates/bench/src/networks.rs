@@ -59,8 +59,10 @@ pub fn run_net_pair(scale: &Scale, net: Network, hw: &Hardware, batch: u32) -> N
     let mut harl = HarlNetworkTuner::new(net.subgraphs(batch), &hm, scale.harl_config());
     harl.tune(trials);
 
-    let harl_seconds_to_ansor =
-        harl.trace.first_reaching(ansor.network_latency()).map(|(_, s)| s);
+    let harl_seconds_to_ansor = harl
+        .trace
+        .first_reaching(ansor.network_latency())
+        .map(|(_, s)| s);
     NetPair {
         network: net.name().to_string(),
         gpu: matches!(hw, Hardware::Gpu(_)),
@@ -92,7 +94,9 @@ pub fn network_comparison(scale: &Scale) -> NetworkComparison {
     }
     let mut pairs: Vec<Option<NetPair>> = Vec::new();
     pairs.resize_with(jobs.len(), || None);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let chunk = jobs.len().div_ceil(workers);
     std::thread::scope(|scope| {
         for (job_chunk, out_chunk) in jobs.chunks(chunk).zip(pairs.chunks_mut(chunk)) {
@@ -103,11 +107,18 @@ pub fn network_comparison(scale: &Scale) -> NetworkComparison {
             });
         }
     });
-    NetworkComparison { pairs: pairs.into_iter().flatten().collect() }
+    NetworkComparison {
+        pairs: pairs.into_iter().flatten().collect(),
+    }
 }
 
 fn pair_label(p: &NetPair) -> String {
-    format!("{}-b{}{}", p.network, p.batch, if p.gpu { " (G)" } else { "" })
+    format!(
+        "{}-b{}{}",
+        p.network,
+        p.batch,
+        if p.gpu { " (G)" } else { "" }
+    )
 }
 
 pub fn render_fig8(c: &NetworkComparison) -> String {
@@ -120,8 +131,18 @@ pub fn render_fig8(c: &NetworkComparison) -> String {
         let (a, h) = if r >= 1.0 { (1.0 / r, 1.0) } else { (1.0, r) };
         t.row(vec![pair_label(p), f3(a), f3(h), fx(r)]);
     }
-    let cpu: Vec<f64> = c.pairs.iter().filter(|p| !p.gpu).map(NetPair::perf_ratio).collect();
-    let gpu: Vec<f64> = c.pairs.iter().filter(|p| p.gpu).map(NetPair::perf_ratio).collect();
+    let cpu: Vec<f64> = c
+        .pairs
+        .iter()
+        .filter(|p| !p.gpu)
+        .map(NetPair::perf_ratio)
+        .collect();
+    let gpu: Vec<f64> = c
+        .pairs
+        .iter()
+        .filter(|p| p.gpu)
+        .map(NetPair::perf_ratio)
+        .collect();
     format!(
         "{}\nmean HARL/Ansor performance: CPU {}, GPU {}\n",
         t.render(),
@@ -137,12 +158,25 @@ pub fn render_fig9(c: &NetworkComparison) -> String {
     );
     for p in &c.pairs {
         let s = p.search_time_ratio();
-        t.row(vec![pair_label(p), f3(1.0), f3(s), format!("-{:.0}%", (1.0 - s) * 100.0)]);
+        t.row(vec![
+            pair_label(p),
+            f3(1.0),
+            f3(s),
+            format!("-{:.0}%", (1.0 - s) * 100.0),
+        ]);
     }
-    let cpu: Vec<f64> =
-        c.pairs.iter().filter(|p| !p.gpu).map(NetPair::search_time_ratio).collect();
-    let gpu: Vec<f64> =
-        c.pairs.iter().filter(|p| p.gpu).map(NetPair::search_time_ratio).collect();
+    let cpu: Vec<f64> = c
+        .pairs
+        .iter()
+        .filter(|p| !p.gpu)
+        .map(NetPair::search_time_ratio)
+        .collect();
+    let gpu: Vec<f64> = c
+        .pairs
+        .iter()
+        .filter(|p| p.gpu)
+        .map(NetPair::search_time_ratio)
+        .collect();
     format!(
         "{}\nmean HARL search time: CPU {} of Ansor, GPU {} of Ansor\n",
         t.render(),
@@ -172,11 +206,7 @@ pub struct BertRow {
     pub speedup: f64,
 }
 
-fn allocations_split(
-    rounds: &[(usize, u64)],
-    n_tasks: usize,
-    cut_trials: u64,
-) -> Vec<(u64, u64)> {
+fn allocations_split(rounds: &[(usize, u64)], n_tasks: usize, cut_trials: u64) -> Vec<(u64, u64)> {
     let mut upto = vec![0u64; n_tasks];
     let mut total = vec![0u64; n_tasks];
     let mut prev = 0u64;
@@ -212,7 +242,10 @@ pub fn bert_study(scale: &Scale) -> BertStudy {
     harl.tune(trials);
 
     let nm = Measurer::new(hw.clone(), MeasureConfig::default());
-    let no_mab_cfg = HarlConfig { subgraph_mab: false, ..scale.harl_config() };
+    let no_mab_cfg = HarlConfig {
+        subgraph_mab: false,
+        ..scale.harl_config()
+    };
     let mut no_mab = HarlNetworkTuner::new(net.subgraphs(batch), &nm, no_mab_cfg);
     no_mab.tune(trials);
 
@@ -231,7 +264,9 @@ pub fn bert_study(scale: &Scale) -> BertStudy {
         })
         .collect();
     rows.sort_by(|a, b| {
-        b.contribution.partial_cmp(&a.contribution).unwrap_or(std::cmp::Ordering::Equal)
+        b.contribution
+            .partial_cmp(&a.contribution)
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
 
     let estimated_speedup = ansor_latency / harl.network_latency();
@@ -249,18 +284,30 @@ pub fn bert_study(scale: &Scale) -> BertStudy {
             .map(|(_, after, _)| *after)
             .unwrap_or(u64::MAX)
     };
-    let harl_rounds: Vec<(usize, u64, f64)> =
-        harl.rounds.iter().map(|r| (r.task, r.trials_after, r.latency)).collect();
-    let no_mab_rounds: Vec<(usize, u64, f64)> =
-        no_mab.rounds.iter().map(|r| (r.task, r.trials_after, r.latency)).collect();
+    let harl_rounds: Vec<(usize, u64, f64)> = harl
+        .rounds
+        .iter()
+        .map(|r| (r.task, r.trials_after, r.latency))
+        .collect();
+    let no_mab_rounds: Vec<(usize, u64, f64)> = no_mab
+        .rounds
+        .iter()
+        .map(|r| (r.task, r.trials_after, r.latency))
+        .collect();
     let n = harl.infos.len();
     let alloc_mab = allocations_split(
-        &harl_rounds.iter().map(|&(t, a, _)| (t, a)).collect::<Vec<_>>(),
+        &harl_rounds
+            .iter()
+            .map(|&(t, a, _)| (t, a))
+            .collect::<Vec<_>>(),
         n,
         cut(&harl_rounds),
     );
     let alloc_no_mab = allocations_split(
-        &no_mab_rounds.iter().map(|&(t, a, _)| (t, a)).collect::<Vec<_>>(),
+        &no_mab_rounds
+            .iter()
+            .map(|&(t, a, _)| (t, a))
+            .collect::<Vec<_>>(),
         n,
         cut(&no_mab_rounds),
     );
@@ -287,8 +334,16 @@ pub fn render_table4(s: &BertStudy) -> String {
             fx(r.speedup),
         ]);
     }
-    t.row(vec!["Estimated HARL (sum)".into(), "100%".into(), fx(s.estimated_speedup)]);
-    t.row(vec!["Measured HARL".into(), "-".into(), fx(s.measured_speedup)]);
+    t.row(vec![
+        "Estimated HARL (sum)".into(),
+        "100%".into(),
+        fx(s.estimated_speedup),
+    ]);
+    t.row(vec![
+        "Measured HARL".into(),
+        "-".into(),
+        fx(s.measured_speedup),
+    ]);
     t.row(vec![
         "Measured HARL (w/o subgraph MAB)".into(),
         "-".into(),
@@ -300,7 +355,13 @@ pub fn render_table4(s: &BertStudy) -> String {
 pub fn render_fig10(s: &BertStudy, names: &[String]) -> String {
     let mut t = Table::new(
         "Fig 10: BERT subgraph trial allocations ('=Ansor' | '>Ansor')",
-        &["subgraph", "HARL =Ansor", "HARL >Ansor", "no-MAB =Ansor", "no-MAB >Ansor"],
+        &[
+            "subgraph",
+            "HARL =Ansor",
+            "HARL >Ansor",
+            "no-MAB =Ansor",
+            "no-MAB >Ansor",
+        ],
     );
     for (i, name) in names.iter().enumerate() {
         let (mu, mt) = s.alloc_mab[i];
@@ -336,7 +397,10 @@ mod tests {
         let s = bert_study(&tiny());
         assert_eq!(s.rows.len(), 10);
         let total: f64 = s.rows.iter().map(|r| r.contribution).sum();
-        assert!((total - 1.0).abs() < 1e-6, "contributions sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "contributions sum to 1, got {total}"
+        );
         assert!(s.estimated_speedup > 0.0);
         // communication overhead pulls the measured ratio toward 1
         let d_est = (s.estimated_speedup - 1.0).abs();

@@ -107,14 +107,21 @@ pub fn operator_comparison(scale: &Scale, hw: &Hardware) -> OperatorComparison {
                 .take(scale.shapes_per_class)
                 .enumerate()
             {
-                jobs.push(Job { class_idx, graph, batch, shape_idx });
+                jobs.push(Job {
+                    class_idx,
+                    graph,
+                    batch,
+                    shape_idx,
+                });
             }
         }
     }
 
     let mut results: Vec<Option<(usize, PairResult)>> = Vec::new();
     results.resize_with(jobs.len(), || None);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let chunk = jobs.len().div_ceil(workers);
     std::thread::scope(|scope| {
         for (job_chunk, out_chunk) in jobs.chunks(chunk).zip(results.chunks_mut(chunk)) {
@@ -145,9 +152,18 @@ pub fn operator_comparison(scale: &Scale, hw: &Hardware) -> OperatorComparison {
         classes[r.0].runs.push(r.1);
     }
     for cl in &mut classes {
-        cl.perf_ratio = geomean(&cl.runs.iter().map(PairResult::perf_ratio).collect::<Vec<_>>());
-        cl.search_time =
-            geomean(&cl.runs.iter().map(PairResult::search_time_ratio).collect::<Vec<_>>());
+        cl.perf_ratio = geomean(
+            &cl.runs
+                .iter()
+                .map(PairResult::perf_ratio)
+                .collect::<Vec<_>>(),
+        );
+        cl.search_time = geomean(
+            &cl.runs
+                .iter()
+                .map(PairResult::search_time_ratio)
+                .collect::<Vec<_>>(),
+        );
     }
     OperatorComparison { classes }
 }
@@ -167,7 +183,11 @@ pub fn render_fig5(c: &OperatorComparison) -> String {
         t.row(vec![cl.class.clone(), f3(a), f3(h), fx(cl.perf_ratio)]);
     }
     let overall = geomean(&c.classes.iter().map(|c| c.perf_ratio).collect::<Vec<_>>());
-    format!("{}\noverall HARL/Ansor performance: {}\n", t.render(), fx(overall))
+    format!(
+        "{}\noverall HARL/Ansor performance: {}\n",
+        t.render(),
+        fx(overall)
+    )
 }
 
 /// Fig. 6 view: normalized search time per class.
@@ -177,7 +197,11 @@ pub fn render_fig6(c: &OperatorComparison) -> String {
         &["operator", "Ansor", "HARL", "speedup"],
     );
     for cl in &c.classes {
-        let sp = if cl.search_time > 0.0 { 1.0 / cl.search_time } else { f64::INFINITY };
+        let sp = if cl.search_time > 0.0 {
+            1.0 / cl.search_time
+        } else {
+            f64::INFINITY
+        };
         t.row(vec![cl.class.clone(), f3(1.0), f3(cl.search_time), fx(sp)]);
     }
     let overall = geomean(&c.classes.iter().map(|c| c.search_time).collect::<Vec<_>>());
@@ -199,7 +223,11 @@ pub struct Fig7a {
 }
 
 fn normalize_curve(trace: &TuneTrace, best: f64) -> Vec<(u64, f64)> {
-    trace.points.iter().map(|p| (p.trials, best / p.best_time)).collect()
+    trace
+        .points
+        .iter()
+        .map(|p| (p.trials, best / p.best_time))
+        .collect()
 }
 
 pub fn fig7a(scale: &Scale, hw: &Hardware) -> (Fig7a, Fig7b) {
@@ -213,7 +241,10 @@ pub fn fig7a(scale: &Scale, hw: &Hardware) -> (Fig7a, Fig7b) {
     ansor.tune(scale.op_trials);
 
     let fm = Measurer::new(hw.clone(), MeasureConfig::default());
-    let fixed_cfg = HarlConfig { adaptive_stopping: false, ..scale.harl_config() };
+    let fixed_cfg = HarlConfig {
+        adaptive_stopping: false,
+        ..scale.harl_config()
+    };
     let mut fixed = HarlOperatorTuner::new(g.clone(), &fm, fixed_cfg);
     fixed.tune(scale.op_trials);
 
@@ -249,7 +280,10 @@ pub fn render_fig7a(r: &Fig7a) -> String {
         &["trials", "Ansor", "Hierarchical-RL", "HARL"],
     );
     let at = |c: &[(u64, f64)], trials: u64| -> f64 {
-        c.iter().take_while(|(t, _)| *t <= trials).map(|(_, p)| *p).fold(0.0, f64::max)
+        c.iter()
+            .take_while(|(t, _)| *t <= trials)
+            .map(|(_, p)| *p)
+            .fold(0.0, f64::max)
     };
     let max_trials = r
         .ansor
@@ -313,7 +347,12 @@ pub struct Sensitivity {
     pub rows: Vec<SensitivityRow>,
 }
 
-fn sensitivity_run(scale: &Scale, hw: &Hardware, cfgs: Vec<(f64, HarlConfig)>, name: &str) -> Sensitivity {
+fn sensitivity_run(
+    scale: &Scale,
+    hw: &Hardware,
+    cfgs: Vec<(f64, HarlConfig)>,
+    name: &str,
+) -> Sensitivity {
     let g = operator_suite(OperatorClass::GemmL, 1)
         .into_iter()
         .next()
@@ -345,11 +384,22 @@ fn sensitivity_run(scale: &Scale, hw: &Hardware, cfgs: Vec<(f64, HarlConfig)>, n
 /// smaller λ base so episodes stay proportionate to the track count).
 pub fn table7(scale: &Scale, hw: &Hardware) -> Sensitivity {
     let base = scale.harl_config();
-    let lambdas: Vec<usize> =
-        if scale.paper { vec![10, 20, 40, 80] } else { vec![3, 5, 10, 20] };
+    let lambdas: Vec<usize> = if scale.paper {
+        vec![10, 20, 40, 80]
+    } else {
+        vec![3, 5, 10, 20]
+    };
     let cfgs = lambdas
         .into_iter()
-        .map(|l| (l as f64, HarlConfig { lambda: l, ..base.clone() }))
+        .map(|l| {
+            (
+                l as f64,
+                HarlConfig {
+                    lambda: l,
+                    ..base.clone()
+                },
+            )
+        })
         .collect();
     sensitivity_run(scale, hw, cfgs, "lambda")
 }
@@ -359,13 +409,28 @@ pub fn table8(scale: &Scale, hw: &Hardware) -> Sensitivity {
     let base = scale.harl_config();
     let cfgs = [0.75, 0.5, 0.25]
         .into_iter()
-        .map(|r| (r, HarlConfig { rho: r, ..base.clone() }))
+        .map(|r| {
+            (
+                r,
+                HarlConfig {
+                    rho: r,
+                    ..base.clone()
+                },
+            )
+        })
         .collect();
     sensitivity_run(scale, hw, cfgs, "rho")
 }
 
 pub fn render_sensitivity(s: &Sensitivity, title: &str) -> String {
-    let mut t = Table::new(title, &[&s.parameter, "Normalized Performance", "Normalized Time/Iteration"]);
+    let mut t = Table::new(
+        title,
+        &[
+            &s.parameter,
+            "Normalized Performance",
+            "Normalized Time/Iteration",
+        ],
+    );
     for r in &s.rows {
         t.row(vec![
             format!("{}", r.value),
@@ -413,8 +478,11 @@ mod tests {
     fn sensitivity_normalizes_to_one() {
         let s = table8(&tiny(), &Hardware::cpu());
         assert_eq!(s.rows.len(), 3);
-        let maxp =
-            s.rows.iter().map(|r| r.normalized_performance).fold(0.0f64, f64::max);
+        let maxp = s
+            .rows
+            .iter()
+            .map(|r| r.normalized_performance)
+            .fold(0.0f64, f64::max);
         assert!((maxp - 1.0).abs() < 1e-9);
         let maxt = s
             .rows

@@ -27,7 +27,10 @@ impl Table {
 
     /// Renders the table with column widths fitted to content.
     pub fn render(&self) -> String {
-        let ncol = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let ncol = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; ncol];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -75,8 +78,12 @@ pub fn pct(v: f64) -> String {
 
 /// Geometric mean of positive values (ignores non-finite entries).
 pub fn geomean(vals: &[f64]) -> f64 {
-    let logs: Vec<f64> =
-        vals.iter().copied().filter(|v| v.is_finite() && *v > 0.0).map(f64::ln).collect();
+    let logs: Vec<f64> = vals
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .map(f64::ln)
+        .collect();
     if logs.is_empty() {
         return f64::NAN;
     }
@@ -84,7 +91,11 @@ pub fn geomean(vals: &[f64]) -> f64 {
 }
 
 /// Writes a serializable result to `results/<name>.json` under `out_dir`.
-pub fn save_json<T: serde::Serialize>(out_dir: &Path, name: &str, value: &T) -> std::io::Result<()> {
+pub fn save_json<T: serde::Serialize>(
+    out_dir: &Path,
+    name: &str,
+    value: &T,
+) -> std::io::Result<()> {
     fs::create_dir_all(out_dir)?;
     let path = out_dir.join(format!("{name}.json"));
     fs::write(path, serde_json::to_string_pretty(value)?)
@@ -103,7 +114,10 @@ mod tests {
         assert!(s.contains("== demo =="));
         assert!(s.contains("a-much-longer-name"));
         let widths: Vec<usize> = s.lines().skip(1).map(str::len).collect();
-        assert!(widths.windows(2).all(|w| w[0] == w[1]), "uniform row widths: {s}");
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "uniform row widths: {s}"
+        );
     }
 
     #[test]

@@ -86,12 +86,22 @@ impl Scale {
     /// Ansor configuration at this scale.
     pub fn ansor_config(&self) -> AnsorConfig {
         if self.paper {
-            AnsorConfig { seed: self.seed, ..Default::default() }
+            AnsorConfig {
+                seed: self.seed,
+                ..Default::default()
+            }
         } else {
             AnsorConfig {
                 measure_per_round: self.measure_per_round,
-                evo: EvoConfig { population: 128, generations: 3, ..Default::default() },
-                gbt: GbtParams { n_rounds: 12, ..Default::default() },
+                evo: EvoConfig {
+                    population: 128,
+                    generations: 3,
+                    ..Default::default()
+                },
+                gbt: GbtParams {
+                    n_rounds: 12,
+                    ..Default::default()
+                },
                 seed: self.seed,
                 ..Default::default()
             }
@@ -101,7 +111,10 @@ impl Scale {
     /// HARL configuration at this scale.
     pub fn harl_config(&self) -> HarlConfig {
         if self.paper {
-            HarlConfig { seed: self.seed, ..HarlConfig::paper() }
+            HarlConfig {
+                seed: self.seed,
+                ..HarlConfig::paper()
+            }
         } else if self.measure_per_round <= 8 {
             HarlConfig {
                 measure_per_round: self.measure_per_round,

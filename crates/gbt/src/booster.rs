@@ -21,7 +21,12 @@ pub struct GbtParams {
 
 impl Default for GbtParams {
     fn default() -> Self {
-        GbtParams { n_rounds: 30, eta: 0.3, tree: TreeParams::default(), base_score: 0.0 }
+        GbtParams {
+            n_rounds: 30,
+            eta: 0.3,
+            tree: TreeParams::default(),
+            base_score: 0.0,
+        }
     }
 }
 
@@ -55,7 +60,11 @@ impl Gbt {
     /// Predicts the regression target for one sample.
     pub fn predict(&self, x: &[f32]) -> f64 {
         self.params.base_score
-            + self.trees.iter().map(|t| self.params.eta * t.predict(x)).sum::<f64>()
+            + self
+                .trees
+                .iter()
+                .map(|t| self.params.eta * t.predict(x))
+                .sum::<f64>()
     }
 
     /// Predicts a batch of samples.
@@ -107,7 +116,11 @@ pub struct Dataset {
 impl Dataset {
     /// A dataset that keeps at most `cap` most-recent samples (0 = unbounded).
     pub fn with_capacity(cap: usize) -> Self {
-        Dataset { features: Vec::new(), targets: Vec::new(), cap }
+        Dataset {
+            features: Vec::new(),
+            targets: Vec::new(),
+            cap,
+        }
     }
 
     /// Appends a sample, evicting the oldest when over capacity.
@@ -150,13 +163,12 @@ mod tests {
 
     fn synthetic(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let xs: Vec<Vec<f32>> =
-            (0..n).map(|_| (0..4).map(|_| rng.gen_range(-2.0f32..2.0)).collect()).collect();
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen_range(-2.0f32..2.0)).collect())
+            .collect();
         let ys: Vec<f64> = xs
             .iter()
-            .map(|x| {
-                (x[0] as f64) * 2.0 + (x[1] as f64).powi(2) - (x[2] as f64) * (x[3] as f64)
-            })
+            .map(|x| (x[0] as f64) * 2.0 + (x[1] as f64).powi(2) - (x[2] as f64) * (x[3] as f64))
             .collect();
         (xs, ys)
     }
@@ -175,14 +187,35 @@ mod tests {
     #[test]
     fn more_rounds_reduce_train_error() {
         let (xs, ys) = synthetic(300, 3);
-        let few = Gbt::fit(&xs, &ys, GbtParams { n_rounds: 3, ..Default::default() });
-        let many = Gbt::fit(&xs, &ys, GbtParams { n_rounds: 40, ..Default::default() });
+        let few = Gbt::fit(
+            &xs,
+            &ys,
+            GbtParams {
+                n_rounds: 3,
+                ..Default::default()
+            },
+        );
+        let many = Gbt::fit(
+            &xs,
+            &ys,
+            GbtParams {
+                n_rounds: 40,
+                ..Default::default()
+            },
+        );
         assert!(many.rmse(&xs, &ys) < few.rmse(&xs, &ys));
     }
 
     #[test]
     fn empty_training_is_base_score() {
-        let model = Gbt::fit(&[], &[], GbtParams { base_score: 0.25, ..Default::default() });
+        let model = Gbt::fit(
+            &[],
+            &[],
+            GbtParams {
+                base_score: 0.25,
+                ..Default::default()
+            },
+        );
         assert_eq!(model.predict(&[1.0, 2.0]), 0.25);
         assert_eq!(model.num_trees(), 0);
     }

@@ -80,7 +80,11 @@ impl CostModel {
         }
         let scale = if self.scale > 0.0 { self.scale } else { 1.0 };
         let targets: Vec<f64> = self.data.targets().iter().map(|&y| y / scale).collect();
-        self.model = Some(Gbt::fit(self.data.features(), &targets, self.params.clone()));
+        self.model = Some(Gbt::fit(
+            self.data.features(),
+            &targets,
+            self.params.clone(),
+        ));
         self.since_train = 0;
     }
 
@@ -143,8 +147,9 @@ mod tests {
     fn learns_ordering_from_measurements() {
         let mut cm = CostModel::new(GbtParams::default());
         // throughput rises with the feature
-        let batch: Vec<(Vec<f32>, f64)> =
-            (0..200).map(|i| (feat(i as f32 / 200.0), 1e9 * (1.0 + i as f64 / 50.0))).collect();
+        let batch: Vec<(Vec<f32>, f64)> = (0..200)
+            .map(|i| (feat(i as f32 / 200.0), 1e9 * (1.0 + i as f64 / 50.0)))
+            .collect();
         cm.update_batch(batch);
         assert!(cm.is_trained());
         assert!(cm.score(&feat(0.95)) > cm.score(&feat(0.05)));
@@ -154,7 +159,10 @@ mod tests {
 
     #[test]
     fn retrains_periodically() {
-        let mut cm = CostModel::new(GbtParams { n_rounds: 5, ..Default::default() });
+        let mut cm = CostModel::new(GbtParams {
+            n_rounds: 5,
+            ..Default::default()
+        });
         let mut retrains = 0;
         for i in 0..100 {
             if cm.update(feat(i as f32 / 100.0), 1e9 + i as f64) {

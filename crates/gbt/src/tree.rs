@@ -22,7 +22,12 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 6, min_child_weight: 2.0, lambda: 1.0, gamma: 1e-6 }
+        TreeParams {
+            max_depth: 6,
+            min_child_weight: 2.0,
+            lambda: 1.0,
+            gamma: 1e-6,
+        }
     }
 }
 
@@ -54,7 +59,10 @@ impl RegressionTree {
     pub fn fit(features: &[Vec<f32>], grad: &[f64], params: &TreeParams) -> Self {
         assert_eq!(features.len(), grad.len());
         let n_features = features.first().map(|f| f.len()).unwrap_or(0);
-        let mut tree = RegressionTree { nodes: Vec::new(), n_features };
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features,
+        };
         let idx: Vec<usize> = (0..features.len()).collect();
         tree.build(features, grad, idx, params, 0);
         tree
@@ -86,9 +94,12 @@ impl RegressionTree {
         let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, gain)
 
         let mut order = idx.clone();
+        #[allow(clippy::needless_range_loop)]
         for f in 0..self.n_features {
             order.sort_unstable_by(|&a, &b| {
-                features[a][f].partial_cmp(&features[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+                features[a][f]
+                    .partial_cmp(&features[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut gl = 0.0f64;
             let mut hl = 0.0f64;
@@ -120,8 +131,9 @@ impl RegressionTree {
             None => return make_leaf(self),
         };
 
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            idx.into_iter().partition(|&i| features[i][feature] < threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| features[i][feature] < threshold);
         if left_idx.is_empty() || right_idx.is_empty() {
             // numeric degeneracy: fall back to leaf
             let weight = -g_sum / (h_sum + params.lambda);
@@ -134,7 +146,12 @@ impl RegressionTree {
         let me = self.nodes.len() - 1;
         let left = self.build(features, grad, left_idx, params, depth + 1);
         let right = self.build(features, grad, right_idx, params, depth + 1);
-        self.nodes[me] = Node::Split { feature, threshold, left, right };
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         me
     }
 
@@ -151,7 +168,12 @@ impl RegressionTree {
         loop {
             match &self.nodes[at] {
                 Node::Leaf { weight } => return *weight,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     at = if x.get(*feature).copied().unwrap_or(0.0) < *threshold {
                         *left
                     } else {
@@ -193,8 +215,10 @@ mod tests {
         let xs = grid(100);
         // target: 1.0 when x0 >= 50 else -1.0; gradients for first round
         // from pred=0: g = pred - y = -y
-        let grad: Vec<f64> =
-            xs.iter().map(|x| if x[0] >= 50.0 { -1.0 } else { 1.0 }).collect();
+        let grad: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] >= 50.0 { -1.0 } else { 1.0 })
+            .collect();
         let t = RegressionTree::fit(&xs, &grad, &TreeParams::default());
         assert!(t.predict(&[10.0, 0.0]) < -0.5);
         assert!(t.predict(&[90.0, 0.0]) > 0.5);
@@ -214,7 +238,10 @@ mod tests {
     fn respects_max_depth() {
         let xs = grid(256);
         let grad: Vec<f64> = (0..256).map(|i| (i as f64).sin()).collect();
-        let p = TreeParams { max_depth: 2, ..Default::default() };
+        let p = TreeParams {
+            max_depth: 2,
+            ..Default::default()
+        };
         let t = RegressionTree::fit(&xs, &grad, &p);
         // depth-2 binary tree has at most 7 nodes
         assert!(t.num_nodes() <= 7);
@@ -228,10 +255,12 @@ mod tests {
 
     #[test]
     fn importance_counts_split_features() {
-        let xs: Vec<Vec<f32>> =
-            (0..100).map(|i| vec![i as f32, 0.0]).collect();
+        let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32, 0.0]).collect();
         // target depends only on feature 0
-        let grad: Vec<f64> = xs.iter().map(|x| if x[0] >= 50.0 { -1.0 } else { 1.0 }).collect();
+        let grad: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] >= 50.0 { -1.0 } else { 1.0 })
+            .collect();
         let t = RegressionTree::fit(&xs, &grad, &TreeParams::default());
         let mut counts = vec![0u64; 2];
         t.accumulate_importance(&mut counts);
@@ -243,7 +272,10 @@ mod tests {
     fn min_child_weight_prevents_tiny_leaves() {
         let xs = grid(10);
         let grad: Vec<f64> = (0..10).map(|i| if i == 0 { -100.0 } else { 0.0 }).collect();
-        let p = TreeParams { min_child_weight: 5.0, ..Default::default() };
+        let p = TreeParams {
+            min_child_weight: 5.0,
+            ..Default::default()
+        };
         let t = RegressionTree::fit(&xs, &grad, &p);
         // cannot isolate the single outlier into a leaf of weight < 5
         for x in &xs {

@@ -137,10 +137,22 @@ mod tests {
     #[test]
     fn histogram_bins_positions() {
         let steps = vec![
-            CriticalStep { position: 0, length: 10 },
-            CriticalStep { position: 9, length: 10 },
-            CriticalStep { position: 10, length: 10 },
-            CriticalStep { position: 5, length: 10 },
+            CriticalStep {
+                position: 0,
+                length: 10,
+            },
+            CriticalStep {
+                position: 9,
+                length: 10,
+            },
+            CriticalStep {
+                position: 10,
+                length: 10,
+            },
+            CriticalStep {
+                position: 5,
+                length: 10,
+            },
         ];
         let h = critical_step_histogram(&steps, 10);
         assert_eq!(h.iter().sum::<u64>(), 4);

@@ -123,8 +123,15 @@ impl HarlConfig {
             fixed_length: 16,
             measure_per_round: 16,
             elite_track_fraction: 0.5,
-            gbt: GbtParams { n_rounds: 12, ..Default::default() },
-            ppo: PpoConfig { lr_actor: 1e-3, lr_critic: 3e-3, ..Default::default() },
+            gbt: GbtParams {
+                n_rounds: 12,
+                ..Default::default()
+            },
+            ppo: PpoConfig {
+                lr_actor: 1e-3,
+                lr_critic: 3e-3,
+                ..Default::default()
+            },
             ..Self::paper()
         }
     }
@@ -141,8 +148,14 @@ impl HarlConfig {
             measure_per_round: 8,
             action_samples: 2,
             train_epochs: 2,
-            gbt: GbtParams { n_rounds: 8, ..Default::default() },
-            ppo: PpoConfig { hidden: 32, ..Default::default() },
+            gbt: GbtParams {
+                n_rounds: 8,
+                ..Default::default()
+            },
+            ppo: PpoConfig {
+                hidden: 32,
+                ..Default::default()
+            },
             ..Self::paper()
         }
     }
@@ -200,6 +213,9 @@ mod tests {
         // run visits *fewer* while keeping top-K quality — but with both
         // surviving windows counted the orders match.
         assert!(adaptive <= fixed);
-        assert!(adaptive * 2 > fixed, "counts should be comparable: {adaptive} vs {fixed}");
+        assert!(
+            adaptive * 2 > fixed,
+            "counts should be comparable: {adaptive} vs {fixed}"
+        );
     }
 }

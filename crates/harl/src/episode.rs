@@ -13,9 +13,10 @@ use rand::rngs::StdRng;
 use harl_gbt::CostModel;
 use harl_nnet::PpoAgent;
 use harl_tensor_ir::{
-    apply_action, compute_at_mask, extract_features, parallel_mask, tile_action_mask,
-    unroll_mask, Action, ActionSpace, Schedule, Sketch, StepDir, Subgraph, Target,
+    apply_action, compute_at_mask, extract_features, parallel_mask, tile_action_mask, unroll_mask,
+    Action, ActionSpace, Schedule, Sketch, StepDir, Subgraph, Target,
 };
+use harl_verify::{check_finite, Analyzer, LintCode, LintStats};
 
 use crate::adaptive::{select_survivors, CriticalStep, TrackWindow};
 use crate::config::HarlConfig;
@@ -31,7 +32,14 @@ pub struct EpisodeResult {
     pub critical_steps: Vec<CriticalStep>,
     /// Steps executed before the episode ended.
     pub steps: usize,
+    /// Lint findings over every candidate the episode considered;
+    /// candidates with error findings were dropped before scoring.
+    pub lint_stats: LintStats,
 }
+
+/// One actor proposal kept as the step transition:
+/// `(sub-actions, log-prob, schedule, features, predicted score)`.
+type Proposal = (Vec<usize>, f32, Schedule, Vec<f32>, f64);
 
 struct Track {
     id: usize,
@@ -61,22 +69,30 @@ pub fn run_episode(
     cost: &CostModel,
     cfg: &HarlConfig,
     seeds: &[Schedule],
+    analyzer: &Analyzer,
     rng: &mut StdRng,
 ) -> EpisodeResult {
     let space = ActionSpace::of(sketch);
     let mut visited: Vec<(f64, Schedule, usize)> = Vec::new();
     let mut critical: Vec<CriticalStep> = Vec::new();
+    let mut lint_stats = LintStats::new();
 
     // --- initial schedule tracks (Algorithm 1, line 5) --------------------
-    let n_seeded = ((cfg.tracks_per_round as f64 * cfg.elite_track_fraction) as usize)
-        .min(seeds.len());
+    let n_seeded =
+        ((cfg.tracks_per_round as f64 * cfg.elite_track_fraction) as usize).min(seeds.len());
     let mut tracks: Vec<Track> = (0..cfg.tracks_per_round)
         .map(|i| {
-            let s = if i < n_seeded {
+            let mut s = if i < n_seeded {
                 seeds[i].clone()
             } else {
                 Schedule::random(sketch, target, rng)
             };
+            // reject illegal starting points before they can seed a track
+            let mut guard = 0;
+            while lint_stats.record(&analyzer.analyze(graph, sketch, target, &s)) && guard < 8 {
+                s = Schedule::random(sketch, target, rng);
+                guard += 1;
+            }
             let f = extract_features(graph, sketch, target, &s);
             let score = cost.score(&f);
             visited.push((score, s.clone(), i));
@@ -114,7 +130,7 @@ pub fn run_episode(
             ];
             // the actor proposes several candidate modifications; the cost
             // model prunes all but the best-scored one (§3.2)
-            let mut best: Option<(Vec<usize>, f32, Schedule, Vec<f32>, f64)> = None;
+            let mut best: Option<Proposal> = None;
             for _ in 0..cfg.action_samples.max(1) {
                 let (acts, logp) = agent.act(&t.features, &masks, rng);
                 let action = Action {
@@ -124,6 +140,10 @@ pub fn run_episode(
                     unroll: StepDir::from_index(acts[3]),
                 };
                 let cand = apply_action(sketch, target, &t.schedule, &action);
+                // illegal candidates are dropped before cost-model scoring
+                if lint_stats.record(&analyzer.analyze(graph, sketch, target, &cand)) {
+                    continue;
+                }
                 let cand_features = extract_features(graph, sketch, target, &cand);
                 let cand_score = cost.score(&cand_features);
                 visited.push((cand_score, cand.clone(), t.id));
@@ -131,10 +151,17 @@ pub fn run_episode(
                     best = Some((acts, logp, cand, cand_features, cand_score));
                 }
             }
-            let (acts, logp, next, next_features, next_score) =
-                best.expect("action_samples >= 1");
+            // every sampled action may have been rejected by the analyzer;
+            // the track then stays put for this step
+            let Some((acts, logp, next, next_features, next_score)) = best else {
+                continue;
+            };
             // reward: relative predicted improvement (line 9)
-            let reward = ((next_score - t.score) / t.score.max(1e-9)) as f32;
+            let mut reward = ((next_score - t.score) / t.score.max(1e-9)) as f32;
+            if check_finite("episode reward", reward as f64).is_some() {
+                lint_stats.record_finding(LintCode::NonFiniteValue);
+                reward = 0.0;
+            }
             // record (S, M, S', R, Y) (lines 10–12): advantage computed by
             // the critic inside `record`
             let adv = agent.record(
@@ -145,7 +172,12 @@ pub fn run_episode(
                 &next_features,
                 masks,
             );
-            t.window.push(adv as f64);
+            let mut adv = adv as f64;
+            if check_finite("PPO advantage", adv).is_some() {
+                lint_stats.record_finding(LintCode::NonFiniteValue);
+                adv = 0.0;
+            }
+            t.window.push(adv);
             if next_score > t.best_score {
                 t.best_score = next_score;
                 t.best_pos = step;
@@ -156,14 +188,14 @@ pub fn run_episode(
         }
 
         // Train actor + critic every T_rl steps (lines 14–17).
-        if step % cfg.train_interval == 0 {
+        if step.is_multiple_of(cfg.train_interval) {
             for _ in 0..cfg.train_epochs.max(1) {
                 agent.train_step(rng);
             }
         }
 
         // Adaptive stopping every λ steps (line 11 / §5).
-        if cfg.adaptive_stopping && step % cfg.lambda == 0 {
+        if cfg.adaptive_stopping && step.is_multiple_of(cfg.lambda) {
             let advs: Vec<f64> = tracks.iter().map(|t| t.window.mean()).collect();
             let kept = select_survivors(&advs, cfg.rho);
             let kept_set: Vec<bool> = {
@@ -180,7 +212,10 @@ pub fn run_episode(
                     survivors.push(t);
                 } else {
                     if !t.seeded {
-                        critical.push(CriticalStep { position: t.best_pos, length: step });
+                        critical.push(CriticalStep {
+                            position: t.best_pos,
+                            length: step,
+                        });
                     }
                 }
             }
@@ -192,10 +227,18 @@ pub fn run_episode(
     }
 
     for t in tracks.iter().filter(|t| !t.seeded) {
-        critical.push(CriticalStep { position: t.best_pos, length: step });
+        critical.push(CriticalStep {
+            position: t.best_pos,
+            length: step,
+        });
     }
 
-    EpisodeResult { visited, critical_steps: critical, steps: step }
+    EpisodeResult {
+        visited,
+        critical_steps: critical,
+        steps: step,
+        lint_stats,
+    }
 }
 
 #[cfg(test)]
@@ -214,7 +257,10 @@ mod tests {
         let agent = PpoAgent::new(
             harl_tensor_ir::FEATURE_DIM,
             &[space.tile_actions(), 3, 3, 3],
-            PpoConfig { hidden: 32, ..Default::default() },
+            PpoConfig {
+                hidden: 32,
+                ..Default::default()
+            },
             &mut rng,
         );
         (g, sk, agent, rng)
@@ -224,40 +270,87 @@ mod tests {
     fn adaptive_episode_ends_below_min_tracks() {
         let (g, sk, mut agent, mut rng) = setup();
         let cost = CostModel::new(GbtParams::default());
-        let cfg = HarlConfig { lambda: 3, tracks_per_round: 8, min_tracks: 4, ..HarlConfig::tiny() };
-        let res = run_episode(&g, &sk, Target::Cpu, &mut agent, &cost, &cfg, &[], &mut rng);
+        let an = Analyzer::for_target(Target::Cpu);
+        let cfg = HarlConfig {
+            lambda: 3,
+            tracks_per_round: 8,
+            min_tracks: 4,
+            ..HarlConfig::tiny()
+        };
+        let res = run_episode(
+            &g,
+            &sk,
+            Target::Cpu,
+            &mut agent,
+            &cost,
+            &cfg,
+            &[],
+            &an,
+            &mut rng,
+        );
         // 8 tracks, ρ=0.5: after window1 → 4 (≥ min, continue), window2 → 2 < 4 stop.
         assert_eq!(res.steps, 6);
-        assert_eq!(res.critical_steps.len(), 8, "every track gets a critical step");
-        // visited = 8 initial + (8*3 + 4*3) track-steps × action_samples
+        assert_eq!(
+            res.critical_steps.len(),
+            8,
+            "every track gets a critical step"
+        );
+        // visited = 8 initial + (8*3 + 4*3) track-steps × action_samples; the
+        // analyzer never rejects legally generated candidates
         assert_eq!(res.visited.len(), 8 + (8 * 3 + 4 * 3) * cfg.action_samples);
+        assert_eq!(res.lint_stats.rejected, 0);
     }
 
     #[test]
     fn fixed_episode_runs_exact_length() {
         let (g, sk, mut agent, mut rng) = setup();
         let cost = CostModel::new(GbtParams::default());
+        let an = Analyzer::for_target(Target::Cpu);
         let cfg = HarlConfig {
             adaptive_stopping: false,
             fixed_length: 5,
             tracks_per_round: 6,
             ..HarlConfig::tiny()
         };
-        let res = run_episode(&g, &sk, Target::Cpu, &mut agent, &cost, &cfg, &[], &mut rng);
+        let res = run_episode(
+            &g,
+            &sk,
+            Target::Cpu,
+            &mut agent,
+            &cost,
+            &cfg,
+            &[],
+            &an,
+            &mut rng,
+        );
         assert_eq!(res.steps, 5);
         assert_eq!(res.visited.len(), 6 + 6 * 5 * cfg.action_samples);
         assert!(res.critical_steps.iter().all(|c| c.length == 5));
+        assert_eq!(res.lint_stats.rejected, 0);
     }
 
     #[test]
     fn visited_schedules_are_valid() {
         let (g, sk, mut agent, mut rng) = setup();
         let cost = CostModel::new(GbtParams::default());
+        let an = Analyzer::for_target(Target::Cpu);
         let cfg = HarlConfig::tiny();
-        let res = run_episode(&g, &sk, Target::Cpu, &mut agent, &cost, &cfg, &[], &mut rng);
+        let res = run_episode(
+            &g,
+            &sk,
+            Target::Cpu,
+            &mut agent,
+            &cost,
+            &cfg,
+            &[],
+            &an,
+            &mut rng,
+        );
         for (score, s, _) in &res.visited {
             assert!(score.is_finite());
-            s.validate(&sk, Target::Cpu).expect("visited schedule valid");
+            s.validate(&sk, Target::Cpu)
+                .expect("visited schedule valid");
+            assert!(an.is_legal(&g, &sk, Target::Cpu, s));
         }
     }
 
@@ -265,9 +358,75 @@ mod tests {
     fn episode_trains_the_agent() {
         let (g, sk, mut agent, mut rng) = setup();
         let cost = CostModel::new(GbtParams::default());
-        let cfg = HarlConfig { train_interval: 2, ..HarlConfig::tiny() };
+        let an = Analyzer::for_target(Target::Cpu);
+        let cfg = HarlConfig {
+            train_interval: 2,
+            ..HarlConfig::tiny()
+        };
         let before = agent.num_updates();
-        run_episode(&g, &sk, Target::Cpu, &mut agent, &cost, &cfg, &[], &mut rng);
+        run_episode(
+            &g,
+            &sk,
+            Target::Cpu,
+            &mut agent,
+            &cost,
+            &cfg,
+            &[],
+            &an,
+            &mut rng,
+        );
         assert!(agent.num_updates() > before);
+    }
+
+    /// A lint that rejects everything: the episode must drop every candidate
+    /// *before* scoring (only the initial tracks reach `visited`) and count
+    /// the rejections instead of panicking.
+    #[test]
+    fn rejected_candidates_never_reach_the_cost_model() {
+        use harl_verify::{Component, Diagnostic, LintContext, ScheduleLint};
+
+        struct RejectAll;
+        impl ScheduleLint for RejectAll {
+            fn code(&self) -> LintCode {
+                LintCode::ParallelReductionRace
+            }
+            fn requires_well_formed(&self) -> bool {
+                false
+            }
+            fn check(&self, _ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+                out.push(Diagnostic::new(
+                    LintCode::ParallelReductionRace,
+                    Component::Schedule,
+                    "rejected by test lint".into(),
+                ));
+            }
+        }
+
+        let (g, sk, mut agent, mut rng) = setup();
+        let cost = CostModel::new(GbtParams::default());
+        let mut an = Analyzer::empty(harl_verify::CacheBudget::for_target(Target::Cpu));
+        an.register(Box::new(RejectAll));
+        let cfg = HarlConfig {
+            adaptive_stopping: false,
+            fixed_length: 3,
+            tracks_per_round: 4,
+            ..HarlConfig::tiny()
+        };
+        let res = run_episode(
+            &g,
+            &sk,
+            Target::Cpu,
+            &mut agent,
+            &cost,
+            &cfg,
+            &[],
+            &an,
+            &mut rng,
+        );
+        // only the 4 initial tracks (kept after the resample guard gives up)
+        // ever reach the heap; every proposed action was rejected pre-scoring
+        assert_eq!(res.visited.len(), 4);
+        assert!(res.lint_stats.rejected > 0);
+        assert!(res.lint_stats.count(LintCode::ParallelReductionRace) > 0);
     }
 }

@@ -112,14 +112,26 @@ impl<'m> HarlNetworkTuner<'m> {
             let grads: Vec<f64> = (0..self.infos.len())
                 .map(|i| task_gradient(&self.infos, &self.states, i, &self.cfg.grad))
                 .collect();
-            let gmax = grads.iter().copied().filter(|g| g.is_finite()).fold(0.0f64, f64::max);
+            let gmax = grads
+                .iter()
+                .copied()
+                .filter(|g| g.is_finite())
+                .fold(0.0f64, f64::max);
             let g = grads[task];
-            let reward = if g.is_finite() && gmax > 0.0 { g / gmax } else { 1.0 };
+            let reward = if g.is_finite() && gmax > 0.0 {
+                g / gmax
+            } else {
+                1.0
+            };
             self.subgraph_bandit.update(task, reward);
         }
 
         let latency = self.network_latency();
-        self.rounds.push(NetRound { task, trials_after: self.total_trials_used, latency });
+        self.rounds.push(NetRound {
+            task,
+            trials_after: self.total_trials_used,
+            latency,
+        });
         if latency.is_finite() {
             let m = self.measurer();
             self.trace.record(m.trials(), m.sim_seconds(), latency);
@@ -184,7 +196,10 @@ mod tests {
     #[test]
     fn greedy_fallback_matches_ablation_mode() {
         let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
-        let cfg = HarlConfig { subgraph_mab: false, ..HarlConfig::tiny() };
+        let cfg = HarlConfig {
+            subgraph_mab: false,
+            ..HarlConfig::tiny()
+        };
         let mut nt = HarlNetworkTuner::new(graphs(), &measurer, cfg);
         nt.tune(16 * 6);
         assert!(nt.allocations().iter().all(|&a| a > 0));
@@ -198,6 +213,9 @@ mod tests {
         let early = nt.network_latency();
         nt.tune(16 * 12);
         let late = nt.network_latency();
-        assert!(late <= early, "latency should not regress: {early} → {late}");
+        assert!(
+            late <= early,
+            "latency should not regress: {early} → {late}"
+        );
     }
 }

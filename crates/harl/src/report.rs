@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use harl_tensor_ir::{render_program, Schedule, Target};
 use harl_tensor_sim::TuneTrace;
+use harl_verify::LintStats;
 
 use crate::network::HarlNetworkTuner;
 use crate::tuner::HarlOperatorTuner;
@@ -27,6 +28,10 @@ pub struct OperatorReport {
     pub program: Option<String>,
     pub trials_used: u64,
     pub best_so_far: TuneTrace,
+    /// Candidates dropped by the schedule analyzer before scoring.
+    pub lint_rejections: u64,
+    /// Full per-lint finding counters from the verification layer.
+    pub lints: LintStats,
 }
 
 impl OperatorReport {
@@ -35,7 +40,10 @@ impl OperatorReport {
         let (sketch_desc, program) = match &t.best_schedule {
             Some(s) => {
                 let sk = &t.sketches[s.sketch_id];
-                (Some(sk.desc.clone()), Some(render_program(&t.graph, sk, target, s)))
+                (
+                    Some(sk.desc.clone()),
+                    Some(render_program(&t.graph, sk, target, s)),
+                )
             }
             None => (None, None),
         };
@@ -49,6 +57,8 @@ impl OperatorReport {
             program,
             trials_used: t.trials_used,
             best_so_far: t.trace.clone(),
+            lint_rejections: t.lint_stats.rejected,
+            lints: t.lint_stats.clone(),
         }
     }
 }
@@ -92,7 +102,11 @@ impl NetworkReport {
                 },
             })
             .collect();
-        NetworkReport { latency, total_trials: t.trials_used(), subgraphs }
+        NetworkReport {
+            latency,
+            total_trials: t.trials_used(),
+            subgraphs,
+        }
     }
 }
 
@@ -106,8 +120,7 @@ mod tests {
     #[test]
     fn operator_report_captures_best() {
         let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
-        let mut t =
-            HarlOperatorTuner::new(workload::gemm(128, 128, 128), &m, HarlConfig::tiny());
+        let mut t = HarlOperatorTuner::new(workload::gemm(128, 128, 128), &m, HarlConfig::tiny());
         t.tune(16);
         let r = OperatorReport::from_tuner(&t);
         assert_eq!(r.workload, "GEMM-128x128x128");
@@ -115,6 +128,8 @@ mod tests {
         assert!(r.gflops > 0.0);
         assert!(r.program.as_deref().is_some_and(|p| p.contains("// body")));
         assert_eq!(r.trials_used, t.trials_used);
+        assert_eq!(r.lint_rejections, t.lint_stats.rejected);
+        assert!(r.lints.checked > 0, "analyzer saw every candidate");
     }
 
     #[test]
@@ -132,8 +147,7 @@ mod tests {
     #[test]
     fn reports_roundtrip_through_serde() {
         let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
-        let mut t =
-            HarlOperatorTuner::new(workload::gemm(64, 64, 64), &m, HarlConfig::tiny());
+        let mut t = HarlOperatorTuner::new(workload::gemm(64, 64, 64), &m, HarlConfig::tiny());
         t.tune(8);
         let r = OperatorReport::from_tuner(&t);
         // serde roundtrip via the self-describing JSON-like token format of

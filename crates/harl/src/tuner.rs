@@ -14,6 +14,7 @@ use harl_tensor_ir::{
     extract_features, generate_sketches, ActionSpace, Schedule, Sketch, Subgraph, Target,
 };
 use harl_tensor_sim::{Measurer, TuneTrace};
+use harl_verify::{check_finite, Analyzer, LintCode, LintStats};
 
 use crate::adaptive::CriticalStep;
 use crate::config::HarlConfig;
@@ -51,6 +52,9 @@ pub struct HarlOperatorTuner<'m> {
     /// Critical steps of every schedule track explored (Fig. 7(b)).
     pub critical_steps: Vec<CriticalStep>,
     pub rounds: Vec<RoundLog>,
+    /// Lint findings over every candidate considered, across all rounds.
+    pub lint_stats: LintStats,
+    analyzer: Analyzer,
     cfg: HarlConfig,
     rng: StdRng,
 }
@@ -90,6 +94,8 @@ impl<'m> HarlOperatorTuner<'m> {
             trace: TuneTrace::new(),
             critical_steps: Vec::new(),
             rounds: Vec::new(),
+            lint_stats: LintStats::new(),
+            analyzer: Analyzer::for_hardware(measurer.hardware()),
             cfg,
             rng,
         }
@@ -120,8 +126,10 @@ impl<'m> HarlOperatorTuner<'m> {
         let sketch = self.sketches[sketch_id].clone();
 
         // --- parameter modification phase (Algorithm 1) --------------------
-        let seeds: Vec<Schedule> =
-            self.elites[sketch_id].iter().map(|(_, s)| s.clone()).collect();
+        let seeds: Vec<Schedule> = self.elites[sketch_id]
+            .iter()
+            .map(|(_, s)| s.clone())
+            .collect();
         let episode = run_episode(
             &self.graph,
             &sketch,
@@ -130,9 +138,12 @@ impl<'m> HarlOperatorTuner<'m> {
             &self.cost_model,
             &self.cfg,
             &seeds,
+            &self.analyzer,
             &mut self.rng,
         );
-        self.critical_steps.extend(episode.critical_steps.iter().copied());
+        self.critical_steps
+            .extend(episode.critical_steps.iter().copied());
+        self.lint_stats.merge(&episode.lint_stats);
 
         // --- top-K selection phase (lines 20–22) ----------------------------
         // Schedules are ranked by predicted score; picks are capped per
@@ -169,6 +180,10 @@ impl<'m> HarlOperatorTuner<'m> {
         while picks.len() < k && guard < 50 * k {
             guard += 1;
             let s = Schedule::random(&sketch, self.target, &mut self.rng);
+            let diags = self.analyzer.analyze(&self.graph, &sketch, self.target, &s);
+            if self.lint_stats.record(&diags) {
+                continue;
+            }
             let key = s.dedup_key();
             if self.seen.contains(&key) || !local.insert(key) {
                 continue;
@@ -192,7 +207,10 @@ impl<'m> HarlOperatorTuner<'m> {
                 self.best_schedule = Some(s.clone());
             }
             self.elites[s.sketch_id].push((m.time, s.clone()));
-            updates.push((extract_features(&self.graph, sk, self.target, s), m.flops_per_sec));
+            updates.push((
+                extract_features(&self.graph, sk, self.target, s),
+                m.flops_per_sec,
+            ));
         }
         for pool in &mut self.elites {
             pool.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -202,11 +220,15 @@ impl<'m> HarlOperatorTuner<'m> {
         self.cost_model.update_batch(updates);
 
         // --- sketch MAB reward: normalized maximal performance X_t ---------
-        let x_t = if self.cost_model.scale() > 0.0 {
+        let mut x_t = if self.cost_model.scale() > 0.0 {
             round_best_flops / self.cost_model.scale()
         } else {
             0.0
         };
+        if check_finite("sketch MAB reward", x_t).is_some() {
+            self.lint_stats.record_finding(LintCode::NonFiniteValue);
+            x_t = 0.0;
+        }
         self.sketch_bandit.update(sketch_id, x_t);
 
         // simulated algorithm overhead: fixed + per-evaluation + per-RL-step
@@ -221,7 +243,11 @@ impl<'m> HarlOperatorTuner<'m> {
             trials: picks.len() as u64,
             round_best_flops,
         });
-        self.trace.record(self.measurer.trials(), self.measurer.sim_seconds(), self.best_time);
+        self.trace.record(
+            self.measurer.trials(),
+            self.measurer.sim_seconds(),
+            self.best_time,
+        );
         picks.len()
     }
 
@@ -238,7 +264,9 @@ impl<'m> HarlOperatorTuner<'m> {
     /// Per-sketch windowed pull counts of the sketch bandit
     /// (diagnostics/tests; NaN for policies without counts).
     pub fn sketch_pulls(&self) -> Vec<f64> {
-        (0..self.sketches.len()).map(|a| self.sketch_bandit.pulls(a)).collect()
+        (0..self.sketches.len())
+            .map(|a| self.sketch_bandit.pulls(a))
+            .collect()
     }
 }
 
@@ -256,8 +284,16 @@ mod tests {
         t.round(16);
         let first = t.best_time;
         t.tune(160);
-        assert!(t.best_time < first, "no improvement: {first} → {}", t.best_time);
+        assert!(
+            t.best_time < first,
+            "no improvement: {first} → {}",
+            t.best_time
+        );
         assert!(t.best_schedule.is_some());
+        // every candidate went through the analyzer; legal generators are
+        // clean by construction so nothing gets rejected
+        assert!(t.lint_stats.checked > 0);
+        assert_eq!(t.lint_stats.rejected, 0);
     }
 
     #[test]
@@ -267,7 +303,10 @@ mod tests {
         let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
         t.tune(48);
         assert_eq!(t.trials_used, measurer.trials());
-        assert_eq!(t.trials_used, t.rounds.iter().map(|r| r.trials).sum::<u64>());
+        assert_eq!(
+            t.trials_used,
+            t.rounds.iter().map(|r| r.trials).sum::<u64>()
+        );
         assert!(t.trials_used >= 48);
     }
 
@@ -307,7 +346,10 @@ mod tests {
     fn fixed_length_mode_also_works() {
         let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
         let g = workload::gemm(128, 128, 128);
-        let cfg = HarlConfig { adaptive_stopping: false, ..HarlConfig::tiny() };
+        let cfg = HarlConfig {
+            adaptive_stopping: false,
+            ..HarlConfig::tiny()
+        };
         let mut t = HarlOperatorTuner::new(g, &measurer, cfg);
         t.tune(32);
         assert!(t.best_time.is_finite());

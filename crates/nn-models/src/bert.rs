@@ -99,8 +99,7 @@ mod tests {
         // §4.1: "in a BERT model, the number of distinct subgraphs is 10"
         let b = bert(1);
         assert_eq!(b.len(), 10);
-        let names: std::collections::HashSet<&str> =
-            b.iter().map(|g| g.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> = b.iter().map(|g| g.name.as_str()).collect();
         assert_eq!(names.len(), 10);
         for g in &b {
             g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name));

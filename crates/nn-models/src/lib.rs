@@ -71,7 +71,8 @@ mod tests {
                 let subs = net.subgraphs(batch);
                 assert!(!subs.is_empty());
                 for g in &subs {
-                    g.validate().unwrap_or_else(|e| panic!("{} {}: {e}", net.name(), g.name));
+                    g.validate()
+                        .unwrap_or_else(|e| panic!("{} {}: {e}", net.name(), g.name));
                 }
             }
         }

@@ -31,7 +31,15 @@ const BLOCKS: [(u32, u32, u32, u32); 7] = [
 fn block_convs() -> Vec<Conv> {
     let mut convs = Vec::new();
     // stem: 3×3 stride-2, 3→32 @224
-    convs.push(Conv { h: 224, ci: 3, co: 32, k: 3, stride: 2, depthwise: false, weight: 1.0 });
+    convs.push(Conv {
+        h: 224,
+        ci: 3,
+        co: 32,
+        k: 3,
+        stride: 2,
+        depthwise: false,
+        weight: 1.0,
+    });
 
     let mut c_in = 32u32;
     let mut h = 112u32;
@@ -77,7 +85,15 @@ fn block_convs() -> Vec<Conv> {
         }
     }
     // head: 1×1 320→1280 @7
-    convs.push(Conv { h: 7, ci: 320, co: 1280, k: 1, stride: 1, depthwise: false, weight: 1.0 });
+    convs.push(Conv {
+        h: 7,
+        ci: 320,
+        co: 1280,
+        k: 1,
+        stride: 1,
+        depthwise: false,
+        weight: 1.0,
+    });
     convs
 }
 
@@ -129,10 +145,17 @@ mod tests {
     #[test]
     fn subgraphs_validate_and_are_distinct() {
         let m = mobilenet_v2(1);
-        assert!(m.len() >= 20, "MobileNet-V2 has many distinct blocks, got {}", m.len());
-        let names: std::collections::HashSet<&str> =
-            m.iter().map(|g| g.name.as_str()).collect();
-        assert_eq!(names.len(), m.len(), "duplicate subgraph names after merging");
+        assert!(
+            m.len() >= 20,
+            "MobileNet-V2 has many distinct blocks, got {}",
+            m.len()
+        );
+        let names: std::collections::HashSet<&str> = m.iter().map(|g| g.name.as_str()).collect();
+        assert_eq!(
+            names.len(),
+            m.len(),
+            "duplicate subgraph names after merging"
+        );
         for g in &m {
             g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name));
         }
@@ -151,7 +174,10 @@ mod tests {
     fn flops_much_smaller_than_resnet() {
         // MobileNet-V2 ≈ 0.6 GFLOPs vs ResNet-50 ≈ 8 GFLOPs
         let m: f64 = mobilenet_v2(1).iter().map(|g| g.weight * g.flops()).sum();
-        let r: f64 = crate::resnet::resnet50(1).iter().map(|g| g.weight * g.flops()).sum();
+        let r: f64 = crate::resnet::resnet50(1)
+            .iter()
+            .map(|g| g.weight * g.flops())
+            .sum();
         assert!(m < r / 5.0, "mobilenet {m:.3e} vs resnet {r:.3e}");
     }
 

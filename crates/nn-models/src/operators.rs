@@ -50,14 +50,26 @@ impl OperatorClass {
 }
 
 /// GEMM shape table (M, K, N) — Table 6.
-pub const GEMM_S: [(u32, u32, u32); 4] =
-    [(128, 128, 128), (128, 256, 128), (256, 256, 256), (512, 32, 512)];
+pub const GEMM_S: [(u32, u32, u32); 4] = [
+    (128, 128, 128),
+    (128, 256, 128),
+    (256, 256, 256),
+    (512, 32, 512),
+];
 /// GEMM-M shape table (M, K, N) — Table 6.
-pub const GEMM_M: [(u32, u32, u32); 4] =
-    [(512, 512, 512), (128, 1536, 512), (128, 512, 1536), (256, 1024, 512)];
+pub const GEMM_M: [(u32, u32, u32); 4] = [
+    (512, 512, 512),
+    (128, 1536, 512),
+    (128, 512, 1536),
+    (256, 1024, 512),
+];
 /// GEMM-L shape table (M, K, N) — Table 6.
-pub const GEMM_L: [(u32, u32, u32); 4] =
-    [(1024, 1024, 1024), (128, 3072, 768), (128, 768, 3072), (256, 1536, 768)];
+pub const GEMM_L: [(u32, u32, u32); 4] = [
+    (1024, 1024, 1024),
+    (128, 3072, 768),
+    (128, 768, 3072),
+    (256, 1536, 768),
+];
 
 /// C1D shape table (L, Ci, Co, K, stride, padding) — Table 6.
 pub const C1D: [(u32, u32, u32, u32, u32, u32); 4] = [
@@ -76,6 +88,7 @@ pub const C2D: [(u32, u32, u32, u32, u32, u32, u32); 4] = [
 ];
 
 /// C3D shape table (D, H, W, Ci, Co, K, stride, padding) — Table 6.
+#[allow(clippy::type_complexity)]
 pub const C3D: [(u32, u32, u32, u32, u32, u32, u32, u32); 4] = [
     (16, 224, 224, 3, 64, 7, 2, 3),
     (16, 56, 56, 64, 64, 1, 1, 0),
@@ -109,9 +122,7 @@ pub fn operator_suite(class: OperatorClass, batch: u32) -> Vec<Subgraph> {
             .collect(),
         OperatorClass::C3d => C3D
             .iter()
-            .map(|&(d, h, w, ci, co, k, s, p)| {
-                workload::conv3d(batch, d, h, w, ci, co, k, s, p)
-            })
+            .map(|&(d, h, w, ci, co, k, s, p)| workload::conv3d(batch, d, h, w, ci, co, k, s, p))
             .collect(),
         OperatorClass::T2d => T2D
             .iter()
@@ -170,9 +181,18 @@ mod tests {
 
     #[test]
     fn gemm_l_is_biggest_gemm() {
-        let s: f64 = operator_suite(OperatorClass::GemmS, 1).iter().map(|g| g.flops()).sum();
-        let m: f64 = operator_suite(OperatorClass::GemmM, 1).iter().map(|g| g.flops()).sum();
-        let l: f64 = operator_suite(OperatorClass::GemmL, 1).iter().map(|g| g.flops()).sum();
+        let s: f64 = operator_suite(OperatorClass::GemmS, 1)
+            .iter()
+            .map(|g| g.flops())
+            .sum();
+        let m: f64 = operator_suite(OperatorClass::GemmM, 1)
+            .iter()
+            .map(|g| g.flops())
+            .sum();
+        let l: f64 = operator_suite(OperatorClass::GemmL, 1)
+            .iter()
+            .map(|g| g.flops())
+            .sum();
         assert!(s < m && m < l);
     }
 
@@ -180,8 +200,10 @@ mod tests {
     fn names_are_distinct() {
         use std::collections::HashSet;
         for class in OperatorClass::ALL {
-            let names: HashSet<String> =
-                operator_suite(class, 1).iter().map(|g| g.name.clone()).collect();
+            let names: HashSet<String> = operator_suite(class, 1)
+                .iter()
+                .map(|g| g.name.clone())
+                .collect();
             assert_eq!(names.len(), 4);
         }
     }

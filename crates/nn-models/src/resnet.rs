@@ -6,6 +6,7 @@ use harl_tensor_ir::{workload, Subgraph};
 
 /// Distinct convolution shapes of ResNet-50:
 /// `(H, W, Ci, Co, K, stride, pad, weight)`.
+#[allow(clippy::type_complexity)]
 const CONVS: [(u32, u32, u32, u32, u32, u32, u32, f64); 23] = [
     // stem
     (224, 224, 3, 64, 7, 2, 3, 1.0),
@@ -66,8 +67,7 @@ mod tests {
         // §4.1: "that of ResNet-50 is 24"
         let r = resnet50(1);
         assert_eq!(r.len(), 24);
-        let names: std::collections::HashSet<&str> =
-            r.iter().map(|g| g.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> = r.iter().map(|g| g.name.as_str()).collect();
         assert_eq!(names.len(), 24);
         for g in &r {
             g.validate().unwrap_or_else(|e| panic!("{}: {e}", g.name));

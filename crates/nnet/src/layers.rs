@@ -35,7 +35,9 @@ impl Linear {
     /// shallow nets used here.
     pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
         let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
-        let w = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         Linear {
             in_dim,
             out_dim,
@@ -70,8 +72,7 @@ impl Linear {
         debug_assert_eq!(gy.len(), self.out_dim);
         gx.clear();
         gx.resize(self.in_dim, 0.0);
-        for o in 0..self.out_dim {
-            let g = gy[o];
+        for (o, &g) in gy.iter().enumerate().take(self.out_dim) {
             self.gb[o] += g;
             let row = o * self.in_dim;
             for i in 0..self.in_dim {
@@ -169,7 +170,11 @@ mod tests {
             let lm: f32 = y.iter().sum();
             l.w[i] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - l.gw[i]).abs() < 1e-2, "w[{i}]: fd {fd} vs {}", l.gw[i]);
+            assert!(
+                (fd - l.gw[i]).abs() < 1e-2,
+                "w[{i}]: fd {fd} vs {}",
+                l.gw[i]
+            );
         }
         // input grads
         for i in 0..3 {

@@ -25,8 +25,16 @@ impl Mlp {
     /// creates two hidden tanh layers of 64 and a 10-dim linear output.
     pub fn new<R: Rng + ?Sized>(sizes: &[usize], rng: &mut R) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output dims");
-        let layers = sizes.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
-        Mlp { layers, cache: Vec::new(), cached_input: Vec::new(), adam_t: 0 }
+        let layers = sizes
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp {
+            layers,
+            cache: Vec::new(),
+            cached_input: Vec::new(),
+            adam_t: 0,
+        }
     }
 
     /// Input dimensionality.
@@ -159,7 +167,7 @@ mod tests {
     fn forward_shapes() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut mlp = Mlp::new(&[8, 16, 3], &mut rng);
-        let y = mlp.forward(&vec![0.1; 8]);
+        let y = mlp.forward(&[0.1; 8]);
         assert_eq!(y.len(), 3);
         assert_eq!(mlp.in_dim(), 8);
         assert_eq!(mlp.out_dim(), 3);
@@ -216,7 +224,12 @@ mod tests {
     fn can_learn_xor() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut mlp = Mlp::new(&[2, 16, 1], &mut rng);
-        let data = [([0.0f32, 0.0], 0.0f32), ([0.0, 1.0], 1.0), ([1.0, 0.0], 1.0), ([1.0, 1.0], 0.0)];
+        let data = [
+            ([0.0f32, 0.0], 0.0f32),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
         for _ in 0..2000 {
             mlp.zero_grad();
             for (x, t) in &data {

@@ -31,8 +31,16 @@ impl MultiHeadPolicy {
         rng: &mut R,
     ) -> Self {
         let trunk = Mlp::new(&[state_dim, hidden, hidden], rng);
-        let heads = head_sizes.iter().map(|&h| Linear::new(hidden, h, rng)).collect();
-        MultiHeadPolicy { trunk, heads, cached_trunk_out: Vec::new(), adam_t: 0 }
+        let heads = head_sizes
+            .iter()
+            .map(|&h| Linear::new(hidden, h, rng))
+            .collect();
+        MultiHeadPolicy {
+            trunk,
+            heads,
+            cached_trunk_out: Vec::new(),
+            adam_t: 0,
+        }
     }
 
     /// Number of action heads.
@@ -182,7 +190,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let p = MultiHeadPolicy::new(10, 16, &[101, 3, 3, 3], &mut rng);
         assert_eq!(p.head_sizes(), vec![101, 3, 3, 3]);
-        let logits = p.infer(&vec![0.0; 10]);
+        let logits = p.infer(&[0.0; 10]);
         assert_eq!(logits.len(), 4);
         assert_eq!(logits[0].len(), 101);
     }
@@ -191,7 +199,10 @@ mod tests {
     fn sample_respects_masks() {
         let mut rng = StdRng::seed_from_u64(9);
         let p = MultiHeadPolicy::new(4, 8, &[5, 3], &mut rng);
-        let masks = vec![vec![false, false, true, false, false], vec![true, true, true]];
+        let masks = vec![
+            vec![false, false, true, false, false],
+            vec![true, true, true],
+        ];
         for _ in 0..50 {
             let (a, logp) = p.sample(&[0.1, 0.2, 0.3, 0.4], &masks, &mut rng);
             assert_eq!(a[0], 2, "masked sampling must pick the only valid action");

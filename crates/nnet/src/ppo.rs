@@ -84,7 +84,10 @@ pub struct ReplayBuffer {
 impl ReplayBuffer {
     /// A buffer holding at most `cap` transitions (0 = unbounded).
     pub fn with_capacity(cap: usize) -> Self {
-        ReplayBuffer { items: VecDeque::new(), cap }
+        ReplayBuffer {
+            items: VecDeque::new(),
+            cap,
+        }
     }
 
     /// Appends a transition, evicting the oldest beyond capacity.
@@ -143,7 +146,13 @@ impl PpoAgent {
         let policy = MultiHeadPolicy::new(state_dim, cfg.hidden, head_sizes, rng);
         let critic = Mlp::new(&[state_dim, cfg.hidden, cfg.hidden, 1], rng);
         let cap = cfg.buffer_capacity;
-        PpoAgent { policy, critic, cfg, buffer: ReplayBuffer::with_capacity(cap), updates: 0 }
+        PpoAgent {
+            policy,
+            critic,
+            cfg,
+            buffer: ReplayBuffer::with_capacity(cap),
+            updates: 0,
+        }
     }
 
     /// Value estimate `V(s)`.
@@ -222,8 +231,11 @@ impl PpoAgent {
 
         // advantage normalisation stabilises small batches
         let mean_a: f32 = batch.iter().map(|t| t.advantage).sum::<f32>() / n;
-        let var_a: f32 =
-            batch.iter().map(|t| (t.advantage - mean_a).powi(2)).sum::<f32>() / n;
+        let var_a: f32 = batch
+            .iter()
+            .map(|t| (t.advantage - mean_a).powi(2))
+            .sum::<f32>()
+            / n;
         let std_a = var_a.sqrt().max(1e-6);
 
         for t in batch {
@@ -234,7 +246,11 @@ impl PpoAgent {
             let mut logp_new = 0.0f32;
             let mut per_head: Vec<(Vec<f32>, usize)> = Vec::with_capacity(logits.len());
             for (h, lg) in logits.iter().enumerate() {
-                let mask = t.masks.get(h).filter(|m| !m.is_empty()).map(|m| m.as_slice());
+                let mask = t
+                    .masks
+                    .get(h)
+                    .filter(|m| !m.is_empty())
+                    .map(|m| m.as_slice());
                 let probs = masked_softmax(lg, mask);
                 let a = t.actions[h].min(probs.len() - 1);
                 logp_new += probs[a].max(1e-12).ln();
@@ -311,7 +327,7 @@ mod tests {
         };
         let mut agent = PpoAgent::new(5, &[3], cfg, &mut rng);
 
-        for _episode in 0..400 {
+        for _episode in 0..1200 {
             let mut pos = 0usize;
             for _step in 0..8 {
                 let s = corridor_state(pos);
@@ -384,7 +400,12 @@ mod tests {
     #[test]
     fn critic_regresses_to_targets() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = PpoConfig { lr_critic: 5e-3, minibatch: 16, hidden: 16, ..Default::default() };
+        let cfg = PpoConfig {
+            lr_critic: 5e-3,
+            minibatch: 16,
+            hidden: 16,
+            ..Default::default()
+        };
         let mut agent = PpoAgent::new(2, &[2], cfg, &mut rng);
         // fixed target: V([1,0]) → 1, V([0,1]) → -1 via rewards with γ≈0 path
         for _ in 0..400 {

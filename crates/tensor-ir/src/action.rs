@@ -92,7 +92,9 @@ pub struct ActionSpace {
 impl ActionSpace {
     /// Builds the action space of a sketch.
     pub fn of(sketch: &Sketch) -> Self {
-        ActionSpace { num_loops: sketch.num_loops() }
+        ActionSpace {
+            num_loops: sketch.num_loops(),
+        }
     }
 
     /// Tile head size: `num_iters * num_iters + 1` (Appendix A.1).
@@ -160,7 +162,11 @@ pub fn compute_at_mask(sketch: &Sketch, schedule: &Schedule) -> [bool; 3] {
 /// Mask for the parallel-loops head.
 pub fn parallel_mask(sketch: &Sketch, schedule: &Schedule) -> [bool; 3] {
     let ns = sketch.num_spatial_iters().max(1);
-    [schedule.parallel_fuse > 1, true, schedule.parallel_fuse < ns]
+    [
+        schedule.parallel_fuse > 1,
+        true,
+        schedule.parallel_fuse < ns,
+    ]
 }
 
 /// Mask for the auto-unroll head.
@@ -246,7 +252,8 @@ mod tests {
                     unroll: StepDir::from_index(rng.gen_range(0..3)),
                 };
                 s = apply_action(sk, Target::Cpu, &s, &a);
-                s.validate(sk, Target::Cpu).expect("action preserves validity");
+                s.validate(sk, Target::Cpu)
+                    .expect("action preserves validity");
             }
         }
     }
@@ -287,17 +294,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(14);
         let s = Schedule::random(sk, Target::Cpu, &mut rng);
         let mask = tile_action_mask(sk, &s, &space);
-        for a in 0..space.tile_actions() {
-            if a == space.tile_dummy() || !mask[a] {
+        for (a, &allowed) in mask.iter().enumerate().take(space.tile_actions()) {
+            if a == space.tile_dummy() || !allowed {
                 continue;
             }
             let next = apply_action(
                 sk,
                 Target::Cpu,
                 &s,
-                &Action { tile: a, compute_at: StepDir::Stay, parallel: StepDir::Stay, unroll: StepDir::Stay },
+                &Action {
+                    tile: a,
+                    compute_at: StepDir::Stay,
+                    parallel: StepDir::Stay,
+                    unroll: StepDir::Stay,
+                },
             );
-            assert_ne!(next.tiles, s.tiles, "valid tile action {a} must modify tiles");
+            assert_ne!(
+                next.tiles, s.tiles,
+                "valid tile action {a} must modify tiles"
+            );
         }
     }
 

@@ -30,7 +30,10 @@ impl Tensor {
     /// An all-zero tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let len = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; len] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
     }
 
     /// Filled with small deterministic integer-valued floats so that
@@ -38,7 +41,10 @@ impl Tensor {
     pub fn iota_mod(shape: &[usize], modulus: u32) -> Self {
         let len: usize = shape.iter().product();
         let data = (0..len).map(|i| (i as u32 % modulus) as f32).collect();
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// Total number of elements.
@@ -59,13 +65,14 @@ impl Tensor {
 /// all iterators first (spatial before reduction), then level 1, and so
 /// on. The index of iterator `k` is reconstructed from its per-level
 /// counters as `Σ_level counter[k][level] · inner_extent(k, level+1)`.
-pub fn visit_schedule_order(
-    sketch: &Sketch,
-    schedule: &Schedule,
-    mut f: impl FnMut(&[u64]),
-) {
+pub fn visit_schedule_order(sketch: &Sketch, schedule: &Schedule, mut f: impl FnMut(&[u64])) {
     // Build the flattened loop list in execution order.
-    let max_levels = sketch.tiled_iters.iter().map(|t| t.levels).max().unwrap_or(0);
+    let max_levels = sketch
+        .tiled_iters
+        .iter()
+        .map(|t| t.levels)
+        .max()
+        .unwrap_or(0);
     let mut loops: Vec<(usize, usize, u64, u64)> = Vec::new(); // (iter k, level, trip, stride)
     for level in 0..max_levels {
         for pass in [IterKind::Spatial, IterKind::Reduction] {

@@ -15,7 +15,7 @@ pub fn prime_factors(mut n: u32) -> Vec<u32> {
     let mut out = Vec::new();
     let mut d = 2u32;
     while d.saturating_mul(d) <= n {
-        while n % d == 0 {
+        while n.is_multiple_of(d) {
             out.push(d);
             n /= d;
         }
@@ -35,7 +35,7 @@ pub fn smallest_prime_factor(n: u32) -> Option<u32> {
     }
     let mut d = 2u32;
     while d.saturating_mul(d) <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return Some(d);
         }
         d += 1;
@@ -49,7 +49,7 @@ pub fn divisors(n: u32) -> Vec<u32> {
     let mut large = Vec::new();
     let mut d = 1u32;
     while (d as u64) * (d as u64) <= n as u64 {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d);
             if d != n / d {
                 large.push(n / d);

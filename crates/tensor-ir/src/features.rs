@@ -58,13 +58,16 @@ pub fn extract_features(
         .tiled_iters
         .iter()
         .enumerate()
-        .filter(|(_, t)| t.kind == IterKind::Spatial)
-        .next_back()
+        .rfind(|(_, t)| t.kind == IterKind::Spatial)
         .map(|(k, _)| schedule.innermost(k))
         .unwrap_or(1);
     f[base + 4] = log2p(innermost_spatial as f64);
     f[base + 5] = if innermost_spatial % 8 == 0 { 1.0 } else { 0.0 };
-    f[base + 6] = if innermost_spatial % 16 == 0 { 1.0 } else { 0.0 };
+    f[base + 6] = if innermost_spatial % 16 == 0 {
+        1.0
+    } else {
+        0.0
+    };
 
     // parallelism
     let tasks = schedule.parallel_tasks(sketch) * schedule.rfactor_tasks(sketch);
@@ -78,7 +81,11 @@ pub fn extract_features(
     // compute-at position (normalized)
     let nca = sketch.compute_at_candidates.len().max(1);
     f[base + 11] = schedule.compute_at as f32 / nca as f32;
-    f[base + 12] = if sketch.fused_consumer.is_some() { 1.0 } else { 0.0 };
+    f[base + 12] = if sketch.fused_consumer.is_some() {
+        1.0
+    } else {
+        0.0
+    };
 
     // working sets at three tile depths
     f[base + 13] = log2p(schedule.tile_working_set(graph, sketch, 1) as f64);

@@ -27,8 +27,8 @@ pub use action::{
     apply_action, compute_at_mask, parallel_mask, tile_action_mask, unroll_mask, Action,
     ActionSpace, StepDir,
 };
-pub use features::{extract_features, FEATURE_DIM, MAX_LOOPS};
 pub use exec::{visit_schedule_order, Tensor};
+pub use features::{extract_features, FEATURE_DIM, MAX_LOOPS};
 pub use mutate::{crossover, mutate, mutate_kind, MutationKind};
 pub use pretty::render_program;
 pub use schedule::Schedule;

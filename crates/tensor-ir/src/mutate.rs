@@ -92,11 +92,7 @@ pub fn mutate_kind<R: Rng + ?Sized>(
 
 /// Uniform crossover of two schedules of the same sketch: each parameter
 /// group is inherited from a random parent.
-pub fn crossover<R: Rng + ?Sized>(
-    a: &Schedule,
-    b: &Schedule,
-    rng: &mut R,
-) -> Schedule {
+pub fn crossover<R: Rng + ?Sized>(a: &Schedule, b: &Schedule, rng: &mut R) -> Schedule {
     debug_assert_eq!(a.sketch_id, b.sketch_id);
     let mut child = a.clone();
     for k in 0..child.tiles.len() {
@@ -132,7 +128,8 @@ mod tests {
             let mut s = Schedule::random(&sk, Target::Cpu, &mut rng);
             for _ in 0..300 {
                 s = mutate(&sk, Target::Cpu, &s, &mut rng);
-                s.validate(&sk, Target::Cpu).expect("mutation keeps validity");
+                s.validate(&sk, Target::Cpu)
+                    .expect("mutation keeps validity");
             }
         }
     }

@@ -22,19 +22,34 @@ pub fn render_program(
 ) -> String {
     let anchor = graph.anchor_stage();
     let mut out = String::new();
-    let _ = writeln!(out, "// {} — sketch #{} ({})", graph.name, sketch.id, sketch.desc);
+    let _ = writeln!(
+        out,
+        "// {} — sketch #{} ({})",
+        graph.name, sketch.id, sketch.desc
+    );
     for &si in &sketch.inlined {
-        let _ = writeln!(out, "// stage {} inlined into its consumer", graph.stages[si].name);
+        let _ = writeln!(
+            out,
+            "// stage {} inlined into its consumer",
+            graph.stages[si].name
+        );
     }
     if sketch.rfactor {
-        let _ = writeln!(out, "// rfactor: outer reduction split executes in parallel");
+        let _ = writeln!(
+            out,
+            "// rfactor: outer reduction split executes in parallel"
+        );
     }
 
     // Build the loop order: level-major (all level-0 loops, then level-1, …),
     // spatial before reduction inside a level — the canonical "SSRSRS"
     // interleave collapses to this ordering for printing purposes.
-    let max_levels =
-        sketch.tiled_iters.iter().map(|t| t.levels).max().unwrap_or(0);
+    let max_levels = sketch
+        .tiled_iters
+        .iter()
+        .map(|t| t.levels)
+        .max()
+        .unwrap_or(0);
     let mut indent = 0usize;
     let unroll = schedule.unroll_depth(target);
     let fused_stage = sketch.fused_consumer.map(|c| graph.stages[c].name.clone());
@@ -103,9 +118,13 @@ pub fn render_program(
     }
     let _ = writeln!(out, "{}{};  // body", "  ".repeat(indent), body_expr(graph));
     if sketch.cache_write {
-        let _ = writeln!(out, "{}// cache-write: accumulate in local buffer", "  ".repeat(indent));
+        let _ = writeln!(
+            out,
+            "{}// cache-write: accumulate in local buffer",
+            "  ".repeat(indent)
+        );
     }
-    for _ in 0..indent {
+    while indent > 0 {
         indent -= 1;
         let _ = writeln!(out, "{}}}", "  ".repeat(indent));
     }
@@ -130,8 +149,7 @@ fn is_innermost_spatial(sketch: &Sketch, k: usize) -> bool {
         .tiled_iters
         .iter()
         .enumerate()
-        .filter(|(_, t)| t.kind == IterKind::Spatial)
-        .next_back()
+        .rfind(|(_, t)| t.kind == IterKind::Spatial)
         .map(|(i, _)| i == k)
         .unwrap_or(false)
 }
@@ -213,7 +231,9 @@ mod tests {
         let sketches = generate_sketches(&g, Target::Cpu);
         let sk = sketches
             .iter()
-            .find(|s| s.compute_at_candidates == vec![ComputeAt::Root] && s.fused_consumer.is_some())
+            .find(|s| {
+                s.compute_at_candidates == vec![ComputeAt::Root] && s.fused_consumer.is_some()
+            })
             .expect("root-consumer sketch exists");
         let mut rng = StdRng::seed_from_u64(3);
         let s = Schedule::random(sk, Target::Cpu, &mut rng);

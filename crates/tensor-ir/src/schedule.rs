@@ -40,10 +40,17 @@ impl Schedule {
             .map(|t| random_factorization(t.extent, t.levels, rng))
             .collect();
         let num_spatial = sketch.num_spatial_iters().max(1);
+        // A hand-built sketch may carry no compute-at candidates at all;
+        // `gen_range(0..0)` panics, so pin the position to 0 in that case.
+        let compute_at = if sketch.compute_at_candidates.is_empty() {
+            0
+        } else {
+            rng.gen_range(0..sketch.compute_at_candidates.len())
+        };
         Schedule {
             sketch_id: sketch.id,
             tiles,
-            compute_at: rng.gen_range(0..sketch.compute_at_candidates.len()),
+            compute_at,
             parallel_fuse: rng.gen_range(1..=num_spatial),
             unroll_idx: rng.gen_range(0..target.unroll_depths().len()),
         }
@@ -60,7 +67,11 @@ impl Schedule {
         }
         for (k, t) in sketch.tiled_iters.iter().enumerate() {
             if self.tiles[k].len() != t.levels {
-                return Err(format!("iterator {k} has {} levels, expected {}", self.tiles[k].len(), t.levels));
+                return Err(format!(
+                    "iterator {k} has {} levels, expected {}",
+                    self.tiles[k].len(),
+                    t.levels
+                ));
             }
             let prod: u64 = self.tiles[k].iter().map(|&f| f as u64).product();
             if prod != t.extent as u64 {
@@ -69,16 +80,26 @@ impl Schedule {
                     t.extent
                 ));
             }
-            if self.tiles[k].iter().any(|&f| f == 0) {
+            if self.tiles[k].contains(&0) {
                 return Err(format!("iterator {k} has a zero factor"));
             }
         }
-        if self.compute_at >= sketch.compute_at_candidates.len() {
+        if sketch.compute_at_candidates.is_empty() {
+            if self.compute_at != 0 {
+                return Err(format!(
+                    "compute_at index {} but the sketch has no candidates",
+                    self.compute_at
+                ));
+            }
+        } else if self.compute_at >= sketch.compute_at_candidates.len() {
             return Err(format!("compute_at index {} out of range", self.compute_at));
         }
         let ns = sketch.num_spatial_iters().max(1);
         if self.parallel_fuse == 0 || self.parallel_fuse > ns {
-            return Err(format!("parallel_fuse {} outside 1..={ns}", self.parallel_fuse));
+            return Err(format!(
+                "parallel_fuse {} outside 1..={ns}",
+                self.parallel_fuse
+            ));
         }
         if self.unroll_idx >= target.unroll_depths().len() {
             return Err(format!("unroll index {} out of range", self.unroll_idx));
@@ -98,7 +119,9 @@ impl Schedule {
 
     /// Innermost factor of tiled iterator `k` (vectorization candidate).
     pub fn innermost(&self, k: usize) -> u32 {
-        *self.tiles[k].last().expect("tiled iterator has at least one level")
+        *self.tiles[k]
+            .last()
+            .expect("tiled iterator has at least one level")
     }
 
     /// Number of parallel tasks: the product of the outermost factors of
@@ -139,7 +162,9 @@ impl Schedule {
     /// Size of the loop body that gets unrolled: the product of the
     /// innermost factors across all tiled iterators.
     pub fn inner_body_size(&self) -> u64 {
-        (0..self.tiles.len()).map(|k| self.innermost(k) as u64).product()
+        (0..self.tiles.len())
+            .map(|k| self.innermost(k) as u64)
+            .product()
     }
 
     /// Working-set size in bytes of the anchor stage's inputs for a tile
@@ -228,6 +253,26 @@ mod tests {
     }
 
     #[test]
+    fn random_survives_empty_compute_at_candidates() {
+        // regression: gen_range(0..0) used to panic on sketches without
+        // compute-at candidates
+        let (_, sk) = setup();
+        let mut bare = sk[0].clone();
+        bare.compute_at_candidates.clear();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let sch = Schedule::random(&bare, Target::Cpu, &mut rng);
+            assert_eq!(sch.compute_at, 0);
+            sch.validate(&bare, Target::Cpu)
+                .expect("valid without candidates");
+        }
+        // a non-zero position is still rejected against the bare sketch
+        let mut sch = Schedule::random(&bare, Target::Cpu, &mut rng);
+        sch.compute_at = 1;
+        assert!(sch.validate(&bare, Target::Cpu).is_err());
+    }
+
+    #[test]
     fn inner_extent_is_monotone() {
         let (_, sk) = setup();
         let mut rng = StdRng::seed_from_u64(2);
@@ -283,7 +328,10 @@ mod tests {
         let (_, sk) = setup();
         let mut rng = StdRng::seed_from_u64(6);
         let plain = &sk[0];
-        let rf = sk.iter().find(|s| s.rfactor).expect("gemm has rfactor sketch");
+        let rf = sk
+            .iter()
+            .find(|s| s.rfactor)
+            .expect("gemm has rfactor sketch");
         let sch_plain = Schedule::random(plain, Target::Cpu, &mut rng);
         assert_eq!(sch_plain.rfactor_tasks(plain), 1);
         let mut sch_rf = Schedule::random(rf, Target::Cpu, &mut rng);

@@ -46,6 +46,19 @@ impl Target {
             Target::Gpu => &[0, 16, 64, 512, 1024],
         }
     }
+
+    /// Deepest tile level a fused / cache-write stage may be computed at.
+    /// When the anchor carries a reduction, its reduction loops nest inside
+    /// the second-innermost spatial level, so fusing deeper than
+    /// `spatial_levels - 2` would place the stage inside the reduction
+    /// scope where it reads partial accumulations.
+    pub fn max_fuse_level(self, anchor_has_reduction: bool) -> usize {
+        if anchor_has_reduction {
+            self.spatial_levels() - 2
+        } else {
+            self.spatial_levels() - 1
+        }
+    }
 }
 
 /// One multi-level-tiled iterator of the anchor stage.
@@ -114,7 +127,10 @@ impl Sketch {
 
     /// Number of spatial tiled iterators (outer parallel candidates).
     pub fn num_spatial_iters(&self) -> usize {
-        self.tiled_iters.iter().filter(|t| t.kind == IterKind::Spatial).count()
+        self.tiled_iters
+            .iter()
+            .filter(|t| t.kind == IterKind::Spatial)
+            .count()
     }
 }
 
@@ -150,8 +166,12 @@ pub fn generate_sketches(graph: &Subgraph, target: Target) -> Vec<Sketch> {
     // that stage; we fuse the last consumer in topological order.
     let fusable = consumers.iter().copied().max();
 
-    let tile_level_candidates: Vec<ComputeAt> =
-        (1..sl).map(ComputeAt::TileLevel).collect();
+    let has_reduction = anchor.reduction_elems() > 1;
+    // Fusion legality: stop at the reduction boundary so fused stages never
+    // observe partial accumulations (lint V005 enforces the same rule).
+    let tile_level_candidates: Vec<ComputeAt> = (1..=target.max_fuse_level(has_reduction))
+        .map(ComputeAt::TileLevel)
+        .collect();
 
     let mut sketches = Vec::new();
     let mut push = |desc: String,
@@ -176,7 +196,6 @@ pub fn generate_sketches(graph: &Subgraph, target: Target) -> Vec<Sketch> {
         });
     };
 
-    let has_reduction = anchor.reduction_elems() > 1;
     // rfactor rule precondition: enough reduction work to parallelize.
     let rfactor_ok = anchor.reduction_elems() >= 16;
 
@@ -191,7 +210,13 @@ pub fn generate_sketches(graph: &Subgraph, target: Target) -> Vec<Sketch> {
                 tile_level_candidates.clone(),
             );
             // Unfused variant: consumer at root.
-            push("tile;consumer-at-root".into(), Some(c), false, false, vec![ComputeAt::Root]);
+            push(
+                "tile;consumer-at-root".into(),
+                Some(c),
+                false,
+                false,
+                vec![ComputeAt::Root],
+            );
             if has_reduction && rfactor_ok {
                 push(
                     format!("tile;fuse({});rfactor", graph.stages[c].name),
@@ -208,10 +233,22 @@ pub fn generate_sketches(graph: &Subgraph, target: Target) -> Vec<Sketch> {
             // Cache-write rule (data reuse, no consumer): the cache stage
             // can be positioned at any tile level.
             if anchor.has_data_reuse() {
-                push("tile;cache-write".into(), None, true, false, tile_level_candidates.clone());
+                push(
+                    "tile;cache-write".into(),
+                    None,
+                    true,
+                    false,
+                    tile_level_candidates.clone(),
+                );
             }
             if has_reduction && rfactor_ok {
-                push("tile;rfactor".into(), None, false, true, vec![ComputeAt::Root]);
+                push(
+                    "tile;rfactor".into(),
+                    None,
+                    false,
+                    true,
+                    vec![ComputeAt::Root],
+                );
             }
         }
     }
@@ -249,7 +286,9 @@ mod tests {
         let sk = generate_sketches(&g, Target::Cpu);
         assert!(sk.len() >= 2);
         assert!(sk.iter().any(|s| s.fused_consumer.is_some()
-            && s.compute_at_candidates.iter().any(|c| matches!(c, ComputeAt::TileLevel(_)))));
+            && s.compute_at_candidates
+                .iter()
+                .any(|c| matches!(c, ComputeAt::TileLevel(_)))));
     }
 
     #[test]
@@ -274,6 +313,31 @@ mod tests {
         let gpu = generate_sketches(&g, Target::Gpu);
         assert!(gpu[0].num_loops() > cpu[0].num_loops());
         assert_eq!(gpu[0].num_loops(), 2 * 5 + 3);
+    }
+
+    #[test]
+    fn fusion_candidates_stop_at_reduction_boundary() {
+        let g = conv2d_bn_relu(1, 28, 28, 32, 32, 3, 1, 1);
+        for target in [Target::Cpu, Target::Gpu] {
+            let max = target.max_fuse_level(true);
+            assert_eq!(max, target.spatial_levels() - 2);
+            let mut saw_tile_level = false;
+            for sk in generate_sketches(&g, target) {
+                for c in &sk.compute_at_candidates {
+                    if let ComputeAt::TileLevel(l) = c {
+                        saw_tile_level = true;
+                        assert!(
+                            (1..=max).contains(l),
+                            "candidate level {l} crosses the reduction boundary (max {max})"
+                        );
+                    }
+                }
+            }
+            assert!(
+                saw_tile_level,
+                "fused sketches still offer tile-level candidates"
+            );
+        }
     }
 
     #[test]

@@ -32,12 +32,20 @@ pub struct IterVar {
 impl IterVar {
     /// A spatial (output-indexing) iterator.
     pub fn spatial(name: impl Into<String>, extent: u32) -> Self {
-        Self { name: name.into(), extent, kind: IterKind::Spatial }
+        Self {
+            name: name.into(),
+            extent,
+            kind: IterKind::Spatial,
+        }
     }
 
     /// A reduction (accumulated-over) iterator.
     pub fn reduction(name: impl Into<String>, extent: u32) -> Self {
-        Self { name: name.into(), extent, kind: IterKind::Reduction }
+        Self {
+            name: name.into(),
+            extent,
+            kind: IterKind::Reduction,
+        }
     }
 }
 
@@ -61,13 +69,21 @@ pub struct AccessDim {
 impl AccessDim {
     /// Dimension indexed directly by one iterator.
     pub fn direct(iter: usize) -> Self {
-        Self { iters: vec![iter], window: 0, stride: 1 }
+        Self {
+            iters: vec![iter],
+            window: 0,
+            stride: 1,
+        }
     }
 
     /// Dimension indexed as `iter·stride + k` for a kernel window of
     /// `window + 1` taps (convolution input pattern).
     pub fn windowed(iter: usize, window: u32, stride: u32) -> Self {
-        Self { iters: vec![iter], window, stride }
+        Self {
+            iters: vec![iter],
+            window,
+            stride,
+        }
     }
 
     /// Footprint (elements) of this dimension for given per-iterator tile
@@ -139,7 +155,10 @@ pub struct Stage {
 impl Stage {
     /// Number of spatial iterators (they precede reduction iterators).
     pub fn num_spatial(&self) -> usize {
-        self.iters.iter().filter(|i| i.kind == IterKind::Spatial).count()
+        self.iters
+            .iter()
+            .filter(|i| i.kind == IterKind::Spatial)
+            .count()
     }
 
     /// Number of reduction iterators.
@@ -202,7 +221,12 @@ pub struct Subgraph {
 impl Subgraph {
     /// Single-anchor helper used by the operator workloads.
     pub fn single(name: impl Into<String>, anchor: Stage) -> Self {
-        Self { name: name.into(), stages: vec![anchor], anchor: 0, weight: 1.0 }
+        Self {
+            name: name.into(),
+            stages: vec![anchor],
+            anchor: 0,
+            weight: 1.0,
+        }
     }
 
     /// The compute-intensive anchor stage.
@@ -237,7 +261,12 @@ impl Subgraph {
     pub fn input_bytes(&self) -> u64 {
         self.stages
             .iter()
-            .map(|s| s.inputs.iter().map(|a| a.total_bytes(&s.iters)).sum::<u64>())
+            .map(|s| {
+                s.inputs
+                    .iter()
+                    .map(|a| a.total_bytes(&s.iters))
+                    .sum::<u64>()
+            })
             .sum()
     }
 
@@ -270,7 +299,10 @@ impl Subgraph {
             }
             for iv in &st.iters {
                 if iv.extent == 0 {
-                    return Err(format!("iterator {} of stage {} has zero extent", iv.name, st.name));
+                    return Err(format!(
+                        "iterator {} of stage {} has zero extent",
+                        iv.name, st.name
+                    ));
                 }
             }
             for acc in &st.inputs {

@@ -51,12 +51,20 @@ pub fn batch_gemm(b: u32, m: u32, k: u32, n: u32) -> Subgraph {
         inputs: vec![
             InputAccess {
                 name: "A".into(),
-                dims: vec![AccessDim::direct(0), AccessDim::direct(1), AccessDim::direct(3)],
+                dims: vec![
+                    AccessDim::direct(0),
+                    AccessDim::direct(1),
+                    AccessDim::direct(3),
+                ],
                 elem_bytes: F32,
             },
             InputAccess {
                 name: "B".into(),
-                dims: vec![AccessDim::direct(0), AccessDim::direct(3), AccessDim::direct(2)],
+                dims: vec![
+                    AccessDim::direct(0),
+                    AccessDim::direct(3),
+                    AccessDim::direct(2),
+                ],
                 elem_bytes: F32,
             },
         ],
@@ -95,7 +103,11 @@ pub fn conv1d(batch: u32, l: u32, ci: u32, co: u32, k: u32, stride: u32, pad: u3
             },
             InputAccess {
                 name: "weight".into(),
-                dims: vec![AccessDim::direct(1), AccessDim::direct(3), AccessDim::direct(4)],
+                dims: vec![
+                    AccessDim::direct(1),
+                    AccessDim::direct(3),
+                    AccessDim::direct(4),
+                ],
                 elem_bytes: F32,
             },
         ],
@@ -106,6 +118,7 @@ pub fn conv1d(batch: u32, l: u32, ci: u32, co: u32, k: u32, stride: u32, pad: u3
 }
 
 /// 2D convolution, NCHW layout.
+#[allow(clippy::too_many_arguments)]
 pub fn conv2d(
     batch: u32,
     h: u32,
@@ -219,11 +232,15 @@ pub fn conv3d(
         producers: vec![],
         flops_per_point: 2.0,
     };
-    Subgraph::single(format!("C3D-{d}x{h}x{w}x{ci}x{co}k{k}s{stride}b{batch}"), stage)
+    Subgraph::single(
+        format!("C3D-{d}x{h}x{w}x{ci}x{co}k{k}s{stride}b{batch}"),
+        stage,
+    )
 }
 
 /// Transposed 2D convolution (deconvolution). Arithmetically modeled as a
 /// convolution over the upsampled output grid.
+#[allow(clippy::too_many_arguments)]
 pub fn conv2d_transposed(
     batch: u32,
     h: u32,
@@ -255,8 +272,16 @@ pub fn conv2d_transposed(
                     AccessDim::direct(0),
                     AccessDim::direct(4),
                     // the input grid is stride-times smaller than the output
-                    AccessDim { iters: vec![2], window: k - 1, stride: 1 },
-                    AccessDim { iters: vec![3], window: k - 1, stride: 1 },
+                    AccessDim {
+                        iters: vec![2],
+                        window: k - 1,
+                        stride: 1,
+                    },
+                    AccessDim {
+                        iters: vec![3],
+                        window: k - 1,
+                        stride: 1,
+                    },
                 ],
                 elem_bytes: F32,
             },
@@ -314,7 +339,11 @@ pub fn depthwise_conv2d(
             },
             InputAccess {
                 name: "weight".into(),
-                dims: vec![AccessDim::direct(1), AccessDim::direct(4), AccessDim::direct(5)],
+                dims: vec![
+                    AccessDim::direct(1),
+                    AccessDim::direct(4),
+                    AccessDim::direct(5),
+                ],
                 elem_bytes: F32,
             },
         ],

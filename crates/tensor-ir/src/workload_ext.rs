@@ -25,7 +25,10 @@ pub fn grouped_conv2d(
     pad: u32,
     groups: u32,
 ) -> Subgraph {
-    assert!(ci % groups == 0 && co % groups == 0, "channels must divide groups");
+    assert!(
+        ci.is_multiple_of(groups) && co.is_multiple_of(groups),
+        "channels must divide groups"
+    );
     let ho = conv_out(h, k, stride, pad);
     let wo = conv_out(w, k, stride, pad);
     let cig = ci / groups;
@@ -69,7 +72,10 @@ pub fn grouped_conv2d(
         producers: vec![],
         flops_per_point: 2.0,
     };
-    Subgraph::single(format!("GC2D-{h}x{w}x{ci}x{co}k{k}g{groups}b{batch}"), stage)
+    Subgraph::single(
+        format!("GC2D-{h}x{w}x{ci}x{co}k{k}g{groups}b{batch}"),
+        stage,
+    )
 }
 
 /// Dilated 2D convolution: the effective kernel spans

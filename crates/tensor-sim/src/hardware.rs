@@ -211,7 +211,10 @@ fn rugged_aspects(schedule: &Schedule) -> [u64; 4] {
         h
     };
     let outer = fnv(&mut schedule.tiles.iter().map(|t| t[0] as u64));
-    let inner = fnv(&mut schedule.tiles.iter().map(|t| *t.last().unwrap_or(&1) as u64));
+    let inner = fnv(&mut schedule
+        .tiles
+        .iter()
+        .map(|t| *t.last().unwrap_or(&1) as u64));
     let combo = fnv(&mut [
         schedule.parallel_fuse as u64,
         schedule.unroll_idx as u64,
@@ -251,7 +254,12 @@ struct TileAnalysis {
     body: u64,
 }
 
-fn outer_trips_above(schedule: &Schedule, sketch: &Sketch, depth: usize, pred: impl Fn(usize) -> bool) -> f64 {
+fn outer_trips_above(
+    schedule: &Schedule,
+    sketch: &Sketch,
+    depth: usize,
+    pred: impl Fn(usize) -> bool,
+) -> f64 {
     // product of tile factors at levels shallower than `depth`-from-inner,
     // over tiled iterators selected by `pred(anchor iter index)`.
     let mut trips = 1.0f64;
@@ -267,7 +275,12 @@ fn outer_trips_above(schedule: &Schedule, sketch: &Sketch, depth: usize, pred: i
     trips
 }
 
-fn analyze(graph: &Subgraph, sketch: &Sketch, schedule: &Schedule, reuse_depth: usize) -> TileAnalysis {
+fn analyze(
+    graph: &Subgraph,
+    sketch: &Sketch,
+    schedule: &Schedule,
+    reuse_depth: usize,
+) -> TileAnalysis {
     let anchor = graph.anchor_stage();
     let flops = graph.flops();
     let tasks = schedule.parallel_tasks(sketch) * schedule.rfactor_tasks(sketch);
@@ -276,8 +289,7 @@ fn analyze(graph: &Subgraph, sketch: &Sketch, schedule: &Schedule, reuse_depth: 
         .tiled_iters
         .iter()
         .enumerate()
-        .filter(|(_, t)| t.kind == IterKind::Spatial)
-        .next_back()
+        .rfind(|(_, t)| t.kind == IterKind::Spatial)
         .map(|(k, _)| schedule.innermost(k))
         .unwrap_or(1);
 
@@ -290,20 +302,23 @@ fn analyze(graph: &Subgraph, sketch: &Sketch, schedule: &Schedule, reuse_depth: 
     let mut traffic = 0.0f64;
     for input in &anchor.inputs {
         let total = input.total_bytes(&anchor.iters) as f64;
-        let indexed: Vec<usize> =
-            input.dims.iter().flat_map(|d| d.iters.iter().copied()).collect();
-        let reread =
-            outer_trips_above(schedule, sketch, reuse_depth, |iter| !indexed.contains(&iter));
+        let indexed: Vec<usize> = input
+            .dims
+            .iter()
+            .flat_map(|d| d.iters.iter().copied())
+            .collect();
+        let reread = outer_trips_above(schedule, sketch, reuse_depth, |iter| {
+            !indexed.contains(&iter)
+        });
         traffic += total * reread;
     }
 
     // Output traffic. Without cache-write, the output tile is re-read and
     // re-written once per outer reduction trip (the accumulator spills).
     let out_bytes = anchor.output_elems() as f64 * 4.0;
-    let red_outer =
-        outer_trips_above(schedule, sketch, reuse_depth, |iter| {
-            anchor.iters[iter].kind == IterKind::Reduction
-        });
+    let red_outer = outer_trips_above(schedule, sketch, reuse_depth, |iter| {
+        anchor.iters[iter].kind == IterKind::Reduction
+    });
     if sketch.cache_write || red_outer <= 1.0 {
         traffic += out_bytes;
     } else {
@@ -339,7 +354,11 @@ fn analyze(graph: &Subgraph, sketch: &Sketch, schedule: &Schedule, reuse_depth: 
         }
         if st.kind == StageKind::Elementwise || st.kind == StageKind::RowReduce {
             // its own inputs stream once
-            traffic += st.inputs.iter().map(|a| a.total_bytes(&st.iters) as f64).sum::<f64>();
+            traffic += st
+                .inputs
+                .iter()
+                .map(|a| a.total_bytes(&st.iters) as f64)
+                .sum::<f64>();
         }
     }
 
@@ -387,9 +406,9 @@ fn cpu_time(cpu: &CpuModel, graph: &Subgraph, sketch: &Sketch, schedule: &Schedu
 
     // Vectorization: AVX-512 wants the innermost spatial loop to be a
     // multiple of 16 f32 lanes.
-    let vec_eff = if a.inner_vec % 16 == 0 {
+    let vec_eff = if a.inner_vec.is_multiple_of(16) {
         1.0
-    } else if a.inner_vec % 8 == 0 {
+    } else if a.inner_vec.is_multiple_of(8) {
         0.82
     } else if a.inner_vec >= 4 {
         0.55
@@ -435,9 +454,9 @@ fn gpu_time(gpu: &GpuModel, graph: &Subgraph, sketch: &Sketch, schedule: &Schedu
     let peak_sm = gpu.freq_ghz * 1e9 * gpu.flops_per_cycle;
 
     // Coalescing: innermost spatial extent vs. 32-wide warps.
-    let coalesce = if a.inner_vec % 32 == 0 {
+    let coalesce = if a.inner_vec.is_multiple_of(32) {
         1.0
-    } else if a.inner_vec % 16 == 0 {
+    } else if a.inner_vec.is_multiple_of(16) {
         0.85
     } else if a.inner_vec >= 8 {
         0.6
@@ -446,8 +465,8 @@ fn gpu_time(gpu: &GpuModel, graph: &Subgraph, sketch: &Sketch, schedule: &Schedu
     };
 
     // Shared-memory tile fit (L1 tile ≈ shared memory staging).
-    let smem_eff = fit_factor(a.ws_l1, gpu.shared_mem_bytes, 0.5)
-        * fit_factor(a.ws_reg, 48 * 1024, 0.6);
+    let smem_eff =
+        fit_factor(a.ws_l1, gpu.shared_mem_bytes, 0.5) * fit_factor(a.ws_reg, 48 * 1024, 0.6);
 
     let unroll_eff = unroll_factor(schedule.unroll_depth(Target::Gpu), a.body);
 
@@ -513,9 +532,8 @@ mod tests {
         let cpu = Hardware::cpu();
         let small = workload::gemm(128, 128, 128);
         let large = workload::gemm(1024, 1024, 1024);
-        let avg = |g: &Subgraph| -> f64 {
-            (0..30).map(|s| random_time(&cpu, g, s)).sum::<f64>() / 30.0
-        };
+        let avg =
+            |g: &Subgraph| -> f64 { (0..30).map(|s| random_time(&cpu, g, s)).sum::<f64>() / 30.0 };
         assert!(avg(&large) > 10.0 * avg(&small));
     }
 
@@ -593,7 +611,10 @@ mod tests {
         let sk = &generate_sketches(&g, Target::Cpu)[0];
         let mut rng = StdRng::seed_from_u64(9);
         let s = Schedule::random(sk, Target::Cpu, &mut rng);
-        assert_eq!(cpu.execution_time(&g, sk, &s), cpu.execution_time(&g, sk, &s));
+        assert_eq!(
+            cpu.execution_time(&g, sk, &s),
+            cpu.execution_time(&g, sk, &s)
+        );
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! trials. Search algorithms compare against each other in simulated
 //! seconds and trial counts, exactly the two x-axes used by the paper.
 
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
 
 use harl_tensor_ir::{Schedule, Sketch, Subgraph};
 
@@ -31,7 +31,12 @@ pub struct MeasureConfig {
 
 impl Default for MeasureConfig {
     fn default() -> Self {
-        MeasureConfig { noise: 0.02, r_min: 1.0, build_overhead: 0.5, seed: 0x4a11 }
+        MeasureConfig {
+            noise: 0.02,
+            r_min: 1.0,
+            build_overhead: 0.5,
+            seed: 0x4a11,
+        }
     }
 }
 
@@ -82,18 +87,24 @@ impl Measurer {
 
     /// Total measurements performed so far.
     pub fn trials(&self) -> u64 {
-        self.state.lock().trials
+        self.state.lock().expect("measurer mutex poisoned").trials
     }
 
     /// Simulated seconds spent measuring so far.
     pub fn sim_seconds(&self) -> f64 {
-        self.state.lock().sim_seconds
+        self.state
+            .lock()
+            .expect("measurer mutex poisoned")
+            .sim_seconds
     }
 
     /// Charges non-measurement search time (e.g. RL training, evolution)
     /// to the simulated clock.
     pub fn charge_search_time(&self, seconds: f64) {
-        self.state.lock().sim_seconds += seconds;
+        self.state
+            .lock()
+            .expect("measurer mutex poisoned")
+            .sim_seconds += seconds;
     }
 
     /// Noise-free execution time (for evaluation/reporting only; search
@@ -106,13 +117,17 @@ impl Measurer {
     /// the simulated clock by the measurement cost.
     pub fn measure(&self, graph: &Subgraph, sketch: &Sketch, schedule: &Schedule) -> Measurement {
         let t = self.hw.execution_time(graph, sketch, schedule);
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().expect("measurer mutex poisoned");
         let noisy = t * lognormal_factor(&mut st.rng, self.cfg.noise);
         st.trials += 1;
         // repeated execution until r_min seconds have elapsed, plus build
         st.sim_seconds += self.cfg.r_min.max(t) + self.cfg.build_overhead;
         drop(st);
-        Measurement { schedule: schedule.clone(), time: noisy, flops_per_sec: graph.flops() / noisy }
+        Measurement {
+            schedule: schedule.clone(),
+            time: noisy,
+            flops_per_sec: graph.flops() / noisy,
+        }
     }
 
     /// Measures a batch. Execution-time evaluation fans out over threads;
@@ -125,7 +140,7 @@ impl Measurer {
         schedules: &[Schedule],
     ) -> Vec<Measurement> {
         let times = self.eval_batch_parallel(graph, sketch, schedules);
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().expect("measurer mutex poisoned");
         let mut out = Vec::with_capacity(schedules.len());
         for (s, t) in schedules.iter().zip(times) {
             let noisy = t * lognormal_factor(&mut st.rng, self.cfg.noise);
@@ -150,15 +165,18 @@ impl Measurer {
     ) -> Vec<f64> {
         const PAR_THRESHOLD: usize = 64;
         if schedules.len() < PAR_THRESHOLD {
-            return schedules.iter().map(|s| self.hw.execution_time(graph, sketch, s)).collect();
+            return schedules
+                .iter()
+                .map(|s| self.hw.execution_time(graph, sketch, s))
+                .collect();
         }
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         let chunk = schedules.len().div_ceil(workers);
         let mut times = vec![0.0f64; schedules.len()];
         std::thread::scope(|scope| {
-            for (slice_in, slice_out) in
-                schedules.chunks(chunk).zip(times.chunks_mut(chunk))
-            {
+            for (slice_in, slice_out) in schedules.chunks(chunk).zip(times.chunks_mut(chunk)) {
                 scope.spawn(move || {
                     for (s, t) in slice_in.iter().zip(slice_out.iter_mut()) {
                         *t = self.hw.execution_time(graph, sketch, s);
@@ -191,7 +209,9 @@ mod tests {
         let g = workload::gemm(512, 512, 512);
         let sk = generate_sketches(&g, Target::Cpu)[0].clone();
         let mut rng = StdRng::seed_from_u64(77);
-        let scheds = (0..100).map(|_| Schedule::random(&sk, Target::Cpu, &mut rng)).collect();
+        let scheds = (0..100)
+            .map(|_| Schedule::random(&sk, Target::Cpu, &mut rng))
+            .collect();
         (g, sk, scheds)
     }
 
@@ -218,12 +238,23 @@ mod tests {
     #[test]
     fn noise_is_bounded_and_centered() {
         let (g, sk, scheds) = setup();
-        let m = Measurer::new(Hardware::cpu(), MeasureConfig { noise: 0.02, ..Default::default() });
+        let m = Measurer::new(
+            Hardware::cpu(),
+            MeasureConfig {
+                noise: 0.02,
+                ..Default::default()
+            },
+        );
         let truth = m.true_time(&g, &sk, &scheds[0]);
-        let samples: Vec<f64> =
-            (0..500).map(|_| m.measure(&g, &sk, &scheds[0]).time).collect();
+        let samples: Vec<f64> = (0..500)
+            .map(|_| m.measure(&g, &sk, &scheds[0]).time)
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!((mean / truth - 1.0).abs() < 0.01, "mean ratio {}", mean / truth);
+        assert!(
+            (mean / truth - 1.0).abs() < 0.01,
+            "mean ratio {}",
+            mean / truth
+        );
         assert!(samples.iter().all(|&t| (t / truth - 1.0).abs() < 0.15));
     }
 
@@ -232,7 +263,10 @@ mod tests {
         let (g, sk, scheds) = setup();
         let m = Measurer::new(
             Hardware::cpu(),
-            MeasureConfig { noise: 0.0, ..Default::default() },
+            MeasureConfig {
+                noise: 0.0,
+                ..Default::default()
+            },
         );
         let truth = m.true_time(&g, &sk, &scheds[3]);
         assert_eq!(m.measure(&g, &sk, &scheds[3]).time, truth);
@@ -243,8 +277,7 @@ mod tests {
         let (g, sk, scheds) = setup();
         let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
         let par = m.eval_batch_parallel(&g, &sk, &scheds);
-        let ser: Vec<f64> =
-            scheds.iter().map(|s| m.true_time(&g, &sk, s)).collect();
+        let ser: Vec<f64> = scheds.iter().map(|s| m.true_time(&g, &sk, s)).collect();
         assert_eq!(par, ser);
     }
 
@@ -253,7 +286,10 @@ mod tests {
         let (g, sk, scheds) = setup();
         let m = Measurer::new(
             Hardware::cpu(),
-            MeasureConfig { noise: 0.0, ..Default::default() },
+            MeasureConfig {
+                noise: 0.0,
+                ..Default::default()
+            },
         );
         let r = m.measure(&g, &sk, &scheds[5]);
         assert!((r.flops_per_sec * r.time - g.flops()).abs() / g.flops() < 1e-9);

@@ -70,7 +70,7 @@ mod tests {
     fn rugged_factor_bounds() {
         for k in 0..10_000u64 {
             let f = rugged_factor(42, k, 0.06);
-            assert!(f <= 1.0 + 1e-12 && f >= 1.0 - 0.06 - 1e-12);
+            assert!((1.0 - 0.06 - 1e-12..=1.0 + 1e-12).contains(&f));
         }
     }
 

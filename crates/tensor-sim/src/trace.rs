@@ -39,7 +39,11 @@ impl TuneTrace {
             .last()
             .map(|p| best_time.min(p.best_time))
             .unwrap_or(best_time);
-        self.points.push(TracePoint { trials, sim_seconds, best_time: monotone });
+        self.points.push(TracePoint {
+            trials,
+            sim_seconds,
+            best_time: monotone,
+        });
     }
 
     /// True when nothing has been recorded yet.
@@ -49,7 +53,10 @@ impl TuneTrace {
 
     /// Final best execution time (∞ when nothing recorded).
     pub fn final_best(&self) -> f64 {
-        self.points.last().map(|p| p.best_time).unwrap_or(f64::INFINITY)
+        self.points
+            .last()
+            .map(|p| p.best_time)
+            .unwrap_or(f64::INFINITY)
     }
 
     /// First checkpoint at which the best time is ≤ `target`; returns the

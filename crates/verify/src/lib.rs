@@ -1,0 +1,559 @@
+//! Schedule-legality static analysis.
+//!
+//! The tuners in this workspace explore millions of candidate schedules;
+//! a candidate that races on a reduction or mis-factors a loop extent
+//! wastes a measurement at best and corrupts the search state at worst.
+//! This crate provides a lint framework over tensor programs: each
+//! [`ScheduleLint`] inspects one `(subgraph, sketch, schedule)` triple and
+//! emits structured [`Diagnostic`]s; an [`Analyzer`] runs a registry of
+//! lints and lets callers reject candidates carrying [`Severity::Error`]
+//! diagnostics *before* cost-model scoring or simulated measurement.
+//!
+//! Severity policy: correctness lints (V001 tile factorization, V002
+//! parallel-reduction race, V005 illegal compute-at, V006 non-finite
+//! search value) are errors and reject candidates; performance-smell lints
+//! (V003 cache over-subscription, V004 degenerate unroll) only warn and
+//! are surfaced as counters. Every legal generator in the workspace
+//! (`generate_sketches`, `Schedule::random`, `mutate`, `apply_action`,
+//! `crossover`) produces error-free schedules by construction — the
+//! workspace-level property tests assert exactly that.
+
+use serde::{Deserialize, Serialize};
+
+use harl_tensor_ir::{Schedule, Sketch, Subgraph, Target};
+use harl_tensor_sim::Hardware;
+
+pub mod lints;
+
+pub use lints::{
+    CacheFootprintLint, ComputeAtLint, DegenerateUnrollLint, ParallelReductionRaceLint,
+    TileFactorizationLint,
+};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// A performance smell: the schedule is legal but likely slow. Warned
+    /// schedules still flow through search.
+    Warn,
+    /// A correctness violation: the schedule must not be measured.
+    Error,
+}
+
+/// Stable identifiers of the built-in lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LintCode {
+    /// V001 — tile factor list malformed: wrong shape, zero factor, or
+    /// factor product ≠ iterator extent (subsumes `Schedule::validate`).
+    TileFactorization,
+    /// V002 — fused parallel outer band covers a reduction-carrying
+    /// iterator without rfactor: concurrent read-modify-write race.
+    ParallelReductionRace,
+    /// V003 — tile working set over-subscribes the L1/L2 cache budget.
+    CacheOverSubscription,
+    /// V004 — auto-unroll depth at or above the innermost trip count.
+    DegenerateUnroll,
+    /// V005 — compute-at position out of range or fusing a consumer
+    /// inside the anchor's reduction scope (reads partial accumulations).
+    IllegalComputeAt,
+    /// V006 — non-finite value (NaN/∞) in search state: PPO advantages,
+    /// rewards, SW-UCB observations.
+    NonFiniteValue,
+}
+
+impl LintCode {
+    /// Every built-in lint code, in `V001..` order.
+    pub const ALL: [LintCode; 6] = [
+        LintCode::TileFactorization,
+        LintCode::ParallelReductionRace,
+        LintCode::CacheOverSubscription,
+        LintCode::DegenerateUnroll,
+        LintCode::IllegalComputeAt,
+        LintCode::NonFiniteValue,
+    ];
+
+    /// Number of built-in lint codes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index of this code (for counter arrays).
+    pub fn index(self) -> usize {
+        match self {
+            LintCode::TileFactorization => 0,
+            LintCode::ParallelReductionRace => 1,
+            LintCode::CacheOverSubscription => 2,
+            LintCode::DegenerateUnroll => 3,
+            LintCode::IllegalComputeAt => 4,
+            LintCode::NonFiniteValue => 5,
+        }
+    }
+
+    /// The stable `Vxxx` identifier printed in diagnostics and tables.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::TileFactorization => "V001",
+            LintCode::ParallelReductionRace => "V002",
+            LintCode::CacheOverSubscription => "V003",
+            LintCode::DegenerateUnroll => "V004",
+            LintCode::IllegalComputeAt => "V005",
+            LintCode::NonFiniteValue => "V006",
+        }
+    }
+
+    /// Human-readable lint name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::TileFactorization => "tile-factorization",
+            LintCode::ParallelReductionRace => "parallel-reduction-race",
+            LintCode::CacheOverSubscription => "cache-over-subscription",
+            LintCode::DegenerateUnroll => "degenerate-unroll",
+            LintCode::IllegalComputeAt => "illegal-compute-at",
+            LintCode::NonFiniteValue => "non-finite-value",
+        }
+    }
+
+    /// The severity findings of this lint carry.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::TileFactorization
+            | LintCode::ParallelReductionRace
+            | LintCode::IllegalComputeAt
+            | LintCode::NonFiniteValue => Severity::Error,
+            LintCode::CacheOverSubscription | LintCode::DegenerateUnroll => Severity::Warn,
+        }
+    }
+}
+
+/// The schedule component a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Component {
+    /// The whole schedule (shape-level problems).
+    Schedule,
+    /// Tiled iterator `k`'s factor list.
+    TiledIter(usize),
+    /// The compute-at position.
+    ComputeAt,
+    /// The fused-parallel-loops count.
+    ParallelFuse,
+    /// The auto-unroll depth.
+    Unroll,
+    /// A scalar inside the search algorithm (reward, advantage, …).
+    SearchValue,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// Error (reject) or Warn (count only).
+    pub severity: Severity,
+    /// The offending schedule component.
+    pub component: Component,
+    /// Human-readable explanation with the concrete numbers.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with the code's default severity.
+    pub fn new(code: LintCode, component: Component, message: String) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            component,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        };
+        write!(
+            f,
+            "{sev}[{}:{}] {}",
+            self.code.code(),
+            self.code.name(),
+            self.message
+        )
+    }
+}
+
+/// Cache capacities the footprint lint checks against, decoupled from the
+/// simulator's full hardware model so the analyzer stays cheap to build.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CacheBudget {
+    /// Innermost cache level a depth-2 tile should fit (CPU L1 / GPU
+    /// shared memory), bytes.
+    pub l1_bytes: u64,
+    /// Next level a depth-3 tile should fit (L2), bytes.
+    pub l2_bytes: u64,
+}
+
+impl CacheBudget {
+    /// Default budget for a target platform (matches the simulator's
+    /// default hardware models).
+    pub fn for_target(target: Target) -> Self {
+        match target {
+            Target::Cpu => CacheBudget {
+                l1_bytes: 32 * 1024,
+                l2_bytes: 1024 * 1024,
+            },
+            Target::Gpu => CacheBudget {
+                l1_bytes: 100 * 1024,
+                l2_bytes: 6 * 1024 * 1024,
+            },
+        }
+    }
+}
+
+impl From<&Hardware> for CacheBudget {
+    fn from(hw: &Hardware) -> Self {
+        match hw {
+            Hardware::Cpu(c) => CacheBudget {
+                l1_bytes: c.l1_bytes,
+                l2_bytes: c.l2_bytes,
+            },
+            Hardware::Gpu(g) => CacheBudget {
+                l1_bytes: g.shared_mem_bytes,
+                l2_bytes: g.l2_bytes,
+            },
+        }
+    }
+}
+
+/// Everything a lint may inspect.
+pub struct LintContext<'a> {
+    /// The subgraph being scheduled.
+    pub graph: &'a Subgraph,
+    /// The sketch the schedule instantiates.
+    pub sketch: &'a Sketch,
+    /// The candidate schedule.
+    pub schedule: &'a Schedule,
+    /// Target platform.
+    pub target: Target,
+    /// Cache capacities for footprint checks.
+    pub budget: CacheBudget,
+}
+
+/// One static check over a schedule.
+pub trait ScheduleLint {
+    /// The code this lint reports under.
+    fn code(&self) -> LintCode;
+
+    /// Whether this lint indexes into the tile factor lists and therefore
+    /// must be skipped when V001 found the schedule malformed.
+    fn requires_well_formed(&self) -> bool {
+        true
+    }
+
+    /// Inspects the schedule, appending any findings to `out`.
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// A lint registry with the cache budget it checks against.
+pub struct Analyzer {
+    lints: Vec<Box<dyn ScheduleLint>>,
+    budget: CacheBudget,
+}
+
+impl Analyzer {
+    /// An analyzer with no lints registered.
+    pub fn empty(budget: CacheBudget) -> Self {
+        Analyzer {
+            lints: Vec::new(),
+            budget,
+        }
+    }
+
+    /// An analyzer with every built-in schedule lint registered.
+    pub fn with_default_lints(budget: CacheBudget) -> Self {
+        let mut a = Analyzer::empty(budget);
+        a.register(Box::new(TileFactorizationLint));
+        a.register(Box::new(ParallelReductionRaceLint));
+        a.register(Box::new(CacheFootprintLint));
+        a.register(Box::new(DegenerateUnrollLint));
+        a.register(Box::new(ComputeAtLint));
+        a
+    }
+
+    /// Default lints with the budget derived from `hw`'s cache sizes.
+    pub fn for_hardware(hw: &Hardware) -> Self {
+        Self::with_default_lints(CacheBudget::from(hw))
+    }
+
+    /// Default lints with the default budget of `target`.
+    pub fn for_target(target: Target) -> Self {
+        Self::with_default_lints(CacheBudget::for_target(target))
+    }
+
+    /// Adds a lint to the registry (runs after the existing ones).
+    pub fn register(&mut self, lint: Box<dyn ScheduleLint>) {
+        self.lints.push(lint);
+    }
+
+    /// Codes of the registered lints, in run order.
+    pub fn lint_codes(&self) -> Vec<LintCode> {
+        self.lints.iter().map(|l| l.code()).collect()
+    }
+
+    /// The cache budget footprint lints check against.
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
+    }
+
+    /// Runs every registered lint, returning all findings. Lints that
+    /// index the tile lists are skipped when the shape lint (V001) found
+    /// the schedule malformed, so `analyze` never panics on corrupt input.
+    pub fn analyze(
+        &self,
+        graph: &Subgraph,
+        sketch: &Sketch,
+        target: Target,
+        schedule: &Schedule,
+    ) -> Vec<Diagnostic> {
+        let ctx = LintContext {
+            graph,
+            sketch,
+            schedule,
+            target,
+            budget: self.budget,
+        };
+        let mut out = Vec::new();
+        let mut malformed = false;
+        for lint in &self.lints {
+            if malformed && lint.requires_well_formed() {
+                continue;
+            }
+            let before = out.len();
+            lint.check(&ctx, &mut out);
+            if lint.code() == LintCode::TileFactorization
+                && out[before..].iter().any(|d| d.severity == Severity::Error)
+            {
+                malformed = true;
+            }
+        }
+        out
+    }
+
+    /// The first error-severity finding, if any (cheap rejection check).
+    pub fn first_error(
+        &self,
+        graph: &Subgraph,
+        sketch: &Sketch,
+        target: Target,
+        schedule: &Schedule,
+    ) -> Option<Diagnostic> {
+        self.analyze(graph, sketch, target, schedule)
+            .into_iter()
+            .find(|d| d.severity == Severity::Error)
+    }
+
+    /// True when the schedule carries no error-severity findings.
+    pub fn is_legal(
+        &self,
+        graph: &Subgraph,
+        sketch: &Sketch,
+        target: Target,
+        schedule: &Schedule,
+    ) -> bool {
+        self.first_error(graph, sketch, target, schedule).is_none()
+    }
+}
+
+/// Checks a scalar search value for NaN/∞ — the V006 lint. Returns the
+/// diagnostic when the value is non-finite; callers substitute a neutral
+/// value and count the finding.
+pub fn check_finite(what: &str, value: f64) -> Option<Diagnostic> {
+    if value.is_finite() {
+        None
+    } else {
+        Some(Diagnostic::new(
+            LintCode::NonFiniteValue,
+            Component::SearchValue,
+            format!("{what} is {value} (non-finite); substituting a neutral value"),
+        ))
+    }
+}
+
+/// Per-lint finding counters, accumulated across a search run and
+/// embedded in tuning reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintStats {
+    /// Findings per lint code, indexed by [`LintCode::index`].
+    pub counts: [u64; LintCode::COUNT],
+    /// Schedules run through the analyzer.
+    pub checked: u64,
+    /// Schedules rejected (carried at least one error finding).
+    pub rejected: u64,
+}
+
+impl LintStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one schedule's findings into the counters. Returns `true`
+    /// when the schedule must be rejected (any error-severity finding).
+    pub fn record(&mut self, diags: &[Diagnostic]) -> bool {
+        self.checked += 1;
+        let mut reject = false;
+        for d in diags {
+            self.counts[d.code.index()] += 1;
+            reject |= d.severity == Severity::Error;
+        }
+        if reject {
+            self.rejected += 1;
+        }
+        reject
+    }
+
+    /// Counts a single extra finding (used for V006 values checked
+    /// outside the schedule analyzer).
+    pub fn record_finding(&mut self, code: LintCode) {
+        self.counts[code.index()] += 1;
+    }
+
+    /// Findings recorded under `code`.
+    pub fn count(&self, code: LintCode) -> u64 {
+        self.counts[code.index()]
+    }
+
+    /// Total findings across all codes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &LintStats) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.checked += other.checked;
+        self.rejected += other.rejected;
+    }
+
+    /// `(code, name, findings)` rows for every lint, in `V001..` order.
+    pub fn rows(&self) -> Vec<(&'static str, &'static str, u64)> {
+        LintCode::ALL
+            .iter()
+            .map(|&c| (c.code(), c.name(), self.count(c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harl_tensor_ir::{generate_sketches, workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn codes_are_stable_and_dense() {
+        for (i, c) in LintCode::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(c.code(), format!("V{:03}", i + 1));
+        }
+    }
+
+    #[test]
+    fn default_registry_covers_all_schedule_lints() {
+        let a = Analyzer::for_target(Target::Cpu);
+        let codes = a.lint_codes();
+        assert_eq!(codes.len(), 5, "five schedule lints; V006 is a value check");
+        for c in [
+            LintCode::TileFactorization,
+            LintCode::ParallelReductionRace,
+            LintCode::CacheOverSubscription,
+            LintCode::DegenerateUnroll,
+            LintCode::IllegalComputeAt,
+        ] {
+            assert!(codes.contains(&c), "{c:?} missing from default registry");
+        }
+    }
+
+    #[test]
+    fn random_schedules_are_error_free() {
+        let a = Analyzer::for_target(Target::Cpu);
+        let mut rng = StdRng::seed_from_u64(7);
+        for g in [
+            workload::gemm(256, 256, 256),
+            workload::conv2d(1, 28, 28, 32, 64, 3, 1, 1),
+            workload::softmax(512, 128),
+        ] {
+            for sk in generate_sketches(&g, Target::Cpu) {
+                for _ in 0..40 {
+                    let s = Schedule::random(&sk, Target::Cpu, &mut rng);
+                    assert!(
+                        a.is_legal(&g, &sk, Target::Cpu, &s),
+                        "{:?}",
+                        a.first_error(&g, &sk, Target::Cpu, &s)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_schedule_does_not_panic_the_analyzer() {
+        let a = Analyzer::for_target(Target::Cpu);
+        let g = workload::gemm(64, 64, 64);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut s = Schedule::random(sk, Target::Cpu, &mut rng);
+        s.tiles.pop();
+        s.unroll_idx = 99;
+        let diags = a.analyze(&g, sk, Target::Cpu, &s);
+        assert!(diags.iter().any(|d| d.code == LintCode::TileFactorization));
+        assert!(!a.is_legal(&g, sk, Target::Cpu, &s));
+    }
+
+    #[test]
+    fn check_finite_flags_only_non_finite() {
+        assert!(check_finite("reward", 1.5).is_none());
+        assert!(check_finite("reward", 0.0).is_none());
+        let d = check_finite("reward", f64::NAN).expect("NaN flagged");
+        assert_eq!(d.code, LintCode::NonFiniteValue);
+        assert_eq!(d.severity, Severity::Error);
+        assert!(check_finite("reward", f64::INFINITY).is_some());
+    }
+
+    #[test]
+    fn stats_count_and_merge() {
+        let mut s = LintStats::new();
+        let warn = Diagnostic::new(LintCode::DegenerateUnroll, Component::Unroll, "w".into());
+        let err = Diagnostic::new(
+            LintCode::ParallelReductionRace,
+            Component::ParallelFuse,
+            "e".into(),
+        );
+        assert!(!s.record(std::slice::from_ref(&warn)));
+        assert!(s.record(&[warn, err]));
+        assert_eq!(s.checked, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.count(LintCode::DegenerateUnroll), 2);
+        let mut t = LintStats::new();
+        t.record_finding(LintCode::NonFiniteValue);
+        s.merge(&t);
+        assert_eq!(s.count(LintCode::NonFiniteValue), 1);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.rows().len(), LintCode::COUNT);
+    }
+
+    #[test]
+    fn diagnostics_render_with_code_and_name() {
+        let d = Diagnostic::new(
+            LintCode::TileFactorization,
+            Component::TiledIter(2),
+            "factors multiply to 12, extent is 16".into(),
+        );
+        let text = d.to_string();
+        assert!(text.contains("V001"), "{text}");
+        assert!(text.contains("tile-factorization"), "{text}");
+        assert!(text.starts_with("error"), "{text}");
+    }
+}

@@ -16,15 +16,24 @@ fn main() {
         .unwrap_or(320);
 
     let gemm = harl_repro::ir::workload::gemm(1024, 1024, 1024);
-    println!("workload: {} | budget: {trials} trials per variant\n", gemm.name);
+    println!(
+        "workload: {} | budget: {trials} trials per variant\n",
+        gemm.name
+    );
 
-    let base = HarlConfig { measure_per_round: 16, ..HarlConfig::fast() };
+    let base = HarlConfig {
+        measure_per_round: 16,
+        ..HarlConfig::fast()
+    };
 
     let fm = Measurer::new(Hardware::cpu(), MeasureConfig::default());
     let mut fixed = HarlOperatorTuner::new(
         gemm.clone(),
         &fm,
-        HarlConfig { adaptive_stopping: false, ..base.clone() },
+        HarlConfig {
+            adaptive_stopping: false,
+            ..base.clone()
+        },
     );
     fixed.tune(trials);
 
@@ -32,8 +41,14 @@ fn main() {
     let mut adaptive = HarlOperatorTuner::new(gemm.clone(), &am, base);
     adaptive.tune(trials);
 
-    println!("Hierarchical-RL (fixed length): best {:.3} ms", fixed.best_time * 1e3);
-    println!("HARL (adaptive stopping):       best {:.3} ms", adaptive.best_time * 1e3);
+    println!(
+        "Hierarchical-RL (fixed length): best {:.3} ms",
+        fixed.best_time * 1e3
+    );
+    println!(
+        "HARL (adaptive stopping):       best {:.3} ms",
+        adaptive.best_time * 1e3
+    );
     println!(
         "adaptive/fixed performance: {:.2}x\n",
         fixed.best_time / adaptive.best_time
@@ -55,7 +70,11 @@ fn main() {
     }
     let frac = |h: &[u64]| {
         let total: u64 = h.iter().sum();
-        if total == 0 { 0.0 } else { h[9] as f64 / total as f64 }
+        if total == 0 {
+            0.0
+        } else {
+            h[9] as f64 / total as f64
+        }
     };
     println!(
         "\ncritical steps in the last 10% of their track: fixed {:.0}%, adaptive {:.0}%",

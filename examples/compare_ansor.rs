@@ -18,10 +18,14 @@ fn main() {
 
     // --- Ansor -----------------------------------------------------------
     let ansor_m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
-    let mut ansor = AnsorTuner::new(gemm.clone(), &ansor_m, AnsorConfig {
-        measure_per_round: 16,
-        ..Default::default()
-    });
+    let mut ansor = AnsorTuner::new(
+        gemm.clone(),
+        &ansor_m,
+        AnsorConfig {
+            measure_per_round: 16,
+            ..Default::default()
+        },
+    );
     ansor.tune(trials);
     println!(
         "Ansor : best {:.3} ms after {} trials ({:.0} simulated seconds)",
@@ -32,10 +36,14 @@ fn main() {
 
     // --- HARL ---------------------------------------------------------------
     let harl_m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
-    let mut harl = HarlOperatorTuner::new(gemm.clone(), &harl_m, HarlConfig {
-        measure_per_round: 16,
-        ..HarlConfig::fast()
-    });
+    let mut harl = HarlOperatorTuner::new(
+        gemm.clone(),
+        &harl_m,
+        HarlConfig {
+            measure_per_round: 16,
+            ..HarlConfig::fast()
+        },
+    );
     harl.tune(trials);
     println!(
         "HARL  : best {:.3} ms after {} trials ({:.0} simulated seconds)",
@@ -55,9 +63,9 @@ fn main() {
             ansor_m.sim_seconds() / s,
             ansor_m.sim_seconds()
         ),
-        None => println!(
-            "search speed: HARL did not reach Ansor's final performance in this budget"
-        ),
+        None => {
+            println!("search speed: HARL did not reach Ansor's final performance in this budget")
+        }
     }
 
     println!("\nbest-so-far trace (trials → ms):");

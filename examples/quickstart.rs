@@ -29,7 +29,10 @@ fn main() {
     tuner.tune(160);
 
     // 5. Report.
-    let best = tuner.best_schedule.as_ref().expect("tuning found a schedule");
+    let best = tuner
+        .best_schedule
+        .as_ref()
+        .expect("tuning found a schedule");
     let gflops = gemm.flops() / tuner.best_time / 1e9;
     println!("\nafter {} measurement trials:", tuner.trials_used);
     println!("  best execution time: {:.3} ms", tuner.best_time * 1e3);
@@ -44,10 +47,7 @@ fn main() {
         );
     }
     println!("  parallel outer loops: {}", best.parallel_fuse);
-    println!(
-        "  auto-unroll depth:    {}",
-        best.unroll_depth(Target::Cpu)
-    );
+    println!("  auto-unroll depth:    {}", best.unroll_depth(Target::Cpu));
 
     // 6. The scheduled loop nest as a code generator would emit it.
     println!("\nscheduled loop nest:");

@@ -15,20 +15,37 @@ fn main() {
         .unwrap_or(640);
 
     let subgraphs = Network::Bert.subgraphs(1);
-    println!("BERT: {} distinct subgraphs, {trials}-trial budget", subgraphs.len());
+    println!(
+        "BERT: {} distinct subgraphs, {trials}-trial budget",
+        subgraphs.len()
+    );
     for g in &subgraphs {
-        println!("  {:<16} w={:<3} {:>10.2} MFLOPs", g.name, g.weight, g.flops() / 1e6);
+        println!(
+            "  {:<16} w={:<3} {:>10.2} MFLOPs",
+            g.name,
+            g.weight,
+            g.flops() / 1e6
+        );
     }
 
     let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
-    let cfg = HarlConfig { measure_per_round: 16, ..HarlConfig::fast() };
+    let cfg = HarlConfig {
+        measure_per_round: 16,
+        ..HarlConfig::fast()
+    };
     let mut tuner = HarlNetworkTuner::new(subgraphs, &measurer, cfg);
     tuner.tune(trials);
 
-    println!("\nestimated network latency f(S) = Σ wₙ·gₙ = {:.3} ms", tuner.network_latency() * 1e3);
+    println!(
+        "\nestimated network latency f(S) = Σ wₙ·gₙ = {:.3} ms",
+        tuner.network_latency() * 1e3
+    );
     println!("simulated search time: {:.0} s\n", measurer.sim_seconds());
 
-    println!("{:<16} {:>8} {:>12} {:>14}", "subgraph", "trials", "best (µs)", "weighted (µs)");
+    println!(
+        "{:<16} {:>8} {:>12} {:>14}",
+        "subgraph", "trials", "best (µs)", "weighted (µs)"
+    );
     let mut order: Vec<usize> = (0..tuner.infos.len()).collect();
     order.sort_by(|&a, &b| {
         let ca = tuner.infos[a].weight * tuner.states[a].best_time;
@@ -53,7 +70,11 @@ fn main() {
             "  round at trial {:>5}: tuned {:<16} → f(S) = {:.3} ms",
             r.trials_after,
             tuner.infos[r.task].name,
-            if r.latency.is_finite() { r.latency * 1e3 } else { f64::NAN }
+            if r.latency.is_finite() {
+                r.latency * 1e3
+            } else {
+                f64::NAN
+            }
         );
     }
 }

@@ -1,0 +1,195 @@
+//! Offline criterion shim. Provides the `Criterion`/`Bencher` API surface
+//! the workspace benches use, timing with a plain wall-clock loop and
+//! printing one median-estimate line per benchmark. No statistics, HTML
+//! reports, or CLI filtering — just enough to keep `cargo bench` useful
+//! without registry access.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How per-iteration inputs are batched in `iter_batched` (accepted for
+/// API compatibility; the shim times every routine call individually).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            warmup: Duration::from_millis(150),
+            measure: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark and prints its median time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget_per_sample: self.measure.div_f64(self.sample_size as f64),
+            warmup: self.warmup,
+        };
+        f(&mut b);
+        let mut ns: Vec<f64> = b.samples;
+        if ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = ns[ns.len() / 2];
+        let lo = ns[ns.len() / 10];
+        let hi = ns[(ns.len() * 9 / 10).min(ns.len() - 1)];
+        println!(
+            "{name:<40} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi)
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Per-benchmark timing harness.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget_per_sample: Duration,
+    warmup: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warmup and calibration: how many iterations fit one sample budget?
+        let warm_start = Instant::now();
+        let mut iters_per_sample = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            iters_per_sample += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / iters_per_sample.max(1) as f64;
+        let n = ((self.budget_per_sample.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let total_budget = Instant::now();
+        while self.samples.len() < self.samples.capacity().max(8)
+            && total_budget.elapsed().as_secs_f64() < 2.0
+        {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_nanos() as f64 / n as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+            if warm_iters > 10_000 {
+                break;
+            }
+        }
+        let total_budget = Instant::now();
+        while self.samples.len() < self.samples.capacity().max(8)
+            && total_budget.elapsed().as_secs_f64() < 2.0
+        {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion {
+            sample_size: 4,
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn format_covers_scales() {
+        assert!(format_ns(5.0).ends_with("ns"));
+        assert!(format_ns(5e4).ends_with("µs"));
+        assert!(format_ns(5e7).ends_with("ms"));
+        assert!(format_ns(5e9).ends_with('s'));
+    }
+}

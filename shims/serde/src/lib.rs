@@ -1,0 +1,334 @@
+//! Offline drop-in replacement for the subset of `serde` this workspace
+//! uses: a `Serialize` trait that drives a JSON writer, a `Deserialize`
+//! marker (nothing in the workspace deserializes), and the derive macros.
+//!
+//! The real crate cannot be fetched (no registry access in the build
+//! environment); the shim keeps call sites source-compatible:
+//! `#[derive(Serialize, Deserialize)]`, `#[serde(skip)]`, and
+//! `serde_json::to_string_pretty` all work.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `w`.
+    fn serialize(&self, w: &mut ser::JsonWriter);
+}
+
+/// Marker standing in for `serde::Deserialize`. Blanket-implemented: the
+/// derive expands to nothing and no code path deserializes.
+pub trait Deserialize<'de> {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod ser {
+    //! The JSON writer the derive macros target.
+
+    /// Incremental JSON writer with optional pretty-printing.
+    pub struct JsonWriter {
+        out: String,
+        pretty: bool,
+        /// Per-open-container flag: has the container emitted an entry yet?
+        stack: Vec<bool>,
+    }
+
+    impl JsonWriter {
+        /// A compact writer.
+        pub fn new() -> Self {
+            JsonWriter {
+                out: String::new(),
+                pretty: false,
+                stack: Vec::new(),
+            }
+        }
+
+        /// A pretty-printing writer (two-space indent).
+        pub fn pretty() -> Self {
+            JsonWriter {
+                out: String::new(),
+                pretty: true,
+                stack: Vec::new(),
+            }
+        }
+
+        /// The accumulated JSON text.
+        pub fn finish(self) -> String {
+            self.out
+        }
+
+        fn newline_indent(&mut self) {
+            if self.pretty {
+                self.out.push('\n');
+                for _ in 0..self.stack.len() {
+                    self.out.push_str("  ");
+                }
+            }
+        }
+
+        fn begin_entry(&mut self) {
+            if let Some(has_entries) = self.stack.last_mut() {
+                if *has_entries {
+                    self.out.push(',');
+                }
+                *has_entries = true;
+                self.newline_indent();
+            }
+        }
+
+        /// Opens a JSON object.
+        pub fn begin_object(&mut self) {
+            self.out.push('{');
+            self.stack.push(false);
+        }
+
+        /// Closes the innermost object.
+        pub fn end_object(&mut self) {
+            let had = self.stack.pop().unwrap_or(false);
+            if had {
+                self.newline_indent();
+            }
+            self.out.push('}');
+        }
+
+        /// Opens a JSON array.
+        pub fn begin_array(&mut self) {
+            self.out.push('[');
+            self.stack.push(false);
+        }
+
+        /// Closes the innermost array.
+        pub fn end_array(&mut self) {
+            let had = self.stack.pop().unwrap_or(false);
+            if had {
+                self.newline_indent();
+            }
+            self.out.push(']');
+        }
+
+        /// Starts an object entry with the given key.
+        pub fn key(&mut self, k: &str) {
+            self.begin_entry();
+            self.write_escaped(k);
+            self.out.push(':');
+            if self.pretty {
+                self.out.push(' ');
+            }
+        }
+
+        /// Starts an array element.
+        pub fn elem(&mut self) {
+            self.begin_entry();
+        }
+
+        /// Writes a string scalar (escaped).
+        pub fn string(&mut self, s: &str) {
+            self.write_escaped(s);
+        }
+
+        /// Writes a pre-formatted number token.
+        pub fn number(&mut self, token: &str) {
+            self.out.push_str(token);
+        }
+
+        /// Writes a boolean scalar.
+        pub fn boolean(&mut self, b: bool) {
+            self.out.push_str(if b { "true" } else { "false" });
+        }
+
+        /// Writes a JSON null.
+        pub fn null(&mut self) {
+            self.out.push_str("null");
+        }
+
+        fn write_escaped(&mut self, s: &str) {
+            self.out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => self.out.push_str("\\\""),
+                    '\\' => self.out.push_str("\\\\"),
+                    '\n' => self.out.push_str("\\n"),
+                    '\r' => self.out.push_str("\\r"),
+                    '\t' => self.out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        self.out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+        }
+    }
+
+    impl Default for JsonWriter {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
+use ser::JsonWriter;
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut JsonWriter) {
+                w.number(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, w: &mut JsonWriter) {
+                if self.is_finite() {
+                    w.number(&format!("{self}"));
+                } else {
+                    // JSON has no Inf/NaN; serde_json errors, this shim is
+                    // lenient and writes null
+                    w.null();
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.boolean(*self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, w: &mut JsonWriter) {
+        (**self).serialize(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        (**self).serialize(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        match self {
+            Some(v) => v.serialize(w),
+            None => w.null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for v in self {
+            w.elem();
+            v.serialize(w);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        self.as_slice().serialize(w);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, w: &mut JsonWriter) {
+        self.as_slice().serialize(w);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        w.elem();
+        self.0.serialize(w);
+        w.elem();
+        self.1.serialize(w);
+        w.end_array();
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        w.elem();
+        self.0.serialize(w);
+        w.elem();
+        self.1.serialize(w);
+        w.elem();
+        self.2.serialize(w);
+        w.end_array();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ser::JsonWriter;
+    use super::Serialize;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut w = JsonWriter::new();
+        v.serialize(&mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_json(&3u32), "3");
+        assert_eq!(to_json(&-4i64), "-4");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&"a\"b".to_string()), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(&vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&Some(7u8)), "7");
+        assert_eq!(to_json(&Option::<u8>::None), "null");
+        assert_eq!(to_json(&(1u8, "x")), "[1,\"x\"]");
+    }
+
+    #[test]
+    fn nested_objects_pretty() {
+        let mut w = JsonWriter::pretty();
+        w.begin_object();
+        w.key("a");
+        vec![1u8, 2].serialize(&mut w);
+        w.key("b");
+        w.begin_object();
+        w.key("c");
+        1u8.serialize(&mut w);
+        w.end_object();
+        w.end_object();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {\n    \"c\": 1\n  }\n}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Offline `serde_json` shim: JSON string rendering over the serde shim's
+//! writer. Only the encoding entry points the workspace calls are provided.
+
+use serde::ser::JsonWriter;
+use serde::Serialize;
+
+/// Serialization error. The shim writer is infallible (non-finite floats
+/// are written as `null` instead of erroring), so this is never produced,
+/// but the type keeps `?`-based call sites compiling.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Encodes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::new();
+    value.serialize(&mut w);
+    Ok(w.finish())
+}
+
+/// Encodes `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::pretty();
+    value.serialize(&mut w);
+    Ok(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn encodes_vec() {
+        assert_eq!(super::to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+        assert_eq!(super::to_string_pretty(&vec![1u8]).unwrap(), "[\n  1\n]");
+    }
+}

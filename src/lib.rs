@@ -20,6 +20,9 @@
 //!   search + adaptive stopping.
 //! * [`models`] — BERT / ResNet-50 / MobileNet-V2 workloads and the
 //!   Table 6 operator suite.
+//! * [`verify`] — the schedule lint framework (V001–V006): structured
+//!   diagnostics over tensor programs, consumed by every tuner to reject
+//!   illegal candidates before cost-model scoring.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@ pub use harl_nn_models as models;
 pub use harl_nnet as nnet;
 pub use harl_tensor_ir as ir;
 pub use harl_tensor_sim as sim;
+pub use harl_verify as verify;
 
 /// The most commonly used types, one import away.
 pub mod prelude {
@@ -50,4 +54,5 @@ pub mod prelude {
     pub use harl_nn_models::{operator_suite, Network, OperatorClass};
     pub use harl_tensor_ir::{generate_sketches, Schedule, Sketch, Subgraph, Target};
     pub use harl_tensor_sim::{Hardware, MeasureConfig, Measurer, TuneTrace};
+    pub use harl_verify::{Analyzer, Diagnostic, LintCode, LintStats, Severity};
 }

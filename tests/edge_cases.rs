@@ -1,7 +1,7 @@
 //! Edge-case and failure-injection tests across the stack.
 
-use harl_repro::prelude::*;
 use harl_repro::ir::{workload, ActionSpace};
+use harl_repro::prelude::*;
 
 #[test]
 fn extent_one_iterators_are_schedulable() {
@@ -42,7 +42,10 @@ fn prime_extent_iterators_tile_correctly() {
 #[test]
 fn tuning_survives_extreme_measurement_noise() {
     // 50% noise: the tuner must still terminate and return something sane
-    let cfg = MeasureConfig { noise: 0.5, ..Default::default() };
+    let cfg = MeasureConfig {
+        noise: 0.5,
+        ..Default::default()
+    };
     let measurer = Measurer::new(Hardware::cpu(), cfg);
     let g = workload::gemm(128, 128, 128);
     let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
@@ -54,7 +57,10 @@ fn tuning_survives_extreme_measurement_noise() {
 #[test]
 fn tuning_with_zero_noise_is_fully_deterministic_across_tuners() {
     let run = || {
-        let cfg = MeasureConfig { noise: 0.0, ..Default::default() };
+        let cfg = MeasureConfig {
+            noise: 0.0,
+            ..Default::default()
+        };
         let measurer = Measurer::new(Hardware::cpu(), cfg);
         let g = workload::gemm(128, 256, 128);
         let mut t = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());

@@ -4,11 +4,17 @@
 use harl_repro::prelude::*;
 
 fn small_harl() -> HarlConfig {
-    HarlConfig { measure_per_round: 8, ..HarlConfig::tiny() }
+    HarlConfig {
+        measure_per_round: 8,
+        ..HarlConfig::tiny()
+    }
 }
 
 fn small_ansor() -> AnsorConfig {
-    AnsorConfig { measure_per_round: 8, ..Default::default() }
+    AnsorConfig {
+        measure_per_round: 8,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -19,7 +25,11 @@ fn harl_improves_gemm_over_first_round() {
     t.round(8);
     let first = t.best_time;
     t.tune(96);
-    assert!(t.best_time < first, "HARL must improve: {first} → {}", t.best_time);
+    assert!(
+        t.best_time < first,
+        "HARL must improve: {first} → {}",
+        t.best_time
+    );
 }
 
 #[test]
@@ -46,8 +56,16 @@ fn both_tuners_find_reasonable_gemm_schedules() {
     let mut harl = HarlOperatorTuner::new(g.clone(), &hm, small_harl());
     harl.tune(96);
 
-    assert!(ansor.best_time < median / 2.0, "Ansor {} vs median {median}", ansor.best_time);
-    assert!(harl.best_time < median / 2.0, "HARL {} vs median {median}", harl.best_time);
+    assert!(
+        ansor.best_time < median / 2.0,
+        "Ansor {} vs median {median}",
+        ansor.best_time
+    );
+    assert!(
+        harl.best_time < median / 2.0,
+        "HARL {} vs median {median}",
+        harl.best_time
+    );
 }
 
 #[test]
@@ -61,7 +79,10 @@ fn same_seed_same_result() {
     };
     let a = run();
     let b = run();
-    assert_eq!(a.0, b.0, "best time must be deterministic under a fixed seed");
+    assert_eq!(
+        a.0, b.0,
+        "best time must be deterministic under a fixed seed"
+    );
     assert_eq!(a.1, b.1);
     assert_eq!(a.2, b.2);
 }
@@ -71,7 +92,10 @@ fn different_seeds_explore_differently() {
     let run = |seed: u64| {
         let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
         let g = harl_repro::ir::workload::gemm(256, 256, 256);
-        let cfg = HarlConfig { seed, ..small_harl() };
+        let cfg = HarlConfig {
+            seed,
+            ..small_harl()
+        };
         let mut t = HarlOperatorTuner::new(g, &measurer, cfg);
         t.tune(24);
         t.best_time

@@ -6,22 +6,20 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use harl_repro::ir::{
-    apply_action, extract_features, generate_sketches, mutate, Action, ActionSpace, Schedule,
-    StepDir, Subgraph, Target, FEATURE_DIM,
+    apply_action, crossover, extract_features, generate_sketches, mutate, mutate_kind, Action,
+    ActionSpace, MutationKind, Schedule, StepDir, Subgraph, Target, FEATURE_DIM,
 };
 use harl_repro::sim::Hardware;
+use harl_repro::verify::Analyzer;
 
 /// A strategy over the workload zoo.
 fn arb_workload() -> impl Strategy<Value = Subgraph> {
     use harl_repro::ir::workload::*;
     prop_oneof![
-        (1u32..=9, 1u32..=9, 1u32..=9)
-            .prop_map(|(m, k, n)| gemm(1 << m, 1 << k, 1 << n)),
+        (1u32..=9, 1u32..=9, 1u32..=9).prop_map(|(m, k, n)| gemm(1 << m, 1 << k, 1 << n)),
         (1u32..=4, 4u32..=64, 4u32..=64).prop_map(|(b, m, n)| batch_gemm(b, m, 32, n)),
-        (16u32..=64, 3u32..=64, 3u32..=64)
-            .prop_map(|(l, ci, co)| conv1d(1, l, ci, co, 3, 1, 1)),
-        (7u32..=56, 3u32..=64, 3u32..=64)
-            .prop_map(|(h, ci, co)| conv2d(1, h, h, ci, co, 3, 1, 1)),
+        (16u32..=64, 3u32..=64, 3u32..=64).prop_map(|(l, ci, co)| conv1d(1, l, ci, co, 3, 1, 1)),
+        (7u32..=56, 3u32..=64, 3u32..=64).prop_map(|(h, ci, co)| conv2d(1, h, h, ci, co, 3, 1, 1)),
         (7u32..=28, 8u32..=64).prop_map(|(h, c)| depthwise_conv2d(1, h, h, c, 3, 1, 1)),
         (16u32..=512, 16u32..=256).prop_map(|(r, c)| softmax(r, c)),
         (8u32..=128, 8u32..=128, 8u32..=128)
@@ -130,6 +128,91 @@ proptest! {
             s = mutate(sk, target, &s, &mut rng);
         }
         prop_assert!(s.validate(sk, target).is_ok());
+    }
+
+    #[test]
+    fn random_schedules_are_lint_clean(
+        g in arb_workload(),
+        gpu in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let target = if gpu { Target::Gpu } else { Target::Cpu };
+        let analyzer = Analyzer::for_target(target);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for sk in generate_sketches(&g, target) {
+            let s = Schedule::random(&sk, target, &mut rng);
+            prop_assert!(
+                analyzer.is_legal(&g, &sk, target, &s),
+                "diagnostics: {:?}",
+                analyzer.analyze(&g, &sk, target, &s)
+            );
+        }
+    }
+
+    #[test]
+    fn every_mutation_kind_preserves_lint_cleanliness(
+        g in arb_workload(),
+        gpu in any::<bool>(),
+        seed in any::<u64>(),
+        steps in 1usize..30,
+    ) {
+        // the mutation operators must map lint-clean schedules to
+        // lint-clean schedules, for every kind individually
+        let target = if gpu { Target::Gpu } else { Target::Cpu };
+        let analyzer = Analyzer::for_target(target);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sketches = generate_sketches(&g, target);
+        let sk = &sketches[seed as usize % sketches.len()];
+        for kind in [
+            MutationKind::TileResample,
+            MutationKind::TileShift,
+            MutationKind::ComputeAt,
+            MutationKind::Parallel,
+            MutationKind::Unroll,
+        ] {
+            let mut s = Schedule::random(sk, target, &mut rng);
+            prop_assert!(analyzer.is_legal(&g, sk, target, &s));
+            for _ in 0..steps {
+                s = mutate_kind(sk, target, &s, kind, &mut rng);
+                prop_assert!(
+                    analyzer.is_legal(&g, sk, target, &s),
+                    "{kind:?} broke lint-cleanliness: {:?}",
+                    analyzer.analyze(&g, sk, target, &s)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_and_actions_preserve_lint_cleanliness(
+        g in arb_workload(),
+        seed in any::<u64>(),
+        steps in 1usize..20,
+    ) {
+        let target = Target::Cpu;
+        let analyzer = Analyzer::for_target(target);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sk = &generate_sketches(&g, target)[0];
+        let space = ActionSpace::of(sk);
+        let a = Schedule::random(sk, target, &mut rng);
+        let b = Schedule::random(sk, target, &mut rng);
+        let mut s = crossover(&a, &b, &mut rng);
+        prop_assert!(analyzer.is_legal(&g, sk, target, &s));
+        use rand::Rng;
+        for _ in 0..steps {
+            let act = Action {
+                tile: rng.gen_range(0..space.tile_actions()),
+                compute_at: StepDir::from_index(rng.gen_range(0..3)),
+                parallel: StepDir::from_index(rng.gen_range(0..3)),
+                unroll: StepDir::from_index(rng.gen_range(0..3)),
+            };
+            s = apply_action(sk, target, &s, &act);
+            prop_assert!(
+                analyzer.is_legal(&g, sk, target, &s),
+                "apply_action broke lint-cleanliness: {:?}",
+                analyzer.analyze(&g, sk, target, &s)
+            );
+        }
     }
 
     #[test]
