@@ -19,4 +19,24 @@ cargo test $CARGO_FLAGS -q --workspace
 echo "==> lint-schedules smoke run"
 cargo run $CARGO_FLAGS -q -p harl-verify --bin lint-schedules -- 40
 
+echo "==> record-store warm-start smoke (quickstart x2, shared store)"
+STORE_DIR=$(mktemp -d)
+trap 'rm -rf "$STORE_DIR"' EXIT
+out1=$(HARL_STORE_DIR="$STORE_DIR" cargo run $CARGO_FLAGS -q --release --example quickstart)
+best1=$(printf '%s\n' "$out1" | sed -n 's/^metrics: best_ms=\([0-9.]*\).*/\1/p')
+cold_tt=$(printf '%s\n' "$out1" | sed -n 's/.*trials_to_best=\(-\{0,1\}[0-9]*\).*/\1/p')
+out2=$(HARL_STORE_DIR="$STORE_DIR" HARL_TARGET_MS="$best1" \
+    cargo run $CARGO_FLAGS -q --release --example quickstart)
+warm_records=$(printf '%s\n' "$out2" | sed -n 's/.*warm_records=\([0-9]*\).*/\1/p')
+warm_tt=$(printf '%s\n' "$out2" | sed -n 's/.*trials_to_target=\(-\{0,1\}[0-9]*\).*/\1/p')
+if [ -z "$warm_records" ] || [ "$warm_records" -le 0 ]; then
+    echo "FAIL: second quickstart run did not warm-start from the store"
+    exit 1
+fi
+if [ -z "$warm_tt" ] || [ "$warm_tt" -le 0 ] || [ "$warm_tt" -ge "$cold_tt" ]; then
+    echo "FAIL: warm run not faster to the cold best: warm=$warm_tt cold=$cold_tt"
+    exit 1
+fi
+echo "warm-start OK: cold best in $cold_tt trials, warm run matched it in $warm_tt (replayed $warm_records records)"
+
 echo "OK: all checks passed"

@@ -9,6 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use harl_nnet::{PpoAgent, PpoConfig};
 use harl_tensor_ir::{
@@ -46,7 +47,7 @@ impl Default for FlextensorConfig {
 }
 
 /// Relative position of the best-performing schedule on one track.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CriticalStep {
     /// Step index of the best schedule (0 = initial sample).
     pub position: usize,
@@ -63,6 +64,30 @@ impl CriticalStep {
             self.position as f64 / self.length as f64
         }
     }
+}
+
+/// Serializable snapshot of a [`FlextensorTuner`]'s mutable search state.
+///
+/// The graph, config, and measurer are not captured; restore into a tuner
+/// constructed with the identical workload, config, and seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlextensorTunerState {
+    /// PPO agent (networks, optimizer moments, replay buffer).
+    pub agent: PpoAgent,
+    /// Best noise-free execution time found.
+    pub best_time: f64,
+    /// The schedule achieving `best_time`.
+    pub best_schedule: Option<Schedule>,
+    /// Per-track critical steps.
+    pub critical_steps: Vec<CriticalStep>,
+    /// Hardware measurements consumed.
+    pub trials_used: u64,
+    /// Best-so-far curve.
+    pub trace: TuneTrace,
+    /// Lint counters.
+    pub lint_stats: LintStats,
+    /// Raw xoshiro256** state of the search RNG.
+    pub rng: [u64; 4],
 }
 
 /// The fixed-length RL tuner.
@@ -249,6 +274,38 @@ impl<'m> FlextensorTuner<'m> {
             }
         }
     }
+
+    /// Snapshots the mutable search state for checkpointing.
+    pub fn checkpoint_state(&self) -> FlextensorTunerState {
+        FlextensorTunerState {
+            agent: self.agent.clone(),
+            best_time: self.best_time,
+            best_schedule: self.best_schedule.clone(),
+            critical_steps: self.critical_steps.clone(),
+            trials_used: self.trials_used,
+            trace: self.trace.clone(),
+            lint_stats: self.lint_stats.clone(),
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Overwrites the mutable search state from a checkpoint. The tuner
+    /// must have been constructed with the same graph, config, and seed.
+    pub fn restore_state(&mut self, state: FlextensorTunerState) {
+        self.agent = state.agent;
+        // "no best yet" round-trips through JSON as null/NaN
+        self.best_time = if state.best_time.is_finite() {
+            state.best_time
+        } else {
+            f64::INFINITY
+        };
+        self.best_schedule = state.best_schedule;
+        self.critical_steps = state.critical_steps;
+        self.trials_used = state.trials_used;
+        self.trace = state.trace;
+        self.lint_stats = state.lint_stats;
+        self.rng = StdRng::from_state(state.rng);
+    }
 }
 
 #[cfg(test)]
@@ -304,5 +361,27 @@ mod tests {
         }
         assert!(t.best_time <= first);
         assert!(t.best_schedule.is_some());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let g = workload::gemm(128, 128, 128);
+        let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut t_ref = FlextensorTuner::new(g.clone(), &m_ref, cfg());
+        t_ref.episode(40);
+        let ck_tuner = serde_json::to_string(&t_ref.checkpoint_state()).unwrap();
+        let ck_measurer = serde_json::to_string(&m_ref.state()).unwrap();
+        t_ref.episode(40);
+
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        m2.restore_state(&serde_json::from_str(&ck_measurer).unwrap());
+        let mut t2 = FlextensorTuner::new(g, &m2, cfg());
+        t2.restore_state(serde_json::from_str(&ck_tuner).unwrap());
+        t2.episode(40);
+
+        assert_eq!(t2.best_time.to_bits(), t_ref.best_time.to_bits());
+        assert_eq!(t2.trials_used, t_ref.trials_used);
+        assert_eq!(m2.trials(), m_ref.trials());
+        assert_eq!(m2.sim_seconds().to_bits(), m_ref.sim_seconds().to_bits());
     }
 }

@@ -16,8 +16,11 @@ pub mod task_sched;
 pub mod tuner;
 
 pub use evolution::{evolve_candidates, EvoConfig};
-pub use flextensor::{CriticalStep, FlextensorConfig, FlextensorTuner};
+pub use flextensor::{CriticalStep, FlextensorConfig, FlextensorTuner, FlextensorTunerState};
 pub use task_sched::{
     task_gradient, weighted_latency, GradientParams, GreedyTaskScheduler, TaskInfo, TaskState,
 };
-pub use tuner::{similarity_key, AnsorConfig, AnsorNetworkTuner, AnsorTuner, NetRound};
+pub use tuner::{
+    similarity_key, AnsorConfig, AnsorConfigBuilder, AnsorNetworkTuner, AnsorTuner,
+    AnsorTunerState, NetRound,
+};

@@ -5,10 +5,12 @@ use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use harl_gbt::{CostModel, GbtParams};
+use harl_store::MeasureRecord;
 use harl_tensor_ir::{extract_features, generate_sketches, Schedule, Sketch, Subgraph, Target};
-use harl_tensor_sim::{Measurer, TuneTrace};
+use harl_tensor_sim::{ConfigError, Measurer, TuneTrace};
 use harl_verify::{Analyzer, LintStats};
 
 use crate::evolution::{evolve_candidates, EvoConfig};
@@ -49,6 +51,130 @@ impl Default for AnsorConfig {
             elite_pool: 32,
         }
     }
+}
+
+impl AnsorConfig {
+    /// Starts a validating builder from the defaults.
+    pub fn builder() -> AnsorConfigBuilder {
+        AnsorConfigBuilder {
+            cfg: AnsorConfig::default(),
+        }
+    }
+
+    /// Checks every field without consuming the config.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.measure_per_round == 0 {
+            return Err(ConfigError::new(
+                "ansor.measure_per_round",
+                "must be positive",
+            ));
+        }
+        if self.elite_pool == 0 {
+            return Err(ConfigError::new("ansor.elite_pool", "must be positive"));
+        }
+        if self.evo.population == 0 {
+            return Err(ConfigError::new("ansor.evo.population", "must be positive"));
+        }
+        if self.evo.generations == 0 {
+            return Err(ConfigError::new(
+                "ansor.evo.generations",
+                "must be positive",
+            ));
+        }
+        for (field, v) in [
+            ("ansor.round_overhead", self.round_overhead),
+            ("ansor.eval_cost", self.eval_cost),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ConfigError::new(field, "must be finite and non-negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`AnsorConfig`].
+#[derive(Debug, Clone)]
+pub struct AnsorConfigBuilder {
+    cfg: AnsorConfig,
+}
+
+impl AnsorConfigBuilder {
+    /// Measurement candidates per exploration round.
+    pub fn measure_per_round(mut self, n: usize) -> Self {
+        self.cfg.measure_per_round = n;
+        self
+    }
+
+    /// Evolutionary-search parameters.
+    pub fn evo(mut self, evo: EvoConfig) -> Self {
+        self.cfg.evo = evo;
+        self
+    }
+
+    /// Cost-model parameters.
+    pub fn gbt(mut self, gbt: GbtParams) -> Self {
+        self.cfg.gbt = gbt;
+        self
+    }
+
+    /// Fixed simulated overhead charged per round.
+    pub fn round_overhead(mut self, secs: f64) -> Self {
+        self.cfg.round_overhead = secs;
+        self
+    }
+
+    /// Simulated seconds per cost-model evaluation.
+    pub fn eval_cost(mut self, secs: f64) -> Self {
+        self.cfg.eval_cost = secs;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Elite pool size carried between rounds.
+    pub fn elite_pool(mut self, n: usize) -> Self {
+        self.cfg.elite_pool = n;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<AnsorConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// Serializable snapshot of an [`AnsorTuner`]'s mutable search state.
+///
+/// The graph, config, and measurer are *not* captured: restoring requires a
+/// tuner constructed with the identical workload, config, and seed, after
+/// which [`AnsorTuner::restore_state`] overwrites the mutable fields so the
+/// search continues exactly where the checkpoint left off.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnsorTunerState {
+    /// On-line cost model (dataset + fitted booster).
+    pub cost_model: CostModel,
+    /// Dedup keys of every schedule measured so far (sorted).
+    pub seen: Vec<u64>,
+    /// `(measured time, schedule)` elite pool, best-first.
+    pub elites: Vec<(f64, Schedule)>,
+    /// Best noise-free execution time found.
+    pub best_time: f64,
+    /// The schedule achieving `best_time`.
+    pub best_schedule: Option<Schedule>,
+    /// Hardware measurements consumed.
+    pub trials_used: u64,
+    /// Best-so-far curve.
+    pub trace: TuneTrace,
+    /// Lint counters.
+    pub lint_stats: LintStats,
+    /// Raw xoshiro256** state of the search RNG.
+    pub rng: [u64; 4],
 }
 
 /// Tunes one subgraph with evolutionary search (Ansor §5).
@@ -102,6 +228,11 @@ impl<'m> AnsorTuner<'m> {
             cfg,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// The on-line cost model (diagnostics; e.g. warm-start checks).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
     }
 
     /// One exploration round with up to `budget` measurements; returns the
@@ -178,6 +309,76 @@ impl<'m> AnsorTuner<'m> {
             }
         }
     }
+
+    /// Snapshots the mutable search state for checkpointing.
+    pub fn checkpoint_state(&self) -> AnsorTunerState {
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        AnsorTunerState {
+            cost_model: self.cost_model.clone(),
+            seen,
+            elites: self.elites.clone(),
+            best_time: self.best_time,
+            best_schedule: self.best_schedule.clone(),
+            trials_used: self.trials_used,
+            trace: self.trace.clone(),
+            lint_stats: self.lint_stats.clone(),
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Overwrites the mutable search state from a checkpoint. The tuner
+    /// must have been constructed with the same graph, config, and seed.
+    pub fn restore_state(&mut self, state: AnsorTunerState) {
+        self.cost_model = state.cost_model;
+        self.seen = state.seen.into_iter().collect();
+        self.elites = state.elites;
+        // JSON has no Infinity literal; the writer emits null which decodes
+        // to NaN, so normalize "no best yet" back to +inf.
+        self.best_time = if state.best_time.is_finite() {
+            state.best_time
+        } else {
+            f64::INFINITY
+        };
+        self.best_schedule = state.best_schedule;
+        self.trials_used = state.trials_used;
+        self.trace = state.trace;
+        self.lint_stats = state.lint_stats;
+        self.rng = StdRng::from_state(state.rng);
+    }
+
+    /// Warm-starts from prior measurement records of similar workloads:
+    /// pre-trains the cost model on their features and seeds the elite pool
+    /// with their schedules, without spending any fresh measurements.
+    /// Returns how many records were usable.
+    pub fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
+        let key = self.graph.similarity_key();
+        let mut updates = Vec::new();
+        for r in records {
+            if r.similarity_key != key || r.sketch_id >= self.sketches.len() {
+                continue;
+            }
+            let sk = &self.sketches[r.sketch_id];
+            if r.schedule.sketch_id != r.sketch_id || r.schedule.validate(sk, self.target).is_err()
+            {
+                continue;
+            }
+            updates.push((
+                extract_features(&self.graph, sk, self.target, &r.schedule),
+                r.flops_per_sec,
+            ));
+            self.elites.push((r.time, r.schedule.clone()));
+        }
+        let used = updates.len();
+        if used == 0 {
+            return 0;
+        }
+        self.cost_model.update_batch(updates);
+        self.elites
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        self.elites.truncate(self.cfg.elite_pool);
+        used
+    }
 }
 
 /// One allocation decision in a network tuning run.
@@ -209,8 +410,7 @@ pub struct AnsorNetworkTuner<'m> {
 
 /// Builds the similarity key of a subgraph (anchor kind + iterator shape).
 pub fn similarity_key(graph: &Subgraph) -> u64 {
-    let a = graph.anchor_stage();
-    (a.num_spatial() as u64) << 32 | a.num_reduction() as u64
+    graph.similarity_key()
 }
 
 impl<'m> AnsorNetworkTuner<'m> {
@@ -256,9 +456,9 @@ impl<'m> AnsorNetworkTuner<'m> {
         weighted_latency(&self.infos, &self.states)
     }
 
-    /// One task-scheduler step: pick a task, run one tuning round on it.
+    /// One task-scheduler round: pick a task, run one tuning round on it.
     /// Returns the trials used (0 when `budget` is exhausted).
-    pub fn step(&mut self, budget: u64) -> u64 {
+    pub fn round(&mut self, budget: u64) -> u64 {
         if budget == 0 {
             return 0;
         }
@@ -286,7 +486,7 @@ impl<'m> AnsorNetworkTuner<'m> {
     pub fn tune(&mut self, total_trials: u64) {
         while self.total_trials_used < total_trials {
             let remaining = total_trials - self.total_trials_used;
-            if self.step(remaining) == 0 {
+            if self.round(remaining) == 0 {
                 break;
             }
         }
@@ -378,5 +578,93 @@ mod tests {
         t.tune(50);
         assert!(t.trials_used <= 50 || t.trials_used - 50 < 16);
         assert_eq!(t.trials_used, measurer.trials());
+    }
+
+    #[test]
+    fn builder_validates_fields() {
+        assert!(AnsorConfig::builder().build().is_ok());
+        let err = AnsorConfig::builder().measure_per_round(0).build();
+        assert_eq!(err.unwrap_err().field, "ansor.measure_per_round");
+        let err = AnsorConfig::builder().elite_pool(0).build();
+        assert_eq!(err.unwrap_err().field, "ansor.elite_pool");
+        let err = AnsorConfig::builder().eval_cost(-1.0).build();
+        assert_eq!(err.unwrap_err().field, "ansor.eval_cost");
+        let err = AnsorConfig::builder().round_overhead(f64::NAN).build();
+        assert_eq!(err.unwrap_err().field, "ansor.round_overhead");
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let g = workload::gemm(256, 256, 256);
+
+        // uninterrupted reference run: 4 rounds of 16
+        let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut t_ref = AnsorTuner::new(g.clone(), &m_ref, small_cfg());
+        for _ in 0..2 {
+            t_ref.round(16);
+        }
+        let tuner_ckpt = serde_json::to_string(&t_ref.checkpoint_state()).unwrap();
+        let measurer_ckpt = serde_json::to_string(&m_ref.state()).unwrap();
+        for _ in 0..2 {
+            t_ref.round(16);
+        }
+
+        // "killed" run resumed from the serialized checkpoint
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        m2.restore_state(&serde_json::from_str(&measurer_ckpt).unwrap());
+        let mut t2 = AnsorTuner::new(g, &m2, small_cfg());
+        t2.restore_state(serde_json::from_str(&tuner_ckpt).unwrap());
+        for _ in 0..2 {
+            t2.round(16);
+        }
+
+        assert_eq!(t2.best_time.to_bits(), t_ref.best_time.to_bits());
+        assert_eq!(t2.trials_used, t_ref.trials_used);
+        assert_eq!(m2.trials(), m_ref.trials());
+        assert_eq!(m2.sim_seconds().to_bits(), m_ref.sim_seconds().to_bits());
+    }
+
+    #[test]
+    fn warm_start_pretrains_without_fresh_trials() {
+        let g = workload::gemm(256, 256, 256);
+        let key = g.similarity_key();
+
+        // first run produces measurement records
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut cold = AnsorTuner::new(g.clone(), &m1, small_cfg());
+        cold.tune(64);
+        let records: Vec<MeasureRecord> = cold
+            .elites
+            .iter()
+            .map(|(time, s)| MeasureRecord {
+                workload: cold.graph.name.clone(),
+                similarity_key: key,
+                sketch_id: s.sketch_id,
+                schedule: s.clone(),
+                time: *time,
+                flops_per_sec: cold.graph.flops() / *time,
+            })
+            .collect();
+
+        // second run warm-starts from them: trained model, zero trials spent
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut warm = AnsorTuner::new(g, &m2, small_cfg());
+        let used = warm.warm_start(&records);
+        assert!(used > 0, "no records were usable");
+        assert!(warm.cost_model.is_trained());
+        assert_eq!(warm.trials_used, 0);
+        assert_eq!(m2.trials(), 0);
+        assert!(!warm.elites.is_empty());
+
+        // mismatched similarity keys are ignored
+        let mut bogus = records.clone();
+        for r in &mut bogus {
+            r.similarity_key ^= 1;
+        }
+        let m3 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g3 = workload::gemm(256, 256, 256);
+        let mut t3 = AnsorTuner::new(g3, &m3, small_cfg());
+        assert_eq!(t3.warm_start(&bogus), 0);
+        assert!(!t3.cost_model.is_trained());
     }
 }

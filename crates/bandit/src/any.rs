@@ -78,7 +78,7 @@ impl BanditKind {
 }
 
 /// Enum-dispatched bandit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum AnyBandit {
     /// Sliding-window UCB.
     SwUcb(SlidingWindowUcb),
@@ -208,6 +208,30 @@ mod tests {
                 pulls[1] > pulls[0] && pulls[1] > pulls[2],
                 "{kind:?} failed: {pulls:?}"
             );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_continues_identically() {
+        for kind in ALL_KINDS {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut b = kind.build(4);
+            for _ in 0..100 {
+                let a = b.select(&mut rng);
+                b.update(a, (a as f64) / 4.0);
+            }
+            let text = serde_json::to_string(&b).unwrap();
+            let mut restored: AnyBandit = serde_json::from_str(&text).unwrap();
+            // Identical RNG + identical state => identical future pulls.
+            let mut rng_a = StdRng::seed_from_u64(10);
+            let mut rng_b = StdRng::seed_from_u64(10);
+            for _ in 0..50 {
+                let a = b.select(&mut rng_a);
+                let r = restored.select(&mut rng_b);
+                assert_eq!(a, r, "{kind:?} diverged after restore");
+                b.update(a, 0.25);
+                restored.update(r, 0.25);
+            }
         }
     }
 

@@ -12,11 +12,12 @@
 //! ```
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::Bandit;
 
 /// Discounted UCB policy state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DiscountedUcb {
     /// Discount factor γ.
     gamma: f64,
@@ -92,7 +93,7 @@ impl Bandit for DiscountedUcb {
 /// Thompson sampling with Gaussian posteriors over arm means and an
 /// exponential forgetting factor — a sampling-based non-stationary
 /// alternative.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GaussianThompson {
     gamma: f64,
     counts: Vec<f64>,

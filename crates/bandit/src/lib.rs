@@ -11,6 +11,7 @@ pub mod ducb;
 pub mod swucb;
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 pub use any::{AnyBandit, BanditKind};
 pub use ducb::{DiscountedUcb, GaussianThompson};
@@ -32,7 +33,7 @@ pub trait Bandit {
 /// the subgraph-selection behaviour the paper attributes to Ansor
 /// (Table 1: "Greedy Selection"). Unvisited arms are tried first in index
 /// order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GreedyBandit {
     sums: Vec<f64>,
     counts: Vec<u64>,
@@ -77,7 +78,7 @@ impl Bandit for GreedyBandit {
 
 /// Time-independent uniform selection — Ansor's sketch-selection behaviour
 /// (Table 1: "Uniform Distribution").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct UniformBandit {
     arms: usize,
 }
@@ -102,7 +103,7 @@ impl Bandit for UniformBandit {
 }
 
 /// ε-greedy over mean reward.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EpsilonGreedy {
     inner: GreedyBandit,
     epsilon: f64,
@@ -137,7 +138,7 @@ impl Bandit for EpsilonGreedy {
 }
 
 /// Classic UCB1 (stationary): `argmax_a Q(a) + c √(ln t / N(a))`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Ucb1 {
     sums: Vec<f64>,
     counts: Vec<u64>,
@@ -186,7 +187,7 @@ impl Bandit for Ucb1 {
 }
 
 /// Deterministic round-robin (warm-up / ablation baseline).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RoundRobin {
     arms: usize,
     next: usize,

@@ -13,11 +13,12 @@
 use std::collections::VecDeque;
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::Bandit;
 
 /// SW-UCB policy state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SlidingWindowUcb {
     arms: usize,
     /// Exploration constant `c` (Table 5: 0.25).

@@ -99,7 +99,7 @@ fn net_graphs() -> Vec<harl_tensor_ir::Subgraph> {
 }
 
 fn bench_network_steps(c: &mut Criterion) {
-    c.bench_function("ansor_network_step", |b| {
+    c.bench_function("ansor_network_round", |b| {
         b.iter_batched(
             || Measurer::new(Hardware::cpu(), MeasureConfig::default()),
             |m| {
@@ -109,17 +109,17 @@ fn bench_network_steps(c: &mut Criterion) {
                     small_ansor_cfg(),
                     GradientParams::default(),
                 );
-                nt.step(16)
+                nt.round(16)
             },
             BatchSize::SmallInput,
         )
     });
-    c.bench_function("harl_network_step", |b| {
+    c.bench_function("harl_network_round", |b| {
         b.iter_batched(
             || Measurer::new(Hardware::cpu(), MeasureConfig::default()),
             |m| {
                 let mut nt = HarlNetworkTuner::new(net_graphs(), &m, small_harl_cfg());
-                nt.step(16)
+                nt.round(16)
             },
             BatchSize::SmallInput,
         )

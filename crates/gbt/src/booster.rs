@@ -106,7 +106,7 @@ impl Gbt {
 
 /// On-line training dataset with a capacity cap (keeps the most recent
 /// samples, as the cost model is retrained on the fly from measurements).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Dataset {
     features: Vec<Vec<f32>>,
     targets: Vec<f64>,

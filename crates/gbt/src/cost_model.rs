@@ -7,9 +7,10 @@
 //! from measurement results (Algorithm 1, line 22).
 
 use crate::booster::{Dataset, Gbt, GbtParams};
+use serde::{Deserialize, Serialize};
 
 /// On-line cost model over feature vectors.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CostModel {
     params: GbtParams,
     data: Dataset,
@@ -185,6 +186,20 @@ mod tests {
     fn untrained_importance_is_zero() {
         let cm = CostModel::new(GbtParams::default());
         assert!(cm.feature_importance(3).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let mut cm = CostModel::new(GbtParams::default());
+        cm.update_batch((0..100).map(|i| (feat(i as f32 / 100.0), 1e9 * (1.0 + i as f64))));
+        let text = serde_json::to_string(&cm).unwrap();
+        let back: CostModel = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.num_samples(), cm.num_samples());
+        assert_eq!(back.scale(), cm.scale());
+        for i in 0..20 {
+            let f = feat(i as f32 / 20.0);
+            assert_eq!(back.score(&f).to_bits(), cm.score(&f).to_bits());
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! expected future rewards therefore get longer exploration paths inside
 //! the same per-episode candidate budget (Fig. 4).
 
+use serde::{Deserialize, Serialize};
+
 /// Picks the indices of the tracks that *survive* an elimination round:
 /// keeps the `ceil((1-ρ)·n)` tracks with the highest advantage scores.
 /// Returned indices are in ascending order.
@@ -58,7 +60,7 @@ impl TrackWindow {
 
 /// Relative position of the best-scored schedule on one track — the
 /// *critical step* of §6.2's ablation (Fig. 7(b)).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct CriticalStep {
     pub position: usize,
     pub length: usize,

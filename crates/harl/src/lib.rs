@@ -21,11 +21,15 @@ pub mod config;
 pub mod episode;
 pub mod network;
 pub mod report;
+pub mod session;
 pub mod tuner;
 
 pub use adaptive::{critical_step_histogram, select_survivors, CriticalStep, TrackWindow};
-pub use config::HarlConfig;
+pub use config::{HarlConfig, HarlConfigBuilder};
 pub use episode::{run_episode, EpisodeResult};
 pub use network::{HarlNetworkTuner, NetRound};
 pub use report::{NetworkReport, OperatorReport, SubgraphSummary};
-pub use tuner::{HarlOperatorTuner, RoundLog};
+pub use session::{
+    SessionBuilder, SessionCheckpoint, Tuner, TunerState, TuningSession, CHECKPOINT_VERSION,
+};
+pub use tuner::{HarlOperatorTuner, HarlTunerState, RoundLog};

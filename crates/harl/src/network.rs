@@ -88,8 +88,8 @@ impl<'m> HarlNetworkTuner<'m> {
         weighted_latency(&self.infos, &self.states)
     }
 
-    /// One allocation step; returns the trials used.
-    pub fn step(&mut self, budget: u64) -> u64 {
+    /// One allocation round; returns the trials used.
+    pub fn round(&mut self, budget: u64) -> u64 {
         if budget == 0 {
             return 0;
         }
@@ -141,14 +141,14 @@ impl<'m> HarlNetworkTuner<'m> {
 
     fn measurer(&self) -> &'m Measurer {
         // all tuners share the same measurer
-        self.tuners[0].measurer_ref()
+        self.tuners[0].measurer()
     }
 
     /// Tunes the network for a total measurement budget.
     pub fn tune(&mut self, total_trials: u64) {
         while self.total_trials_used < total_trials {
             let remaining = total_trials - self.total_trials_used;
-            if self.step(remaining) == 0 {
+            if self.round(remaining) == 0 {
                 break;
             }
         }

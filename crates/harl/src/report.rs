@@ -36,7 +36,7 @@ pub struct OperatorReport {
 
 impl OperatorReport {
     pub fn from_tuner(t: &HarlOperatorTuner<'_>) -> Self {
-        let target = t.measurer_ref().hardware().target();
+        let target = t.measurer().hardware().target();
         let (sketch_desc, program) = match &t.best_schedule {
             Some(s) => {
                 let sk = &t.sketches[s.sketch_id];

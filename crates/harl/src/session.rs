@@ -1,0 +1,575 @@
+//! The unified tuner session API.
+//!
+//! [`Tuner`] abstracts over the three search algorithms of the repo (HARL,
+//! Ansor, Flextensor-like) with a common round/checkpoint/restore surface.
+//! [`TuningSession`] drives any `dyn Tuner` while persisting everything a
+//! deployment wants kept between runs into a [`RecordStore`] directory:
+//!
+//! * every hardware measurement as an append-only JSONL record (via the
+//!   measurer's [`RecordSink`] hook),
+//! * periodic session checkpoints (tuner + measurer state) so an
+//!   interrupted run resumes deterministically, and
+//! * warm-starts: replaying matching prior records pre-trains the cost
+//!   model and seeds the search before any fresh trial is spent.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use harl_ansor::{AnsorTuner, AnsorTunerState, FlextensorTuner, FlextensorTunerState};
+use harl_store::{MeasureRecord, RecordStore, StoreError};
+use harl_tensor_sim::{Measurer, MeasurerState};
+
+use crate::tuner::{HarlOperatorTuner, HarlTunerState};
+
+/// Serialized search state of any [`Tuner`] implementation.
+// checkpoints are created once per round, so variant-size skew is irrelevant
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TunerState {
+    /// State of a [`HarlOperatorTuner`].
+    Harl(HarlTunerState),
+    /// State of an [`AnsorTuner`].
+    Ansor(AnsorTunerState),
+    /// State of a [`FlextensorTuner`].
+    Flextensor(FlextensorTunerState),
+}
+
+impl TunerState {
+    /// The tuner name this state belongs to.
+    pub fn tuner_name(&self) -> &'static str {
+        match self {
+            TunerState::Harl(_) => "harl",
+            TunerState::Ansor(_) => "ansor",
+            TunerState::Flextensor(_) => "flextensor",
+        }
+    }
+}
+
+/// Object-safe interface shared by all tuners.
+///
+/// `checkpoint`/`restore` capture only the *mutable* search state; the
+/// restore contract is to construct the tuner with the identical workload,
+/// config, and seed, then call [`Tuner::restore`] with the saved state.
+pub trait Tuner {
+    /// Short algorithm name (`"harl"`, `"ansor"`, `"flextensor"`).
+    fn name(&self) -> &str;
+
+    /// Runs one tuning round with up to `budget` measurements; returns the
+    /// trials actually used (0 means the tuner cannot make progress).
+    fn round(&mut self, budget: usize) -> usize;
+
+    /// Best latency found so far (seconds; `+inf` before any measurement).
+    fn best_latency(&self) -> f64;
+
+    /// Total hardware measurements consumed.
+    fn trials_used(&self) -> u64;
+
+    /// Snapshots the mutable search state.
+    fn checkpoint(&self) -> TunerState;
+
+    /// Overwrites the mutable search state from a checkpoint.
+    ///
+    /// # Panics
+    /// Panics when `state` belongs to a different tuner kind.
+    fn restore(&mut self, state: TunerState);
+
+    /// Replays prior measurement records to seed the search without
+    /// spending trials; returns how many records were usable. Tuners
+    /// without a warm-startable component return 0.
+    fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
+        let _ = records;
+        0
+    }
+}
+
+// A mutable borrow drives the same way, so callers can keep ownership of
+// the concrete tuner (reports need its fields after the session ends).
+impl<T: Tuner + ?Sized> Tuner for &mut T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn round(&mut self, budget: usize) -> usize {
+        (**self).round(budget)
+    }
+
+    fn best_latency(&self) -> f64 {
+        (**self).best_latency()
+    }
+
+    fn trials_used(&self) -> u64 {
+        (**self).trials_used()
+    }
+
+    fn checkpoint(&self) -> TunerState {
+        (**self).checkpoint()
+    }
+
+    fn restore(&mut self, state: TunerState) {
+        (**self).restore(state)
+    }
+
+    fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
+        (**self).warm_start(records)
+    }
+}
+
+impl Tuner for HarlOperatorTuner<'_> {
+    fn name(&self) -> &str {
+        "harl"
+    }
+
+    fn round(&mut self, budget: usize) -> usize {
+        HarlOperatorTuner::round(self, budget)
+    }
+
+    fn best_latency(&self) -> f64 {
+        self.best_time
+    }
+
+    fn trials_used(&self) -> u64 {
+        self.trials_used
+    }
+
+    fn checkpoint(&self) -> TunerState {
+        TunerState::Harl(self.checkpoint_state())
+    }
+
+    fn restore(&mut self, state: TunerState) {
+        match state {
+            TunerState::Harl(s) => self.restore_state(s),
+            other => panic!("cannot restore {} state into harl", other.tuner_name()),
+        }
+    }
+
+    fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
+        HarlOperatorTuner::warm_start(self, records)
+    }
+}
+
+impl Tuner for AnsorTuner<'_> {
+    fn name(&self) -> &str {
+        "ansor"
+    }
+
+    fn round(&mut self, budget: usize) -> usize {
+        AnsorTuner::round(self, budget)
+    }
+
+    fn best_latency(&self) -> f64 {
+        self.best_time
+    }
+
+    fn trials_used(&self) -> u64 {
+        self.trials_used
+    }
+
+    fn checkpoint(&self) -> TunerState {
+        TunerState::Ansor(self.checkpoint_state())
+    }
+
+    fn restore(&mut self, state: TunerState) {
+        match state {
+            TunerState::Ansor(s) => self.restore_state(s),
+            other => panic!("cannot restore {} state into ansor", other.tuner_name()),
+        }
+    }
+
+    fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
+        AnsorTuner::warm_start(self, records)
+    }
+}
+
+impl Tuner for FlextensorTuner<'_> {
+    fn name(&self) -> &str {
+        "flextensor"
+    }
+
+    fn round(&mut self, budget: usize) -> usize {
+        self.episode(budget as u64) as usize
+    }
+
+    fn best_latency(&self) -> f64 {
+        self.best_time
+    }
+
+    fn trials_used(&self) -> u64 {
+        self.trials_used
+    }
+
+    fn checkpoint(&self) -> TunerState {
+        TunerState::Flextensor(self.checkpoint_state())
+    }
+
+    fn restore(&mut self, state: TunerState) {
+        match state {
+            TunerState::Flextensor(s) => self.restore_state(s),
+            other => panic!(
+                "cannot restore {} state into flextensor",
+                other.tuner_name()
+            ),
+        }
+    }
+}
+
+/// On-disk session checkpoint: tuner + measurer state plus bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionCheckpoint {
+    /// Checkpoint format version.
+    pub version: u32,
+    /// Session rounds completed when the checkpoint was taken.
+    pub rounds_done: u64,
+    /// Simulated-measurer state (noise RNG, trial count, sim clock).
+    pub measurer: MeasurerState,
+    /// Tuner search state.
+    pub tuner: TunerState,
+}
+
+/// Version of the [`SessionCheckpoint`] JSON payload.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Configures how a [`TuningSession`] uses its record store.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    checkpoint_every: u64,
+    warm_start: bool,
+    resume: bool,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            checkpoint_every: 1,
+            warm_start: true,
+            resume: true,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Writes a checkpoint every `rounds` session rounds (0 disables
+    /// periodic checkpoints; default 1).
+    pub fn checkpoint_every(mut self, rounds: u64) -> Self {
+        self.checkpoint_every = rounds;
+        self
+    }
+
+    /// Replay matching store records into the tuner before the first round
+    /// (default on; skipped when a checkpoint is resumed).
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Resume from the store's checkpoint when one exists (default on).
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    /// Builds the session: attaches the store as the measurer's record
+    /// sink, then either resumes from the store's checkpoint or warm-starts
+    /// the tuner from its records.
+    pub fn launch<'m>(
+        self,
+        tuner: Box<dyn Tuner + 'm>,
+        measurer: &'m Measurer,
+        store: Option<Arc<RecordStore>>,
+    ) -> Result<TuningSession<'m>, StoreError> {
+        let mut session = TuningSession {
+            tuner,
+            measurer,
+            store,
+            checkpoint_every: self.checkpoint_every,
+            rounds_done: 0,
+            resumed: false,
+            warm_records: 0,
+        };
+        if let Some(store) = &session.store {
+            measurer.set_sink(store.clone() as Arc<dyn harl_tensor_sim::RecordSink>);
+            let checkpoint = if self.resume {
+                store.load_checkpoint()?
+            } else {
+                None
+            };
+            match checkpoint {
+                Some(json) => {
+                    let ck: SessionCheckpoint = serde_json::from_str(&json)
+                        .map_err(|e| StoreError::Format(format!("bad checkpoint: {e}")))?;
+                    if ck.version != CHECKPOINT_VERSION {
+                        return Err(StoreError::Format(format!(
+                            "unsupported checkpoint version {} (supported: {})",
+                            ck.version, CHECKPOINT_VERSION
+                        )));
+                    }
+                    if ck.tuner.tuner_name() != session.tuner.name() {
+                        return Err(StoreError::Format(format!(
+                            "checkpoint holds {} state but the session tuner is {}",
+                            ck.tuner.tuner_name(),
+                            session.tuner.name()
+                        )));
+                    }
+                    measurer.restore_state(&ck.measurer);
+                    session.tuner.restore(ck.tuner);
+                    session.rounds_done = ck.rounds_done;
+                    session.resumed = true;
+                }
+                None if self.warm_start => {
+                    session.warm_records = session.tuner.warm_start(&store.snapshot());
+                }
+                None => {}
+            }
+        }
+        Ok(session)
+    }
+}
+
+/// Drives one tuner against a measurer, persisting records and checkpoints
+/// into an optional [`RecordStore`].
+pub struct TuningSession<'m> {
+    tuner: Box<dyn Tuner + 'm>,
+    measurer: &'m Measurer,
+    store: Option<Arc<RecordStore>>,
+    checkpoint_every: u64,
+    rounds_done: u64,
+    resumed: bool,
+    warm_records: usize,
+}
+
+impl<'m> TuningSession<'m> {
+    /// Starts configuring a session with the default store behaviour
+    /// (resume if possible, otherwise warm-start; checkpoint every round).
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The driven tuner's name.
+    pub fn tuner_name(&self) -> &str {
+        self.tuner.name()
+    }
+
+    /// True when the session resumed from a store checkpoint.
+    pub fn resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// Records replayed into the tuner by the warm-start (0 when resumed
+    /// or when warm-starting was disabled).
+    pub fn warm_records(&self) -> usize {
+        self.warm_records
+    }
+
+    /// Session rounds completed (across resumes).
+    pub fn rounds_done(&self) -> u64 {
+        self.rounds_done
+    }
+
+    /// Best latency found so far.
+    pub fn best_latency(&self) -> f64 {
+        self.tuner.best_latency()
+    }
+
+    /// Total measurement trials the tuner has consumed.
+    pub fn trials_used(&self) -> u64 {
+        self.tuner.trials_used()
+    }
+
+    /// Runs one tuning round with up to `budget` measurements, then writes
+    /// a checkpoint when the cadence says so. Returns the trials used.
+    pub fn round(&mut self, budget: usize) -> Result<usize, StoreError> {
+        let used = self.tuner.round(budget);
+        if used == 0 {
+            return Ok(0);
+        }
+        self.rounds_done += 1;
+        if self.checkpoint_every > 0 && self.rounds_done.is_multiple_of(self.checkpoint_every) {
+            self.checkpoint_now()?;
+        }
+        Ok(used)
+    }
+
+    /// Runs rounds until `total_trials` fresh measurements have been used
+    /// in this process (resumed trials are not re-counted), then writes a
+    /// final checkpoint. Returns the trials used.
+    pub fn run(&mut self, total_trials: u64) -> Result<u64, StoreError> {
+        let mut used_here = 0u64;
+        while used_here < total_trials {
+            let remaining = (total_trials - used_here) as usize;
+            let used = self.round(remaining)?;
+            if used == 0 {
+                break;
+            }
+            used_here += used as u64;
+        }
+        self.checkpoint_now()?;
+        Ok(used_here)
+    }
+
+    /// Writes a checkpoint immediately (no-op without a store).
+    pub fn checkpoint_now(&self) -> Result<(), StoreError> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        let ck = SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            rounds_done: self.rounds_done,
+            measurer: self.measurer.state(),
+            tuner: self.tuner.checkpoint(),
+        };
+        store.save_checkpoint(&serde_json::to_string(&ck)?)
+    }
+
+    /// Removes the store's checkpoint (e.g. after a completed run) and
+    /// detaches the record sink, consuming the session.
+    pub fn finish(self) -> Result<(), StoreError> {
+        self.measurer.clear_sink();
+        if let Some(store) = &self.store {
+            store.clear_checkpoint()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HarlConfig;
+    use harl_ansor::AnsorConfig;
+    use harl_tensor_ir::workload;
+    use harl_tensor_sim::{Hardware, MeasureConfig};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("harl-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn session_records_measurements_to_store() {
+        let dir = temp_dir("records");
+        let store = Arc::new(RecordStore::open(&dir).unwrap());
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(128, 128, 128);
+        let tuner = HarlOperatorTuner::new(g, &measurer, HarlConfig::tiny());
+        let mut session = TuningSession::builder()
+            .launch(Box::new(tuner), &measurer, Some(store.clone()))
+            .unwrap();
+        assert!(!session.resumed());
+        assert_eq!(session.warm_records(), 0, "store starts empty");
+        let used = session.run(16).unwrap();
+        assert!(used >= 16);
+        assert_eq!(store.len() as u64, measurer.trials());
+        assert_eq!(store.dropped_writes(), 0);
+        session.finish().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_session_resumes_to_same_best() {
+        let dir = temp_dir("resume");
+        let g = workload::gemm(256, 256, 256);
+
+        // uninterrupted reference: 48 trials straight through, no store
+        let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t_ref = HarlOperatorTuner::new(g.clone(), &m_ref, HarlConfig::tiny());
+        let mut s_ref = TuningSession::builder()
+            .launch(Box::new(t_ref), &m_ref, None)
+            .unwrap();
+        s_ref.run(24).unwrap();
+        s_ref.run(24).unwrap();
+        let best_ref = s_ref.best_latency();
+
+        // same run "killed" after 24 trials, then resumed in a fresh
+        // session from the store checkpoint
+        let store = Arc::new(RecordStore::open(&dir).unwrap());
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t1 = HarlOperatorTuner::new(g.clone(), &m1, HarlConfig::tiny());
+        let mut s1 = TuningSession::builder()
+            .launch(Box::new(t1), &m1, Some(store.clone()))
+            .unwrap();
+        s1.run(24).unwrap();
+        drop(s1); // killed: no finish(), checkpoint stays on disk
+
+        let store2 = Arc::new(RecordStore::open(&dir).unwrap());
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t2 = HarlOperatorTuner::new(g, &m2, HarlConfig::tiny());
+        let mut s2 = TuningSession::builder()
+            .launch(Box::new(t2), &m2, Some(store2))
+            .unwrap();
+        assert!(s2.resumed());
+        s2.run(24).unwrap();
+
+        assert_eq!(
+            s2.best_latency().to_bits(),
+            best_ref.to_bits(),
+            "resumed run must match the uninterrupted run bit-for-bit"
+        );
+        assert_eq!(m2.trials(), m_ref.trials());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_start_pretrains_from_prior_run() {
+        let dir = temp_dir("warm");
+        let g = workload::gemm(256, 256, 256);
+
+        // first (cold) run fills the store, then finishes cleanly
+        let store = Arc::new(RecordStore::open(&dir).unwrap());
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t1 = AnsorTuner::new(g.clone(), &m1, AnsorConfig::default());
+        let mut s1 = TuningSession::builder()
+            .launch(Box::new(t1), &m1, Some(store))
+            .unwrap();
+        s1.run(64).unwrap();
+        s1.finish().unwrap();
+
+        // second run warm-starts: trained cost model, zero trials spent
+        let store2 = Arc::new(RecordStore::open(&dir).unwrap());
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t2 = AnsorTuner::new(g, &m2, AnsorConfig::default());
+        let s2 = TuningSession::builder()
+            .launch(Box::new(t2), &m2, Some(store2))
+            .unwrap();
+        assert!(!s2.resumed(), "finished runs leave no checkpoint");
+        assert!(s2.warm_records() > 0);
+        assert_eq!(s2.trials_used(), 0);
+        assert_eq!(m2.trials(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_tuner_checkpoint_is_rejected() {
+        let dir = temp_dir("mismatch");
+        let g = workload::gemm(128, 128, 128);
+
+        let store = Arc::new(RecordStore::open(&dir).unwrap());
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t1 = HarlOperatorTuner::new(g.clone(), &m1, HarlConfig::tiny());
+        let mut s1 = TuningSession::builder()
+            .launch(Box::new(t1), &m1, Some(store))
+            .unwrap();
+        s1.run(8).unwrap(); // leaves a harl checkpoint
+
+        let store2 = Arc::new(RecordStore::open(&dir).unwrap());
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t2 = AnsorTuner::new(g, &m2, AnsorConfig::default());
+        let err = TuningSession::builder().launch(Box::new(t2), &m2, Some(store2));
+        assert!(matches!(err, Err(StoreError::Format(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flextensor_drives_through_the_trait() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(128, 128, 128);
+        let tuner = FlextensorTuner::new(g, &measurer, Default::default());
+        let mut session = TuningSession::builder()
+            .launch(Box::new(tuner), &measurer, None)
+            .unwrap();
+        assert_eq!(session.tuner_name(), "flextensor");
+        let used = session.round(20).unwrap();
+        assert!(used > 0 && used <= 20);
+        assert!(session.best_latency().is_finite());
+    }
+}

@@ -6,10 +6,12 @@ use std::collections::HashSet;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use harl_bandit::{AnyBandit, Bandit};
 use harl_gbt::CostModel;
 use harl_nnet::PpoAgent;
+use harl_store::MeasureRecord;
 use harl_tensor_ir::{
     extract_features, generate_sketches, ActionSpace, Schedule, Sketch, Subgraph, Target,
 };
@@ -21,7 +23,7 @@ use crate::config::HarlConfig;
 use crate::episode::run_episode;
 
 /// Log entry of one tuning round.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct RoundLog {
     pub sketch: usize,
     pub trials: u64,
@@ -44,6 +46,10 @@ pub struct HarlOperatorTuner<'m> {
     /// Best measured schedules per sketch, `(measured time, schedule)`
     /// sorted best-first — warm-start seeds for later episodes.
     elites: Vec<Vec<(f64, Schedule)>>,
+    /// Schedules queued for forced measurement in upcoming rounds — filled
+    /// by [`HarlOperatorTuner::warm_start`] with the best prior records so
+    /// a warm run re-establishes the old best immediately.
+    pending_seeds: Vec<Schedule>,
     /// Best noise-free execution time found.
     pub best_time: f64,
     pub best_schedule: Option<Schedule>,
@@ -88,6 +94,7 @@ impl<'m> HarlOperatorTuner<'m> {
             sketch_bandit,
             seen: HashSet::new(),
             elites,
+            pending_seeds: Vec::new(),
             best_time: f64::INFINITY,
             best_schedule: None,
             trials_used: 0,
@@ -106,8 +113,13 @@ impl<'m> HarlOperatorTuner<'m> {
         self.cost_model.num_samples()
     }
 
+    /// The on-line cost model (diagnostics; e.g. warm-start checks).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
     /// The shared measurer this tuner charges trials to.
-    pub fn measurer_ref(&self) -> &'m Measurer {
+    pub fn measurer(&self) -> &'m Measurer {
         self.measurer
     }
 
@@ -157,6 +169,18 @@ impl<'m> HarlOperatorTuner<'m> {
             std::collections::HashMap::new();
         let mut picks: Vec<Schedule> = Vec::with_capacity(k);
         let mut local = HashSet::new();
+        // forced warm-start seeds jump the queue: prior-run bests are
+        // re-measured before any fresh candidates
+        while picks.len() < k {
+            let Some(s) = self.pending_seeds.pop() else {
+                break;
+            };
+            let key = s.dedup_key();
+            if self.seen.contains(&key) || !local.insert(key) {
+                continue;
+            }
+            picks.push(s);
+        }
         for pass in 0..2 {
             for (_, s, track) in &scored {
                 if picks.len() >= k {
@@ -268,6 +292,134 @@ impl<'m> HarlOperatorTuner<'m> {
             .map(|a| self.sketch_bandit.pulls(a))
             .collect()
     }
+
+    /// Snapshots the mutable search state for checkpointing.
+    pub fn checkpoint_state(&self) -> HarlTunerState {
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        HarlTunerState {
+            cost_model: self.cost_model.clone(),
+            agent: self.agent.clone(),
+            sketch_bandit: self.sketch_bandit.clone(),
+            seen,
+            elites: self.elites.clone(),
+            pending_seeds: self.pending_seeds.clone(),
+            best_time: self.best_time,
+            best_schedule: self.best_schedule.clone(),
+            trials_used: self.trials_used,
+            trace: self.trace.clone(),
+            critical_steps: self.critical_steps.clone(),
+            rounds: self.rounds.clone(),
+            lint_stats: self.lint_stats.clone(),
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Overwrites the mutable search state from a checkpoint. The tuner
+    /// must have been constructed with the same graph, config, and seed.
+    pub fn restore_state(&mut self, state: HarlTunerState) {
+        self.cost_model = state.cost_model;
+        self.agent = state.agent;
+        self.sketch_bandit = state.sketch_bandit;
+        self.seen = state.seen.into_iter().collect();
+        self.elites = state.elites;
+        self.pending_seeds = state.pending_seeds;
+        // "no best yet" round-trips through JSON as null/NaN
+        self.best_time = if state.best_time.is_finite() {
+            state.best_time
+        } else {
+            f64::INFINITY
+        };
+        self.best_schedule = state.best_schedule;
+        self.trials_used = state.trials_used;
+        self.trace = state.trace;
+        self.critical_steps = state.critical_steps;
+        self.rounds = state.rounds;
+        self.lint_stats = state.lint_stats;
+        self.rng = StdRng::from_state(state.rng);
+    }
+
+    /// Warm-starts from prior measurement records of similar workloads:
+    /// pre-trains the cost model, seeds the per-sketch elite pools (episode
+    /// warm-start tracks), and queues the best prior schedules for forced
+    /// re-measurement in the next rounds. Returns how many records were
+    /// usable. Costs no fresh measurement trials.
+    pub fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
+        let key = self.graph.similarity_key();
+        let mut updates = Vec::new();
+        let mut usable: Vec<&MeasureRecord> = Vec::new();
+        for r in records {
+            if r.similarity_key != key || r.sketch_id >= self.sketches.len() {
+                continue;
+            }
+            let sk = &self.sketches[r.sketch_id];
+            if r.schedule.sketch_id != r.sketch_id || r.schedule.validate(sk, self.target).is_err()
+            {
+                continue;
+            }
+            updates.push((
+                extract_features(&self.graph, sk, self.target, &r.schedule),
+                r.flops_per_sec,
+            ));
+            self.elites[r.sketch_id].push((r.time, r.schedule.clone()));
+            usable.push(r);
+        }
+        let used = updates.len();
+        if used == 0 {
+            return 0;
+        }
+        self.cost_model.update_batch(updates);
+        for pool in &mut self.elites {
+            pool.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            pool.truncate(32);
+        }
+        // queue the distinct best prior schedules, worst-first so `pop`
+        // measures the best one first
+        let owned: Vec<MeasureRecord> = usable.into_iter().cloned().collect();
+        let mut best = harl_store::best_records(&owned, self.cfg.measure_per_round);
+        best.reverse();
+        self.pending_seeds
+            .extend(best.into_iter().map(|r| r.schedule));
+        used
+    }
+}
+
+/// Serializable snapshot of a [`HarlOperatorTuner`]'s mutable search state.
+///
+/// The graph, config, and measurer are *not* captured: restoring requires a
+/// tuner constructed with the identical workload, config, and seed, after
+/// which [`HarlOperatorTuner::restore_state`] overwrites the mutable fields
+/// so the search continues exactly where the checkpoint left off.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HarlTunerState {
+    /// On-line cost model (dataset + fitted booster).
+    pub cost_model: CostModel,
+    /// PPO agent (networks, optimizer moments, replay buffer).
+    pub agent: PpoAgent,
+    /// Sketch-level bandit state.
+    pub sketch_bandit: AnyBandit,
+    /// Dedup keys of every schedule measured so far (sorted).
+    pub seen: Vec<u64>,
+    /// Per-sketch elite pools, best-first.
+    pub elites: Vec<Vec<(f64, Schedule)>>,
+    /// Warm-start schedules not yet measured.
+    pub pending_seeds: Vec<Schedule>,
+    /// Best noise-free execution time found.
+    pub best_time: f64,
+    /// The schedule achieving `best_time`.
+    pub best_schedule: Option<Schedule>,
+    /// Hardware measurements consumed.
+    pub trials_used: u64,
+    /// Best-so-far curve.
+    pub trace: TuneTrace,
+    /// Critical steps of every explored track.
+    pub critical_steps: Vec<CriticalStep>,
+    /// Per-round log.
+    pub rounds: Vec<RoundLog>,
+    /// Lint counters.
+    pub lint_stats: LintStats,
+    /// Raw xoshiro256** state of the search RNG.
+    pub rng: [u64; 4],
 }
 
 #[cfg(test)]
@@ -340,6 +492,77 @@ mod tests {
         t.tune(64);
         // `seen` is exactly the set of measured keys; sizes must agree
         assert_eq!(t.seen.len() as u64, t.trials_used);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let g = workload::gemm(256, 256, 256);
+
+        let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut t_ref = HarlOperatorTuner::new(g.clone(), &m_ref, HarlConfig::tiny());
+        for _ in 0..2 {
+            t_ref.round(8);
+        }
+        let ck_tuner = serde_json::to_string(&t_ref.checkpoint_state()).unwrap();
+        let ck_measurer = serde_json::to_string(&m_ref.state()).unwrap();
+        for _ in 0..2 {
+            t_ref.round(8);
+        }
+
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        m2.restore_state(&serde_json::from_str(&ck_measurer).unwrap());
+        let mut t2 = HarlOperatorTuner::new(g, &m2, HarlConfig::tiny());
+        t2.restore_state(serde_json::from_str(&ck_tuner).unwrap());
+        for _ in 0..2 {
+            t2.round(8);
+        }
+
+        assert_eq!(t2.best_time.to_bits(), t_ref.best_time.to_bits());
+        assert_eq!(t2.trials_used, t_ref.trials_used);
+        assert_eq!(m2.trials(), m_ref.trials());
+        assert_eq!(m2.sim_seconds().to_bits(), m_ref.sim_seconds().to_bits());
+    }
+
+    #[test]
+    fn warm_start_pretrains_and_queues_seeds() {
+        let g = workload::gemm(256, 256, 256);
+        let key = g.similarity_key();
+
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut cold = HarlOperatorTuner::new(g.clone(), &m1, HarlConfig::tiny());
+        cold.tune(48);
+        let records: Vec<MeasureRecord> = cold
+            .elites
+            .iter()
+            .flatten()
+            .map(|(time, s)| MeasureRecord {
+                workload: cold.graph.name.clone(),
+                similarity_key: key,
+                sketch_id: s.sketch_id,
+                schedule: s.clone(),
+                time: *time,
+                flops_per_sec: cold.graph.flops() / *time,
+            })
+            .collect();
+
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut warm = HarlOperatorTuner::new(g, &m2, HarlConfig::tiny());
+        let used = warm.warm_start(&records);
+        assert!(used > 0, "no records were usable");
+        assert!(warm.cost_model.is_trained());
+        assert_eq!(warm.trials_used, 0);
+        assert_eq!(m2.trials(), 0);
+        assert!(!warm.pending_seeds.is_empty());
+
+        // the queued seeds are measured first, so one round re-establishes
+        // a best at least as good as the best prior record
+        let prior_best = records.iter().map(|r| r.time).fold(f64::INFINITY, f64::min);
+        warm.round(8);
+        assert!(
+            warm.best_time <= prior_best * 1.5,
+            "warm round should revisit prior bests: {} vs {prior_best}",
+            warm.best_time
+        );
     }
 
     #[test]

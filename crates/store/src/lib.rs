@@ -1,0 +1,425 @@
+//! # harl-store
+//!
+//! Persistent tuning history: an append-only JSONL [`RecordStore`] of
+//! measurement records plus a checkpoint file for interrupted runs.
+//!
+//! The paper's online cost-model retraining (Sec. 4) assumes the
+//! measurement history survives the whole search; this crate makes it
+//! survive the *process*. Records are keyed by
+//! [`Subgraph::similarity_key`](harl_tensor_ir::Subgraph::similarity_key)
+//! so a later run on a structurally similar workload (e.g. a repeated
+//! transformer block) can warm-start its cost model and seed its search
+//! from the best known schedules.
+//!
+//! ## On-disk format
+//!
+//! `<dir>/records.jsonl` — line 1 is a versioned header:
+//!
+//! ```json
+//! {"format":"harl-store","version":1}
+//! ```
+//!
+//! Every following line is one [`MeasureRecord`] as compact JSON. The file
+//! is append-only; a torn final line (crash mid-write) is skipped on load.
+//!
+//! `<dir>/checkpoint.json` — the latest session checkpoint, written
+//! atomically (temp file + rename). Content is opaque to this crate; the
+//! session layer stores serialized tuner + measurer state there.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use harl_tensor_ir::Schedule;
+use harl_tensor_sim::{MeasureEvent, RecordSink};
+use serde::{Deserialize, Serialize};
+
+/// Current on-disk format version (the `version` field of the header).
+pub const FORMAT_VERSION: u32 = 1;
+
+const RECORDS_FILE: &str = "records.jsonl";
+const CHECKPOINT_FILE: &str = "checkpoint.json";
+
+/// One persisted measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasureRecord {
+    /// Name of the measured subgraph.
+    pub workload: String,
+    /// Similarity key of the subgraph (anchor iterator shape).
+    pub similarity_key: u64,
+    /// Sketch index the schedule instantiates.
+    pub sketch_id: usize,
+    /// Full schedule parameters.
+    pub schedule: Schedule,
+    /// Measured (noisy) execution time, seconds.
+    pub time: f64,
+    /// Measured throughput, FLOP/s.
+    pub flops_per_sec: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct StoreHeader {
+    format: String,
+    version: u32,
+}
+
+/// Store I/O or format error.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed or incompatible store contents.
+    Format(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Format(m) => write!(f, "store format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Append-only store of measurement records in a directory.
+///
+/// Thread-safe: implements [`RecordSink`], so it can be attached to a
+/// `Measurer` shared across measurement threads. Write failures after a
+/// successful open do not interrupt the search; they are counted in
+/// [`RecordStore::dropped_writes`].
+pub struct RecordStore {
+    dir: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    records: Mutex<Vec<MeasureRecord>>,
+    dropped: AtomicU64,
+}
+
+impl RecordStore {
+    /// Opens (or creates) the store in `dir`, loading all existing records.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(RECORDS_FILE);
+        let mut records = Vec::new();
+        let is_new = !path.exists();
+        if !is_new {
+            let text = fs::read_to_string(&path)?;
+            let mut lines = text.lines().enumerate();
+            match lines.next() {
+                None => {} // empty file: treat as new, rewrite header below
+                Some((_, first)) => {
+                    let header: StoreHeader = serde_json::from_str(first)
+                        .map_err(|e| StoreError::Format(format!("bad header line: {e}")))?;
+                    if header.format != "harl-store" {
+                        return Err(StoreError::Format(format!(
+                            "not a harl-store file (format `{}`)",
+                            header.format
+                        )));
+                    }
+                    if header.version != FORMAT_VERSION {
+                        return Err(StoreError::Format(format!(
+                            "unsupported store version {} (supported: {})",
+                            header.version, FORMAT_VERSION
+                        )));
+                    }
+                    let ends_complete = text.ends_with('\n');
+                    let last_idx = text.lines().count() - 1;
+                    for (i, line) in lines {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        match serde_json::from_str::<MeasureRecord>(line) {
+                            Ok(r) => records.push(r),
+                            // A torn final line is expected after a crash
+                            // mid-append; anything else is corruption.
+                            Err(_) if i == last_idx && !ends_complete => {}
+                            Err(e) => {
+                                return Err(StoreError::Format(format!(
+                                    "bad record at line {}: {e}",
+                                    i + 1
+                                )))
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut writer = BufWriter::new(file);
+        if is_new || fs::metadata(&path)?.len() == 0 {
+            let header = StoreHeader {
+                format: "harl-store".to_string(),
+                version: FORMAT_VERSION,
+            };
+            writeln!(writer, "{}", serde_json::to_string(&header)?)?;
+            writer.flush()?;
+        }
+        Ok(RecordStore {
+            dir,
+            writer: Mutex::new(writer),
+            records: Mutex::new(records),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of records currently held (loaded + appended).
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("record store poisoned").len()
+    }
+
+    /// True when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clone of all records, in append order.
+    pub fn snapshot(&self) -> Vec<MeasureRecord> {
+        self.records.lock().expect("record store poisoned").clone()
+    }
+
+    /// Clone of the records whose similarity key matches `key`.
+    pub fn matching(&self, key: u64) -> Vec<MeasureRecord> {
+        self.records
+            .lock()
+            .expect("record store poisoned")
+            .iter()
+            .filter(|r| r.similarity_key == key)
+            .cloned()
+            .collect()
+    }
+
+    /// Appends one record to disk and to the in-memory view.
+    pub fn append(&self, record: MeasureRecord) -> Result<(), StoreError> {
+        let line = serde_json::to_string(&record)?;
+        {
+            let mut w = self.writer.lock().expect("record store poisoned");
+            writeln!(w, "{line}")?;
+            w.flush()?;
+        }
+        self.records
+            .lock()
+            .expect("record store poisoned")
+            .push(record);
+        Ok(())
+    }
+
+    /// Records silently dropped because a disk append failed.
+    pub fn dropped_writes(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Atomically writes a session checkpoint (opaque JSON payload).
+    pub fn save_checkpoint(&self, json: &str) -> Result<(), StoreError> {
+        let tmp = self.dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
+        Ok(())
+    }
+
+    /// The latest session checkpoint, if one was written.
+    pub fn load_checkpoint(&self) -> Result<Option<String>, StoreError> {
+        let path = self.dir.join(CHECKPOINT_FILE);
+        if !path.exists() {
+            return Ok(None);
+        }
+        Ok(Some(fs::read_to_string(path)?))
+    }
+
+    /// Removes a previously written checkpoint (e.g. after a completed run).
+    pub fn clear_checkpoint(&self) -> Result<(), StoreError> {
+        let path = self.dir.join(CHECKPOINT_FILE);
+        if path.exists() {
+            fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Format(e.to_string())
+    }
+}
+
+impl RecordSink for RecordStore {
+    fn record(&self, ev: &MeasureEvent<'_>) {
+        let rec = MeasureRecord {
+            workload: ev.workload.to_string(),
+            similarity_key: ev.similarity_key,
+            sketch_id: ev.schedule.sketch_id,
+            schedule: ev.schedule.clone(),
+            time: ev.time,
+            flops_per_sec: ev.flops_per_sec,
+        };
+        if self.append(rec).is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The best (lowest measured time) record per distinct schedule, sorted
+/// ascending by time. Used to pick warm-start seeds.
+pub fn best_records(records: &[MeasureRecord], limit: usize) -> Vec<MeasureRecord> {
+    let mut sorted: Vec<&MeasureRecord> = records
+        .iter()
+        .filter(|r| r.time.is_finite() && r.time > 0.0)
+        .collect();
+    sorted.sort_by(|a, b| a.time.total_cmp(&b.time));
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for r in sorted {
+        if seen.insert(r.schedule.dedup_key()) {
+            out.push(r.clone());
+            if out.len() == limit {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harl_tensor_ir::{generate_sketches, workload, Target};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_records(n: usize) -> Vec<MeasureRecord> {
+        let g = workload::gemm(64, 64, 64);
+        let sketches = generate_sketches(&g, Target::Cpu);
+        let sk = &sketches[0];
+        let mut rng = StdRng::seed_from_u64(11);
+        let base = Schedule::random(sk, Target::Cpu, &mut rng);
+        (0..n)
+            .map(|i| {
+                let mut s = base.clone();
+                s.unroll_idx = i % 2;
+                MeasureRecord {
+                    workload: g.name.clone(),
+                    similarity_key: g.similarity_key(),
+                    sketch_id: s.sketch_id,
+                    schedule: s,
+                    time: 1e-3 * (n - i) as f64,
+                    flops_per_sec: 1e9 * (i + 1) as f64,
+                }
+            })
+            .collect()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("harl-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn round_trip_identical_records() {
+        let dir = tmp_dir("roundtrip");
+        let recs = sample_records(5);
+        {
+            let store = RecordStore::open(&dir).unwrap();
+            for r in &recs {
+                store.append(r.clone()).unwrap();
+            }
+        }
+        let reloaded = RecordStore::open(&dir).unwrap();
+        assert_eq!(reloaded.snapshot(), recs);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_is_versioned_and_checked() {
+        let dir = tmp_dir("header");
+        {
+            RecordStore::open(&dir).unwrap();
+        }
+        let path = dir.join("records.jsonl");
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\"format\":\"harl-store\",\"version\":1}"));
+        fs::write(&path, "{\"format\":\"harl-store\",\"version\":99}\n").unwrap();
+        assert!(matches!(
+            RecordStore::open(&dir),
+            Err(StoreError::Format(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let dir = tmp_dir("torn");
+        let recs = sample_records(3);
+        {
+            let store = RecordStore::open(&dir).unwrap();
+            for r in &recs {
+                store.append(r.clone()).unwrap();
+            }
+        }
+        let path = dir.join("records.jsonl");
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.truncate(text.len() - 10); // tear the last record mid-JSON
+        fs::write(&path, &text).unwrap();
+        let reloaded = RecordStore::open(&dir).unwrap();
+        assert_eq!(reloaded.snapshot(), recs[..2].to_vec());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn matching_filters_by_key() {
+        let dir = tmp_dir("matching");
+        let store = RecordStore::open(&dir).unwrap();
+        let mut recs = sample_records(4);
+        recs[3].similarity_key = 0xdead;
+        for r in &recs {
+            store.append(r.clone()).unwrap();
+        }
+        assert_eq!(store.matching(recs[0].similarity_key).len(), 3);
+        assert_eq!(store.matching(0xdead).len(), 1);
+        assert_eq!(store.matching(0x1234).len(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_save_load_clear() {
+        let dir = tmp_dir("ckpt");
+        let store = RecordStore::open(&dir).unwrap();
+        assert!(store.load_checkpoint().unwrap().is_none());
+        store.save_checkpoint("{\"round\":3}").unwrap();
+        assert_eq!(
+            store.load_checkpoint().unwrap().as_deref(),
+            Some("{\"round\":3}")
+        );
+        store.save_checkpoint("{\"round\":4}").unwrap();
+        assert_eq!(
+            store.load_checkpoint().unwrap().as_deref(),
+            Some("{\"round\":4}")
+        );
+        store.clear_checkpoint().unwrap();
+        assert!(store.load_checkpoint().unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn best_records_sorted_and_deduped() {
+        let recs = sample_records(6);
+        let best = best_records(&recs, 4);
+        // sample_records reuses only two distinct schedules (unroll_idx 0/1)
+        assert_eq!(best.len(), 2);
+        assert!(best[0].time <= best[1].time);
+    }
+}

@@ -234,6 +234,14 @@ impl Subgraph {
         &self.stages[self.anchor]
     }
 
+    /// Similarity key (anchor iterator shape): subgraphs with the same key
+    /// share a parameter-space structure, so measurement records and cost
+    /// models transfer between them (e.g. repeated transformer blocks).
+    pub fn similarity_key(&self) -> u64 {
+        let a = self.anchor_stage();
+        (a.num_spatial() as u64) << 32 | a.num_reduction() as u64
+    }
+
     /// Total FLOPs of one execution of the subgraph.
     pub fn flops(&self) -> f64 {
         self.stages.iter().map(Stage::flops).sum()

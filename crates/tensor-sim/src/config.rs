@@ -1,0 +1,34 @@
+//! Shared configuration validation error.
+//!
+//! All tuning-stack config builders (`MeasureConfig`, `HarlConfig`,
+//! `AnsorConfig`) validate on `build()` and report problems through
+//! [`ConfigError`] instead of panicking mid-search.
+
+use std::fmt;
+
+/// A rejected configuration value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field, e.g. `"measure.noise"`.
+    pub field: &'static str,
+    /// Human-readable description of the constraint that failed.
+    pub message: String,
+}
+
+impl ConfigError {
+    /// A new error for `field` with a constraint `message`.
+    pub fn new(field: &'static str, message: impl Into<String>) -> Self {
+        ConfigError {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}

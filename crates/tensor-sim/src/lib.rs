@@ -6,12 +6,17 @@
 //! deterministic, rugged, structurally faithful performance landscape with
 //! simulated measurement-time accounting.
 
+pub mod config;
 pub mod hardware;
 pub mod measure;
 pub mod rugged;
 pub mod trace;
 
+pub use config::ConfigError;
 pub use hardware::{CpuModel, GpuModel, Hardware};
-pub use measure::{MeasureConfig, Measurement, Measurer};
+pub use measure::{
+    MeasureConfig, MeasureConfigBuilder, MeasureEvent, Measurement, Measurer, MeasurerState,
+    RecordSink,
+};
 pub use rugged::{mix64, rugged_factor, unit_hash};
 pub use trace::{TracePoint, TuneTrace};

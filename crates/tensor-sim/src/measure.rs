@@ -10,10 +10,12 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 
 use harl_tensor_ir::{Schedule, Sketch, Subgraph};
 
+use crate::config::ConfigError;
 use crate::hardware::Hardware;
 
 /// Configuration of the measurement process.
@@ -40,6 +42,76 @@ impl Default for MeasureConfig {
     }
 }
 
+impl MeasureConfig {
+    /// A validating builder starting from the defaults.
+    pub fn builder() -> MeasureConfigBuilder {
+        MeasureConfigBuilder {
+            cfg: MeasureConfig::default(),
+        }
+    }
+
+    /// Checks every field against its constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.noise.is_finite() || self.noise < 0.0 {
+            return Err(ConfigError::new(
+                "measure.noise",
+                format!("must be finite and >= 0, got {}", self.noise),
+            ));
+        }
+        if !self.r_min.is_finite() || self.r_min < 0.0 {
+            return Err(ConfigError::new(
+                "measure.r_min",
+                format!("must be finite and >= 0, got {}", self.r_min),
+            ));
+        }
+        if !self.build_overhead.is_finite() || self.build_overhead < 0.0 {
+            return Err(ConfigError::new(
+                "measure.build_overhead",
+                format!("must be finite and >= 0, got {}", self.build_overhead),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`MeasureConfig`].
+#[derive(Debug, Clone)]
+pub struct MeasureConfigBuilder {
+    cfg: MeasureConfig,
+}
+
+impl MeasureConfigBuilder {
+    /// Relative measurement noise (lognormal std-dev).
+    pub fn noise(mut self, noise: f64) -> Self {
+        self.cfg.noise = noise;
+        self
+    }
+
+    /// Minimum repeated-execution seconds per measurement.
+    pub fn r_min(mut self, r_min: f64) -> Self {
+        self.cfg.r_min = r_min;
+        self
+    }
+
+    /// Simulated compile + RPC overhead per measurement.
+    pub fn build_overhead(mut self, secs: f64) -> Self {
+        self.cfg.build_overhead = secs;
+        self
+    }
+
+    /// Noise-stream RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<MeasureConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// One completed measurement.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -51,12 +123,52 @@ pub struct Measurement {
     pub flops_per_sec: f64,
 }
 
+/// One completed measurement, as seen by a [`RecordSink`].
+///
+/// Borrowed view to avoid cloning schedules on the measurement path when no
+/// sink is attached.
+#[derive(Debug)]
+pub struct MeasureEvent<'a> {
+    /// Name of the measured subgraph.
+    pub workload: &'a str,
+    /// [`Subgraph::similarity_key`] of the measured subgraph.
+    pub similarity_key: u64,
+    /// The measured schedule (its `sketch_id` identifies the sketch).
+    pub schedule: &'a Schedule,
+    /// Measured (noisy) execution time, seconds.
+    pub time: f64,
+    /// Measured throughput, FLOP/s.
+    pub flops_per_sec: f64,
+}
+
+/// Receiver of completed measurements (e.g. a persistent record store).
+///
+/// Sinks observe measurements in deterministic input order; they must not
+/// call back into the measurer.
+pub trait RecordSink: Send + Sync {
+    /// Called once per completed measurement.
+    fn record(&self, ev: &MeasureEvent<'_>);
+}
+
+/// Snapshot of a measurer's mutable state (noise RNG, trial counter,
+/// simulated clock) for checkpoint/resume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurerState {
+    /// Raw xoshiro state of the noise RNG.
+    pub rng: [u64; 4],
+    /// Total measurements performed.
+    pub trials: u64,
+    /// Simulated seconds elapsed.
+    pub sim_seconds: f64,
+}
+
 /// Measures schedules on a [`Hardware`] model while accounting simulated
 /// search time. Thread-safe: batch measurement fans out across threads.
 pub struct Measurer {
     hw: Hardware,
     cfg: MeasureConfig,
     state: Mutex<MeasureState>,
+    sink: Mutex<Option<Arc<dyn RecordSink>>>,
 }
 
 struct MeasureState {
@@ -77,7 +189,38 @@ impl Measurer {
                 trials: 0,
                 sim_seconds: 0.0,
             }),
+            sink: Mutex::new(None),
         }
+    }
+
+    /// Attaches a sink that observes every subsequent measurement.
+    pub fn set_sink(&self, sink: Arc<dyn RecordSink>) {
+        *self.sink.lock().expect("measurer sink mutex poisoned") = Some(sink);
+    }
+
+    /// Detaches the current sink, if any.
+    pub fn clear_sink(&self) {
+        *self.sink.lock().expect("measurer sink mutex poisoned") = None;
+    }
+
+    /// Snapshot of the mutable measurement state for checkpointing.
+    pub fn state(&self) -> MeasurerState {
+        let st = self.state.lock().expect("measurer mutex poisoned");
+        MeasurerState {
+            rng: st.rng.state(),
+            trials: st.trials,
+            sim_seconds: st.sim_seconds,
+        }
+    }
+
+    /// Restores a [`Measurer::state`] snapshot: the noise stream, trial
+    /// counter, and simulated clock continue exactly where the snapshot
+    /// was taken.
+    pub fn restore_state(&self, snapshot: &MeasurerState) {
+        let mut st = self.state.lock().expect("measurer mutex poisoned");
+        st.rng = StdRng::from_state(snapshot.rng);
+        st.trials = snapshot.trials;
+        st.sim_seconds = snapshot.sim_seconds;
     }
 
     /// The underlying hardware model.
@@ -123,10 +266,26 @@ impl Measurer {
         // repeated execution until r_min seconds have elapsed, plus build
         st.sim_seconds += self.cfg.r_min.max(t) + self.cfg.build_overhead;
         drop(st);
+        let flops_per_sec = graph.flops() / noisy;
+        self.notify_sink(graph, schedule, noisy, flops_per_sec);
         Measurement {
             schedule: schedule.clone(),
             time: noisy,
-            flops_per_sec: graph.flops() / noisy,
+            flops_per_sec,
+        }
+    }
+
+    /// Emits a completed measurement to the attached sink, if any.
+    fn notify_sink(&self, graph: &Subgraph, schedule: &Schedule, time: f64, flops_per_sec: f64) {
+        let sink = self.sink.lock().expect("measurer sink mutex poisoned");
+        if let Some(sink) = sink.as_ref() {
+            sink.record(&MeasureEvent {
+                workload: &graph.name,
+                similarity_key: graph.similarity_key(),
+                schedule,
+                time,
+                flops_per_sec,
+            });
         }
     }
 
@@ -151,6 +310,10 @@ impl Measurer {
                 time: noisy,
                 flops_per_sec: graph.flops() / noisy,
             });
+        }
+        drop(st);
+        for m in &out {
+            self.notify_sink(graph, &m.schedule, m.time, m.flops_per_sec);
         }
         out
     }
@@ -279,6 +442,70 @@ mod tests {
         let par = m.eval_batch_parallel(&g, &sk, &scheds);
         let ser: Vec<f64> = scheds.iter().map(|s| m.true_time(&g, &sk, s)).collect();
         assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn builder_validates_fields() {
+        assert!(MeasureConfig::builder().noise(0.05).build().is_ok());
+        assert!(MeasureConfig::builder().noise(-0.1).build().is_err());
+        assert!(MeasureConfig::builder().r_min(f64::NAN).build().is_err());
+        assert!(MeasureConfig::builder()
+            .build_overhead(-1.0)
+            .build()
+            .is_err());
+        let err = MeasureConfig::builder().noise(-0.1).build().unwrap_err();
+        assert_eq!(err.field, "measure.noise");
+    }
+
+    #[test]
+    fn state_restore_replays_noise_stream() {
+        let (g, sk, scheds) = setup();
+        let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        for s in &scheds[..10] {
+            m.measure(&g, &sk, s);
+        }
+        let snap = m.state();
+        let a: Vec<f64> = scheds[10..20]
+            .iter()
+            .map(|s| m.measure(&g, &sk, s).time)
+            .collect();
+        m.restore_state(&snap);
+        assert_eq!(m.trials(), 10);
+        let b: Vec<f64> = scheds[10..20]
+            .iter()
+            .map(|s| m.measure(&g, &sk, s).time)
+            .collect();
+        assert_eq!(a, b, "restored noise stream must be bit-identical");
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: MeasurerState = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn sink_observes_measurements_in_order() {
+        use std::sync::Mutex;
+
+        struct Collect(Mutex<Vec<(u64, f64)>>);
+        impl RecordSink for Collect {
+            fn record(&self, ev: &MeasureEvent<'_>) {
+                self.0.lock().unwrap().push((ev.similarity_key, ev.time));
+            }
+        }
+
+        let (g, sk, scheds) = setup();
+        let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+        m.set_sink(sink.clone());
+        let r0 = m.measure(&g, &sk, &scheds[0]);
+        let batch = m.measure_batch(&g, &sk, &scheds[1..4]);
+        m.clear_sink();
+        m.measure(&g, &sk, &scheds[4]);
+        let seen = sink.0.lock().unwrap();
+        assert_eq!(seen.len(), 4, "sink detached before the last measurement");
+        assert_eq!(seen[0], (g.similarity_key(), r0.time));
+        for (entry, m) in seen[1..].iter().zip(&batch) {
+            assert_eq!(entry.1, m.time);
+        }
     }
 
     #[test]

@@ -7,6 +7,20 @@
 
 use harl_repro::prelude::*;
 
+/// Drives any tuner through the unified session API with the same budget.
+fn run_session(label: &str, tuner: Box<dyn Tuner + '_>, measurer: &Measurer, trials: u64) {
+    let mut session = TuningSession::builder()
+        .launch(tuner, measurer, None)
+        .expect("launch session");
+    session.run(trials).expect("run session");
+    println!(
+        "{label:6}: best {:.3} ms after {} trials ({:.0} simulated seconds)",
+        session.best_latency() * 1e3,
+        session.trials_used(),
+        measurer.sim_seconds()
+    );
+}
+
 fn main() {
     let trials: u64 = std::env::args()
         .nth(1)
@@ -16,41 +30,32 @@ fn main() {
     let gemm = harl_repro::ir::workload::gemm(1024, 1024, 1024);
     println!("workload: {} | budget: {trials} trials each\n", gemm.name);
 
+    // Both tuners implement the common `Tuner` trait, so one driver covers
+    // them — the head-to-head is identical by construction.
+
     // --- Ansor -----------------------------------------------------------
     let ansor_m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
     let mut ansor = AnsorTuner::new(
         gemm.clone(),
         &ansor_m,
-        AnsorConfig {
-            measure_per_round: 16,
-            ..Default::default()
-        },
+        AnsorConfig::builder()
+            .measure_per_round(16)
+            .build()
+            .expect("valid ansor config"),
     );
-    ansor.tune(trials);
-    println!(
-        "Ansor : best {:.3} ms after {} trials ({:.0} simulated seconds)",
-        ansor.best_time * 1e3,
-        ansor.trials_used,
-        ansor_m.sim_seconds()
-    );
+    run_session("Ansor", Box::new(&mut ansor), &ansor_m, trials);
 
     // --- HARL ---------------------------------------------------------------
     let harl_m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
     let mut harl = HarlOperatorTuner::new(
         gemm.clone(),
         &harl_m,
-        HarlConfig {
-            measure_per_round: 16,
-            ..HarlConfig::fast()
-        },
+        harl_repro::harl::HarlConfigBuilder::from(HarlConfig::fast())
+            .measure_per_round(16)
+            .build()
+            .expect("valid harl config"),
     );
-    harl.tune(trials);
-    println!(
-        "HARL  : best {:.3} ms after {} trials ({:.0} simulated seconds)",
-        harl.best_time * 1e3,
-        harl.trials_used,
-        harl_m.sim_seconds()
-    );
+    run_session("HARL", Box::new(&mut harl), &harl_m, trials);
 
     // --- the two headline metrics -------------------------------------------
     let perf_ratio = ansor.best_time / harl.best_time;

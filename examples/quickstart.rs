@@ -4,6 +4,15 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `HARL_STORE_DIR=/some/dir` to persist measurement records and the
+//! session checkpoint there: a second run against the same directory
+//! warm-starts from the first run's measurements (or resumes, if the first
+//! run was interrupted). `HARL_TARGET_MS=<ms>` additionally reports how
+//! many trials it took to reach that latency — the hook the CI warm-start
+//! smoke test uses.
+
+use std::sync::Arc;
 
 use harl_repro::prelude::*;
 
@@ -23,10 +32,34 @@ fn main() {
         println!("  #{}: {}", s.id, s.desc);
     }
 
-    // 4. Tune. `HarlConfig::paper()` is the full Table-5 setup; `fast()`
-    //    scales the track counts down so this example finishes in seconds.
+    // 4. Tune through a session. `HarlConfig::paper()` is the full Table-5
+    //    setup; `fast()` scales the track counts down so this example
+    //    finishes in seconds. With a store attached, every measurement is
+    //    persisted and the tuner warm-starts from prior runs.
+    let store = match std::env::var("HARL_STORE_DIR") {
+        Ok(dir) => Some(Arc::new(
+            RecordStore::open(&dir).expect("open record store"),
+        )),
+        Err(_) => None,
+    };
     let mut tuner = HarlOperatorTuner::new(gemm.clone(), &measurer, HarlConfig::fast());
-    tuner.tune(160);
+    let mut session = TuningSession::builder()
+        .launch(Box::new(&mut tuner), &measurer, store.clone())
+        .expect("launch tuning session");
+    if session.resumed() {
+        println!(
+            "session: resumed from checkpoint ({} trials already spent)",
+            session.trials_used()
+        );
+    } else if let Some(store) = &store {
+        println!(
+            "session: warm_records={} (store had {} records)",
+            session.warm_records(),
+            store.len()
+        );
+    }
+    session.run(160).expect("tuning session");
+    session.finish().expect("finish session");
 
     // 5. Report.
     let best = tuner
@@ -38,6 +71,31 @@ fn main() {
     println!("  best execution time: {:.3} ms", tuner.best_time * 1e3);
     println!("  throughput:          {:.1} GFLOP/s", gflops);
     println!("  simulated search:    {:.0} s", measurer.sim_seconds());
+
+    // machine-readable line for scripts (see ci/check.sh)
+    let trials_to_best = tuner
+        .trace
+        .first_reaching(tuner.best_time)
+        .map(|(t, _)| t as i64)
+        .unwrap_or(-1);
+    print!(
+        "metrics: best_ms={:.9} trials={} trials_to_best={}",
+        tuner.best_time * 1e3,
+        tuner.trials_used,
+        trials_to_best
+    );
+    if let Ok(target_ms) = std::env::var("HARL_TARGET_MS") {
+        let target: f64 = target_ms.parse().expect("HARL_TARGET_MS is a number");
+        // tiny relative tolerance absorbs the decimal truncation of best_ms
+        let to_target = tuner
+            .trace
+            .first_reaching(target * (1.0 + 1e-7) / 1e3)
+            .map(|(t, _)| t as i64)
+            .unwrap_or(-1);
+        print!(" trials_to_target={to_target}");
+    }
+    println!();
+
     println!("\nbest schedule (sketch #{}):", best.sketch_id);
     for (k, tiles) in best.tiles.iter().enumerate() {
         let it = &sketches[best.sketch_id].tiled_iters[k];

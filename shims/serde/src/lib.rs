@@ -1,11 +1,16 @@
 //! Offline drop-in replacement for the subset of `serde` this workspace
 //! uses: a `Serialize` trait that drives a JSON writer, a `Deserialize`
-//! marker (nothing in the workspace deserializes), and the derive macros.
+//! trait that decodes from a parsed JSON [`de::Value`] tree, and the derive
+//! macros.
 //!
 //! The real crate cannot be fetched (no registry access in the build
 //! environment); the shim keeps call sites source-compatible:
-//! `#[derive(Serialize, Deserialize)]`, `#[serde(skip)]`, and
-//! `serde_json::to_string_pretty` all work.
+//! `#[derive(Serialize, Deserialize)]`, `#[serde(skip)]`,
+//! `serde_json::to_string_pretty`, and `serde_json::from_str` all work.
+//!
+//! Numbers are kept as raw source tokens in the `Value` tree and parsed at
+//! the target width, so `u64` beyond 2^53 and `f32`/`f64` round-trip
+//! exactly (Rust's float `Display` is shortest-round-trip).
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -15,11 +20,15 @@ pub trait Serialize {
     fn serialize(&self, w: &mut ser::JsonWriter);
 }
 
-/// Marker standing in for `serde::Deserialize`. Blanket-implemented: the
-/// derive expands to nothing and no code path deserializes.
-pub trait Deserialize<'de> {}
-
-impl<'de, T> Deserialize<'de> for T {}
+/// Types that can rebuild themselves from a parsed JSON tree.
+///
+/// The lifetime parameter exists only for call-site compatibility with the
+/// real crate's `Deserialize<'de>`; the shim always decodes from an owned
+/// [`de::Value`].
+pub trait Deserialize<'de>: Sized {
+    /// Decodes `Self` from a parsed JSON value.
+    fn deserialize_value(v: &de::Value) -> Result<Self, de::DeError>;
+}
 
 pub mod ser {
     //! The JSON writer the derive macros target.
@@ -284,6 +293,445 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for v in self {
+            w.elem();
+            v.serialize(w);
+        }
+        w.end_array();
+    }
+}
+
+pub mod de {
+    //! Parsed-JSON tree and decoding helpers the `Deserialize` derive
+    //! targets.
+
+    use std::fmt;
+
+    /// A parsed JSON value. Numbers are kept as their raw source token so
+    /// each call site can parse at the exact target width.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        /// Raw number token, e.g. `-1.5e-3` or `18446744073709551615`.
+        Num(String),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    /// Decoding error with a short human-readable message.
+    #[derive(Debug, Clone)]
+    pub struct DeError(pub String);
+
+    impl DeError {
+        pub fn new(msg: impl Into<String>) -> Self {
+            DeError(msg.into())
+        }
+    }
+
+    impl fmt::Display for DeError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "JSON decode error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for DeError {}
+
+    impl Value {
+        fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Num(_) => "number",
+                Value::Str(_) => "string",
+                Value::Arr(_) => "array",
+                Value::Obj(_) => "object",
+            }
+        }
+
+        /// Object entry by key.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The elements of an array value.
+        pub fn as_array(&self) -> Result<&[Value], DeError> {
+            match self {
+                Value::Arr(items) => Ok(items),
+                other => Err(DeError::new(format!(
+                    "expected array, got {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        /// The text of a string value.
+        pub fn as_str(&self) -> Result<&str, DeError> {
+            match self {
+                Value::Str(s) => Ok(s),
+                other => Err(DeError::new(format!(
+                    "expected string, got {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        /// Parses JSON text into a value tree.
+        pub fn parse(text: &str) -> Result<Value, DeError> {
+            let bytes = text.as_bytes();
+            let mut pos = 0usize;
+            let v = parse_value(bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            if pos != bytes.len() {
+                return Err(DeError::new(format!("trailing characters at byte {pos}")));
+            }
+            Ok(v)
+        }
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), DeError> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(DeError::new(format!("expected `{lit}` at byte {}", *pos)))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, DeError> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err(DeError::new("unexpected end of input")),
+            Some(b'n') => expect(b, pos, "null").map(|_| Value::Null),
+            Some(b't') => expect(b, pos, "true").map(|_| Value::Bool(true)),
+            Some(b'f') => expect(b, pos, "false").map(|_| Value::Bool(false)),
+            Some(b'"') => parse_string(b, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => {
+                            return Err(DeError::new(format!(
+                                "expected `,` or `]` at byte {}",
+                                *pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    expect(b, pos, ":")?;
+                    let val = parse_value(b, pos)?;
+                    entries.push((key, val));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(entries));
+                        }
+                        _ => {
+                            return Err(DeError::new(format!(
+                                "expected `,` or `}}` at byte {}",
+                                *pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(c) if *c == b'-' || c.is_ascii_digit() => {
+                let start = *pos;
+                if b[*pos] == b'-' {
+                    *pos += 1;
+                }
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    *pos += 1;
+                }
+                let token = std::str::from_utf8(&b[start..*pos])
+                    .map_err(|_| DeError::new("invalid UTF-8 in number"))?;
+                Ok(Value::Num(token.to_string()))
+            }
+            Some(c) => Err(DeError::new(format!(
+                "unexpected byte `{}` at {}",
+                *c as char, *pos
+            ))),
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, DeError> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(DeError::new(format!("expected string at byte {}", *pos)));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err(DeError::new("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| DeError::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| DeError::new("invalid \\u escape"))?;
+                            // Surrogate pairs are not produced by the shim
+                            // writer (it emits non-BMP chars verbatim), so a
+                            // lone code point is the only case to handle.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| DeError::new("invalid \\u code point"))?,
+                            );
+                            *pos += 4;
+                        }
+                        other => return Err(DeError::new(format!("invalid escape {other:?}"))),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 character.
+                    let rest = std::str::from_utf8(&b[*pos..])
+                        .map_err(|_| DeError::new("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Decodes a full value; the entry point generated decoders use.
+    pub fn from_value<T: for<'de> super::Deserialize<'de>>(v: &Value) -> Result<T, DeError> {
+        T::deserialize_value(v)
+    }
+
+    /// Decodes a named struct field, failing if the key is missing.
+    pub fn field<T: for<'de> super::Deserialize<'de>>(v: &Value, name: &str) -> Result<T, DeError> {
+        let inner = v
+            .get(name)
+            .ok_or_else(|| DeError::new(format!("missing field `{name}`")))?;
+        T::deserialize_value(inner).map_err(|e| DeError::new(format!("field `{name}`: {}", e.0)))
+    }
+
+    /// Decodes element `i` of an array-encoded tuple struct / variant.
+    pub fn elem<T: for<'de> super::Deserialize<'de>>(
+        arr: &[Value],
+        i: usize,
+    ) -> Result<T, DeError> {
+        let inner = arr
+            .get(i)
+            .ok_or_else(|| DeError::new(format!("missing tuple element {i}")))?;
+        T::deserialize_value(inner).map_err(|e| DeError::new(format!("element {i}: {}", e.0)))
+    }
+
+    /// The sole `(key, value)` entry of an externally-tagged enum object.
+    pub fn sole_entry(v: &Value) -> Result<(&str, &Value), DeError> {
+        match v {
+            Value::Obj(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
+            other => Err(DeError::new(format!(
+                "expected single-key variant object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+use de::{DeError, Value};
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(tok) => tok.parse::<$t>().map_err(|e| {
+                        DeError::new(format!("bad {}: `{tok}` ({e})", stringify!($t)))
+                    }),
+                    other => Err(DeError::new(format!(
+                        "expected {}, got JSON {:?}",
+                        stringify!($t),
+                        other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_de_float {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(tok) => tok.parse::<$t>().map_err(|e| {
+                        DeError::new(format!("bad {}: `{tok}` ({e})", stringify!($t)))
+                    }),
+                    // The shim writer encodes non-finite floats as null;
+                    // NaN is the lenient inverse (callers that care about
+                    // infinities must normalize on restore).
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::new(format!(
+                        "expected {}, got JSON {:?}",
+                        stringify!($t),
+                        other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_float!(f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(|s| s.to_string())
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()?.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()?.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array()?;
+        if items.len() != N {
+            return Err(DeError::new(format!(
+                "expected array of {N}, got {}",
+                items.len()
+            )));
+        }
+        let vec: Vec<T> = items
+            .iter()
+            .map(T::deserialize_value)
+            .collect::<Result<_, _>>()?;
+        vec.try_into()
+            .map_err(|_| DeError::new("array length mismatch"))
+    }
+}
+
+impl<'de, A: for<'a> Deserialize<'a>, B: for<'a> Deserialize<'a>> Deserialize<'de> for (A, B) {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array()?;
+        if items.len() != 2 {
+            return Err(DeError::new(format!(
+                "expected 2-tuple, got {} elements",
+                items.len()
+            )));
+        }
+        Ok((
+            A::deserialize_value(&items[0])?,
+            B::deserialize_value(&items[1])?,
+        ))
+    }
+}
+
+impl<'de, A: for<'a> Deserialize<'a>, B: for<'a> Deserialize<'a>, C: for<'a> Deserialize<'a>>
+    Deserialize<'de> for (A, B, C)
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array()?;
+        if items.len() != 3 {
+            return Err(DeError::new(format!(
+                "expected 3-tuple, got {} elements",
+                items.len()
+            )));
+        }
+        Ok((
+            A::deserialize_value(&items[0])?,
+            B::deserialize_value(&items[1])?,
+            C::deserialize_value(&items[2])?,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::ser::JsonWriter;
@@ -311,6 +759,54 @@ mod tests {
         assert_eq!(to_json(&Some(7u8)), "7");
         assert_eq!(to_json(&Option::<u8>::None), "null");
         assert_eq!(to_json(&(1u8, "x")), "[1,\"x\"]");
+    }
+
+    #[test]
+    fn parse_and_decode_scalars() {
+        use super::de::{from_value, Value};
+        let v = Value::parse("{\"a\": [1, 2.5, -3], \"b\": \"x\\ny\", \"c\": null}").unwrap();
+        assert_eq!(
+            from_value::<u32>(v.get("a").unwrap().as_array().unwrap().first().unwrap()).unwrap(),
+            1
+        );
+        assert_eq!(
+            from_value::<Vec<f64>>(v.get("a").unwrap()).unwrap(),
+            vec![1.0, 2.5, -3.0]
+        );
+        assert_eq!(from_value::<String>(v.get("b").unwrap()).unwrap(), "x\ny");
+        assert_eq!(from_value::<Option<u8>>(v.get("c").unwrap()).unwrap(), None);
+        assert!(from_value::<f64>(v.get("c").unwrap()).unwrap().is_nan());
+        assert!(Value::parse("[1, 2").is_err());
+        assert!(Value::parse("[1] junk").is_err());
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        use super::de::{from_value, Value};
+        for x in [f64::MIN_POSITIVE, 0.1, 1.0 / 3.0, -1.5e300, 4.9e-324] {
+            let v = Value::parse(&to_json(&x)).unwrap();
+            assert_eq!(from_value::<f64>(&v).unwrap().to_bits(), x.to_bits());
+        }
+        for x in [0.1f32, 1.0f32 / 3.0, f32::MIN_POSITIVE] {
+            let v = Value::parse(&to_json(&x)).unwrap();
+            assert_eq!(from_value::<f32>(&v).unwrap().to_bits(), x.to_bits());
+        }
+        let big = u64::MAX - 3;
+        let v = Value::parse(&to_json(&big)).unwrap();
+        assert_eq!(from_value::<u64>(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        use super::de::{from_value, Value};
+        use std::collections::VecDeque;
+        let dq: VecDeque<(usize, f64)> = [(1, 0.5), (2, -0.25)].into_iter().collect();
+        let v = Value::parse(&to_json(&dq)).unwrap();
+        assert_eq!(from_value::<VecDeque<(usize, f64)>>(&v).unwrap(), dq);
+        let arr = [3u64, 9, 27];
+        let v = Value::parse(&to_json(&arr)).unwrap();
+        assert_eq!(from_value::<[u64; 3]>(&v).unwrap(), arr);
+        assert!(from_value::<[u64; 2]>(&v).is_err());
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! Derive macros for the offline `serde` shim.
 //!
 //! `#[derive(Serialize)]` generates an implementation of the shim's
-//! JSON-writer `Serialize` trait; `#[derive(Deserialize)]` is accepted and
-//! expands to nothing (nothing in the workspace parses data back in).
+//! JSON-writer `Serialize` trait; `#[derive(Deserialize)]` generates the
+//! inverse decoder over the shim's parsed [`Value`] tree, mirroring the
+//! serializer's encoding exactly (named struct → object, 1-tuple struct →
+//! transparent, n-tuple struct → array, unit enum variant → string, data
+//! variant → single-key object). `#[serde(skip)]` fields are restored with
+//! `Default::default()`.
 //!
 //! The parser walks the raw token stream (no `syn` available offline): it
 //! only needs item kind, item name, field/variant names, and `#[serde(skip)]`
-//! markers — types are irrelevant because serialization is dispatched
+//! markers — types are irrelevant because (de)serialization is dispatched
 //! through the trait on each field value.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
@@ -104,8 +108,129 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let mut s = format!("::core::result::Result::Ok({} {{\n", item.name);
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!(
+                        "{f}: ::core::default::Default::default(),\n",
+                        f = f.name
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "{f}: ::serde::de::field(v, \"{f}\")?,\n",
+                        f = f.name
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Data::TupleStruct(arity) => {
+            if *arity == 1 {
+                format!(
+                    "::core::result::Result::Ok({}(::serde::de::from_value(v)?))",
+                    item.name
+                )
+            } else {
+                let mut s = String::from("let arr = v.as_array()?;\n");
+                s.push_str(&format!("::core::result::Result::Ok({}(", item.name));
+                for i in 0..*arity {
+                    s.push_str(&format!("::serde::de::elem(arr, {i})?, "));
+                }
+                s.push_str("))");
+                s
+            }
+        }
+        Data::UnitStruct => format!("let _ = v; ::core::result::Result::Ok({})", item.name),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({ty}::{v}),\n",
+                        ty = item.name,
+                        v = v.name
+                    )),
+                    VariantFields::Tuple(arity) => {
+                        let mut arm = format!("\"{v}\" => {{ ", v = v.name);
+                        if *arity == 1 {
+                            arm.push_str(&format!(
+                                "::core::result::Result::Ok({ty}::{v}(::serde::de::from_value(inner)?))",
+                                ty = item.name,
+                                v = v.name
+                            ));
+                        } else {
+                            arm.push_str("let arr = inner.as_array()?;\n");
+                            arm.push_str(&format!(
+                                "::core::result::Result::Ok({ty}::{v}(",
+                                ty = item.name,
+                                v = v.name
+                            ));
+                            for i in 0..*arity {
+                                arm.push_str(&format!("::serde::de::elem(arr, {i})?, "));
+                            }
+                            arm.push_str("))");
+                        }
+                        arm.push_str(" }\n");
+                        data_arms.push_str(&arm);
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut arm = format!(
+                            "\"{v}\" => ::core::result::Result::Ok({ty}::{v} {{\n",
+                            ty = item.name,
+                            v = v.name
+                        );
+                        for f in fields {
+                            if f.skip {
+                                arm.push_str(&format!(
+                                    "{f}: ::core::default::Default::default(),\n",
+                                    f = f.name
+                                ));
+                            } else {
+                                arm.push_str(&format!(
+                                    "{f}: ::serde::de::field(inner, \"{f}\")?,\n",
+                                    f = f.name
+                                ));
+                            }
+                        }
+                        arm.push_str("}),\n");
+                        data_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::de::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::core::result::Result::Err(::serde::de::DeError::new(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 other => {{\n\
+                 let (tag, inner) = ::serde::de::sole_entry(other)?;\n\
+                 let _ = inner;\n\
+                 match tag {{\n\
+                 {data_arms}\
+                 _ => ::core::result::Result::Err(::serde::de::DeError::new(\
+                 format!(\"unknown {name} variant `{{tag}}`\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+    };
+    let out = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize_value(v: &::serde::de::Value) \
+         -> ::core::result::Result<Self, ::serde::de::DeError> {{\n{body}\n}}\n}}\n",
+        name = item.name
+    );
+    out.parse().expect("generated Deserialize impl parses")
 }
 
 struct Field {

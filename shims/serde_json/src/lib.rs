@@ -1,14 +1,21 @@
 //! Offline `serde_json` shim: JSON string rendering over the serde shim's
-//! writer. Only the encoding entry points the workspace calls are provided.
+//! writer, plus `from_str` decoding through the shim's parsed-value tree.
+//! Only the entry points the workspace calls are provided.
 
 use serde::ser::JsonWriter;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
-/// Serialization error. The shim writer is infallible (non-finite floats
-/// are written as `null` instead of erroring), so this is never produced,
-/// but the type keeps `?`-based call sites compiling.
+/// (De)serialization error. Encoding is infallible in the shim (non-finite
+/// floats are written as `null` instead of erroring); decoding produces
+/// parse and shape errors through this type.
 #[derive(Debug)]
 pub struct Error(String);
+
+impl From<serde::de::DeError> for Error {
+    fn from(e: serde::de::DeError) -> Self {
+        Error(e.0)
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -38,11 +45,26 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(w.finish())
 }
 
+/// Decodes a value from JSON text.
+pub fn from_str<'de, T: for<'a> Deserialize<'a>>(s: &'de str) -> Result<T, Error> {
+    let value = serde::de::Value::parse(s)?;
+    Ok(T::deserialize_value(&value)?)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn encodes_vec() {
         assert_eq!(super::to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
         assert_eq!(super::to_string_pretty(&vec![1u8]).unwrap(), "[\n  1\n]");
+    }
+
+    #[test]
+    fn decodes_what_it_encodes() {
+        let v = vec![(1u64, 0.125f64), (u64::MAX, -3.5)];
+        let text = super::to_string(&v).unwrap();
+        let back: Vec<(u64, f64)> = super::from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert!(super::from_str::<Vec<u8>>("not json").is_err());
     }
 }

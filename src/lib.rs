@@ -17,7 +17,11 @@
 //! * [`ansor`] — the Ansor baseline (evolutionary search, gradient task
 //!   scheduler) and the Flextensor-like fixed-length RL tuner.
 //! * [`harl`] — the paper's system: hierarchical MABs + PPO parameter
-//!   search + adaptive stopping.
+//!   search + adaptive stopping — plus the unified [`harl::TuningSession`]
+//!   API that drives any tuner with record persistence, checkpoint/resume,
+//!   and warm-starting.
+//! * [`store`] — the append-only JSONL record store backing sessions:
+//!   every hardware measurement and the latest session checkpoint.
 //! * [`models`] — BERT / ResNet-50 / MobileNet-V2 workloads and the
 //!   Table 6 operator suite.
 //! * [`verify`] — the schedule lint framework (V001–V006): structured
@@ -43,6 +47,7 @@ pub use harl_core as harl;
 pub use harl_gbt as gbt;
 pub use harl_nn_models as models;
 pub use harl_nnet as nnet;
+pub use harl_store as store;
 pub use harl_tensor_ir as ir;
 pub use harl_tensor_sim as sim;
 pub use harl_verify as verify;
@@ -50,9 +55,12 @@ pub use harl_verify as verify;
 /// The most commonly used types, one import away.
 pub mod prelude {
     pub use harl_ansor::{AnsorConfig, AnsorNetworkTuner, AnsorTuner, FlextensorTuner};
-    pub use harl_core::{HarlConfig, HarlNetworkTuner, HarlOperatorTuner};
+    pub use harl_core::{
+        HarlConfig, HarlNetworkTuner, HarlOperatorTuner, Tuner, TunerState, TuningSession,
+    };
     pub use harl_nn_models::{operator_suite, Network, OperatorClass};
+    pub use harl_store::{MeasureRecord, RecordStore};
     pub use harl_tensor_ir::{generate_sketches, Schedule, Sketch, Subgraph, Target};
-    pub use harl_tensor_sim::{Hardware, MeasureConfig, Measurer, TuneTrace};
+    pub use harl_tensor_sim::{ConfigError, Hardware, MeasureConfig, Measurer, TuneTrace};
     pub use harl_verify::{Analyzer, Diagnostic, LintCode, LintStats, Severity};
 }
