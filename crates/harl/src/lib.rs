@@ -30,6 +30,7 @@ pub use episode::{run_episode, EpisodeResult};
 pub use network::{HarlNetworkTuner, NetRound};
 pub use report::{NetworkReport, OperatorReport, SubgraphSummary};
 pub use session::{
-    SessionBuilder, SessionCheckpoint, Tuner, TunerState, TuningSession, CHECKPOINT_VERSION,
+    RunOutcome, SessionBuilder, SessionCheckpoint, SessionControl, SessionProgress, Tuner,
+    TunerState, TuningSession, CHECKPOINT_VERSION,
 };
 pub use tuner::{HarlOperatorTuner, HarlTunerState, RoundLog};

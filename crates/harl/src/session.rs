@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use harl_ansor::{AnsorTuner, AnsorTunerState, FlextensorTuner, FlextensorTunerState};
 use harl_store::{MeasureRecord, RecordStore, StoreError};
-use harl_tensor_sim::{Measurer, MeasurerState};
+use harl_tensor_sim::{Measurer, MeasurerState, TuneTrace};
 
 use crate::tuner::{HarlOperatorTuner, HarlTunerState};
 
@@ -81,6 +81,12 @@ pub trait Tuner {
         let _ = records;
         0
     }
+
+    /// The best-so-far trace (trials / sim-seconds / best time), when the
+    /// tuner keeps one. Drives per-job metrics in serving deployments.
+    fn trace(&self) -> Option<&TuneTrace> {
+        None
+    }
 }
 
 // A mutable borrow drives the same way, so callers can keep ownership of
@@ -112,6 +118,10 @@ impl<T: Tuner + ?Sized> Tuner for &mut T {
 
     fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
         (**self).warm_start(records)
+    }
+
+    fn trace(&self) -> Option<&TuneTrace> {
+        (**self).trace()
     }
 }
 
@@ -146,6 +156,10 @@ impl Tuner for HarlOperatorTuner<'_> {
     fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
         HarlOperatorTuner::warm_start(self, records)
     }
+
+    fn trace(&self) -> Option<&TuneTrace> {
+        Some(&self.trace)
+    }
 }
 
 impl Tuner for AnsorTuner<'_> {
@@ -179,6 +193,10 @@ impl Tuner for AnsorTuner<'_> {
     fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
         AnsorTuner::warm_start(self, records)
     }
+
+    fn trace(&self) -> Option<&TuneTrace> {
+        Some(&self.trace)
+    }
 }
 
 impl Tuner for FlextensorTuner<'_> {
@@ -211,6 +229,10 @@ impl Tuner for FlextensorTuner<'_> {
             ),
         }
     }
+
+    fn trace(&self) -> Option<&TuneTrace> {
+        Some(&self.trace)
+    }
 }
 
 /// On-disk session checkpoint: tuner + measurer state plus bookkeeping.
@@ -218,6 +240,9 @@ impl Tuner for FlextensorTuner<'_> {
 pub struct SessionCheckpoint {
     /// Checkpoint format version.
     pub version: u32,
+    /// Identity of the job spec that wrote the checkpoint (see
+    /// [`SessionBuilder::job_key`]); `None` when the caller opted out.
+    pub job_key: Option<String>,
     /// Session rounds completed when the checkpoint was taken.
     pub rounds_done: u64,
     /// Simulated-measurer state (noise RNG, trial count, sim clock).
@@ -227,7 +252,7 @@ pub struct SessionCheckpoint {
 }
 
 /// Version of the [`SessionCheckpoint`] JSON payload.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Configures how a [`TuningSession`] uses its record store.
 #[derive(Debug, Clone)]
@@ -235,6 +260,8 @@ pub struct SessionBuilder {
     checkpoint_every: u64,
     warm_start: bool,
     resume: bool,
+    job_key: Option<String>,
+    warm_pool: Vec<MeasureRecord>,
 }
 
 impl Default for SessionBuilder {
@@ -243,6 +270,8 @@ impl Default for SessionBuilder {
             checkpoint_every: 1,
             warm_start: true,
             resume: true,
+            job_key: None,
+            warm_pool: Vec::new(),
         }
     }
 }
@@ -268,9 +297,27 @@ impl SessionBuilder {
         self
     }
 
+    /// Stamps checkpoints with a job identity and guards resumes with it:
+    /// a store checkpoint left behind by a *different* job spec (e.g. a
+    /// changed workload or config sharing the store directory) is rejected
+    /// with a clear error instead of being silently resumed. Sessions
+    /// without a job key skip the guard.
+    pub fn job_key(mut self, key: impl Into<String>) -> Self {
+        self.job_key = Some(key.into());
+        self
+    }
+
+    /// Additional records (e.g. a daemon's shared cross-job record pool)
+    /// replayed into the tuner's warm-start after the store's own records.
+    /// Ignored when a checkpoint is resumed.
+    pub fn warm_pool(mut self, records: Vec<MeasureRecord>) -> Self {
+        self.warm_pool = records;
+        self
+    }
+
     /// Builds the session: attaches the store as the measurer's record
     /// sink, then either resumes from the store's checkpoint or warm-starts
-    /// the tuner from its records.
+    /// the tuner from its records (plus any [`SessionBuilder::warm_pool`]).
     pub fn launch<'m>(
         self,
         tuner: Box<dyn Tuner + 'm>,
@@ -285,44 +332,96 @@ impl SessionBuilder {
             rounds_done: 0,
             resumed: false,
             warm_records: 0,
+            job_key: self.job_key.clone(),
         };
-        if let Some(store) = &session.store {
+        let checkpoint = if let Some(store) = &session.store {
             measurer.set_sink(store.clone() as Arc<dyn harl_tensor_sim::RecordSink>);
-            let checkpoint = if self.resume {
+            if self.resume {
                 store.load_checkpoint()?
             } else {
                 None
-            };
-            match checkpoint {
-                Some(json) => {
-                    let ck: SessionCheckpoint = serde_json::from_str(&json)
-                        .map_err(|e| StoreError::Format(format!("bad checkpoint: {e}")))?;
-                    if ck.version != CHECKPOINT_VERSION {
-                        return Err(StoreError::Format(format!(
-                            "unsupported checkpoint version {} (supported: {})",
-                            ck.version, CHECKPOINT_VERSION
-                        )));
-                    }
-                    if ck.tuner.tuner_name() != session.tuner.name() {
-                        return Err(StoreError::Format(format!(
-                            "checkpoint holds {} state but the session tuner is {}",
-                            ck.tuner.tuner_name(),
-                            session.tuner.name()
-                        )));
-                    }
-                    measurer.restore_state(&ck.measurer);
-                    session.tuner.restore(ck.tuner);
-                    session.rounds_done = ck.rounds_done;
-                    session.resumed = true;
-                }
-                None if self.warm_start => {
-                    session.warm_records = session.tuner.warm_start(&store.snapshot());
-                }
-                None => {}
             }
+        } else {
+            None
+        };
+        match checkpoint {
+            Some(json) => {
+                let ck: SessionCheckpoint = serde_json::from_str(&json)
+                    .map_err(|e| StoreError::Format(format!("bad checkpoint: {e}")))?;
+                if ck.version != CHECKPOINT_VERSION {
+                    return Err(StoreError::Format(format!(
+                        "unsupported checkpoint version {} (supported: {})",
+                        ck.version, CHECKPOINT_VERSION
+                    )));
+                }
+                if let Some(want) = &self.job_key {
+                    if ck.job_key.as_deref() != Some(want.as_str()) {
+                        return Err(StoreError::Format(format!(
+                            "stale checkpoint: written by job `{}` but this session is job \
+                             `{want}`; delete checkpoint.json or use a separate store directory",
+                            ck.job_key.as_deref().unwrap_or("<unkeyed>")
+                        )));
+                    }
+                }
+                if ck.tuner.tuner_name() != session.tuner.name() {
+                    return Err(StoreError::Format(format!(
+                        "checkpoint holds {} state but the session tuner is {}",
+                        ck.tuner.tuner_name(),
+                        session.tuner.name()
+                    )));
+                }
+                measurer.restore_state(&ck.measurer);
+                session.tuner.restore(ck.tuner);
+                session.rounds_done = ck.rounds_done;
+                session.resumed = true;
+            }
+            None if self.warm_start => {
+                let mut records = match &session.store {
+                    Some(store) => store.snapshot(),
+                    None => Vec::new(),
+                };
+                records.extend(self.warm_pool);
+                if !records.is_empty() {
+                    session.warm_records = session.tuner.warm_start(&records);
+                }
+            }
+            None => {}
         }
         Ok(session)
     }
+}
+
+/// Point-in-time view of a running session, handed to [`TuningSession::run_with`]
+/// controllers at every round boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionProgress {
+    /// Session rounds completed (across resumes).
+    pub rounds_done: u64,
+    /// Total measurement trials the tuner has consumed (across resumes).
+    pub trials_used: u64,
+    /// Best latency found so far (seconds; `+inf` before any measurement).
+    pub best_latency: f64,
+}
+
+/// A [`TuningSession::run_with`] controller's verdict at a round boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionControl {
+    /// Keep tuning.
+    Continue,
+    /// Stop cooperatively: the session checkpoints and returns without
+    /// clearing the store, so a later session resumes where this one left
+    /// off. Used for cancellation and graceful daemon shutdown.
+    Stop,
+}
+
+/// What a [`TuningSession::run_with`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Fresh trials used by this call.
+    pub trials: u64,
+    /// True when the controller stopped the run before the budget was
+    /// exhausted (a checkpoint was written either way).
+    pub stopped: bool,
 }
 
 /// Drives one tuner against a measurer, persisting records and checkpoints
@@ -335,6 +434,7 @@ pub struct TuningSession<'m> {
     rounds_done: u64,
     resumed: bool,
     warm_records: usize,
+    job_key: Option<String>,
 }
 
 impl<'m> TuningSession<'m> {
@@ -375,6 +475,11 @@ impl<'m> TuningSession<'m> {
         self.tuner.trials_used()
     }
 
+    /// The tuner's best-so-far trace, when it keeps one.
+    pub fn trace(&self) -> Option<&TuneTrace> {
+        self.tuner.trace()
+    }
+
     /// Runs one tuning round with up to `budget` measurements, then writes
     /// a checkpoint when the cadence says so. Returns the trials used.
     pub fn round(&mut self, budget: usize) -> Result<usize, StoreError> {
@@ -393,8 +498,37 @@ impl<'m> TuningSession<'m> {
     /// in this process (resumed trials are not re-counted), then writes a
     /// final checkpoint. Returns the trials used.
     pub fn run(&mut self, total_trials: u64) -> Result<u64, StoreError> {
+        self.run_with(total_trials, |_| SessionControl::Continue)
+            .map(|outcome| outcome.trials)
+    }
+
+    /// Like [`TuningSession::run`], but consults `controller` at every
+    /// round boundary (before the first round and after each one) with the
+    /// session's live progress. Returning [`SessionControl::Stop`] ends the
+    /// run cooperatively: a checkpoint is written and the store is left
+    /// intact so a later session resumes from this exact point. This is the
+    /// hook a serving daemon uses for cancellation, graceful shutdown, and
+    /// per-job progress reporting.
+    pub fn run_with(
+        &mut self,
+        total_trials: u64,
+        mut controller: impl FnMut(&SessionProgress) -> SessionControl,
+    ) -> Result<RunOutcome, StoreError> {
         let mut used_here = 0u64;
-        while used_here < total_trials {
+        let mut stopped = false;
+        loop {
+            let progress = SessionProgress {
+                rounds_done: self.rounds_done,
+                trials_used: self.tuner.trials_used(),
+                best_latency: self.tuner.best_latency(),
+            };
+            if controller(&progress) == SessionControl::Stop {
+                stopped = true;
+                break;
+            }
+            if used_here >= total_trials {
+                break;
+            }
             let remaining = (total_trials - used_here) as usize;
             let used = self.round(remaining)?;
             if used == 0 {
@@ -403,7 +537,10 @@ impl<'m> TuningSession<'m> {
             used_here += used as u64;
         }
         self.checkpoint_now()?;
-        Ok(used_here)
+        Ok(RunOutcome {
+            trials: used_here,
+            stopped,
+        })
     }
 
     /// Writes a checkpoint immediately (no-op without a store).
@@ -413,6 +550,7 @@ impl<'m> TuningSession<'m> {
         };
         let ck = SessionCheckpoint {
             version: CHECKPOINT_VERSION,
+            job_key: self.job_key.clone(),
             rounds_done: self.rounds_done,
             measurer: self.measurer.state(),
             tuner: self.tuner.checkpoint(),
@@ -428,6 +566,17 @@ impl<'m> TuningSession<'m> {
             store.clear_checkpoint()?;
         }
         Ok(())
+    }
+}
+
+impl Drop for TuningSession<'_> {
+    /// Detaches the record sink so the measurer stops holding the store
+    /// (and its single-writer lock) once the session is gone. Unlike
+    /// [`TuningSession::finish`], the checkpoint is left on disk — a
+    /// dropped-without-finish session is the crash/interruption path and
+    /// must stay resumable.
+    fn drop(&mut self) {
+        self.measurer.clear_sink();
     }
 }
 
@@ -490,6 +639,7 @@ mod tests {
             .unwrap();
         s1.run(24).unwrap();
         drop(s1); // killed: no finish(), checkpoint stays on disk
+        drop(store); // last handle gone: the store's writer lock is released
 
         let store2 = Arc::new(RecordStore::open(&dir).unwrap());
         let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
@@ -550,12 +700,141 @@ mod tests {
             .launch(Box::new(t1), &m1, Some(store))
             .unwrap();
         s1.run(8).unwrap(); // leaves a harl checkpoint
+        drop(s1); // releases the store handle (and with it the writer lock)
 
         let store2 = Arc::new(RecordStore::open(&dir).unwrap());
         let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
         let t2 = AnsorTuner::new(g, &m2, AnsorConfig::default());
         let err = TuningSession::builder().launch(Box::new(t2), &m2, Some(store2));
         assert!(matches!(err, Err(StoreError::Format(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_checkpoint_from_different_job_spec_is_rejected() {
+        let dir = temp_dir("jobkey");
+        let g = workload::gemm(128, 128, 128);
+
+        // job A checkpoints mid-run (simulating a panic/kill: no finish())
+        let store = Arc::new(RecordStore::open(&dir).unwrap());
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t1 = HarlOperatorTuner::new(g.clone(), &m1, HarlConfig::tiny());
+        let mut s1 = TuningSession::builder()
+            .job_key("job-a")
+            .launch(Box::new(t1), &m1, Some(store))
+            .unwrap();
+        s1.run(8).unwrap();
+        drop(s1);
+
+        // a *different* job spec must not silently resume job A's state
+        let store2 = Arc::new(RecordStore::open(&dir).unwrap());
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t2 = HarlOperatorTuner::new(g.clone(), &m2, HarlConfig::tiny());
+        let err = TuningSession::builder()
+            .job_key("job-b")
+            .launch(Box::new(t2), &m2, Some(store2));
+        match err {
+            Err(StoreError::Format(msg)) => {
+                assert!(msg.contains("job-a") && msg.contains("job-b"), "{msg}")
+            }
+            other => panic!(
+                "expected stale-checkpoint rejection, got {:?}",
+                other.is_ok()
+            ),
+        }
+
+        // the matching job spec still resumes
+        let store3 = Arc::new(RecordStore::open(&dir).unwrap());
+        let m3 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t3 = HarlOperatorTuner::new(g, &m3, HarlConfig::tiny());
+        let s3 = TuningSession::builder()
+            .job_key("job-a")
+            .launch(Box::new(t3), &m3, Some(store3))
+            .unwrap();
+        assert!(s3.resumed());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_with_controller_stops_at_round_boundary_and_resumes() {
+        let dir = temp_dir("ctl");
+        let g = workload::gemm(256, 256, 256);
+
+        // uninterrupted reference
+        let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t_ref = HarlOperatorTuner::new(g.clone(), &m_ref, HarlConfig::tiny());
+        let mut s_ref = TuningSession::builder()
+            .launch(Box::new(t_ref), &m_ref, None)
+            .unwrap();
+        let full = s_ref.run_with(40, |_| SessionControl::Continue).unwrap();
+        assert!(!full.stopped);
+        let best_ref = s_ref.best_latency();
+
+        // same run stopped by the controller after 2 rounds, then resumed
+        let store = Arc::new(RecordStore::open(&dir).unwrap());
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t1 = HarlOperatorTuner::new(g.clone(), &m1, HarlConfig::tiny());
+        let mut s1 = TuningSession::builder()
+            .launch(Box::new(t1), &m1, Some(store.clone()))
+            .unwrap();
+        let partial = s1
+            .run_with(40, |p| {
+                if p.rounds_done >= 2 {
+                    SessionControl::Stop
+                } else {
+                    SessionControl::Continue
+                }
+            })
+            .unwrap();
+        assert!(partial.stopped);
+        assert!(partial.trials > 0 && partial.trials < 40);
+        drop(s1);
+        drop(store);
+
+        let store2 = Arc::new(RecordStore::open(&dir).unwrap());
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t2 = HarlOperatorTuner::new(g, &m2, HarlConfig::tiny());
+        let mut s2 = TuningSession::builder()
+            .launch(Box::new(t2), &m2, Some(store2))
+            .unwrap();
+        assert!(s2.resumed());
+        let remaining = 40 - s2.trials_used();
+        s2.run(remaining).unwrap();
+        assert_eq!(
+            s2.best_latency().to_bits(),
+            best_ref.to_bits(),
+            "controller-stopped + resumed run must match the uninterrupted one"
+        );
+        assert_eq!(m2.trials(), m_ref.trials());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_pool_records_seed_a_storeless_session() {
+        let dir = temp_dir("pool");
+        let g = workload::gemm(256, 256, 256);
+
+        // fill a store with one cold run, then read its records back
+        let store = Arc::new(RecordStore::open(&dir).unwrap());
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t1 = HarlOperatorTuner::new(g.clone(), &m1, HarlConfig::tiny());
+        let mut s1 = TuningSession::builder()
+            .launch(Box::new(t1), &m1, Some(store.clone()))
+            .unwrap();
+        s1.run(32).unwrap();
+        s1.finish().unwrap();
+        let pool = store.snapshot();
+        drop(store);
+
+        // a session with no store of its own warm-starts from the pool
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t2 = HarlOperatorTuner::new(g, &m2, HarlConfig::tiny());
+        let s2 = TuningSession::builder()
+            .warm_pool(pool)
+            .launch(Box::new(t2), &m2, None)
+            .unwrap();
+        assert!(s2.warm_records() > 0);
+        assert_eq!(s2.trials_used(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,80 @@
+//! The tuning daemon.
+//!
+//! ```text
+//! harl-serve --root DIR [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//! ```
+//!
+//! Binds (`127.0.0.1:0` by default — the resolved address lands in
+//! `<root>/serve.addr`), recovers and requeues any unfinished jobs found
+//! under the root, then serves until a `shutdown` request arrives.
+
+use harl_serve::{Daemon, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: harl-serve --root DIR [--addr HOST:PORT] [--workers N] [--queue-cap N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<String> = None;
+    let mut cfg_addr: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut queue_cap: Option<usize> = None;
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--root" => root = Some(value("--root")),
+            "--addr" => cfg_addr = Some(value("--addr")),
+            "--workers" => workers = Some(parse_num(&value("--workers"), "--workers")),
+            "--queue-cap" => queue_cap = Some(parse_num(&value("--queue-cap"), "--queue-cap")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    let Some(root) = root else {
+        eprintln!("error: --root is required");
+        usage();
+    };
+
+    let mut cfg = ServeConfig::new(root);
+    if let Some(addr) = cfg_addr {
+        cfg.addr = addr;
+    }
+    if let Some(w) = workers {
+        cfg.workers = w;
+    }
+    if let Some(c) = queue_cap {
+        cfg.queue_capacity = c;
+    }
+
+    let root_display = cfg.root.display().to_string();
+    let daemon = match Daemon::start(cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: starting daemon: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "harl-serve listening on {} (root {root_display})",
+        daemon.addr()
+    );
+    daemon.wait();
+    println!("harl-serve: shutdown complete");
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|e| {
+        eprintln!("error: {flag}={s}: {e}");
+        std::process::exit(2);
+    })
+}

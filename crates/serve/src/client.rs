@@ -1,0 +1,125 @@
+//! A small synchronous client for the harl-serve wire protocol.
+//!
+//! Opens one TCP connection per request — the protocol is a single
+//! request/response line pair, so there is no connection state worth
+//! keeping, and a daemon mid-shutdown is handled uniformly as a connect
+//! error.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::job::{JobOutcome, JobSpec, JobState, JobView};
+use crate::protocol::{read_message, write_message, Request, Response};
+
+/// Client for one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// Creates a client for `addr` (e.g. `127.0.0.1:7431`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// Sends one request and reads its reply.
+    pub fn request(&self, req: &Request) -> Result<Response, ServeError> {
+        let stream = TcpStream::connect(&self.addr)?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        write_message(&mut writer, req)?;
+        read_message::<Response>(&mut reader)?
+            .ok_or_else(|| ServeError::Protocol("daemon closed the connection".into()))
+    }
+
+    /// Submits a job, returning its assigned id. A `busy` reply surfaces
+    /// as [`ServeError::Job`] naming the queue bound.
+    pub fn submit(&self, spec: &JobSpec) -> Result<String, ServeError> {
+        match self.request(&Request::Submit(spec.clone()))? {
+            Response::Submitted { id } => Ok(id),
+            Response::Busy { queued, capacity } => Err(ServeError::Job(format!(
+                "daemon busy: {queued}/{capacity} jobs queued; retry later"
+            ))),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// One job's live state.
+    pub fn status(&self, id: &str) -> Result<JobView, ServeError> {
+        match self.request(&Request::Status(id.to_string()))? {
+            Response::Status(view) => Ok(view),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// A completed job's final metrics.
+    pub fn result(&self, id: &str) -> Result<JobOutcome, ServeError> {
+        match self.request(&Request::Result(id.to_string()))? {
+            Response::Outcome(outcome) => Ok(outcome),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Requests cancellation of a queued or running job.
+    pub fn cancel(&self, id: &str) -> Result<(), ServeError> {
+        match self.request(&Request::Cancel(id.to_string()))? {
+            Response::Cancelled { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Every job the daemon knows about.
+    pub fn list(&self) -> Result<Vec<JobView>, ServeError> {
+        match self.request(&Request::List)? {
+            Response::Jobs(views) => Ok(views),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to checkpoint in-flight jobs and stop.
+    pub fn shutdown(&self) -> Result<(), ServeError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Polls `status` until the job reaches a terminal state, then returns
+    /// its outcome ([`ServeError::Job`] for cancelled/failed ends).
+    /// `on_progress` sees every observed view, e.g. for live display.
+    pub fn wait(
+        &self,
+        id: &str,
+        poll: Duration,
+        mut on_progress: impl FnMut(&JobView),
+    ) -> Result<JobOutcome, ServeError> {
+        loop {
+            let view = self.status(id)?;
+            on_progress(&view);
+            match view.state {
+                JobState::Done => return self.result(id),
+                JobState::Cancelled => {
+                    return Err(ServeError::Job(format!("job `{id}` was cancelled")))
+                }
+                JobState::Failed => {
+                    return Err(ServeError::Job(
+                        view.error.unwrap_or_else(|| format!("job `{id}` failed")),
+                    ))
+                }
+                JobState::Queued | JobState::Running => std::thread::sleep(poll),
+            }
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ServeError {
+    match resp {
+        Response::Error { code, message } => {
+            ServeError::Job(format!("daemon error ({code:?}): {message}"))
+        }
+        other => ServeError::Protocol(format!("unexpected reply: {other:?}")),
+    }
+}

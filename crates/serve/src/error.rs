@@ -1,0 +1,41 @@
+//! The serving layer's error type.
+
+use harl_store::StoreError;
+
+/// Anything that can go wrong in the daemon, a worker, or a client.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or filesystem failure.
+    Io(std::io::Error),
+    /// Record-store failure (locking, format, checkpointing).
+    Store(StoreError),
+    /// Malformed wire message.
+    Protocol(String),
+    /// A job could not be built or run.
+    Job(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
+            ServeError::Store(e) => write!(f, "{e}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Job(m) => write!(f, "job error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}

@@ -1,0 +1,37 @@
+//! # harl-serve
+//!
+//! A concurrent tuning service over the session layer: a TCP daemon that
+//! accepts tuning jobs, runs them on a bounded worker pool, and persists
+//! everything so jobs survive daemon death.
+//!
+//! * **Wire protocol** ([`protocol`]) — line-delimited JSON with verbs
+//!   `submit` / `status` / `result` / `cancel` / `list` / `shutdown`; the
+//!   full shapes are documented in DESIGN.md §8.
+//! * **Priority queue with backpressure** ([`queue`]) — a full queue
+//!   answers `busy` instead of buffering unboundedly.
+//! * **Per-job persistence** (`jobs/<id>/store/`) — every job
+//!   is a checkpointing [`harl_core::TuningSession`]; a killed daemon
+//!   restarts, requeues unfinished jobs, and resumes them bit-for-bit.
+//! * **Cross-job warm-starting** — completed jobs donate their records to
+//!   a shared pool; new jobs on similar workloads (matched by the store's
+//!   similarity key) pre-train their cost model from it.
+//! * **Cooperative cancellation & graceful shutdown** — both take effect
+//!   at the next round boundary; shutdown checkpoints in-flight jobs.
+//!
+//! Binaries: `harl-serve` (the daemon) and `harl-cli` (submit / watch /
+//! cancel / list / shutdown).
+
+mod error;
+pub mod job;
+pub mod protocol;
+pub mod queue;
+mod server;
+mod worker;
+
+pub mod client;
+
+pub use client::Client;
+pub use error::ServeError;
+pub use job::{JobOutcome, JobSpec, JobState, JobView, Preset, TunerKind, WorkloadSpec};
+pub use protocol::{ErrorCode, Request, Response};
+pub use server::{Daemon, ServeConfig};

@@ -1,0 +1,192 @@
+//! The daemon's bounded priority job queue.
+//!
+//! Higher [`priority`](crate::job::JobSpec::priority) pops first; equal
+//! priorities pop in submission order. The bound is the backpressure
+//! mechanism: a full queue rejects the push and the daemon answers
+//! `busy`, so clients — not an unbounded buffer — absorb overload.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue holds `capacity` jobs already.
+    Full {
+        /// The configured bound.
+        capacity: usize,
+    },
+    /// The queue was closed for shutdown.
+    Closed,
+}
+
+#[derive(Debug, Eq, PartialEq)]
+struct QueuedJob {
+    priority: i32,
+    seq: u64,
+    id: String,
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // max-heap: highest priority first, then lowest seq (FIFO)
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    heap: BinaryHeap<QueuedJob>,
+    seq: u64,
+    closed: bool,
+}
+
+/// Bounded, closable priority queue of job ids.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// Creates a queue holding at most `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner::default()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").heap.len()
+    }
+
+    /// True when no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues a job id, failing instead of blocking when full or closed.
+    pub fn push(&self, id: String, priority: i32) -> Result<(), PushError> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        if q.closed {
+            return Err(PushError::Closed);
+        }
+        if q.heap.len() >= self.capacity {
+            return Err(PushError::Full {
+                capacity: self.capacity,
+            });
+        }
+        let seq = q.seq;
+        q.seq += 1;
+        q.heap.push(QueuedJob { priority, seq, id });
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues bypassing the capacity bound (and the closed flag). Only
+    /// for restart recovery: jobs accepted by a previous daemon must never
+    /// be dropped, even when there are more of them than the bound.
+    pub fn push_unbounded(&self, id: String, priority: i32) {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        let seq = q.seq;
+        q.seq += 1;
+        q.heap.push(QueuedJob { priority, seq, id });
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until a job is available (returning the highest-priority one)
+    /// or the queue is closed (returning `None`, immediately once drained).
+    pub fn pop(&self) -> Option<String> {
+        let mut q = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = q.heap.pop() {
+                return Some(job.id);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending jobs still pop, further pushes fail, and
+    /// every blocked or future [`JobQueue::pop`] returns `None` once the
+    /// queue drains.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = JobQueue::new(8);
+        q.push("low".into(), 0).unwrap();
+        q.push("high".into(), 5).unwrap();
+        q.push("mid-a".into(), 2).unwrap();
+        q.push("mid-b".into(), 2).unwrap();
+        q.close(); // so the final pop returns None instead of blocking
+        assert_eq!(q.pop().as_deref(), Some("high"));
+        assert_eq!(q.pop().as_deref(), Some("mid-a"));
+        assert_eq!(q.pop().as_deref(), Some("mid-b"));
+        assert_eq!(q.pop().as_deref(), Some("low"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects_push() {
+        let q = JobQueue::new(2);
+        q.push("a".into(), 0).unwrap();
+        q.push("b".into(), 0).unwrap();
+        assert_eq!(q.push("c".into(), 9), Err(PushError::Full { capacity: 2 }));
+        assert_eq!(q.pop().as_deref(), Some("a"));
+        q.push("c".into(), 9).unwrap();
+    }
+
+    #[test]
+    fn close_wakes_blocked_pop_and_rejects_push() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        // give the waiter a moment to block
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+        assert_eq!(q.push("late".into(), 0), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn pending_jobs_survive_close() {
+        let q = JobQueue::new(4);
+        q.push("a".into(), 0).unwrap();
+        q.close();
+        assert_eq!(q.pop().as_deref(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,442 @@
+//! The tuning daemon: TCP accept loop, job registry, recovery, dispatch.
+//!
+//! On-disk layout under [`ServeConfig::root`]:
+//!
+//! ```text
+//! serve.addr          actual listening address (ephemeral ports resolve here)
+//! pool/               shared cross-job record store (warm-start source)
+//! jobs/<id>/job.json  the submitted JobSpec
+//! jobs/<id>/store/    the job's own RecordStore (records + checkpoint)
+//! jobs/<id>/result.json    final JobOutcome (state: done)
+//! jobs/<id>/cancelled      marker (state: cancelled)
+//! jobs/<id>/failed.txt     failure message (state: failed)
+//! ```
+//!
+//! Every job state is thus derivable from disk alone: a restarted daemon
+//! (graceful or `kill -9`) rebuilds its registry by scanning `jobs/` and
+//! requeues everything unfinished, which then resumes from its store
+//! checkpoint.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use harl_store::RecordStore;
+
+use crate::error::ServeError;
+use crate::job::{JobOutcome, JobSpec, JobState, JobView};
+use crate::protocol::{read_message, write_message, ErrorCode, Request, Response};
+use crate::queue::{JobQueue, PushError};
+use crate::worker;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// State root: job directories, the shared pool, `serve.addr`.
+    pub root: PathBuf,
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port (the resolved
+    /// address is written to `<root>/serve.addr`).
+    pub addr: String,
+    /// Worker threads tuning jobs concurrently.
+    pub workers: usize,
+    /// Bound of the waiting-job queue (backpressure threshold).
+    pub queue_capacity: usize,
+    /// Checkpoint cadence forwarded to each job's session (rounds).
+    pub checkpoint_every: u64,
+}
+
+impl ServeConfig {
+    /// Defaults: loopback ephemeral port, 2 workers, queue of 16,
+    /// checkpoint every round.
+    pub fn new(root: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            root: root.into(),
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            checkpoint_every: 1,
+        }
+    }
+}
+
+/// One job's registry entry.
+#[derive(Debug)]
+pub(crate) struct JobEntry {
+    pub(crate) spec: JobSpec,
+    pub(crate) state: JobState,
+    pub(crate) cancel: Arc<AtomicBool>,
+    pub(crate) trials_used: u64,
+    pub(crate) rounds_done: u64,
+    /// Best latency so far, seconds (`+inf` before any measurement).
+    pub(crate) best_latency: f64,
+    pub(crate) resumed: bool,
+    pub(crate) outcome: Option<JobOutcome>,
+    pub(crate) error: Option<String>,
+}
+
+impl JobEntry {
+    fn new(spec: JobSpec) -> JobEntry {
+        JobEntry {
+            spec,
+            state: JobState::Queued,
+            cancel: Arc::new(AtomicBool::new(false)),
+            trials_used: 0,
+            rounds_done: 0,
+            best_latency: f64::INFINITY,
+            resumed: false,
+            outcome: None,
+            error: None,
+        }
+    }
+
+    fn view(&self, id: &str) -> JobView {
+        JobView {
+            id: id.to_string(),
+            state: self.state,
+            workload: self.spec.workload.summary(),
+            tuner: self.spec.tuner.name().to_string(),
+            priority: self.spec.priority,
+            trials_total: self.spec.trials,
+            trials_used: self.trials_used,
+            rounds_done: self.rounds_done,
+            best_latency_ms: self.best_latency * 1e3,
+            resumed: self.resumed,
+            error: self.error.clone(),
+        }
+    }
+}
+
+/// State shared by the accept loop, connection handlers, and workers.
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) jobs: Mutex<BTreeMap<String, JobEntry>>,
+    pub(crate) queue: JobQueue,
+    /// Cross-job warm-start pool; `None` once the daemon has fully stopped
+    /// (dropping it releases the store's writer lock for a successor).
+    pool: Mutex<Option<Arc<RecordStore>>>,
+    pub(crate) shutdown: AtomicBool,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    pub(crate) fn jobs_dir(&self) -> PathBuf {
+        self.cfg.root.join("jobs")
+    }
+
+    pub(crate) fn job_dir(&self, id: &str) -> PathBuf {
+        self.jobs_dir().join(id)
+    }
+
+    pub(crate) fn pool_handle(&self) -> Option<Arc<RecordStore>> {
+        self.pool.lock().expect("pool poisoned").clone()
+    }
+
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Marks a job cancelled and leaves the on-disk marker.
+    pub(crate) fn mark_cancelled(&self, id: &str) {
+        let _ = fs::write(self.job_dir(id).join("cancelled"), "");
+        if let Some(e) = self.jobs.lock().expect("jobs poisoned").get_mut(id) {
+            e.state = JobState::Cancelled;
+        }
+    }
+
+    /// Marks a job failed with a persisted reason.
+    pub(crate) fn mark_failed(&self, id: &str, message: &str) {
+        let _ = fs::write(self.job_dir(id).join("failed.txt"), message);
+        if let Some(e) = self.jobs.lock().expect("jobs poisoned").get_mut(id) {
+            e.state = JobState::Failed;
+            e.error = Some(message.to_string());
+        }
+    }
+}
+
+/// A running daemon: accept loop + worker pool over a state root.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds, recovers every job found under the root (requeueing the
+    /// unfinished ones), and starts the worker pool and accept loop.
+    pub fn start(cfg: ServeConfig) -> Result<Daemon, ServeError> {
+        fs::create_dir_all(cfg.root.join("jobs"))?;
+        let pool = Arc::new(RecordStore::open(cfg.root.join("pool"))?);
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        fs::write(cfg.root.join("serve.addr"), format!("{addr}\n"))?;
+
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_capacity),
+            cfg,
+            jobs: Mutex::new(BTreeMap::new()),
+            pool: Mutex::new(Some(pool)),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+        });
+        recover_jobs(&shared)?;
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker::worker_loop(&shared))
+            })
+            .collect();
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        };
+        Ok(Daemon {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The resolved listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a graceful shutdown, exactly as the `shutdown` verb does.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until the accept loop and every worker have exited (i.e.
+    /// until a shutdown completes), then releases the warm-start pool so a
+    /// successor daemon can reopen the same root in this process.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        *self.shared.pool.lock().expect("pool poisoned") = None;
+    }
+}
+
+/// Rebuilds the job registry from `<root>/jobs/` and requeues everything
+/// that has not reached a terminal state.
+fn recover_jobs(shared: &Arc<Shared>) -> Result<(), ServeError> {
+    let mut ids: Vec<String> = Vec::new();
+    for entry in fs::read_dir(shared.jobs_dir())? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            ids.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    ids.sort();
+    let mut max_num = 0u64;
+    for id in ids {
+        if let Some(num) = id.strip_prefix('j').and_then(|n| n.parse::<u64>().ok()) {
+            max_num = max_num.max(num);
+        }
+        let dir = shared.job_dir(&id);
+        let spec_json = match fs::read_to_string(dir.join("job.json")) {
+            Ok(s) => s,
+            Err(_) => continue, // half-created dir from a crashed submit
+        };
+        let spec: JobSpec = serde_json::from_str(&spec_json)
+            .map_err(|e| ServeError::Job(format!("{id}: bad job.json: {e}")))?;
+        let mut entry = JobEntry::new(spec);
+        if let Ok(outcome_json) = fs::read_to_string(dir.join("result.json")) {
+            let outcome: JobOutcome = serde_json::from_str(&outcome_json)
+                .map_err(|e| ServeError::Job(format!("{id}: bad result.json: {e}")))?;
+            entry.state = JobState::Done;
+            entry.trials_used = outcome.trials;
+            entry.best_latency = outcome.best_ms / 1e3;
+            entry.resumed = outcome.resumed;
+            entry.outcome = Some(outcome);
+        } else if dir.join("cancelled").exists() {
+            entry.state = JobState::Cancelled;
+        } else if let Ok(msg) = fs::read_to_string(dir.join("failed.txt")) {
+            entry.state = JobState::Failed;
+            entry.error = Some(msg);
+        } else {
+            // unfinished: requeue. Recovery must never drop an accepted
+            // job, so this bypasses the backpressure bound.
+            shared.queue.push_unbounded(id.clone(), entry.spec.priority);
+        }
+        shared.jobs.lock().expect("jobs poisoned").insert(id, entry);
+    }
+    shared.next_id.store(max_num + 1, Ordering::SeqCst);
+    Ok(())
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = shared.clone();
+                std::thread::spawn(move || handle_conn(&shared, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_message::<Request>(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(req)) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let resp = dispatch(shared, req);
+                if write_message(&mut writer, &resp).is_err() || is_shutdown {
+                    break;
+                }
+            }
+            Err(ServeError::Protocol(m)) => {
+                // framing is unrecoverable mid-line: answer and hang up
+                let _ = write_message(&mut writer, &Response::error(ErrorCode::BadRequest, m));
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
+    match req {
+        Request::Submit(spec) => submit(shared, spec),
+        Request::Status(id) => status(shared, &id),
+        Request::Result(id) => result(shared, &id),
+        Request::Cancel(id) => cancel(shared, &id),
+        Request::List => Response::Jobs(
+            shared
+                .jobs
+                .lock()
+                .expect("jobs poisoned")
+                .iter()
+                .map(|(id, e)| e.view(id))
+                .collect(),
+        ),
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn submit(shared: &Arc<Shared>, spec: JobSpec) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::error(ErrorCode::ShuttingDown, "daemon is shutting down");
+    }
+    if let Err(m) = spec.validate() {
+        return Response::error(ErrorCode::InvalidSpec, m);
+    }
+    let id = format!("j{:06}", shared.next_id.fetch_add(1, Ordering::SeqCst));
+    let dir = shared.job_dir(&id);
+    let persisted = fs::create_dir_all(&dir)
+        .map_err(ServeError::from)
+        .and_then(|()| {
+            let json = serde_json::to_string_pretty(&spec)
+                .map_err(|e| ServeError::Protocol(e.to_string()))?;
+            fs::write(dir.join("job.json"), json).map_err(ServeError::from)
+        });
+    if let Err(e) = persisted {
+        return Response::error(ErrorCode::Internal, format!("persisting job: {e}"));
+    }
+    let priority = spec.priority;
+    shared
+        .jobs
+        .lock()
+        .expect("jobs poisoned")
+        .insert(id.clone(), JobEntry::new(spec));
+    match shared.queue.push(id.clone(), priority) {
+        Ok(()) => Response::Submitted { id },
+        Err(err) => {
+            // roll the registration back: the job was never accepted
+            shared.jobs.lock().expect("jobs poisoned").remove(&id);
+            let _ = fs::remove_dir_all(&dir);
+            match err {
+                PushError::Full { capacity } => Response::Busy {
+                    queued: shared.queue.len() as u64,
+                    capacity: capacity as u64,
+                },
+                PushError::Closed => {
+                    Response::error(ErrorCode::ShuttingDown, "daemon is shutting down")
+                }
+            }
+        }
+    }
+}
+
+fn status(shared: &Arc<Shared>, id: &str) -> Response {
+    match shared.jobs.lock().expect("jobs poisoned").get(id) {
+        Some(e) => Response::Status(e.view(id)),
+        None => Response::error(ErrorCode::UnknownJob, format!("no job `{id}`")),
+    }
+}
+
+fn result(shared: &Arc<Shared>, id: &str) -> Response {
+    let jobs = shared.jobs.lock().expect("jobs poisoned");
+    let Some(e) = jobs.get(id) else {
+        return Response::error(ErrorCode::UnknownJob, format!("no job `{id}`"));
+    };
+    match (e.state, &e.outcome) {
+        (JobState::Done, Some(outcome)) => Response::Outcome(outcome.clone()),
+        (JobState::Failed, _) => Response::error(
+            ErrorCode::JobFailed,
+            e.error.clone().unwrap_or_else(|| "job failed".into()),
+        ),
+        (state, _) => Response::error(
+            ErrorCode::NotFinished,
+            format!("job `{id}` is {}", state.name()),
+        ),
+    }
+}
+
+fn cancel(shared: &Arc<Shared>, id: &str) -> Response {
+    let (was_queued, known) = {
+        let jobs = shared.jobs.lock().expect("jobs poisoned");
+        match jobs.get(id) {
+            None => (false, false),
+            Some(e) if e.state.is_terminal() => {
+                return Response::error(
+                    ErrorCode::BadRequest,
+                    format!("job `{id}` already {}", e.state.name()),
+                );
+            }
+            Some(e) => {
+                e.cancel.store(true, Ordering::SeqCst);
+                (e.state == JobState::Queued, true)
+            }
+        }
+    };
+    if !known {
+        return Response::error(ErrorCode::UnknownJob, format!("no job `{id}`"));
+    }
+    if was_queued {
+        // never started: settle it immediately (the queue pop will skip it)
+        shared.mark_cancelled(id);
+    }
+    Response::Cancelled { id: id.to_string() }
+}

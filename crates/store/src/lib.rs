@@ -25,12 +25,26 @@
 //! `<dir>/checkpoint.json` — the latest session checkpoint, written
 //! atomically (temp file + rename). Content is opaque to this crate; the
 //! session layer stores serialized tuner + measurer state there.
+//!
+//! ## Single-writer locking
+//!
+//! A store directory has exactly one writer at a time. [`RecordStore::open`]
+//! takes an advisory lock (`<dir>/lock`, holding the owner PID, plus an
+//! in-process registry for handles inside one process) and fails with
+//! [`StoreError::Locked`] while another live handle owns the directory.
+//! Locks left behind by a crashed process are detected (the PID is gone)
+//! and stolen, so a daemon restart can reclaim its stores. Concurrent
+//! *appends through one handle* are safe from any number of threads;
+//! the lock exists so two buffered writers can never interleave partial
+//! JSONL lines in the same file. Lock-free readers can use
+//! [`read_records`].
 
+use std::collections::HashSet;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use harl_tensor_ir::Schedule;
 use harl_tensor_sim::{MeasureEvent, RecordSink};
@@ -41,6 +55,7 @@ pub const FORMAT_VERSION: u32 = 1;
 
 const RECORDS_FILE: &str = "records.jsonl";
 const CHECKPOINT_FILE: &str = "checkpoint.json";
+const LOCK_FILE: &str = "lock";
 
 /// One persisted measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,6 +87,8 @@ pub enum StoreError {
     Io(std::io::Error),
     /// Malformed or incompatible store contents.
     Format(String),
+    /// The directory is already owned by another live writer.
+    Locked(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -79,6 +96,7 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "store I/O error: {e}"),
             StoreError::Format(m) => write!(f, "store format error: {m}"),
+            StoreError::Locked(m) => write!(f, "store locked: {m}"),
         }
     }
 }
@@ -91,69 +109,177 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
+/// Canonical paths of store directories locked by *this* process.
+fn lock_registry() -> &'static Mutex<HashSet<PathBuf>> {
+    static REGISTRY: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// Best-effort liveness check for a lock-holding PID. On systems without
+/// `/proc` the holder is conservatively assumed alive.
+fn pid_alive(pid: u32) -> bool {
+    if !Path::new("/proc").is_dir() {
+        return true;
+    }
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Advisory exclusive lock on a store directory: a `lock` file holding the
+/// owner PID plus an entry in the in-process registry. Released on drop.
+#[derive(Debug)]
+struct DirLock {
+    path: PathBuf,
+    canon: PathBuf,
+}
+
+impl DirLock {
+    fn acquire(dir: &Path) -> Result<DirLock, StoreError> {
+        let canon = fs::canonicalize(dir)?;
+        let mut registry = lock_registry().lock().expect("lock registry poisoned");
+        if registry.contains(&canon) {
+            return Err(StoreError::Locked(format!(
+                "{} is already open for writing in this process",
+                dir.display()
+            )));
+        }
+        let path = dir.join(LOCK_FILE);
+        // Bounded retry: each iteration either acquires the lock file or
+        // removes one it has proven stale.
+        for _ in 0..8 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut f) => {
+                    let _ = writeln!(f, "{}", std::process::id());
+                    registry.insert(canon.clone());
+                    return Ok(DirLock { path, canon });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid != std::process::id() && pid_alive(pid) => {
+                            return Err(StoreError::Locked(format!(
+                                "{} is locked by live process {pid}",
+                                dir.display()
+                            )));
+                        }
+                        // Our own PID but absent from the registry, a dead
+                        // PID, or an unreadable file: a stale lock from a
+                        // crashed writer. Steal it and retry.
+                        _ => {
+                            let _ = fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(StoreError::Locked(format!(
+            "could not acquire lock on {} (file keeps reappearing)",
+            dir.display()
+        )))
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+        lock_registry()
+            .lock()
+            .expect("lock registry poisoned")
+            .remove(&self.canon);
+    }
+}
+
+/// Parses a `records.jsonl` file: header check, then one record per line,
+/// tolerating a torn (crash-truncated) final line.
+fn parse_records_file(path: &Path) -> Result<Vec<MeasureRecord>, StoreError> {
+    let mut records = Vec::new();
+    if !path.exists() {
+        return Ok(records);
+    }
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        None => {} // empty file: treated as new
+        Some((_, first)) => {
+            let header: StoreHeader = serde_json::from_str(first)
+                .map_err(|e| StoreError::Format(format!("bad header line: {e}")))?;
+            if header.format != "harl-store" {
+                return Err(StoreError::Format(format!(
+                    "not a harl-store file (format `{}`)",
+                    header.format
+                )));
+            }
+            if header.version != FORMAT_VERSION {
+                return Err(StoreError::Format(format!(
+                    "unsupported store version {} (supported: {})",
+                    header.version, FORMAT_VERSION
+                )));
+            }
+            let ends_complete = text.ends_with('\n');
+            let last_idx = text.lines().count() - 1;
+            for (i, line) in lines {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<MeasureRecord>(line) {
+                    Ok(r) => records.push(r),
+                    // A torn final line is expected after a crash
+                    // mid-append; anything else is corruption.
+                    Err(_) if i == last_idx && !ends_complete => {}
+                    Err(e) => {
+                        return Err(StoreError::Format(format!(
+                            "bad record at line {}: {e}",
+                            i + 1
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Loads a store directory's records without taking the writer lock.
+///
+/// Safe to call while another handle is appending: a partially written
+/// final line is skipped exactly as [`RecordStore::open`] would after a
+/// crash. Returns an empty vector for a missing or empty store.
+pub fn read_records(dir: impl AsRef<Path>) -> Result<Vec<MeasureRecord>, StoreError> {
+    parse_records_file(&dir.as_ref().join(RECORDS_FILE))
+}
+
 /// Append-only store of measurement records in a directory.
 ///
 /// Thread-safe: implements [`RecordSink`], so it can be attached to a
 /// `Measurer` shared across measurement threads. Write failures after a
 /// successful open do not interrupt the search; they are counted in
-/// [`RecordStore::dropped_writes`].
+/// [`RecordStore::dropped_writes`]. The handle owns the directory's
+/// single-writer lock until it is dropped.
 pub struct RecordStore {
     dir: PathBuf,
     writer: Mutex<BufWriter<File>>,
     records: Mutex<Vec<MeasureRecord>>,
     dropped: AtomicU64,
+    // Held for its Drop impl: releases the directory lock with the handle.
+    _lock: DirLock,
 }
 
 impl RecordStore {
-    /// Opens (or creates) the store in `dir`, loading all existing records.
+    /// Opens (or creates) the store in `dir`, loading all existing records
+    /// and taking the directory's single-writer lock.
+    ///
+    /// Fails with [`StoreError::Locked`] while another live handle (in this
+    /// process or another) owns the directory; a lock left by a crashed
+    /// process is reclaimed automatically.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
+        let lock = DirLock::acquire(&dir)?;
         let path = dir.join(RECORDS_FILE);
-        let mut records = Vec::new();
+        let records = parse_records_file(&path)?;
         let is_new = !path.exists();
-        if !is_new {
-            let text = fs::read_to_string(&path)?;
-            let mut lines = text.lines().enumerate();
-            match lines.next() {
-                None => {} // empty file: treat as new, rewrite header below
-                Some((_, first)) => {
-                    let header: StoreHeader = serde_json::from_str(first)
-                        .map_err(|e| StoreError::Format(format!("bad header line: {e}")))?;
-                    if header.format != "harl-store" {
-                        return Err(StoreError::Format(format!(
-                            "not a harl-store file (format `{}`)",
-                            header.format
-                        )));
-                    }
-                    if header.version != FORMAT_VERSION {
-                        return Err(StoreError::Format(format!(
-                            "unsupported store version {} (supported: {})",
-                            header.version, FORMAT_VERSION
-                        )));
-                    }
-                    let ends_complete = text.ends_with('\n');
-                    let last_idx = text.lines().count() - 1;
-                    for (i, line) in lines {
-                        if line.trim().is_empty() {
-                            continue;
-                        }
-                        match serde_json::from_str::<MeasureRecord>(line) {
-                            Ok(r) => records.push(r),
-                            // A torn final line is expected after a crash
-                            // mid-append; anything else is corruption.
-                            Err(_) if i == last_idx && !ends_complete => {}
-                            Err(e) => {
-                                return Err(StoreError::Format(format!(
-                                    "bad record at line {}: {e}",
-                                    i + 1
-                                )))
-                            }
-                        }
-                    }
-                }
-            }
-        }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let mut writer = BufWriter::new(file);
         if is_new || fs::metadata(&path)?.len() == 0 {
@@ -169,6 +295,7 @@ impl RecordStore {
             writer: Mutex::new(writer),
             records: Mutex::new(records),
             dropped: AtomicU64::new(0),
+            _lock: lock,
         })
     }
 
@@ -411,6 +538,96 @@ mod tests {
         );
         store.clear_checkpoint().unwrap();
         assert!(store.load_checkpoint().unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_writer_is_rejected_while_locked() {
+        let dir = tmp_dir("locked");
+        let first = RecordStore::open(&dir).unwrap();
+        assert!(matches!(
+            RecordStore::open(&dir),
+            Err(StoreError::Locked(_))
+        ));
+        drop(first);
+        // the lock dies with the handle
+        let again = RecordStore::open(&dir).unwrap();
+        drop(again);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_dead_process_is_stolen() {
+        let dir = tmp_dir("stale");
+        fs::create_dir_all(&dir).unwrap();
+        // u32::MAX exceeds any real pid_max, so the holder is provably dead
+        fs::write(dir.join("lock"), format!("{}\n", u32::MAX)).unwrap();
+        let store = RecordStore::open(&dir).expect("stale lock must be reclaimed");
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_lock_file_is_treated_as_stale() {
+        let dir = tmp_dir("garbage-lock");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("lock"), "not a pid").unwrap();
+        let store = RecordStore::open(&dir).unwrap();
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_appends_never_interleave_corrupt_lines() {
+        use std::sync::Arc;
+
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 50;
+        let dir = tmp_dir("stress");
+        let recs = sample_records(2);
+        {
+            let store = Arc::new(RecordStore::open(&dir).unwrap());
+            std::thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let store = store.clone();
+                    let rec = recs[t % recs.len()].clone();
+                    let dir = &dir;
+                    scope.spawn(move || {
+                        for i in 0..PER_THREAD {
+                            let mut r = rec.clone();
+                            r.time = 1e-3 + (t * PER_THREAD + i) as f64 * 1e-6;
+                            // a second handle can never race this append:
+                            // opening one fails while the lock is held
+                            assert!(matches!(RecordStore::open(dir), Err(StoreError::Locked(_))));
+                            store.append(r).unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(store.len(), THREADS * PER_THREAD);
+            assert_eq!(store.dropped_writes(), 0);
+        }
+        // a reopen parses every line; any interleaved partial write would
+        // surface as StoreError::Format
+        let reloaded = RecordStore::open(&dir).unwrap();
+        assert_eq!(reloaded.len(), THREADS * PER_THREAD);
+        let lockfree = read_records(&dir).unwrap();
+        assert_eq!(lockfree.len(), THREADS * PER_THREAD);
+        drop(reloaded);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_records_is_lock_free_and_tolerates_missing_dir() {
+        let dir = tmp_dir("readonly");
+        assert!(read_records(&dir).unwrap().is_empty());
+        let store = RecordStore::open(&dir).unwrap();
+        for r in sample_records(3) {
+            store.append(r).unwrap();
+        }
+        // store handle still alive and holding the lock
+        assert_eq!(read_records(&dir).unwrap().len(), 3);
+        drop(store);
         let _ = fs::remove_dir_all(&dir);
     }
 

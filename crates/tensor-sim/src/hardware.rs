@@ -161,6 +161,28 @@ impl Hardware {
         Hardware::Gpu(GpuModel::default())
     }
 
+    /// Resolves a platform by its wire name, as used in tuning-job specs
+    /// (`harl-serve`) and CLI flags. Recognized names: `cpu` /
+    /// `xeon-6226r`, `avx2-desktop`, `gpu` / `rtx-3090`, `a100`.
+    pub fn from_name(name: &str) -> Option<Hardware> {
+        match name {
+            "cpu" | "xeon-6226r" => Some(Hardware::Cpu(CpuModel::xeon_6226r())),
+            "avx2-desktop" => Some(Hardware::Cpu(CpuModel::avx2_desktop())),
+            "gpu" | "rtx-3090" => Some(Hardware::Gpu(GpuModel::rtx_3090())),
+            "a100" => Some(Hardware::Gpu(GpuModel::a100())),
+            _ => None,
+        }
+    }
+
+    /// The canonical wire name of this platform ([`Hardware::from_name`]'s
+    /// inverse for the built-in models; custom models report their family).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Hardware::Cpu(_) => "cpu",
+            Hardware::Gpu(_) => "gpu",
+        }
+    }
+
     /// The `Target` this platform schedules for.
     pub fn target(&self) -> Target {
         match self {
@@ -507,6 +529,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let s = Schedule::random(sk, hw.target(), &mut rng);
         hw.execution_time(g, sk, &s)
+    }
+
+    #[test]
+    fn from_name_resolves_all_builtin_platforms() {
+        for name in [
+            "cpu",
+            "xeon-6226r",
+            "avx2-desktop",
+            "gpu",
+            "rtx-3090",
+            "a100",
+        ] {
+            let hw = Hardware::from_name(name).unwrap_or_else(|| panic!("unknown `{name}`"));
+            assert!(hw.peak_flops() > 0.0);
+        }
+        assert!(Hardware::from_name("tpu").is_none());
+        assert_eq!(Hardware::from_name("cpu").unwrap().name(), "cpu");
+        assert_eq!(Hardware::from_name("gpu").unwrap().name(), "gpu");
+        assert_eq!(Hardware::from_name("a100").unwrap().target(), Target::Gpu);
     }
 
     #[test]

@@ -14,7 +14,17 @@
 
 use std::sync::Arc;
 
+use harl_repro::envopts;
 use harl_repro::prelude::*;
+
+/// Aborts with a clear message when a `HARL_*` env hook is set to garbage —
+/// silently ignoring it would make downstream scripts lie.
+fn env_or_die<T>(parsed: Result<T, String>) -> T {
+    parsed.unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     // 1. Pick a workload: the paper's flagship 1024x1024x1024 GEMM.
@@ -36,14 +46,12 @@ fn main() {
     //    setup; `fast()` scales the track counts down so this example
     //    finishes in seconds. With a store attached, every measurement is
     //    persisted and the tuner warm-starts from prior runs.
-    let store = match std::env::var("HARL_STORE_DIR") {
-        Ok(dir) => Some(Arc::new(
-            RecordStore::open(&dir).expect("open record store"),
-        )),
-        Err(_) => None,
-    };
+    let store = env_or_die(envopts::store_dir_from_env())
+        .map(|dir| Arc::new(RecordStore::open(&dir).expect("open record store")));
+    let target_ms = env_or_die(envopts::target_ms_from_env());
     let mut tuner = HarlOperatorTuner::new(gemm.clone(), &measurer, HarlConfig::fast());
     let mut session = TuningSession::builder()
+        .job_key(format!("quickstart/{}", gemm.name))
         .launch(Box::new(&mut tuner), &measurer, store.clone())
         .expect("launch tuning session");
     if session.resumed() {
@@ -84,8 +92,7 @@ fn main() {
         tuner.trials_used,
         trials_to_best
     );
-    if let Ok(target_ms) = std::env::var("HARL_TARGET_MS") {
-        let target: f64 = target_ms.parse().expect("HARL_TARGET_MS is a number");
+    if let Some(target) = target_ms {
         // tiny relative tolerance absorbs the decimal truncation of best_ms
         let to_target = tuner
             .trace

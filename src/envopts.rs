@@ -1,0 +1,108 @@
+//! Strict parsing of the `HARL_*` environment hooks used by the examples
+//! and CI smoke tests.
+//!
+//! An invalid value (non-UTF-8, empty, or malformed) must abort the run
+//! with a clear message — a silently ignored `HARL_TARGET_MS=0,5` would
+//! make a CI warm-start assertion pass or fail for the wrong reason.
+
+use std::path::PathBuf;
+
+/// Parses an optional store-directory value (`HARL_STORE_DIR`).
+///
+/// `None` (unset) is fine; a set-but-empty or all-whitespace value is an
+/// error: it is always a typo, and `RecordStore::open("")` would otherwise
+/// fail later with a confusing I/O error.
+pub fn parse_store_dir(raw: Option<&str>) -> Result<Option<PathBuf>, String> {
+    match raw {
+        None => Ok(None),
+        Some(s) if s.trim().is_empty() => {
+            Err("HARL_STORE_DIR is set but empty; unset it or point it at a directory".into())
+        }
+        Some(s) => Ok(Some(PathBuf::from(s))),
+    }
+}
+
+/// Parses an optional target-latency value in milliseconds
+/// (`HARL_TARGET_MS`). Must be a finite number > 0.
+pub fn parse_target_ms(raw: Option<&str>) -> Result<Option<f64>, String> {
+    let Some(s) = raw else { return Ok(None) };
+    let trimmed = s.trim();
+    if trimmed.is_empty() {
+        return Err("HARL_TARGET_MS is set but empty; expected a latency in ms".into());
+    }
+    let ms: f64 = trimmed
+        .parse()
+        .map_err(|e| format!("HARL_TARGET_MS=`{s}` is not a number: {e}"))?;
+    if !ms.is_finite() || ms <= 0.0 {
+        return Err(format!(
+            "HARL_TARGET_MS=`{s}` must be a finite latency > 0 ms"
+        ));
+    }
+    Ok(Some(ms))
+}
+
+/// Reads an environment variable as UTF-8 text, erroring (instead of
+/// silently treating the variable as unset, as `std::env::var` + `Err(_)`
+/// patterns do) when it holds non-UTF-8 bytes.
+fn env_utf8(name: &str) -> Result<Option<String>, String> {
+    match std::env::var_os(name) {
+        None => Ok(None),
+        Some(os) => os
+            .into_string()
+            .map(Some)
+            .map_err(|_| format!("{name} is set but not valid UTF-8")),
+    }
+}
+
+/// `HARL_STORE_DIR` from the environment, strictly parsed.
+pub fn store_dir_from_env() -> Result<Option<PathBuf>, String> {
+    parse_store_dir(env_utf8("HARL_STORE_DIR")?.as_deref())
+}
+
+/// `HARL_TARGET_MS` from the environment, strictly parsed.
+pub fn target_ms_from_env() -> Result<Option<f64>, String> {
+    parse_target_ms(env_utf8("HARL_TARGET_MS")?.as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_dir_accepts_unset_and_paths() {
+        assert_eq!(parse_store_dir(None).unwrap(), None);
+        assert_eq!(
+            parse_store_dir(Some("/tmp/x")).unwrap(),
+            Some(PathBuf::from("/tmp/x"))
+        );
+    }
+
+    #[test]
+    fn store_dir_rejects_empty() {
+        assert!(parse_store_dir(Some("")).is_err());
+        assert!(parse_store_dir(Some("   ")).is_err());
+    }
+
+    #[test]
+    fn target_ms_accepts_unset_and_positive_numbers() {
+        assert_eq!(parse_target_ms(None).unwrap(), None);
+        assert_eq!(parse_target_ms(Some("1.5")).unwrap(), Some(1.5));
+        assert_eq!(parse_target_ms(Some(" 42 ")).unwrap(), Some(42.0));
+        assert_eq!(
+            parse_target_ms(Some("0.123456789")).unwrap(),
+            Some(0.123456789)
+        );
+    }
+
+    #[test]
+    fn target_ms_rejects_malformed_values() {
+        for bad in ["", "  ", "abc", "0,5", "1.5ms", "NaN", "inf", "-1", "0"] {
+            let err = parse_target_ms(Some(bad));
+            assert!(err.is_err(), "`{bad}` must be rejected");
+            assert!(
+                err.unwrap_err().contains("HARL_TARGET_MS"),
+                "error must name the variable"
+            );
+        }
+    }
+}

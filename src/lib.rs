@@ -22,6 +22,9 @@
 //!   and warm-starting.
 //! * [`store`] — the append-only JSONL record store backing sessions:
 //!   every hardware measurement and the latest session checkpoint.
+//! * [`serve`] — the tuning service: a TCP daemon with a priority job
+//!   queue, worker pool, per-job persistent sessions, and cross-job
+//!   warm-starting, plus the `harl-serve` / `harl-cli` binaries.
 //! * [`models`] — BERT / ResNet-50 / MobileNet-V2 workloads and the
 //!   Table 6 operator suite.
 //! * [`verify`] — the schedule lint framework (V001–V006): structured
@@ -41,12 +44,15 @@
 //! assert!(tuner.best_time.is_finite());
 //! ```
 
+pub mod envopts;
+
 pub use harl_ansor as ansor;
 pub use harl_bandit as bandit;
 pub use harl_core as harl;
 pub use harl_gbt as gbt;
 pub use harl_nn_models as models;
 pub use harl_nnet as nnet;
+pub use harl_serve as serve;
 pub use harl_store as store;
 pub use harl_tensor_ir as ir;
 pub use harl_tensor_sim as sim;
