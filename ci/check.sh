@@ -16,6 +16,22 @@ cargo clippy $CARGO_FLAGS --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test $CARGO_FLAGS -q --workspace
 
+echo "==> scoring determinism suite at pool widths 1 and 4"
+# the suite pins explicit widths internally; running it under both env
+# values additionally exercises the from_env construction paths
+HARL_SCORE_THREADS=1 cargo test $CARGO_FLAGS -q --test scoring_determinism
+HARL_SCORE_THREADS=4 cargo test $CARGO_FLAGS -q --test scoring_determinism
+
+echo "==> scoring bench smoke (HARL_BENCH_SMOKE=1)"
+BENCH_OUT=$(mktemp)
+HARL_BENCH_SMOKE=1 HARL_BENCH_OUT="$BENCH_OUT" \
+    cargo bench $CARGO_FLAGS -q -p harl-bench --bench scoring
+if ! grep -q '"bit_identical": true' "$BENCH_OUT"; then
+    echo "FAIL: scoring bench smoke did not report bit-identical predictions"
+    exit 1
+fi
+rm -f "$BENCH_OUT"
+
 echo "==> lint-schedules smoke run"
 cargo run $CARGO_FLAGS -q -p harl-verify --bin lint-schedules -- 40
 

@@ -12,8 +12,10 @@ use std::collections::HashSet;
 
 use rand::Rng;
 
-use harl_gbt::CostModel;
-use harl_tensor_ir::{crossover, extract_features, mutate, Schedule, Sketch, Subgraph, Target};
+use harl_gbt::{CostModel, ScoringPipeline};
+use harl_tensor_ir::{
+    crossover, extract_features_into, mutate, Schedule, Sketch, Subgraph, Target,
+};
 
 /// Evolutionary-search hyper-parameters (defaults follow Ansor's published
 /// settings scaled to this simulator).
@@ -53,6 +55,12 @@ impl Default for EvoConfig {
 ///
 /// `elites` are previously measured good schedules (best first); sketches
 /// are chosen uniformly for random seeding (Ansor's sketch policy).
+///
+/// Fitness evaluation goes through `pipeline`: each generation (and the
+/// final ε-greedy pass) scores the whole population in one batch, with
+/// surviving elites and duplicate offspring hitting the feature cache.
+/// Scores are bit-identical to per-candidate `extract → score`, so the
+/// RNG stream and selection are unchanged from the serial implementation.
 #[allow(clippy::too_many_arguments)]
 pub fn evolve_candidates<R: Rng + ?Sized>(
     graph: &Subgraph,
@@ -63,12 +71,19 @@ pub fn evolve_candidates<R: Rng + ?Sized>(
     seen: &HashSet<u64>,
     num_candidates: usize,
     cfg: &EvoConfig,
+    pipeline: &mut ScoringPipeline,
     rng: &mut R,
 ) -> Vec<Schedule> {
     assert!(
         !sketches.is_empty(),
         "subgraph must have at least one sketch"
     );
+    // cache keys are schedule fingerprints, valid only for this round's
+    // fixed (graph, sketch-set, target) context
+    pipeline.begin_episode();
+    let extract = |s: &Schedule, buf: &mut Vec<f32>| {
+        extract_features_into(graph, &sketches[s.sketch_id], target, s, buf)
+    };
 
     // --- initial population ---------------------------------------------
     let n_elite = ((cfg.population as f64 * cfg.elite_ratio) as usize).min(elites.len());
@@ -79,11 +94,9 @@ pub fn evolve_candidates<R: Rng + ?Sized>(
     }
 
     // --- generations ------------------------------------------------------
+    let mut scores: Vec<f64> = Vec::new();
     for _ in 0..cfg.generations {
-        let scores: Vec<f64> = pop
-            .iter()
-            .map(|s| cost_model.score(&extract_features(graph, &sketches[s.sketch_id], target, s)))
-            .collect();
+        pipeline.score_into(cost_model, &pop, |s| s.fingerprint(), extract, &mut scores);
         // fitness-proportional selection over positive scores
         let total: f64 = scores.iter().sum();
         let pick_parent = |rng: &mut R| -> usize {
@@ -130,13 +143,8 @@ pub fn evolve_candidates<R: Rng + ?Sized>(
     }
 
     // --- ε-greedy top-K selection ----------------------------------------
-    let mut scored: Vec<(f64, Schedule)> = pop
-        .into_iter()
-        .map(|s| {
-            let f = extract_features(graph, &sketches[s.sketch_id], target, &s);
-            (cost_model.score(&f), s)
-        })
-        .collect();
+    pipeline.score_into(cost_model, &pop, |s| s.fingerprint(), extract, &mut scores);
+    let mut scored: Vec<(f64, Schedule)> = scores.iter().copied().zip(pop).collect();
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
     let n_random = (num_candidates as f64 * cfg.eps_greedy).round() as usize;
@@ -171,7 +179,7 @@ pub fn evolve_candidates<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use harl_gbt::GbtParams;
-    use harl_tensor_ir::{generate_sketches, workload};
+    use harl_tensor_ir::{extract_features, generate_sketches, workload};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -195,6 +203,7 @@ mod tests {
             &HashSet::new(),
             32,
             &EvoConfig::default(),
+            &mut ScoringPipeline::new(1, 1024),
             &mut rng,
         );
         assert_eq!(cands.len(), 32);
@@ -219,6 +228,7 @@ mod tests {
             &HashSet::new(),
             16,
             &EvoConfig::default(),
+            &mut ScoringPipeline::new(1, 1024),
             &mut rng,
         );
         let seen: HashSet<u64> = first.iter().map(Schedule::dedup_key).collect();
@@ -231,6 +241,7 @@ mod tests {
             &seen,
             16,
             &EvoConfig::default(),
+            &mut ScoringPipeline::new(1, 1024),
             &mut rng,
         );
         for s in &second {
@@ -262,6 +273,7 @@ mod tests {
             &HashSet::new(),
             32,
             &EvoConfig::default(),
+            &mut ScoringPipeline::new(1, 1024),
             &mut rng,
         );
         let max_unroll = Target::Cpu.unroll_depths().len() - 1;

@@ -13,8 +13,9 @@ use serde::{Deserialize, Serialize};
 
 use harl_nnet::{PpoAgent, PpoConfig};
 use harl_tensor_ir::{
-    apply_action, compute_at_mask, extract_features, generate_sketches, parallel_mask,
-    tile_action_mask, unroll_mask, Action, ActionSpace, Schedule, Sketch, StepDir, Subgraph,
+    apply_action, compute_at_mask, extract_features, extract_features_into, generate_sketches,
+    parallel_mask, tile_action_mask, unroll_mask, Action, ActionSpace, Schedule, Sketch, StepDir,
+    Subgraph,
 };
 use harl_tensor_sim::{Measurer, TuneTrace};
 use harl_verify::{Analyzer, LintStats};
@@ -198,6 +199,9 @@ impl<'m> FlextensorTuner<'m> {
         }
 
         let mut steps_taken = 0usize;
+        // scratch for the post-action feature vector: `record` only borrows
+        // it, so one buffer serves every step of the episode
+        let mut next_feat: Vec<f32> = Vec::new();
         'outer: for step in 1..=self.cfg.episode_len {
             for i in 0..states.len() {
                 if used >= budget {
@@ -225,7 +229,7 @@ impl<'m> FlextensorTuner<'m> {
                 self.note_measurement(&next, m.time);
                 let new_perf = 1.0 / m.time;
                 let reward = ((new_perf - perf[i]) / perf[i]) as f32;
-                let next_feat = extract_features(&self.graph, &self.sketch, target, &next);
+                extract_features_into(&self.graph, &self.sketch, target, &next, &mut next_feat);
                 self.agent
                     .record(feat, acts, logp, reward, &next_feat, masks);
                 if new_perf > best_perf[i] {

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use harl_gbt::{CostModel, GbtParams};
+use harl_gbt::{CostModel, GbtParams, ScoreStats, ScoringPipeline};
 use harl_store::MeasureRecord;
 use harl_tensor_ir::{extract_features, generate_sketches, Schedule, Sketch, Subgraph, Target};
 use harl_tensor_sim::{ConfigError, Measurer, TuneTrace};
@@ -201,6 +201,11 @@ pub struct AnsorTuner<'m> {
     /// reach the measurer.
     pub lint_stats: LintStats,
     analyzer: Analyzer,
+    /// Batched fitness scoring (thread pool + feature cache). Runtime
+    /// machinery, deliberately outside [`AnsorTunerState`]: its counters
+    /// and thread width must not leak into checkpoints, which stay
+    /// byte-equal across `HARL_SCORE_THREADS` settings.
+    pipeline: ScoringPipeline,
     cfg: AnsorConfig,
     rng: StdRng,
 }
@@ -225,9 +230,23 @@ impl<'m> AnsorTuner<'m> {
             trace: TuneTrace::new(),
             lint_stats: LintStats::new(),
             analyzer: Analyzer::for_hardware(measurer.hardware()),
+            pipeline: ScoringPipeline::from_env(),
             cfg,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Counters of the batched scoring pipeline (cache hits, batches,
+    /// thread width).
+    pub fn score_stats(&self) -> &ScoreStats {
+        self.pipeline.stats()
+    }
+
+    /// Overrides the scoring-pool width (tests and explicit config;
+    /// normally inherited from `HARL_SCORE_THREADS`). Scores are
+    /// bit-identical at any width.
+    pub fn set_score_threads(&mut self, threads: usize) {
+        self.pipeline.set_threads(threads);
     }
 
     /// The on-line cost model (diagnostics; e.g. warm-start checks).
@@ -252,6 +271,7 @@ impl<'m> AnsorTuner<'m> {
             &self.seen,
             k,
             &self.cfg.evo,
+            &mut self.pipeline,
             &mut self.rng,
         );
         // drop illegal candidates before they reach the measurer

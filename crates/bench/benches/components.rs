@@ -9,7 +9,7 @@ use rand::SeedableRng;
 
 use harl_ansor::{evolve_candidates, EvoConfig};
 use harl_bandit::{Bandit, SlidingWindowUcb};
-use harl_gbt::{CostModel, Gbt, GbtParams};
+use harl_gbt::{CostModel, Gbt, GbtParams, ScoringPipeline};
 use harl_nnet::{PpoAgent, PpoConfig};
 use harl_tensor_ir::{
     apply_action, extract_features, generate_sketches, tile_action_mask, Action, ActionSpace,
@@ -169,8 +169,8 @@ fn bench_evolution(c: &mut Criterion) {
     };
     c.bench_function("evolution_round_pop128", |b| {
         b.iter_batched(
-            || StdRng::seed_from_u64(6),
-            |mut rng| {
+            || (StdRng::seed_from_u64(6), ScoringPipeline::new(1, 4096)),
+            |(mut rng, mut pipeline)| {
                 evolve_candidates(
                     &g,
                     &sketches,
@@ -180,6 +180,7 @@ fn bench_evolution(c: &mut Criterion) {
                     &seen,
                     16,
                     &cfg,
+                    &mut pipeline,
                     &mut rng,
                 )
             },

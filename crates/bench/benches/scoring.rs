@@ -1,0 +1,225 @@
+//! Batched-scoring benchmark: the seed's serial `extract → score` loop vs
+//! the `ScoringPipeline` (flattened GBT batch kernel + feature cache +
+//! thread pool), on a population-scoring workload shaped like the tuners'
+//! inner loops.
+//!
+//! The workload scores a 512-candidate population for 16 passes, replacing
+//! 1/8 of the population with fresh schedules between passes — the churn
+//! profile of evolutionary rounds and episode tracks, where elites, clones,
+//! and revisited candidates dominate each scoring call (HARL's paper
+//! config runs up to 2λ = 40 scoring steps per episode, so 16 passes is
+//! conservative). The serial path re-extracts features and pointer-walks
+//! the trees per candidate per pass (what every tuner did before the
+//! pipeline); the batched path serves repeats from the scoring cache and
+//! runs the tree-major flat kernel over the misses.
+//!
+//! Both paths must produce bit-identical scores — the benchmark asserts it
+//! before reporting. Results land in `BENCH_scoring.json`.
+//!
+//! `HARL_BENCH_SMOKE=1` shrinks the workload for CI smoke runs;
+//! `HARL_BENCH_OUT` redirects the JSON report (the smoke run should not
+//! overwrite the committed full-size numbers).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use harl_gbt::{CostModel, GbtParams, ScoringPipeline};
+use harl_tensor_ir::{
+    extract_features, extract_features_into, generate_sketches, workload, Schedule, Sketch,
+    Subgraph, Target,
+};
+use harl_tensor_sim::Hardware;
+
+struct Workload {
+    population: usize,
+    passes: usize,
+    /// 1-in-`churn` candidates are replaced between passes.
+    churn: usize,
+    reps: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    population: usize,
+    passes: usize,
+    churn: usize,
+    threads: usize,
+    serial_ms: f64,
+    batched_ms: f64,
+    speedup: f64,
+    cache_hit_rate: f64,
+    bit_identical: bool,
+    smoke: bool,
+}
+
+fn trained_model(g: &Subgraph, sk: &Sketch, rng: &mut StdRng) -> CostModel {
+    let cpu = Hardware::cpu();
+    let mut cm = CostModel::new(GbtParams::default());
+    let batch: Vec<(Vec<f32>, f64)> = (0..256)
+        .map(|_| {
+            let s = Schedule::random(sk, Target::Cpu, rng);
+            let f = extract_features(g, sk, Target::Cpu, &s);
+            let y = g.flops() / cpu.execution_time(g, sk, &s);
+            (f, y)
+        })
+        .collect();
+    cm.update_batch(batch);
+    assert!(cm.is_trained(), "benchmark needs a trained model");
+    cm
+}
+
+/// The populations each pass scores, generated once so both paths see the
+/// exact same candidate stream.
+fn passes(sk: &Sketch, wl: &Workload, rng: &mut StdRng) -> Vec<Vec<Schedule>> {
+    let mut pop: Vec<Schedule> = (0..wl.population)
+        .map(|_| Schedule::random(sk, Target::Cpu, rng))
+        .collect();
+    let mut out = Vec::with_capacity(wl.passes);
+    out.push(pop.clone());
+    for _ in 1..wl.passes {
+        let replace = wl.population / wl.churn;
+        for _ in 0..replace {
+            let i = rng.gen_range(0..pop.len());
+            pop[i] = Schedule::random(sk, Target::Cpu, rng);
+        }
+        out.push(pop.clone());
+    }
+    out
+}
+
+/// The seed's per-candidate path: fresh feature extraction plus a
+/// pointer-walk `score` for every candidate of every pass.
+fn run_serial(g: &Subgraph, sk: &Sketch, cm: &CostModel, passes: &[Vec<Schedule>]) -> Vec<f64> {
+    let mut scores = Vec::new();
+    for pop in passes {
+        for s in pop {
+            let f = extract_features(g, sk, Target::Cpu, s);
+            scores.push(cm.score(&f));
+        }
+    }
+    scores
+}
+
+fn run_batched(
+    g: &Subgraph,
+    sk: &Sketch,
+    cm: &CostModel,
+    passes: &[Vec<Schedule>],
+    pipeline: &mut ScoringPipeline,
+) -> Vec<f64> {
+    pipeline.begin_episode();
+    let extract =
+        |s: &Schedule, buf: &mut Vec<f32>| extract_features_into(g, sk, Target::Cpu, s, buf);
+    let mut scores = Vec::new();
+    let mut batch = Vec::new();
+    for pop in passes {
+        pipeline.score_into(cm, pop, |s| s.fingerprint(), extract, &mut batch);
+        scores.extend_from_slice(&batch);
+    }
+    scores
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::var("HARL_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let wl = if smoke {
+        Workload {
+            population: 64,
+            passes: 3,
+            churn: 8,
+            reps: 2,
+        }
+    } else {
+        Workload {
+            population: 512,
+            passes: 16,
+            churn: 8,
+            reps: 5,
+        }
+    };
+    let threads = 4;
+
+    let g = workload::gemm(512, 512, 512);
+    let sketches = generate_sketches(&g, Target::Cpu);
+    let sk = &sketches[0];
+    let mut rng = StdRng::seed_from_u64(42);
+    let cm = trained_model(&g, sk, &mut rng);
+    let stream = passes(sk, &wl, &mut rng);
+
+    // warm-up + bit-identity check outside the timed region
+    let serial_scores = run_serial(&g, sk, &cm, &stream);
+    let mut pipeline = ScoringPipeline::new(threads, 4096);
+    let batched_scores = run_batched(&g, sk, &cm, &stream, &mut pipeline);
+    let bit_identical = serial_scores.len() == batched_scores.len()
+        && serial_scores
+            .iter()
+            .zip(&batched_scores)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        bit_identical,
+        "batched scores must be bit-identical to the serial path"
+    );
+    let stats = *pipeline.stats();
+    let cache_hit_rate = stats.hit_rate();
+
+    let mut serial_samples = Vec::with_capacity(wl.reps);
+    for _ in 0..wl.reps {
+        let t = Instant::now();
+        let s = run_serial(&g, sk, &cm, &stream);
+        serial_samples.push(t.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(s);
+    }
+    let mut batched_samples = Vec::with_capacity(wl.reps);
+    for _ in 0..wl.reps {
+        let mut pipeline = ScoringPipeline::new(threads, 4096);
+        let t = Instant::now();
+        let s = run_batched(&g, sk, &cm, &stream, &mut pipeline);
+        batched_samples.push(t.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(s);
+    }
+
+    let serial_ms = median_ms(serial_samples);
+    let batched_ms = median_ms(batched_samples);
+    let speedup = serial_ms / batched_ms;
+    println!(
+        "scoring_serial_pop{}x{} time: [{serial_ms:.3} ms]",
+        wl.population, wl.passes
+    );
+    println!(
+        "scoring_batched_pop{}x{}_t{threads} time: [{batched_ms:.3} ms]",
+        wl.population, wl.passes
+    );
+    println!("scoring speedup: {speedup:.2}x (cache hit rate {cache_hit_rate:.3}, bit-identical)");
+
+    let report = Report {
+        population: wl.population,
+        passes: wl.passes,
+        churn: wl.churn,
+        threads,
+        serial_ms,
+        batched_ms,
+        speedup,
+        cache_hit_rate,
+        bit_identical,
+        smoke,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    // benches run with CWD = the package dir; land the report at the
+    // workspace root where CI and the README expect it
+    let path = match std::env::var("HARL_BENCH_OUT") {
+        Ok(p) => std::path::PathBuf::from(p),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_scoring.json"),
+    };
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}

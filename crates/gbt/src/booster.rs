@@ -67,9 +67,36 @@ impl Gbt {
                 .sum::<f64>()
     }
 
-    /// Predicts a batch of samples.
+    /// Predicts a batch of samples into `out` (cleared first) using the
+    /// flattened tree layout, iterating **tree-major**: each tree's flat
+    /// arrays stay hot in cache while they sweep the whole candidate
+    /// matrix, instead of re-chasing every tree's pointers per sample.
+    ///
+    /// Bit-identical to per-sample [`Gbt::predict`]: each sample's
+    /// accumulator starts at 0, adds `eta * leaf` in tree order (the same
+    /// fold `sum::<f64>()` performs), and the base score is added last.
+    pub fn predict_batch_into<X: AsRef<[f32]>>(&self, xs: &[X], out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(xs.len(), 0.0);
+        for tree in &self.trees {
+            let flat = tree.flat();
+            for (acc, x) in out.iter_mut().zip(xs) {
+                *acc += self.params.eta * flat.predict(x.as_ref());
+            }
+        }
+        // IEEE addition is commutative, so `acc + base` is bit-equal to
+        // the serial `base + sum` (associativity is what must be kept:
+        // trees accumulate first, base score joins last)
+        for acc in out.iter_mut() {
+            *acc += self.params.base_score;
+        }
+    }
+
+    /// Predicts a batch of samples via the flattened batch kernel.
     pub fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let mut out = Vec::new();
+        self.predict_batch_into(xs, &mut out);
+        out
     }
 
     /// Number of fitted trees.
@@ -264,7 +291,32 @@ mod tests {
         let model = Gbt::fit(&xs, &ys, GbtParams::default());
         let batch = model.predict_batch(&xs);
         for (b, x) in batch.iter().zip(&xs) {
-            assert_eq!(*b, model.predict(x));
+            assert_eq!(b.to_bits(), model.predict(x).to_bits());
         }
+    }
+
+    #[test]
+    fn predict_batch_bit_equal_with_nonzero_base_score() {
+        // base_score + eta-scaled sums must fold in exactly predict's order
+        let (xs, ys) = synthetic(120, 9);
+        let model = Gbt::fit(
+            &xs,
+            &ys,
+            GbtParams {
+                base_score: 0.31,
+                eta: 0.17,
+                n_rounds: 17,
+                ..Default::default()
+            },
+        );
+        let mut out = Vec::new();
+        model.predict_batch_into(&xs, &mut out);
+        for (b, x) in out.iter().zip(&xs) {
+            assert_eq!(b.to_bits(), model.predict(x).to_bits());
+        }
+        // buffer reuse: a second call over a smaller batch truncates
+        model.predict_batch_into(&xs[..7], &mut out);
+        assert_eq!(out.len(), 7);
+        assert_eq!(out[3].to_bits(), model.predict(&xs[3]).to_bits());
     }
 }

@@ -99,9 +99,29 @@ impl CostModel {
         }
     }
 
-    /// Scores a batch of feature vectors.
+    /// Scores a batch of feature vectors into `out` (cleared first) via
+    /// the flattened batch kernel, amortizing tree iteration over the
+    /// whole candidate matrix. Bit-identical to mapping [`CostModel::score`].
+    pub fn score_batch_into<X: AsRef<[f32]>>(&self, features: &[X], out: &mut Vec<f64>) {
+        match &self.model {
+            Some(m) => {
+                m.predict_batch_into(features, out);
+                for v in out.iter_mut() {
+                    *v = v.max(self.floor);
+                }
+            }
+            None => {
+                out.clear();
+                out.resize(features.len(), 0.5);
+            }
+        }
+    }
+
+    /// Scores a batch of feature vectors (flattened batch kernel).
     pub fn score_batch(&self, features: &[Vec<f32>]) -> Vec<f64> {
-        features.iter().map(|f| self.score(f)).collect()
+        let mut out = Vec::new();
+        self.score_batch_into(features, &mut out);
+        out
     }
 
     /// RL reward: relative improvement from `prev` to `next` feature
@@ -199,6 +219,36 @@ mod tests {
         for i in 0..20 {
             let f = feat(i as f32 / 20.0);
             assert_eq!(back.score(&f).to_bits(), cm.score(&f).to_bits());
+        }
+    }
+
+    #[test]
+    fn score_batch_bit_equal_to_score() {
+        let mut cm = CostModel::new(GbtParams::default());
+        cm.update_batch((0..150).map(|i| (feat(i as f32 / 150.0), 1e9 * (1.0 + i as f64 / 30.0))));
+        let rows: Vec<Vec<f32>> = (0..64).map(|i| feat(i as f32 / 64.0 - 0.2)).collect();
+        let batch = cm.score_batch(&rows);
+        for (b, r) in batch.iter().zip(&rows) {
+            assert_eq!(b.to_bits(), cm.score(r).to_bits());
+        }
+        // untrained model stays at the neutral constant
+        let fresh = CostModel::new(GbtParams::default());
+        assert_eq!(fresh.score_batch(&rows), vec![0.5; rows.len()]);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_batch_predictions() {
+        // the flat layout is rebuilt after deserialize; batch predictions
+        // must stay bit-identical to the pointer walk on both sides
+        let mut cm = CostModel::new(GbtParams::default());
+        cm.update_batch((0..100).map(|i| (feat(i as f32 / 100.0), 1e9 * (1.0 + i as f64))));
+        let rows: Vec<Vec<f32>> = (0..20).map(|i| feat(i as f32 / 20.0)).collect();
+        let before = cm.score_batch(&rows);
+        let back: CostModel = serde_json::from_str(&serde_json::to_string(&cm).unwrap()).unwrap();
+        let after = back.score_batch(&rows);
+        for ((a, b), r) in before.iter().zip(&after).zip(&rows) {
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(a.to_bits(), back.score(r).to_bits());
         }
     }
 

@@ -8,8 +8,10 @@
 
 pub mod booster;
 pub mod cost_model;
+pub mod scoring;
 pub mod tree;
 
 pub use booster::{Dataset, Gbt, GbtParams};
 pub use cost_model::CostModel;
-pub use tree::{RegressionTree, TreeParams};
+pub use scoring::{FeatureCache, ScoreStats, ScoringPipeline};
+pub use tree::{FlatTree, RegressionTree, TreeParams};

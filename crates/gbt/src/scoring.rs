@@ -1,0 +1,446 @@
+//! Batched, parallel candidate scoring.
+//!
+//! All three tuners score candidates the same way: extract a feature
+//! vector per schedule, then ask the [`CostModel`] for a predicted score.
+//! The seed implementation did both serially, one candidate at a time.
+//! This module collects a whole candidate set and runs the pipeline
+//!
+//! 1. **fingerprint + cache probe** (coordinator thread, input order):
+//!    schedules revisited inside an episode — mutation neighbourhoods,
+//!    surviving elites, re-scored populations — skip extraction *and*
+//!    model inference entirely (the cache holds both the feature row and
+//!    the model's score, valid because the model is fixed between
+//!    [`ScoringPipeline::begin_episode`] boundaries);
+//! 2. **miss extraction** over the [`harl_par::ThreadPool`], order-preserved;
+//! 3. **batched prediction of the misses** with the flattened tree kernel
+//!    ([`CostModel::score_batch_into`]), tree-major over the miss matrix.
+//!
+//! Determinism: fingerprints and cache updates happen on the coordinator
+//! in input order, extraction is a pure function scattered back by index,
+//! and prediction accumulates per sample independently — so scores are
+//! bit-identical at any thread count, and bit-identical to the seed's
+//! per-candidate `extract → score` loop (scoring a sample alone or inside
+//! any batch walks the same trees in the same order).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::cost_model::CostModel;
+use harl_par::ThreadPool;
+
+/// Monotonic counters of the scoring pipeline (`LintStats`-style): cheap
+/// to keep, merged into reports and serve status replies. Never serialized
+/// into tuner checkpoints — `threads` is an environment property and would
+/// break 1-vs-4-thread checkpoint byte-equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScoreStats {
+    /// `score_into` calls issued.
+    pub batch_count: u64,
+    /// Candidates scored across all batches.
+    pub scored: u64,
+    /// Candidates served entirely from the cache (no extraction, no
+    /// model inference).
+    pub cache_hits: u64,
+    /// Candidates that needed a fresh extraction.
+    pub cache_misses: u64,
+    /// Feature vectors inserted into the cache.
+    pub features_cached: u64,
+    /// Pool width the pipeline ran with.
+    pub threads: u64,
+}
+
+impl ScoreStats {
+    /// Adds another pipeline's counters into this one (`threads` keeps the
+    /// wider of the two — it is a configuration echo, not a counter).
+    pub fn merge(&mut self, other: &ScoreStats) {
+        self.batch_count += other.batch_count;
+        self.scored += other.scored;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.features_cached += other.features_cached;
+        self.threads = self.threads.max(other.threads);
+    }
+
+    /// Fraction of scored candidates served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.scored == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.scored as f64
+        }
+    }
+}
+
+/// One cached scoring result: the extracted feature row and the model's
+/// score for it.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    tick: u64,
+    features: Vec<f32>,
+    score: f64,
+}
+
+/// LRU cache of scoring results (feature vector + model score) keyed by
+/// schedule fingerprint.
+///
+/// Lives inside one tuner, cleared at episode/round boundaries
+/// ([`ScoringPipeline::begin_episode`]) so a key never outlives the
+/// (graph, sketch-set, target, model) context it was computed under —
+/// cost-model updates happen between rounds, never inside an episode.
+/// Recency ticks are assigned on the coordinator in input order, so
+/// eviction is deterministic.
+#[derive(Debug, Clone)]
+pub struct FeatureCache {
+    map: HashMap<u64, CacheEntry>,
+    cap: usize,
+    tick: u64,
+}
+
+impl FeatureCache {
+    /// A cache holding at most `cap.max(1)` entries.
+    pub fn new(cap: usize) -> Self {
+        FeatureCache {
+            map: HashMap::new(),
+            cap: cap.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Looks a fingerprint up, refreshing its recency on hit.
+    pub fn get(&mut self, key: u64) -> Option<(&[f32], f64)> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&key) {
+            Some(entry) => {
+                entry.tick = tick;
+                Some((&entry.features, entry.score))
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts a scoring result, evicting the least-recently-used entry
+    /// when full.
+    pub fn insert(&mut self, key: u64, features: Vec<f32>, score: f64) {
+        self.tick += 1;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some(&lru) = self.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k) {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(
+            key,
+            CacheEntry {
+                tick: self.tick,
+                features,
+                score,
+            },
+        );
+    }
+
+    /// Number of cached feature vectors.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every entry (episode boundary).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.tick = 0;
+    }
+}
+
+/// Default feature-cache capacity (vectors, not bytes: `FEATURE_DIM` f32
+/// each, so the worst case is ~1 MiB).
+pub const DEFAULT_CACHE_CAP: usize = 4096;
+
+/// The batched scoring pipeline: thread pool + feature cache + counters
+/// + reusable scratch. One per tuner; **not** part of checkpoint state.
+#[derive(Debug)]
+pub struct ScoringPipeline {
+    pool: ThreadPool,
+    cache: FeatureCache,
+    stats: ScoreStats,
+    /// Scratch: fingerprints of the current batch, input order.
+    keys: Vec<u64>,
+    /// Scratch: indices that missed the cache.
+    misses: Vec<usize>,
+    /// Scratch feature matrix; inner `Vec`s keep their capacity across
+    /// batches, so steady-state hits allocate nothing.
+    rows: Vec<Vec<f32>>,
+    /// Scratch: scores of the current batch's misses.
+    miss_scores: Vec<f64>,
+    /// Rows valid after the last `score_into` call.
+    last_n: usize,
+}
+
+impl ScoringPipeline {
+    /// A pipeline with an explicit pool width and cache capacity.
+    pub fn new(threads: usize, cache_cap: usize) -> Self {
+        let pool = ThreadPool::new(threads);
+        let stats = ScoreStats {
+            threads: pool.threads() as u64,
+            ..Default::default()
+        };
+        ScoringPipeline {
+            pool,
+            cache: FeatureCache::new(cache_cap),
+            stats,
+            keys: Vec::new(),
+            misses: Vec::new(),
+            rows: Vec::new(),
+            miss_scores: Vec::new(),
+            last_n: 0,
+        }
+    }
+
+    /// A pipeline sized by `HARL_SCORE_THREADS` (default serial).
+    pub fn from_env() -> Self {
+        ScoringPipeline::new(harl_par::threads_from_env(), DEFAULT_CACHE_CAP)
+    }
+
+    /// Pool width.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Re-sizes the pool (e.g. from a tuner config override). Counters and
+    /// cache survive; `stats.threads` echoes the widest width used.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = ThreadPool::new(threads);
+        self.stats.threads = self.stats.threads.max(self.pool.threads() as u64);
+    }
+
+    /// The pipeline counters.
+    pub fn stats(&self) -> &ScoreStats {
+        &self.stats
+    }
+
+    /// Clears the cache at an episode/round boundary. The cache key is a
+    /// schedule fingerprint only, so it must not survive into a different
+    /// (graph, sketch-set, target) context — nor across a cost-model
+    /// update, since cached entries hold the model's scores.
+    pub fn begin_episode(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Feature row `i` of the last batch (valid until the next call).
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.last_n, "row {i} outside last batch");
+        &self.rows[i]
+    }
+
+    /// Scores `items` into `out` (cleared first), in input order.
+    ///
+    /// `fingerprint` keys the feature cache; `extract` fills a feature
+    /// vector for one item and must be a pure function of the item (it
+    /// runs on pool workers). After the call, [`ScoringPipeline::row`]
+    /// exposes each item's features without re-extraction.
+    pub fn score_into<S: Sync>(
+        &mut self,
+        cost: &CostModel,
+        items: &[S],
+        fingerprint: impl Fn(&S) -> u64,
+        extract: impl Fn(&S, &mut Vec<f32>) + Sync,
+        out: &mut Vec<f64>,
+    ) {
+        let n = items.len();
+        self.last_n = n;
+        self.stats.batch_count += 1;
+        self.stats.scored += n as u64;
+        if self.rows.len() < n {
+            self.rows.resize_with(n, Vec::new);
+        }
+        self.keys.clear();
+        self.misses.clear();
+
+        out.clear();
+        out.resize(n, 0.0);
+
+        // 1. cache probe, coordinator thread, input order: a hit fills
+        // both the feature row and the final score
+        for (i, item) in items.iter().enumerate() {
+            let key = fingerprint(item);
+            self.keys.push(key);
+            match self.cache.get(key) {
+                Some((feat, score)) => {
+                    self.stats.cache_hits += 1;
+                    let row = &mut self.rows[i];
+                    row.clear();
+                    row.extend_from_slice(feat);
+                    out[i] = score;
+                }
+                None => {
+                    self.stats.cache_misses += 1;
+                    self.misses.push(i);
+                }
+            }
+        }
+        if self.misses.is_empty() {
+            return;
+        }
+
+        // 2. extract misses over the pool, scattered back by index
+        let extracted: Vec<Vec<f32>> = self.pool.map_indexed(&self.misses, |_, &i| {
+            let mut buf = Vec::new();
+            extract(&items[i], &mut buf);
+            buf
+        });
+        for (&i, feat) in self.misses.iter().zip(&extracted) {
+            let row = &mut self.rows[i];
+            row.clear();
+            row.extend_from_slice(feat);
+        }
+
+        // 3. batched prediction of the misses with the flattened kernel.
+        // Per-sample accumulation is independent, so scoring the misses
+        // alone is bit-identical to scoring them inside the full batch.
+        let miss_rows: Vec<&[f32]> = self
+            .misses
+            .iter()
+            .map(|&i| self.rows[i].as_slice())
+            .collect();
+        cost.score_batch_into(&miss_rows, &mut self.miss_scores);
+        for ((&i, feat), &score) in self
+            .misses
+            .iter()
+            .zip(extracted)
+            .zip(self.miss_scores.iter())
+        {
+            out[i] = score;
+            self.cache.insert(self.keys[i], feat, score);
+            self.stats.features_cached += 1;
+        }
+    }
+}
+
+impl Default for ScoringPipeline {
+    fn default() -> Self {
+        ScoringPipeline::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::booster::GbtParams;
+
+    fn feat_of(x: &f32, buf: &mut Vec<f32>) {
+        buf.clear();
+        buf.extend_from_slice(&[*x, x * x, 1.0 - x]);
+    }
+
+    fn trained_model() -> CostModel {
+        let mut cm = CostModel::new(GbtParams::default());
+        cm.update_batch((0..200).map(|i| {
+            let x = i as f32 / 200.0;
+            let mut f = Vec::new();
+            feat_of(&x, &mut f);
+            (f, 1e9 * (1.0 + i as f64 / 50.0))
+        }));
+        cm
+    }
+
+    #[test]
+    fn pipeline_matches_serial_scoring_bit_for_bit() {
+        let cm = trained_model();
+        let items: Vec<f32> = (0..97).map(|i| i as f32 / 97.0).collect();
+        for threads in [1, 4] {
+            let mut pipe = ScoringPipeline::new(threads, 64);
+            let mut out = Vec::new();
+            pipe.score_into(&cm, &items, |x| x.to_bits() as u64, feat_of, &mut out);
+            for (o, x) in out.iter().zip(&items) {
+                let mut f = Vec::new();
+                feat_of(x, &mut f);
+                assert_eq!(o.to_bits(), cm.score(&f).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_skip_extraction_and_stay_bit_identical() {
+        let cm = trained_model();
+        let items: Vec<f32> = (0..32).map(|i| i as f32 / 32.0).collect();
+        let mut pipe = ScoringPipeline::new(1, 64);
+        let mut first = Vec::new();
+        pipe.score_into(&cm, &items, |x| x.to_bits() as u64, feat_of, &mut first);
+        assert_eq!(pipe.stats().cache_misses, 32);
+        assert_eq!(pipe.stats().cache_hits, 0);
+        let mut second = Vec::new();
+        pipe.score_into(&cm, &items, |x| x.to_bits() as u64, feat_of, &mut second);
+        assert_eq!(pipe.stats().cache_hits, 32, "second pass all hits");
+        assert_eq!(pipe.stats().features_cached, 32, "nothing re-extracted");
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(pipe.stats().hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn begin_episode_clears_the_cache() {
+        let cm = trained_model();
+        let items = [0.25f32, 0.5];
+        let mut pipe = ScoringPipeline::new(1, 64);
+        let mut out = Vec::new();
+        pipe.score_into(&cm, &items, |x| x.to_bits() as u64, feat_of, &mut out);
+        pipe.begin_episode();
+        pipe.score_into(&cm, &items, |x| x.to_bits() as u64, feat_of, &mut out);
+        assert_eq!(pipe.stats().cache_hits, 0);
+        assert_eq!(pipe.stats().cache_misses, 4);
+    }
+
+    #[test]
+    fn rows_expose_last_batch_features() {
+        let cm = trained_model();
+        let items = [0.1f32, 0.9];
+        let mut pipe = ScoringPipeline::new(1, 8);
+        let mut out = Vec::new();
+        pipe.score_into(&cm, &items, |x| x.to_bits() as u64, feat_of, &mut out);
+        let mut want = Vec::new();
+        feat_of(&items[1], &mut want);
+        assert_eq!(pipe.row(1), want.as_slice());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_entry_deterministically() {
+        let mut cache = FeatureCache::new(2);
+        cache.insert(1, vec![1.0], 0.1);
+        cache.insert(2, vec![2.0], 0.2);
+        assert!(cache.get(1).is_some()); // refresh 1; 2 is now LRU
+        cache.insert(3, vec![3.0], 0.3);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none(), "entry 2 was least recently used");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = ScoreStats {
+            batch_count: 1,
+            scored: 10,
+            cache_hits: 4,
+            cache_misses: 6,
+            features_cached: 6,
+            threads: 1,
+        };
+        let b = ScoreStats {
+            batch_count: 2,
+            scored: 20,
+            cache_hits: 5,
+            cache_misses: 15,
+            features_cached: 15,
+            threads: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.batch_count, 3);
+        assert_eq!(a.scored, 30);
+        assert_eq!(a.cache_hits, 9);
+        assert_eq!(a.threads, 4, "threads echoes the widest pool");
+    }
+}

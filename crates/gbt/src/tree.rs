@@ -45,11 +45,101 @@ enum Node {
     },
 }
 
+/// Flattened structure-of-arrays tree layout for batch inference.
+///
+/// The boxed-`enum` arena of [`RegressionTree`] is compiled into four
+/// contiguous arrays. Children of a split are re-laid out *adjacently*
+/// (right child = left child + 1), so one `left_child` array encodes both
+/// links; `left_child[i] == 0` marks a leaf (the root at slot 0 can never
+/// be anyone's child). Walking this layout touches two cache lines per
+/// level instead of chasing 24-byte enum nodes, and iterating one tree
+/// over a whole candidate matrix keeps its arrays hot in L1.
+///
+/// The walk performs *exactly* the same comparisons on the same `f32`
+/// thresholds as [`RegressionTree::predict`], so predictions are
+/// bit-identical to the pointer walk.
+#[derive(Debug, Clone, Default)]
+pub struct FlatTree {
+    feature_idx: Vec<u32>,
+    threshold: Vec<f32>,
+    left_child: Vec<u32>,
+    leaf_value: Vec<f64>,
+}
+
+impl FlatTree {
+    /// Compiles the node arena into the flat layout (children adjacent).
+    fn from_nodes(nodes: &[Node]) -> Self {
+        let mut flat = FlatTree {
+            feature_idx: vec![0; nodes.len()],
+            threshold: vec![0.0; nodes.len()],
+            left_child: vec![0; nodes.len()],
+            leaf_value: vec![0.0; nodes.len()],
+        };
+        if nodes.is_empty() {
+            return flat;
+        }
+        // breadth-first re-layout: (arena index, flat slot); slot 0 = root
+        let mut next_slot = 1u32;
+        let mut queue = std::collections::VecDeque::from([(0usize, 0usize)]);
+        while let Some((at, slot)) = queue.pop_front() {
+            match &nodes[at] {
+                Node::Leaf { weight } => {
+                    flat.left_child[slot] = 0;
+                    flat.leaf_value[slot] = *weight;
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let l = next_slot;
+                    next_slot += 2;
+                    flat.feature_idx[slot] = *feature as u32;
+                    flat.threshold[slot] = *threshold;
+                    flat.left_child[slot] = l;
+                    queue.push_back((*left, l as usize));
+                    queue.push_back((*right, l as usize + 1));
+                }
+            }
+        }
+        flat
+    }
+
+    /// Predicts one sample on the flat layout (bit-identical to the
+    /// pointer walk: same feature lookups, same `<` comparisons).
+    #[inline]
+    pub fn predict(&self, x: &[f32]) -> f64 {
+        if self.left_child.is_empty() {
+            return 0.0;
+        }
+        let mut at = 0usize;
+        loop {
+            let l = self.left_child[at];
+            if l == 0 {
+                return self.leaf_value[at];
+            }
+            let f = self.feature_idx[at] as usize;
+            let v = x.get(f).copied().unwrap_or(0.0);
+            at = if v < self.threshold[at] {
+                l as usize
+            } else {
+                l as usize + 1
+            };
+        }
+    }
+}
+
 /// A trained regression tree.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RegressionTree {
     nodes: Vec<Node>,
     n_features: usize,
+    /// Flat layout, compiled lazily on first batch use. Skipped by serde:
+    /// deserialization restores the empty `OnceLock`, and the next batch
+    /// call recompiles it from `nodes`, so round-trips stay bit-exact.
+    #[serde(skip)]
+    flat: std::sync::OnceLock<FlatTree>,
 }
 
 impl RegressionTree {
@@ -62,6 +152,7 @@ impl RegressionTree {
         let mut tree = RegressionTree {
             nodes: Vec::new(),
             n_features,
+            flat: std::sync::OnceLock::new(),
         };
         let idx: Vec<usize> = (0..features.len()).collect();
         tree.build(features, grad, idx, params, 0);
@@ -184,6 +275,12 @@ impl RegressionTree {
         }
     }
 
+    /// The flattened SoA layout, compiled on first use (and recompiled
+    /// after deserialization, which drops the cached copy).
+    pub fn flat(&self) -> &FlatTree {
+        self.flat.get_or_init(|| FlatTree::from_nodes(&self.nodes))
+    }
+
     /// Total node count (leaves + splits).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -266,6 +363,36 @@ mod tests {
         t.accumulate_importance(&mut counts);
         assert!(counts[0] >= 1, "feature 0 must be split on");
         assert_eq!(counts[1], 0, "constant feature never splits");
+    }
+
+    #[test]
+    fn flat_layout_matches_pointer_walk_bit_for_bit() {
+        let xs = grid(256);
+        let grad: Vec<f64> = (0..256).map(|i| (i as f64 * 0.37).sin()).collect();
+        let t = RegressionTree::fit(&xs, &grad, &TreeParams::default());
+        let flat = t.flat();
+        for x in &xs {
+            assert_eq!(flat.predict(x).to_bits(), t.predict(x).to_bits());
+        }
+        // out-of-range probes exercise the missing-feature default too
+        assert_eq!(
+            flat.predict(&[1e9, -1e9]).to_bits(),
+            t.predict(&[1e9, -1e9]).to_bits()
+        );
+        assert_eq!(flat.predict(&[]).to_bits(), t.predict(&[]).to_bits());
+    }
+
+    #[test]
+    fn flat_layout_of_empty_and_leaf_trees() {
+        let empty = RegressionTree::fit(&[], &[], &TreeParams::default());
+        assert_eq!(empty.flat().predict(&[1.0]), 0.0);
+        let xs = vec![vec![1.0f32]; 4];
+        let grad = vec![-2.0; 4];
+        let leaf = RegressionTree::fit(&xs, &grad, &TreeParams::default());
+        assert_eq!(
+            leaf.flat().predict(&[1.0]).to_bits(),
+            leaf.predict(&[1.0]).to_bits()
+        );
     }
 
     #[test]

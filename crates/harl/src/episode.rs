@@ -10,11 +10,11 @@
 
 use rand::rngs::StdRng;
 
-use harl_gbt::CostModel;
+use harl_gbt::{CostModel, ScoringPipeline};
 use harl_nnet::PpoAgent;
 use harl_tensor_ir::{
-    apply_action, compute_at_mask, extract_features, parallel_mask, tile_action_mask, unroll_mask,
-    Action, ActionSpace, Schedule, Sketch, StepDir, Subgraph, Target,
+    apply_action, compute_at_mask, extract_features_into, parallel_mask, tile_action_mask,
+    unroll_mask, Action, ActionSpace, Schedule, Sketch, StepDir, Subgraph, Target,
 };
 use harl_verify::{check_finite, Analyzer, LintCode, LintStats};
 
@@ -37,9 +37,13 @@ pub struct EpisodeResult {
     pub lint_stats: LintStats,
 }
 
-/// One actor proposal kept as the step transition:
-/// `(sub-actions, log-prob, schedule, features, predicted score)`.
-type Proposal = (Vec<usize>, f32, Schedule, Vec<f32>, f64);
+/// One legal actor proposal awaiting batched scoring:
+/// `(sub-actions, log-prob, candidate schedule)`.
+struct Proposal {
+    acts: Vec<usize>,
+    logp: f32,
+    cand: Schedule,
+}
 
 struct Track {
     id: usize,
@@ -60,6 +64,13 @@ struct Track {
 /// measured good schedules of the *same sketch* (exploitation); the rest
 /// are sampled randomly from the sketch's parameter space (Algorithm 1,
 /// line 5).
+///
+/// Scoring is batched through `pipeline`: every step first collects the
+/// actor's legal proposals across all tracks (preserving the serial RNG
+/// stream), then scores the whole candidate set in one pass (feature
+/// cache and flattened GBT kernel), then applies results in the original
+/// track order — so visited order, rewards, and PPO transitions are
+/// identical to the seed's candidate-at-a-time loop at any thread count.
 #[allow(clippy::too_many_arguments)]
 pub fn run_episode(
     graph: &Subgraph,
@@ -70,17 +81,24 @@ pub fn run_episode(
     cfg: &HarlConfig,
     seeds: &[Schedule],
     analyzer: &Analyzer,
+    pipeline: &mut ScoringPipeline,
     rng: &mut StdRng,
 ) -> EpisodeResult {
     let space = ActionSpace::of(sketch);
     let mut visited: Vec<(f64, Schedule, usize)> = Vec::new();
     let mut critical: Vec<CriticalStep> = Vec::new();
     let mut lint_stats = LintStats::new();
+    // the cache key is a schedule fingerprint: valid only within this
+    // episode's fixed (graph, sketch, target) context
+    pipeline.begin_episode();
+    let mut scores: Vec<f64> = Vec::new();
+    let extract =
+        |s: &&Schedule, buf: &mut Vec<f32>| extract_features_into(graph, sketch, target, s, buf);
 
     // --- initial schedule tracks (Algorithm 1, line 5) --------------------
     let n_seeded =
         ((cfg.tracks_per_round as f64 * cfg.elite_track_fraction) as usize).min(seeds.len());
-    let mut tracks: Vec<Track> = (0..cfg.tracks_per_round)
+    let initial: Vec<Schedule> = (0..cfg.tracks_per_round)
         .map(|i| {
             let mut s = if i < n_seeded {
                 seeds[i].clone()
@@ -93,14 +111,24 @@ pub fn run_episode(
                 s = Schedule::random(sketch, target, rng);
                 guard += 1;
             }
-            let f = extract_features(graph, sketch, target, &s);
-            let score = cost.score(&f);
+            s
+        })
+        .collect();
+    {
+        let refs: Vec<&Schedule> = initial.iter().collect();
+        pipeline.score_into(cost, &refs, |s| s.fingerprint(), extract, &mut scores);
+    }
+    let mut tracks: Vec<Track> = initial
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let score = scores[i];
             visited.push((score, s.clone(), i));
             Track {
                 id: i,
                 seeded: i < n_seeded,
                 schedule: s,
-                features: f,
+                features: pipeline.row(i).to_vec(),
                 score,
                 window: TrackWindow::default(),
                 best_score: score,
@@ -121,16 +149,21 @@ pub fn run_episode(
     // Algorithm 1, line 6: while |S| ≥ p̂ (adaptive) / fixed length.
     while !tracks.is_empty() && step < max_steps {
         step += 1;
-        for t in tracks.iter_mut() {
+
+        // Phase A: the actor proposes several candidate modifications per
+        // track (§3.2); illegal candidates are dropped before cost-model
+        // scoring. Track-major sample order keeps the RNG stream identical
+        // to the serial implementation.
+        let mut step_props: Vec<Vec<Proposal>> = Vec::with_capacity(tracks.len());
+        let mut step_masks: Vec<Vec<Vec<bool>>> = Vec::with_capacity(tracks.len());
+        for t in tracks.iter() {
             let masks = vec![
                 tile_action_mask(sketch, &t.schedule, &space),
                 compute_at_mask(sketch, &t.schedule).to_vec(),
                 parallel_mask(sketch, &t.schedule).to_vec(),
                 unroll_mask(target, &t.schedule).to_vec(),
             ];
-            // the actor proposes several candidate modifications; the cost
-            // model prunes all but the best-scored one (§3.2)
-            let mut best: Option<Proposal> = None;
+            let mut props = Vec::with_capacity(cfg.action_samples.max(1));
             for _ in 0..cfg.action_samples.max(1) {
                 let (acts, logp) = agent.act(&t.features, &masks, rng);
                 let action = Action {
@@ -140,22 +173,52 @@ pub fn run_episode(
                     unroll: StepDir::from_index(acts[3]),
                 };
                 let cand = apply_action(sketch, target, &t.schedule, &action);
-                // illegal candidates are dropped before cost-model scoring
                 if lint_stats.record(&analyzer.analyze(graph, sketch, target, &cand)) {
                     continue;
                 }
-                let cand_features = extract_features(graph, sketch, target, &cand);
-                let cand_score = cost.score(&cand_features);
-                visited.push((cand_score, cand.clone(), t.id));
-                if best.as_ref().map(|b| cand_score > b.4).unwrap_or(true) {
-                    best = Some((acts, logp, cand, cand_features, cand_score));
+                props.push(Proposal { acts, logp, cand });
+            }
+            step_props.push(props);
+            step_masks.push(masks);
+        }
+
+        // Phase B: one batched scoring pass over every legal candidate of
+        // this step, flattened in the same track-major order.
+        {
+            let flat: Vec<&Schedule> = step_props
+                .iter()
+                .flat_map(|ps| ps.iter().map(|p| &p.cand))
+                .collect();
+            pipeline.score_into(cost, &flat, |s| s.fingerprint(), extract, &mut scores);
+        }
+
+        // Phase C: pick each track's best proposal and record the PPO
+        // transition, in the original visit order.
+        let mut cursor = 0usize;
+        for ((t, props), masks) in tracks.iter_mut().zip(step_props).zip(step_masks) {
+            let base = cursor;
+            cursor += props.len();
+            // the cost model prunes all but the best-scored proposal
+            let mut best: Option<usize> = None;
+            for (pi, p) in props.iter().enumerate() {
+                let cand_score = scores[base + pi];
+                visited.push((cand_score, p.cand.clone(), t.id));
+                if best.map(|b| cand_score > scores[base + b]).unwrap_or(true) {
+                    best = Some(pi);
                 }
             }
             // every sampled action may have been rejected by the analyzer;
             // the track then stays put for this step
-            let Some((acts, logp, next, next_features, next_score)) = best else {
+            let Some(bpi) = best else {
                 continue;
             };
+            let Proposal {
+                acts,
+                logp,
+                cand: next,
+            } = props.into_iter().nth(bpi).expect("best index in bounds");
+            let next_score = scores[base + bpi];
+            let next_features = pipeline.row(base + bpi);
             // reward: relative predicted improvement (line 9)
             let mut reward = ((next_score - t.score) / t.score.max(1e-9)) as f32;
             if check_finite("episode reward", reward as f64).is_some() {
@@ -165,11 +228,11 @@ pub fn run_episode(
             // record (S, M, S', R, Y) (lines 10–12): advantage computed by
             // the critic inside `record`
             let adv = agent.record(
-                t.features.clone(),
+                std::mem::take(&mut t.features),
                 acts,
                 logp,
                 reward,
-                &next_features,
+                next_features,
                 masks,
             );
             let mut adv = adv as f64;
@@ -183,7 +246,7 @@ pub fn run_episode(
                 t.best_pos = step;
             }
             t.schedule = next;
-            t.features = next_features;
+            t.features = next_features.to_vec();
             t.score = next_score;
         }
 
@@ -286,6 +349,7 @@ mod tests {
             &cfg,
             &[],
             &an,
+            &mut ScoringPipeline::new(1, 1024),
             &mut rng,
         );
         // 8 tracks, ρ=0.5: after window1 → 4 (≥ min, continue), window2 → 2 < 4 stop.
@@ -321,6 +385,7 @@ mod tests {
             &cfg,
             &[],
             &an,
+            &mut ScoringPipeline::new(1, 1024),
             &mut rng,
         );
         assert_eq!(res.steps, 5);
@@ -344,6 +409,7 @@ mod tests {
             &cfg,
             &[],
             &an,
+            &mut ScoringPipeline::new(1, 1024),
             &mut rng,
         );
         for (score, s, _) in &res.visited {
@@ -373,6 +439,7 @@ mod tests {
             &cfg,
             &[],
             &an,
+            &mut ScoringPipeline::new(1, 1024),
             &mut rng,
         );
         assert!(agent.num_updates() > before);
@@ -421,6 +488,7 @@ mod tests {
             &cfg,
             &[],
             &an,
+            &mut ScoringPipeline::new(1, 1024),
             &mut rng,
         );
         // only the 4 initial tracks (kept after the resample guard gives up)

@@ -5,6 +5,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use harl_gbt::ScoreStats;
 use harl_tensor_ir::{render_program, Schedule, Target};
 use harl_tensor_sim::TuneTrace;
 use harl_verify::LintStats;
@@ -32,6 +33,9 @@ pub struct OperatorReport {
     pub lint_rejections: u64,
     /// Full per-lint finding counters from the verification layer.
     pub lints: LintStats,
+    /// Counters of the batched scoring pipeline (cache hits, batches,
+    /// thread width).
+    pub score_stats: ScoreStats,
 }
 
 impl OperatorReport {
@@ -59,6 +63,7 @@ impl OperatorReport {
             best_so_far: t.trace.clone(),
             lint_rejections: t.lint_stats.rejected,
             lints: t.lint_stats.clone(),
+            score_stats: *t.score_stats(),
         }
     }
 }
@@ -130,6 +135,9 @@ mod tests {
         assert_eq!(r.trials_used, t.trials_used);
         assert_eq!(r.lint_rejections, t.lint_stats.rejected);
         assert!(r.lints.checked > 0, "analyzer saw every candidate");
+        assert!(r.score_stats.batch_count > 0, "episodes scored in batches");
+        assert!(r.score_stats.scored > 0);
+        assert!(r.score_stats.threads >= 1);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use harl_ansor::{AnsorTuner, AnsorTunerState, FlextensorTuner, FlextensorTunerState};
+use harl_gbt::ScoreStats;
 use harl_store::{MeasureRecord, RecordStore, StoreError};
 use harl_tensor_sim::{Measurer, MeasurerState, TuneTrace};
 
@@ -87,6 +88,13 @@ pub trait Tuner {
     fn trace(&self) -> Option<&TuneTrace> {
         None
     }
+
+    /// Counters of the tuner's batched scoring pipeline (cache hits, batch
+    /// count, thread width), when it has one. Tuners that measure every
+    /// candidate on hardware instead of model-scoring return `None`.
+    fn score_stats(&self) -> Option<&ScoreStats> {
+        None
+    }
 }
 
 // A mutable borrow drives the same way, so callers can keep ownership of
@@ -122,6 +130,10 @@ impl<T: Tuner + ?Sized> Tuner for &mut T {
 
     fn trace(&self) -> Option<&TuneTrace> {
         (**self).trace()
+    }
+
+    fn score_stats(&self) -> Option<&ScoreStats> {
+        (**self).score_stats()
     }
 }
 
@@ -160,6 +172,10 @@ impl Tuner for HarlOperatorTuner<'_> {
     fn trace(&self) -> Option<&TuneTrace> {
         Some(&self.trace)
     }
+
+    fn score_stats(&self) -> Option<&ScoreStats> {
+        Some(HarlOperatorTuner::score_stats(self))
+    }
 }
 
 impl Tuner for AnsorTuner<'_> {
@@ -196,6 +212,10 @@ impl Tuner for AnsorTuner<'_> {
 
     fn trace(&self) -> Option<&TuneTrace> {
         Some(&self.trace)
+    }
+
+    fn score_stats(&self) -> Option<&ScoreStats> {
+        Some(AnsorTuner::score_stats(self))
     }
 }
 
@@ -478,6 +498,11 @@ impl<'m> TuningSession<'m> {
     /// The tuner's best-so-far trace, when it keeps one.
     pub fn trace(&self) -> Option<&TuneTrace> {
         self.tuner.trace()
+    }
+
+    /// Scoring-pipeline counters of the driven tuner, when it has them.
+    pub fn score_stats(&self) -> Option<&ScoreStats> {
+        self.tuner.score_stats()
     }
 
     /// Runs one tuning round with up to `budget` measurements, then writes

@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use harl_bandit::{AnyBandit, Bandit};
-use harl_gbt::CostModel;
+use harl_gbt::{CostModel, ScoreStats, ScoringPipeline};
 use harl_nnet::PpoAgent;
 use harl_store::MeasureRecord;
 use harl_tensor_ir::{
@@ -61,6 +61,11 @@ pub struct HarlOperatorTuner<'m> {
     /// Lint findings over every candidate considered, across all rounds.
     pub lint_stats: LintStats,
     analyzer: Analyzer,
+    /// Batched candidate scoring (thread pool + feature cache). Runtime
+    /// machinery, deliberately outside [`HarlTunerState`]: its counters and
+    /// thread width must not leak into checkpoints, which stay byte-equal
+    /// across `HARL_SCORE_THREADS` settings.
+    pipeline: ScoringPipeline,
     cfg: HarlConfig,
     rng: StdRng,
 }
@@ -103,9 +108,23 @@ impl<'m> HarlOperatorTuner<'m> {
             rounds: Vec::new(),
             lint_stats: LintStats::new(),
             analyzer: Analyzer::for_hardware(measurer.hardware()),
+            pipeline: ScoringPipeline::from_env(),
             cfg,
             rng,
         }
+    }
+
+    /// Counters of the batched scoring pipeline (cache hits, batches,
+    /// thread width).
+    pub fn score_stats(&self) -> &ScoreStats {
+        self.pipeline.stats()
+    }
+
+    /// Overrides the scoring-pool width (tests and explicit config;
+    /// normally inherited from `HARL_SCORE_THREADS`). Scores are
+    /// bit-identical at any width.
+    pub fn set_score_threads(&mut self, threads: usize) {
+        self.pipeline.set_threads(threads);
     }
 
     /// Current cost-model sample count (for diagnostics).
@@ -151,6 +170,7 @@ impl<'m> HarlOperatorTuner<'m> {
             &self.cfg,
             &seeds,
             &self.analyzer,
+            &mut self.pipeline,
             &mut self.rng,
         );
         self.critical_steps

@@ -1,0 +1,194 @@
+//! # harl-par
+//!
+//! A tiny dependency-free scoped thread pool for the scoring pipeline.
+//!
+//! The workspace has no crates.io access (same discipline as `shims/`), so
+//! this crate provides the minimal parallel primitive the tuners need: an
+//! **order-preserving** parallel map. Workers steal chunks of the index
+//! range from a shared atomic cursor, but every result is written back to
+//! the slot of the input it came from, so the output order — and therefore
+//! every downstream RNG stream, trace, and checkpoint byte — is identical
+//! no matter how many threads ran or how the OS scheduled them.
+//!
+//! Threads are spawned per call with [`std::thread::scope`]: no persistent
+//! workers, no `unsafe`, no lifetime erasure. Spawning only pays off when
+//! there is real work to split, so maps smaller than
+//! [`MIN_ITEMS_PER_WORKER`] items per worker run inline on the caller's
+//! thread — the result is identical either way, this is purely a latency
+//! decision, and it depends only on the input length (never on timing),
+//! so it cannot perturb determinism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable selecting the scoring-pool width.
+pub const THREADS_ENV: &str = "HARL_SCORE_THREADS";
+
+/// Below this many items per worker, [`ThreadPool::map_indexed`] runs
+/// inline instead of spawning: the per-call spawn cost (tens of µs) would
+/// dominate maps of cheap per-item work.
+pub const MIN_ITEMS_PER_WORKER: usize = 64;
+
+/// Number of scoring threads requested via `HARL_SCORE_THREADS`.
+///
+/// Unset, empty, unparsable, or `0` all fall back to 1 (serial): the
+/// scoring pipeline is bit-deterministic at any width, so the safe default
+/// is the one with zero thread overhead on small boxes.
+pub fn threads_from_env() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => 1,
+    }
+}
+
+/// A fixed-width scoped thread pool.
+///
+/// `threads == 1` never spawns: the map runs inline on the caller's
+/// thread. Either way the result of [`ThreadPool::map_indexed`] is the
+/// same `Vec`, element `i` computed from input `i`.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool of exactly `threads.max(1)` workers.
+    pub fn new(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by `HARL_SCORE_THREADS` (default 1).
+    pub fn from_env() -> Self {
+        ThreadPool::new(threads_from_env())
+    }
+
+    /// The configured width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f(index, &item)` to every item and returns the results in
+    /// input order, regardless of which worker computed what.
+    ///
+    /// Work distribution is dynamic: workers claim chunks from a shared
+    /// cursor, so an uneven per-item cost still balances. Chunks are
+    /// scattered back by index, which is what makes the output order (and
+    /// all downstream float accumulation) independent of scheduling.
+    pub fn map_indexed<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n < self.threads * MIN_ITEMS_PER_WORKER {
+            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        }
+        let workers = self.threads.min(n);
+        // a few chunks per worker: enough slack to balance skewed items
+        // without paying cursor contention on every element
+        let chunk = (n / (workers * 4)).max(1);
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    let vals: Vec<U> = (start..end).map(|i| f(i, &items[i])).collect();
+                    results
+                        .lock()
+                        .expect("par results poisoned")
+                        .push((start, vals));
+                });
+            }
+        });
+        // scatter chunks back into input order
+        let mut chunks = results.into_inner().expect("par results poisoned");
+        chunks.sort_unstable_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(n);
+        for (_, vals) in chunks {
+            out.extend(vals);
+        }
+        debug_assert_eq!(out.len(), n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.map_indexed(&items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn identical_results_at_any_width() {
+        // float accumulation per element: results must be bit-identical
+        // across widths because each slot is computed independently
+        let items: Vec<f64> = (0..257).map(|i| i as f64 * 0.1).collect();
+        let serial = ThreadPool::new(1).map_indexed(&items, |_, &x| (x.sin() + x.sqrt()).to_bits());
+        for threads in [2, 3, 4] {
+            let par = ThreadPool::new(threads)
+                .map_indexed(&items, |_, &x| (x.sin() + x.sqrt()).to_bits());
+            assert_eq!(par, serial, "width {threads} diverged");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let pool = ThreadPool::new(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.map_indexed(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.map_indexed(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn unbalanced_items_still_complete() {
+        // one expensive item among cheap ones exercises chunk stealing
+        // (large enough to clear the inline threshold at 4 threads)
+        let items: Vec<u64> = (0..512).collect();
+        let pool = ThreadPool::new(4);
+        let out = pool.map_indexed(&items, |_, &x| {
+            let spins = if x == 0 { 100_000 } else { 10 };
+            (0..spins).fold(x, |acc, _| acc.wrapping_mul(6364136223846793005))
+        });
+        let reference = ThreadPool::new(1).map_indexed(&items, |_, &x| {
+            let spins = if x == 0 { 100_000 } else { 10 };
+            (0..spins).fold(x, |acc, _| acc.wrapping_mul(6364136223846793005))
+        });
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn width_is_clamped_to_at_least_one() {
+        assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn env_parsing_defaults_to_serial() {
+        // cannot mutate the process env safely under parallel tests;
+        // exercise the parsing rule directly instead
+        let parse = |v: &str| v.trim().parse::<usize>().unwrap_or(1).max(1);
+        assert_eq!(parse("4"), 4);
+        assert_eq!(parse(" 2 "), 2);
+        assert_eq!(parse(""), 1);
+        assert_eq!(parse("zero"), 1);
+        assert_eq!(parse("0"), 1);
+    }
+}

@@ -183,6 +183,13 @@ fn print_view(view: &JobView) {
     if view.resumed {
         line.push_str(" resumed");
     }
+    if let Some(s) = &view.score_stats {
+        line.push_str(&format!(
+            " score_batches={} cache_hit_rate={:.2}",
+            s.batch_count,
+            s.hit_rate()
+        ));
+    }
     if let Some(err) = &view.error {
         line.push_str(&format!(" error={err}"));
     }

@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use harl_gbt::ScoreStats;
 use harl_tensor_ir::{workload, Subgraph};
 use harl_tensor_sim::Hardware;
 
@@ -373,6 +374,10 @@ pub struct JobView {
     pub best_latency_ms: f64,
     /// True when the job resumed from a checkpoint after a restart.
     pub resumed: bool,
+    /// Batched-scoring pipeline counters (`None` while the job is queued,
+    /// or for tuners without a cost model, e.g. flextensor).
+    #[serde(default)]
+    pub score_stats: Option<ScoreStats>,
     /// Failure message, when [`JobView::state`] is [`JobState::Failed`].
     pub error: Option<String>,
 }
@@ -403,6 +408,10 @@ pub struct JobOutcome {
     pub resumed: bool,
     /// Simulated search time spent, seconds.
     pub sim_seconds: f64,
+    /// Batched-scoring pipeline counters (`None` for tuners without a
+    /// cost model, e.g. flextensor).
+    #[serde(default)]
+    pub score_stats: Option<ScoreStats>,
 }
 
 impl JobOutcome {
@@ -419,6 +428,12 @@ impl JobOutcome {
             " warm_records={} resumed={}",
             self.warm_records, self.resumed
         ));
+        if let Some(s) = &self.score_stats {
+            line.push_str(&format!(
+                " score_batches={} cache_hits={} cache_misses={}",
+                s.batch_count, s.cache_hits, s.cache_misses
+            ));
+        }
         line
     }
 }
@@ -512,11 +527,42 @@ mod tests {
             warm_records: 7,
             resumed: false,
             sim_seconds: 33.0,
+            score_stats: None,
         };
         assert_eq!(
             out.metrics_line(),
             "metrics: best_ms=1.250000000 trials=64 trials_to_best=40 \
              trials_to_target=12 warm_records=7 resumed=false"
+        );
+    }
+
+    #[test]
+    fn metrics_line_appends_scoring_counters_when_present() {
+        let out = JobOutcome {
+            id: "j000002".into(),
+            workload: "gemm:128x128x128".into(),
+            tuner: "harl".into(),
+            best_ms: 1.25,
+            trials: 64,
+            trials_to_best: 40,
+            trials_to_target: None,
+            warm_records: 0,
+            resumed: false,
+            sim_seconds: 33.0,
+            score_stats: Some(ScoreStats {
+                batch_count: 12,
+                scored: 640,
+                cache_hits: 100,
+                cache_misses: 540,
+                features_cached: 540,
+                threads: 1,
+            }),
+        };
+        assert_eq!(
+            out.metrics_line(),
+            "metrics: best_ms=1.250000000 trials=64 trials_to_best=40 \
+             warm_records=0 resumed=false score_batches=12 cache_hits=100 \
+             cache_misses=540"
         );
     }
 }

@@ -185,6 +185,14 @@ mod tests {
                 rounds_done: 1,
                 best_latency_ms: 1.5,
                 resumed: false,
+                score_stats: Some(harl_gbt::ScoreStats {
+                    batch_count: 3,
+                    scored: 96,
+                    cache_hits: 10,
+                    cache_misses: 86,
+                    features_cached: 86,
+                    threads: 4,
+                }),
                 error: None,
             }]),
             Response::ShuttingDown,

@@ -76,6 +76,8 @@ pub(crate) struct JobEntry {
     /// Best latency so far, seconds (`+inf` before any measurement).
     pub(crate) best_latency: f64,
     pub(crate) resumed: bool,
+    /// Scoring-pipeline counters, filled in when the job completes.
+    pub(crate) score_stats: Option<harl_gbt::ScoreStats>,
     pub(crate) outcome: Option<JobOutcome>,
     pub(crate) error: Option<String>,
 }
@@ -90,6 +92,7 @@ impl JobEntry {
             rounds_done: 0,
             best_latency: f64::INFINITY,
             resumed: false,
+            score_stats: None,
             outcome: None,
             error: None,
         }
@@ -107,6 +110,7 @@ impl JobEntry {
             rounds_done: self.rounds_done,
             best_latency_ms: self.best_latency * 1e3,
             resumed: self.resumed,
+            score_stats: self.score_stats,
             error: self.error.clone(),
         }
     }
@@ -262,6 +266,7 @@ fn recover_jobs(shared: &Arc<Shared>) -> Result<(), ServeError> {
             entry.trials_used = outcome.trials;
             entry.best_latency = outcome.best_ms / 1e3;
             entry.resumed = outcome.resumed;
+            entry.score_stats = outcome.score_stats;
             entry.outcome = Some(outcome);
         } else if dir.join("cancelled").exists() {
             entry.state = JobState::Cancelled;

@@ -115,6 +115,16 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
         }
     })?;
 
+    // scoring counters live on the tuner (outside checkpoint state), so
+    // they are only readable between rounds — snapshot them post-run
+    let score_stats = session.score_stats().copied();
+    {
+        let mut jobs = shared.jobs.lock().expect("jobs poisoned");
+        if let Some(e) = jobs.get_mut(id) {
+            e.score_stats = score_stats;
+        }
+    }
+
     if outcome.stopped {
         if cancel.load(Ordering::SeqCst) {
             // cancelled: the job is settled, so the checkpoint goes too
@@ -159,6 +169,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
         warm_records,
         resumed,
         sim_seconds: measurer.sim_seconds(),
+        score_stats,
     };
     session.finish()?;
     if let Some(pool) = shared.pool_handle() {

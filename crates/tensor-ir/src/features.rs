@@ -27,7 +27,23 @@ pub fn extract_features(
     target: Target,
     schedule: &Schedule,
 ) -> Vec<f32> {
-    let mut f = vec![0.0f32; FEATURE_DIM];
+    let mut f = Vec::new();
+    extract_features_into(graph, sketch, target, schedule, &mut f);
+    f
+}
+
+/// Extracts the feature vector into a caller-provided buffer (cleared and
+/// resized to [`FEATURE_DIM`] first), so hot scoring loops can reuse one
+/// allocation per candidate batch instead of allocating per candidate.
+pub fn extract_features_into(
+    graph: &Subgraph,
+    sketch: &Sketch,
+    target: Target,
+    schedule: &Schedule,
+    f: &mut Vec<f32>,
+) {
+    f.clear();
+    f.resize(FEATURE_DIM, 0.0);
     let anchor = graph.anchor_stage();
 
     // --- positional: log2 of every tile factor --------------------------
@@ -114,8 +130,6 @@ pub fn extract_features(
     f[base + 21] = log2p(outer as f64);
     f[base + 22] = sketch.num_loops() as f32 / MAX_LOOPS as f32;
     f[base + 23] = log2p(anchor.inputs.len() as f64);
-
-    f
 }
 
 #[cfg(test)]
@@ -152,6 +166,19 @@ mod tests {
         let fa = extract_features(&g, sk, Target::Cpu, &a);
         let fb = extract_features(&g, sk, Target::Cpu, &b);
         assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn extract_into_reuses_buffer_and_matches_owned() {
+        let g = gemm(1024, 512, 256);
+        let sk = &generate_sketches(&g, Target::Cpu)[0];
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut buf = vec![7.0f32; 3]; // stale, wrong-sized contents
+        for _ in 0..10 {
+            let s = Schedule::random(sk, Target::Cpu, &mut rng);
+            extract_features_into(&g, sk, Target::Cpu, &s, &mut buf);
+            assert_eq!(buf, extract_features(&g, sk, Target::Cpu, &s));
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub use action::{
     ActionSpace, StepDir,
 };
 pub use exec::{visit_schedule_order, Tensor};
-pub use features::{extract_features, FEATURE_DIM, MAX_LOOPS};
+pub use features::{extract_features, extract_features_into, FEATURE_DIM, MAX_LOOPS};
 pub use mutate::{crossover, mutate, mutate_kind, MutationKind};
 pub use pretty::render_program;
 pub use schedule::Schedule;

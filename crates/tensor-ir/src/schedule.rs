@@ -224,6 +224,34 @@ impl Schedule {
         eat(self.unroll_idx as u64);
         h
     }
+
+    /// A stable key for the feature cache of the batched scoring pipeline.
+    ///
+    /// Hashes the same parameter stream as [`Schedule::dedup_key`] but from
+    /// a domain-separated seed, so population dedup and feature caching
+    /// cannot share collision patterns. Features are a pure function of
+    /// (graph, sketch, target, schedule); within one episode the first
+    /// three are fixed, so this key alone identifies a feature vector.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a with the offset basis perturbed by a scoring-domain tag.
+        let mut h: u64 = 0xcbf29ce484222325 ^ 0x5343_4f52_4500_0001; // "SCORE"
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(self.sketch_id as u64);
+        for t in &self.tiles {
+            for &f in t {
+                eat(f as u64);
+            }
+        }
+        eat(self.compute_at as u64);
+        eat(self.parallel_fuse as u64);
+        eat(self.unroll_idx as u64);
+        h
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +349,20 @@ mod tests {
         assert_eq!(a.dedup_key(), b.dedup_key());
         b.unroll_idx = (b.unroll_idx + 1) % Target::Cpu.unroll_depths().len();
         assert_ne!(a.dedup_key(), b.dedup_key());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_domain_separated() {
+        let (_, sk) = setup();
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Schedule::random(&sk[0], Target::Cpu, &mut rng);
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        // a different schedule gets a different cache key
+        let mut b = a.clone();
+        b.unroll_idx = (b.unroll_idx + 1) % Target::Cpu.unroll_depths().len();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // domain separation from the population dedup key
+        assert_ne!(a.fingerprint(), a.dedup_key());
     }
 
     #[test]

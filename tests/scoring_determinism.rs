@@ -1,0 +1,159 @@
+//! Bit-determinism of the batched scoring pipeline across pool widths.
+//!
+//! The scoring pipeline fingerprints, caches, extracts in parallel, and
+//! batch-predicts — but every candidate's score must come out bit-equal to
+//! the seed's serial `extract → score` loop no matter how many threads
+//! run. These tests pin that guarantee end-to-end: a full tuning run at
+//! `HARL_SCORE_THREADS`-style width 4 must produce the same best latency,
+//! the same trace, and the same checkpoint bytes as the width-1 run, and
+//! the PR-2 kill/resume bit-equality must survive with the pool on.
+
+use std::sync::Arc;
+
+use harl_repro::ansor::AnsorTuner;
+use harl_repro::harl::HarlOperatorTuner;
+use harl_repro::prelude::*;
+
+fn gemm() -> Subgraph {
+    harl_repro::ir::workload::gemm(256, 256, 256)
+}
+
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("harl-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// (best_time bits, trials, trace JSON, checkpoint JSON) of a HARL run.
+fn harl_run(threads: usize, trials: u64) -> (u64, u64, String, String) {
+    let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t = HarlOperatorTuner::new(gemm(), &m, HarlConfig::tiny());
+    t.set_score_threads(threads);
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t), &m, None)
+            .unwrap();
+        s.run(trials).unwrap();
+    }
+    (
+        t.best_time.to_bits(),
+        t.trials_used,
+        serde_json::to_string(&t.trace).unwrap(),
+        serde_json::to_string(&t.checkpoint_state()).unwrap(),
+    )
+}
+
+fn ansor_run(threads: usize, trials: u64) -> (u64, u64, String, String) {
+    let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t = AnsorTuner::new(gemm(), &m, AnsorConfig::default());
+    t.set_score_threads(threads);
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t), &m, None)
+            .unwrap();
+        s.run(trials).unwrap();
+    }
+    (
+        t.best_time.to_bits(),
+        t.trials_used,
+        serde_json::to_string(&t.trace).unwrap(),
+        serde_json::to_string(&t.checkpoint_state()).unwrap(),
+    )
+}
+
+#[test]
+fn harl_scoring_is_bit_identical_at_widths_1_and_4() {
+    let serial = harl_run(1, 48);
+    let pooled = harl_run(4, 48);
+    assert_eq!(serial.0, pooled.0, "best latency must match bit-for-bit");
+    assert_eq!(serial.1, pooled.1, "trial count must match");
+    assert_eq!(serial.2, pooled.2, "trace must match byte-for-byte");
+    assert_eq!(serial.3, pooled.3, "checkpoint must match byte-for-byte");
+}
+
+#[test]
+fn ansor_scoring_is_bit_identical_at_widths_1_and_4() {
+    let serial = ansor_run(1, 32);
+    let pooled = ansor_run(4, 32);
+    assert_eq!(serial.0, pooled.0, "best latency must match bit-for-bit");
+    assert_eq!(serial.1, pooled.1, "trial count must match");
+    assert_eq!(serial.2, pooled.2, "trace must match byte-for-byte");
+    assert_eq!(serial.3, pooled.3, "checkpoint must match byte-for-byte");
+}
+
+#[test]
+fn scoring_pool_reports_cache_traffic() {
+    // the determinism above must not come from the cache never engaging:
+    // a real run has to show both batches and hits
+    let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t = HarlOperatorTuner::new(gemm(), &m, HarlConfig::tiny());
+    t.set_score_threads(4);
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t), &m, None)
+            .unwrap();
+        s.run(32).unwrap();
+    }
+    let stats = *t.score_stats();
+    assert!(stats.batch_count > 0, "pipeline must have run batches");
+    assert!(stats.scored > 0);
+    assert_eq!(stats.scored, stats.cache_hits + stats.cache_misses);
+    assert!(
+        stats.cache_hits > 0,
+        "episodes revisit candidates: {stats:?}"
+    );
+    assert_eq!(stats.threads, 4);
+}
+
+#[test]
+fn killed_session_resumes_bit_equal_under_scoring_pool() {
+    // PR-2's kill/resume bit-equality, now with the width-4 pool on both
+    // sides of the kill — and a width-1 uninterrupted reference, so this
+    // also proves resume does not depend on pool width.
+    let dir = temp_store("pool-resume");
+
+    let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t_ref = HarlOperatorTuner::new(gemm(), &m_ref, HarlConfig::tiny());
+    t_ref.set_score_threads(1);
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t_ref), &m_ref, None)
+            .unwrap();
+        s.run(48).unwrap();
+    }
+
+    let store = Arc::new(RecordStore::open(&dir).unwrap());
+    let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t1 = HarlOperatorTuner::new(gemm(), &m1, HarlConfig::tiny());
+    t1.set_score_threads(4);
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t1), &m1, Some(store.clone()))
+            .unwrap();
+        s.run(24).unwrap();
+        // no finish(): checkpoint stays, as after a crash
+    }
+    drop(store);
+
+    let store2 = Arc::new(RecordStore::open(&dir).unwrap());
+    let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t2 = HarlOperatorTuner::new(gemm(), &m2, HarlConfig::tiny());
+    t2.set_score_threads(4);
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t2), &m2, Some(store2))
+            .unwrap();
+        assert!(s.resumed(), "checkpoint must be picked up");
+        s.run(24).unwrap();
+    }
+
+    assert_eq!(
+        t2.best_time.to_bits(),
+        t_ref.best_time.to_bits(),
+        "pool-width-4 kill/resume must match the serial uninterrupted run"
+    );
+    assert_eq!(t2.trials_used, t_ref.trials_used);
+    assert_eq!(m2.trials(), m_ref.trials());
+    assert_eq!(m2.sim_seconds().to_bits(), m_ref.sim_seconds().to_bits());
+    let _ = std::fs::remove_dir_all(&dir);
+}
