@@ -1,149 +1,59 @@
 #!/usr/bin/env bash
-# Repo-wide quality gate: formatting, lints-as-errors, full test suite.
-# Run from the repository root. Pass --offline (the default when the
+# Repo-wide quality gate, staged:
+#
+#   ci/check.sh                  run every stage (fmt -> lint -> test -> smoke)
+#   ci/check.sh --stage lint     run one stage
+#
+# Stages live in their own scripts (ci/fmt.sh, ci/lint.sh, ci/test.sh,
+# ci/smoke.sh) so CI systems can run them as separate fail-fast jobs; this
+# orchestrator adds per-stage timing lines and a summary table, exiting
+# non-zero when any stage failed. Pass --offline (the default when the
 # registry is unreachable) through CARGO_FLAGS if needed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-CARGO_FLAGS=${CARGO_FLAGS:---offline}
-
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
-
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy $CARGO_FLAGS --workspace --all-targets -- -D warnings
-
-echo "==> cargo test -q"
-cargo test $CARGO_FLAGS -q --workspace
-
-echo "==> scoring determinism suite at pool widths 1 and 4"
-# the suite pins explicit widths internally; running it under both env
-# values additionally exercises the from_env construction paths
-HARL_SCORE_THREADS=1 cargo test $CARGO_FLAGS -q --test scoring_determinism
-HARL_SCORE_THREADS=4 cargo test $CARGO_FLAGS -q --test scoring_determinism
-
-echo "==> scoring bench smoke (HARL_BENCH_SMOKE=1)"
-BENCH_OUT=$(mktemp)
-HARL_BENCH_SMOKE=1 HARL_BENCH_OUT="$BENCH_OUT" \
-    cargo bench $CARGO_FLAGS -q -p harl-bench --bench scoring
-if ! grep -q '"bit_identical": true' "$BENCH_OUT"; then
-    echo "FAIL: scoring bench smoke did not report bit-identical predictions"
-    exit 1
-fi
-rm -f "$BENCH_OUT"
-
-echo "==> lint-schedules smoke run"
-cargo run $CARGO_FLAGS -q -p harl-verify --bin lint-schedules -- 40
-
-echo "==> record-store warm-start smoke (quickstart x2, shared store)"
-STORE_DIR=$(mktemp -d)
-trap 'rm -rf "$STORE_DIR"' EXIT
-out1=$(HARL_STORE_DIR="$STORE_DIR" cargo run $CARGO_FLAGS -q --release --example quickstart)
-best1=$(printf '%s\n' "$out1" | sed -n 's/^metrics: best_ms=\([0-9.]*\).*/\1/p')
-cold_tt=$(printf '%s\n' "$out1" | sed -n 's/.*trials_to_best=\(-\{0,1\}[0-9]*\).*/\1/p')
-out2=$(HARL_STORE_DIR="$STORE_DIR" HARL_TARGET_MS="$best1" \
-    cargo run $CARGO_FLAGS -q --release --example quickstart)
-warm_records=$(printf '%s\n' "$out2" | sed -n 's/.*warm_records=\([0-9]*\).*/\1/p')
-warm_tt=$(printf '%s\n' "$out2" | sed -n 's/.*trials_to_target=\(-\{0,1\}[0-9]*\).*/\1/p')
-if [ -z "$warm_records" ] || [ "$warm_records" -le 0 ]; then
-    echo "FAIL: second quickstart run did not warm-start from the store"
-    exit 1
-fi
-if [ -z "$warm_tt" ] || [ "$warm_tt" -le 0 ] || [ "$warm_tt" -ge "$cold_tt" ]; then
-    echo "FAIL: warm run not faster to the cold best: warm=$warm_tt cold=$cold_tt"
-    exit 1
-fi
-echo "warm-start OK: cold best in $cold_tt trials, warm run matched it in $warm_tt (replayed $warm_records records)"
-
-echo "==> serve smoke (daemon + CLI: warm-start across jobs, kill -9 resume)"
-cargo build $CARGO_FLAGS -q --release -p harl-serve
-SERVE_BIN=target/release/harl-serve
-CLI_BIN=target/release/harl-cli
-SERVE_ROOT=$(mktemp -d)
-SERVE_PID=""
-cleanup() {
-    rm -rf "$STORE_DIR" "$SERVE_ROOT"
-    if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi
-}
-trap cleanup EXIT
-
-# starts the daemon on SERVE_ROOT and resolves ADDR once it answers `list`
-start_daemon() {
-    rm -f "$SERVE_ROOT/serve.addr"
-    "$SERVE_BIN" --root "$SERVE_ROOT" --workers 1 &
-    SERVE_PID=$!
-    for _ in $(seq 100); do
-        if [ -s "$SERVE_ROOT/serve.addr" ]; then
-            ADDR=$(cat "$SERVE_ROOT/serve.addr")
-            if "$CLI_BIN" --addr "$ADDR" list >/dev/null 2>&1; then return 0; fi
-        fi
-        sleep 0.1
-    done
-    echo "FAIL: daemon did not come up"
-    return 1
+usage() {
+    echo "usage: ci/check.sh [--stage fmt|lint|test|smoke|all]" >&2
+    exit 2
 }
 
-start_daemon
-# job 1 (cold) then job 2 (same workload): job 2 must warm-start off the
-# pool and reach job 1's best in fewer trials than job 1 needed
-job1=$("$CLI_BIN" --addr "$ADDR" submit gemm:1024x1024x1024 --preset fast --trials 160 --watch)
-best1=$(printf '%s\n' "$job1" | sed -n 's/^metrics: best_ms=\([0-9.]*\).*/\1/p')
-cold_tt=$(printf '%s\n' "$job1" | sed -n 's/.*trials_to_best=\(-\{0,1\}[0-9]*\).*/\1/p')
-job2=$("$CLI_BIN" --addr "$ADDR" submit gemm:1024x1024x1024 --preset fast --trials 160 \
-    --target-ms "$best1" --watch)
-serve_warm=$(printf '%s\n' "$job2" | sed -n 's/.*warm_records=\([0-9]*\).*/\1/p')
-serve_tt=$(printf '%s\n' "$job2" | sed -n 's/.*trials_to_target=\(-\{0,1\}[0-9]*\).*/\1/p')
-if [ -z "$serve_warm" ] || [ "$serve_warm" -le 0 ]; then
-    echo "FAIL: job 2 did not warm-start from job 1's records (warm_records=$serve_warm)"
-    exit 1
+STAGE=all
+if [ "${1:-}" = "--stage" ]; then
+    [ $# -ge 2 ] || usage
+    STAGE=$2
+elif [ $# -ge 1 ]; then
+    usage
 fi
-if [ -z "$serve_tt" ] || [ "$serve_tt" -le 0 ] || [ "$serve_tt" -ge "$cold_tt" ]; then
-    echo "FAIL: warm job not faster to job 1's best: warm=$serve_tt cold=$cold_tt"
-    exit 1
-fi
-"$CLI_BIN" --addr "$ADDR" shutdown
-wait "$SERVE_PID"
-SERVE_PID=""
-echo "serve warm-start OK: job1 best in $cold_tt trials, job2 matched it in $serve_tt (replayed $serve_warm records)"
 
-# restart resilience: kill -9 the daemon mid-job, restart on the same
-# root, and the job must be requeued and resume from its checkpoint
-start_daemon
-job3=$("$CLI_BIN" --addr "$ADDR" submit gemm:512x512x512 --preset tiny --trials 100000 \
-    | sed -n 's/^submitted \(.*\)/\1/p')
-rounds=0
-for _ in $(seq 200); do
-    rounds=$("$CLI_BIN" --addr "$ADDR" status "$job3" | sed -n 's/.*rounds=\([0-9]*\) .*/\1/p')
-    if [ -n "$rounds" ] && [ "$rounds" -ge 1 ]; then break; fi
-    sleep 0.1
+case "$STAGE" in
+fmt | lint | test | smoke) STAGES=("$STAGE") ;;
+all) STAGES=(fmt lint test smoke) ;;
+*) usage ;;
+esac
+
+RESULTS=()
+failed=0
+for s in "${STAGES[@]}"; do
+    echo "=== stage $s ==="
+    start=$(date +%s)
+    status=ok
+    if ! "ci/$s.sh"; then
+        status=FAIL
+        failed=1
+    fi
+    elapsed=$(($(date +%s) - start))
+    echo "=== stage $s: $status (${elapsed}s) ==="
+    RESULTS+=("$s $status $elapsed")
 done
-if [ -z "$rounds" ] || [ "$rounds" -lt 1 ]; then
-    echo "FAIL: job $job3 made no progress before the kill"
-    exit 1
-fi
-kill -9 "$SERVE_PID"
-wait "$SERVE_PID" 2>/dev/null || true
-SERVE_PID=""
-if [ ! -f "$SERVE_ROOT/jobs/$job3/store/checkpoint.json" ]; then
-    echo "FAIL: killed job left no checkpoint"
-    exit 1
-fi
 
-start_daemon
-resumed=0
-for _ in $(seq 200); do
-    resumed=$("$CLI_BIN" --addr "$ADDR" status "$job3" | grep -c ' resumed' || true)
-    if [ "$resumed" -ge 1 ]; then break; fi
-    sleep 0.1
+echo
+echo "stage summary:"
+for r in "${RESULTS[@]}"; do
+    read -r name status elapsed <<<"$r"
+    printf '  %-6s %-5s %4ss\n' "$name" "$status" "$elapsed"
 done
-if [ "$resumed" -lt 1 ]; then
-    echo "FAIL: job did not resume after daemon kill -9 + restart"
+if [ "$failed" -ne 0 ]; then
+    echo "FAIL: one or more stages failed"
     exit 1
 fi
-"$CLI_BIN" --addr "$ADDR" cancel "$job3"
-"$CLI_BIN" --addr "$ADDR" shutdown
-wait "$SERVE_PID"
-SERVE_PID=""
-echo "serve restart OK: job $job3 resumed from its checkpoint after kill -9"
-
-echo "OK: all checks passed"
+echo "OK: all stages passed"

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Stage: formatting. Fast fail-first check; no build needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Emits a CARGO_FLAGS=... line for $GITHUB_ENV. Every third-party
+# dependency is a vendored shim under shims/, so --offline normally works
+# everywhere; if a runner's toolchain still insists on the registry (e.g.
+# a stale lockfile), fall back to online resolution rather than failing.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+if cargo metadata --offline --format-version 1 >/dev/null 2>&1; then
+    echo "CARGO_FLAGS=--offline"
+else
+    echo "CARGO_FLAGS="
+fi

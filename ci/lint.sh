@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Stage: lints as errors — clippy over every target, shellcheck over the
+# CI scripts themselves (skipped with a warning where not installed).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=${CARGO_FLAGS:---offline}
+
+echo "==> cargo clippy --workspace -- -D warnings"
+# shellcheck disable=SC2086  # CARGO_FLAGS is a flag list, word-splitting intended
+cargo clippy $CARGO_FLAGS --workspace --all-targets -- -D warnings
+
+echo "==> shellcheck ci/*.sh"
+if command -v shellcheck >/dev/null 2>&1; then
+    shellcheck ci/*.sh ci/github/*.sh
+else
+    echo "WARN: shellcheck not installed; skipping shell lint"
+fi

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# Stage: end-to-end smoke runs — bench-regression gate, schedule lints,
+# traced quickstart (trace parseable, >=95% coverage), warm-start via the
+# record store, and the serve daemon (warm-start across jobs, kill -9
+# resume).
+#
+# All scratch state lives under one SMOKE_TMP with a single cleanup trap;
+# earlier revisions registered a second `trap ... EXIT` for the serve
+# section which silently shadowed the store cleanup.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=${CARGO_FLAGS:---offline}
+# shellcheck disable=SC2086  # CARGO_FLAGS is a flag list, word-splitting intended
+
+SMOKE_TMP=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    rm -rf "$SMOKE_TMP"
+    if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi
+}
+trap cleanup EXIT
+
+echo "==> scoring bench-regression gate"
+ci/bench_gate.sh
+
+echo "==> lint-schedules smoke run"
+# shellcheck disable=SC2086
+cargo run $CARGO_FLAGS -q -p harl-verify --bin lint-schedules -- 40
+
+echo "==> record-store warm-start smoke (quickstart x2, shared store)"
+STORE_DIR="$SMOKE_TMP/store"
+TRACE_FILE="$SMOKE_TMP/trace.jsonl"
+# the cold run doubles as the tracing smoke: HARL_TRACE=1 through the env
+# path, summarized below
+# shellcheck disable=SC2086
+out1=$(HARL_STORE_DIR="$STORE_DIR" HARL_TRACE=1 HARL_TRACE_FILE="$TRACE_FILE" \
+    cargo run $CARGO_FLAGS -q --release --example quickstart)
+best1=$(printf '%s\n' "$out1" | sed -n 's/^metrics: best_ms=\([0-9.]*\).*/\1/p')
+cold_tt=$(printf '%s\n' "$out1" | sed -n 's/.*trials_to_best=\(-\{0,1\}[0-9]*\).*/\1/p')
+# shellcheck disable=SC2086
+out2=$(HARL_STORE_DIR="$STORE_DIR" HARL_TARGET_MS="$best1" \
+    cargo run $CARGO_FLAGS -q --release --example quickstart)
+warm_records=$(printf '%s\n' "$out2" | sed -n 's/.*warm_records=\([0-9]*\).*/\1/p')
+warm_tt=$(printf '%s\n' "$out2" | sed -n 's/.*trials_to_target=\(-\{0,1\}[0-9]*\).*/\1/p')
+if [ -z "$warm_records" ] || [ "$warm_records" -le 0 ]; then
+    echo "FAIL: second quickstart run did not warm-start from the store"
+    exit 1
+fi
+if [ -z "$warm_tt" ] || [ "$warm_tt" -le 0 ] || [ "$warm_tt" -ge "$cold_tt" ]; then
+    echo "FAIL: warm run not faster to the cold best: warm=$warm_tt cold=$cold_tt"
+    exit 1
+fi
+echo "warm-start OK: cold best in $cold_tt trials, warm run matched it in $warm_tt (replayed $warm_records records)"
+
+echo "==> trace summary (harl-trace, coverage >= 95%)"
+if [ ! -s "$TRACE_FILE" ]; then
+    echo "FAIL: HARL_TRACE=1 quickstart wrote no trace"
+    exit 1
+fi
+# shellcheck disable=SC2086
+cargo run $CARGO_FLAGS -q -p harl-obs --bin harl-trace -- "$TRACE_FILE" --min-coverage 95
+
+echo "==> serve smoke (daemon + CLI: warm-start across jobs, kill -9 resume)"
+# shellcheck disable=SC2086
+cargo build $CARGO_FLAGS -q --release -p harl-serve
+SERVE_BIN=target/release/harl-serve
+CLI_BIN=target/release/harl-cli
+SERVE_ROOT="$SMOKE_TMP/serve"
+mkdir -p "$SERVE_ROOT"
+
+# starts the daemon on SERVE_ROOT and resolves ADDR once it answers `list`
+start_daemon() {
+    rm -f "$SERVE_ROOT/serve.addr"
+    "$SERVE_BIN" --root "$SERVE_ROOT" --workers 1 &
+    SERVE_PID=$!
+    for _ in $(seq 100); do
+        if [ -s "$SERVE_ROOT/serve.addr" ]; then
+            ADDR=$(cat "$SERVE_ROOT/serve.addr")
+            if "$CLI_BIN" --addr "$ADDR" list >/dev/null 2>&1; then return 0; fi
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: daemon did not come up"
+    return 1
+}
+
+start_daemon
+# job 1 (cold) then job 2 (same workload): job 2 must warm-start off the
+# pool and reach job 1's best in fewer trials than job 1 needed
+job1=$("$CLI_BIN" --addr "$ADDR" submit gemm:1024x1024x1024 --preset fast --trials 160 --watch)
+best1=$(printf '%s\n' "$job1" | sed -n 's/^metrics: best_ms=\([0-9.]*\).*/\1/p')
+cold_tt=$(printf '%s\n' "$job1" | sed -n 's/.*trials_to_best=\(-\{0,1\}[0-9]*\).*/\1/p')
+job2=$("$CLI_BIN" --addr "$ADDR" submit gemm:1024x1024x1024 --preset fast --trials 160 \
+    --target-ms "$best1" --watch)
+serve_warm=$(printf '%s\n' "$job2" | sed -n 's/.*warm_records=\([0-9]*\).*/\1/p')
+serve_tt=$(printf '%s\n' "$job2" | sed -n 's/.*trials_to_target=\(-\{0,1\}[0-9]*\).*/\1/p')
+if [ -z "$serve_warm" ] || [ "$serve_warm" -le 0 ]; then
+    echo "FAIL: job 2 did not warm-start from job 1's records (warm_records=$serve_warm)"
+    exit 1
+fi
+if [ -z "$serve_tt" ] || [ "$serve_tt" -le 0 ] || [ "$serve_tt" -ge "$cold_tt" ]; then
+    echo "FAIL: warm job not faster to job 1's best: warm=$serve_tt cold=$cold_tt"
+    exit 1
+fi
+
+# live metrics: the daemon's registry must expose the job lifecycle,
+# request latencies, and the scoring cache hit rate
+metrics=$("$CLI_BIN" --addr "$ADDR" metrics)
+for needle in \
+    'harl_serve_jobs_total{state="submitted"}' \
+    'harl_serve_jobs_total{state="completed"}' \
+    'harl_serve_requests_total{verb="submit"}' \
+    'harl_serve_request_seconds_count' \
+    'harl_scoring_cache_hits_total'; do
+    if ! printf '%s\n' "$metrics" | grep -qF "$needle"; then
+        echo "FAIL: metrics dump is missing $needle"
+        exit 1
+    fi
+done
+
+"$CLI_BIN" --addr "$ADDR" shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "serve warm-start OK: job1 best in $cold_tt trials, job2 matched it in $serve_tt (replayed $serve_warm records)"
+
+# restart resilience: kill -9 the daemon mid-job, restart on the same
+# root, and the job must be requeued and resume from its checkpoint
+start_daemon
+job3=$("$CLI_BIN" --addr "$ADDR" submit gemm:512x512x512 --preset tiny --trials 100000 \
+    | sed -n 's/^submitted \(.*\)/\1/p')
+rounds=0
+for _ in $(seq 200); do
+    rounds=$("$CLI_BIN" --addr "$ADDR" status "$job3" | sed -n 's/.*rounds=\([0-9]*\) .*/\1/p')
+    if [ -n "$rounds" ] && [ "$rounds" -ge 1 ]; then break; fi
+    sleep 0.1
+done
+if [ -z "$rounds" ] || [ "$rounds" -lt 1 ]; then
+    echo "FAIL: job $job3 made no progress before the kill"
+    exit 1
+fi
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+if [ ! -f "$SERVE_ROOT/jobs/$job3/store/checkpoint.json" ]; then
+    echo "FAIL: killed job left no checkpoint"
+    exit 1
+fi
+
+start_daemon
+resumed=0
+for _ in $(seq 200); do
+    resumed=$("$CLI_BIN" --addr "$ADDR" status "$job3" | grep -c ' resumed' || true)
+    if [ "$resumed" -ge 1 ]; then break; fi
+    sleep 0.1
+done
+if [ "$resumed" -lt 1 ]; then
+    echo "FAIL: job did not resume after daemon kill -9 + restart"
+    exit 1
+fi
+"$CLI_BIN" --addr "$ADDR" cancel "$job3"
+"$CLI_BIN" --addr "$ADDR" shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "serve restart OK: job $job3 resumed from its checkpoint after kill -9"

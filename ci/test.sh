@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Stage: the full test suite, plus the scoring-determinism suite re-run
+# under both pool-width env values.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=${CARGO_FLAGS:---offline}
+
+echo "==> cargo test -q"
+# shellcheck disable=SC2086  # CARGO_FLAGS is a flag list, word-splitting intended
+cargo test $CARGO_FLAGS -q --workspace
+
+echo "==> scoring determinism suite at pool widths 1 and 4"
+# the suite pins explicit widths internally; running it under both env
+# values additionally exercises the from_env construction paths
+# shellcheck disable=SC2086
+HARL_SCORE_THREADS=1 cargo test $CARGO_FLAGS -q --test scoring_determinism
+# shellcheck disable=SC2086
+HARL_SCORE_THREADS=4 cargo test $CARGO_FLAGS -q --test scoring_determinism

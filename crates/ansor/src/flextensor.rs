@@ -113,6 +113,8 @@ pub struct FlextensorTuner<'m> {
     /// measured on hardware.
     pub lint_stats: LintStats,
     analyzer: Analyzer,
+    /// Observation only; never part of [`FlextensorTunerState`].
+    tracer: harl_obs::Tracer,
     cfg: FlextensorConfig,
     rng: StdRng,
 }
@@ -153,9 +155,17 @@ impl<'m> FlextensorTuner<'m> {
             trace: TuneTrace::new(),
             lint_stats: LintStats::new(),
             analyzer: Analyzer::for_hardware(measurer.hardware()),
+            tracer: harl_obs::Tracer::disabled(),
             cfg,
             rng,
         }
+    }
+
+    /// Attaches a tracer: each episode becomes a `flex_episode` span.
+    /// Tracing never changes the search — checkpoints stay byte-equal
+    /// with it on or off.
+    pub fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        self.tracer = tracer;
     }
 
     fn masks(&self, s: &Schedule) -> Vec<Vec<bool>> {
@@ -173,6 +183,9 @@ impl<'m> FlextensorTuner<'m> {
         if budget == 0 {
             return 0;
         }
+        let _episode_span = self
+            .tracer
+            .span_with("flex_episode", &[("tracks", self.cfg.tracks.into())]);
         let target = self.measurer.hardware().target();
         let mut used = 0u64;
 

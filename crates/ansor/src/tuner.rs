@@ -206,6 +206,8 @@ pub struct AnsorTuner<'m> {
     /// and thread width must not leak into checkpoints, which stay
     /// byte-equal across `HARL_SCORE_THREADS` settings.
     pipeline: ScoringPipeline,
+    /// Observation only; like the pipeline, never part of checkpoints.
+    tracer: harl_obs::Tracer,
     cfg: AnsorConfig,
     rng: StdRng,
 }
@@ -231,9 +233,18 @@ impl<'m> AnsorTuner<'m> {
             lint_stats: LintStats::new(),
             analyzer: Analyzer::for_hardware(measurer.hardware()),
             pipeline: ScoringPipeline::from_env(),
+            tracer: harl_obs::Tracer::disabled(),
             cfg,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Attaches a tracer: rounds become `ansor_round` spans with
+    /// `evolve`/`measure`/`gbt_retrain` children. Tracing never changes
+    /// the search — checkpoints stay byte-equal with it on or off.
+    pub fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        self.pipeline.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Counters of the batched scoring pipeline (cache hits, batches,
@@ -260,7 +271,9 @@ impl<'m> AnsorTuner<'m> {
         if budget == 0 {
             return 0;
         }
+        let round_span = self.tracer.span("ansor_round");
         let k = budget.min(self.cfg.measure_per_round);
+        let evolve_span = self.tracer.span_with("evolve", &[("k", k.into())]);
         let elite_scheds: Vec<Schedule> = self.elites.iter().map(|(_, s)| s.clone()).collect();
         let mut cands = evolve_candidates(
             &self.graph,
@@ -280,10 +293,14 @@ impl<'m> AnsorTuner<'m> {
             let diags = self.analyzer.analyze(&self.graph, sk, self.target, s);
             !self.lint_stats.record(&diags)
         });
+        drop(evolve_span);
         if cands.is_empty() {
             return 0;
         }
 
+        let measure_span = self
+            .tracer
+            .span_with("measure", &[("k", cands.len().into())]);
         let mut updates = Vec::with_capacity(cands.len());
         for s in &cands {
             let sk = &self.sketches[s.sketch_id];
@@ -300,7 +317,11 @@ impl<'m> AnsorTuner<'m> {
                 m.flops_per_sec,
             ));
         }
-        self.cost_model.update_batch(updates);
+        drop(measure_span);
+        {
+            let _retrain_span = self.tracer.span("gbt_retrain");
+            self.cost_model.update_batch(updates);
+        }
 
         self.elites
             .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -317,6 +338,7 @@ impl<'m> AnsorTuner<'m> {
             self.measurer.sim_seconds(),
             self.best_time,
         );
+        drop(round_span);
         cands.len()
     }
 
@@ -426,6 +448,8 @@ pub struct AnsorNetworkTuner<'m> {
     /// Weighted-latency best-so-far curve.
     pub trace: TuneTrace,
     total_trials_used: u64,
+    /// Observation only — see [`AnsorTuner::set_tracer`].
+    tracer: harl_obs::Tracer,
 }
 
 /// Builds the similarity key of a subgraph (anchor kind + iterator shape).
@@ -468,7 +492,16 @@ impl<'m> AnsorNetworkTuner<'m> {
             rounds: Vec::new(),
             trace: TuneTrace::new(),
             total_trials_used: 0,
+            tracer: harl_obs::Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer to the scheduler and every per-task tuner.
+    pub fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        for t in &mut self.tuners {
+            t.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
     }
 
     /// Weighted latency estimate `Σ w_n g_n` of the current bests.
@@ -482,7 +515,9 @@ impl<'m> AnsorNetworkTuner<'m> {
         if budget == 0 {
             return 0;
         }
+        let _net_span = self.tracer.span("net_round");
         let task = self.scheduler.select(&self.infos, &self.states);
+        self.tracer.event("task_pick", &[("task", task.into())]);
         let used = self.tuners[task].round(budget as usize) as u64;
         if used == 0 {
             return 0;

@@ -131,7 +131,7 @@ fn main() {
     let smoke = std::env::var("HARL_BENCH_SMOKE")
         .map(|v| v == "1")
         .unwrap_or(false);
-    let wl = if smoke {
+    let mut wl = if smoke {
         Workload {
             population: 64,
             passes: 3,
@@ -146,6 +146,13 @@ fn main() {
             reps: 5,
         }
     };
+    // the bench-regression gate needs a stabler median than CI smoke does;
+    // let it raise the rep count without touching the workload shape
+    if let Ok(reps) = std::env::var("HARL_BENCH_REPS") {
+        if let Ok(n) = reps.trim().parse::<usize>() {
+            wl.reps = n.max(1);
+        }
+    }
     let threads = 4;
 
     let g = workload::gemm(512, 512, 512);

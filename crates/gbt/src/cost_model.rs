@@ -8,6 +8,20 @@
 
 use crate::booster::{Dataset, Gbt, GbtParams};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Global retrain count + wall-time histogram: GBT fits are the heaviest
+/// non-measurement phase, so their cost shows up in every metrics dump.
+fn retrain_metrics() -> &'static (harl_obs::Counter, harl_obs::Histogram) {
+    static CELL: OnceLock<(harl_obs::Counter, harl_obs::Histogram)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let reg = harl_obs::global();
+        (
+            reg.counter("harl_gbt_retrains_total"),
+            reg.histogram("harl_gbt_retrain_seconds", harl_obs::SECONDS_BOUNDS),
+        )
+    })
+}
 
 /// On-line cost model over feature vectors.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -79,6 +93,7 @@ impl CostModel {
         if self.data.is_empty() {
             return;
         }
+        let t = std::time::Instant::now();
         let scale = if self.scale > 0.0 { self.scale } else { 1.0 };
         let targets: Vec<f64> = self.data.targets().iter().map(|&y| y / scale).collect();
         self.model = Some(Gbt::fit(
@@ -87,6 +102,8 @@ impl CostModel {
             self.params.clone(),
         ));
         self.since_train = 0;
+        retrain_metrics().0.inc();
+        retrain_metrics().1.observe(t.elapsed().as_secs_f64());
     }
 
     /// Predicted score (normalized throughput, clamped positive). Before

@@ -24,9 +24,26 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use crate::cost_model::CostModel;
+use harl_obs::{Counter, Tracer};
 use harl_par::ThreadPool;
+
+/// Global scoring counters, aggregated across every pipeline in the
+/// process so the serve `metrics` verb can report an overall cache hit
+/// rate. Per-tuner numbers stay in [`ScoreStats`].
+fn scoring_counters() -> &'static (Counter, Counter, Counter) {
+    static CELL: OnceLock<(Counter, Counter, Counter)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let reg = harl_obs::global();
+        (
+            reg.counter("harl_scoring_candidates_total"),
+            reg.counter("harl_scoring_cache_hits_total"),
+            reg.counter("harl_scoring_cache_misses_total"),
+        )
+    })
+}
 
 /// Monotonic counters of the scoring pipeline (`LintStats`-style): cheap
 /// to keep, merged into reports and serve status replies. Never serialized
@@ -177,6 +194,8 @@ pub struct ScoringPipeline {
     miss_scores: Vec<f64>,
     /// Rows valid after the last `score_into` call.
     last_n: usize,
+    /// Per-batch trace events when tracing is on; disabled by default.
+    tracer: Tracer,
 }
 
 impl ScoringPipeline {
@@ -196,6 +215,7 @@ impl ScoringPipeline {
             rows: Vec::new(),
             miss_scores: Vec::new(),
             last_n: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -219,6 +239,13 @@ impl ScoringPipeline {
     /// The pipeline counters.
     pub fn stats(&self) -> &ScoreStats {
         &self.stats
+    }
+
+    /// Attaches a tracer: each `score_into` call then emits a
+    /// `score_batch` event (batch size, hits, misses). Observation only —
+    /// scores and cache behaviour are unchanged.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Clears the cache at an episode/round boundary. The cache key is a
@@ -280,6 +307,22 @@ impl ScoringPipeline {
                     self.misses.push(i);
                 }
             }
+        }
+        let hits = n - self.misses.len();
+        let (cand, hit, miss) = scoring_counters();
+        cand.add(n as u64);
+        hit.add(hits as u64);
+        miss.add(self.misses.len() as u64);
+        if self.tracer.is_enabled() {
+            self.tracer.event(
+                "score_batch",
+                &[
+                    ("n", n.into()),
+                    ("hits", hits.into()),
+                    ("misses", self.misses.len().into()),
+                    ("threads", self.pool.threads().into()),
+                ],
+            );
         }
         if self.misses.is_empty() {
             return;

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 
 use harl_gbt::{CostModel, ScoringPipeline};
 use harl_nnet::PpoAgent;
+use harl_obs::Tracer;
 use harl_tensor_ir::{
     apply_action, compute_at_mask, extract_features_into, parallel_mask, tile_action_mask,
     unroll_mask, Action, ActionSpace, Schedule, Sketch, StepDir, Subgraph, Target,
@@ -82,6 +83,7 @@ pub fn run_episode(
     seeds: &[Schedule],
     analyzer: &Analyzer,
     pipeline: &mut ScoringPipeline,
+    tracer: &Tracer,
     rng: &mut StdRng,
 ) -> EpisodeResult {
     let space = ActionSpace::of(sketch);
@@ -156,6 +158,7 @@ pub fn run_episode(
         // to the serial implementation.
         let mut step_props: Vec<Vec<Proposal>> = Vec::with_capacity(tracks.len());
         let mut step_masks: Vec<Vec<Vec<bool>>> = Vec::with_capacity(tracks.len());
+        let act_span = tracer.span_with("ppo_act", &[("tracks", tracks.len().into())]);
         for t in tracks.iter() {
             let masks = vec![
                 tile_action_mask(sketch, &t.schedule, &space),
@@ -181,10 +184,12 @@ pub fn run_episode(
             step_props.push(props);
             step_masks.push(masks);
         }
+        drop(act_span);
 
         // Phase B: one batched scoring pass over every legal candidate of
         // this step, flattened in the same track-major order.
         {
+            let _score_span = tracer.span("score");
             let flat: Vec<&Schedule> = step_props
                 .iter()
                 .flat_map(|ps| ps.iter().map(|p| &p.cand))
@@ -194,6 +199,7 @@ pub fn run_episode(
 
         // Phase C: pick each track's best proposal and record the PPO
         // transition, in the original visit order.
+        let update_span = tracer.span("ppo_update");
         let mut cursor = 0usize;
         for ((t, props), masks) in tracks.iter_mut().zip(step_props).zip(step_masks) {
             let base = cursor;
@@ -249,9 +255,11 @@ pub fn run_episode(
             t.features = next_features.to_vec();
             t.score = next_score;
         }
+        drop(update_span);
 
         // Train actor + critic every T_rl steps (lines 14–17).
         if step.is_multiple_of(cfg.train_interval) {
+            let _train_span = tracer.span("ppo_train");
             for _ in 0..cfg.train_epochs.max(1) {
                 agent.train_step(rng);
             }
@@ -282,7 +290,16 @@ pub fn run_episode(
                     }
                 }
             }
+            let dropped = kept_set.len() - survivors.len();
             tracks = survivors;
+            tracer.event(
+                "adaptive_prune",
+                &[
+                    ("dropped", dropped.into()),
+                    ("kept", tracks.len().into()),
+                    ("step", step.into()),
+                ],
+            );
             if tracks.len() < cfg.min_tracks {
                 break;
             }
@@ -350,6 +367,7 @@ mod tests {
             &[],
             &an,
             &mut ScoringPipeline::new(1, 1024),
+            &Tracer::disabled(),
             &mut rng,
         );
         // 8 tracks, ρ=0.5: after window1 → 4 (≥ min, continue), window2 → 2 < 4 stop.
@@ -386,6 +404,7 @@ mod tests {
             &[],
             &an,
             &mut ScoringPipeline::new(1, 1024),
+            &Tracer::disabled(),
             &mut rng,
         );
         assert_eq!(res.steps, 5);
@@ -410,6 +429,7 @@ mod tests {
             &[],
             &an,
             &mut ScoringPipeline::new(1, 1024),
+            &Tracer::disabled(),
             &mut rng,
         );
         for (score, s, _) in &res.visited {
@@ -440,6 +460,7 @@ mod tests {
             &[],
             &an,
             &mut ScoringPipeline::new(1, 1024),
+            &Tracer::disabled(),
             &mut rng,
         );
         assert!(agent.num_updates() > before);
@@ -489,6 +510,7 @@ mod tests {
             &[],
             &an,
             &mut ScoringPipeline::new(1, 1024),
+            &Tracer::disabled(),
             &mut rng,
         );
         // only the 4 initial tracks (kept after the resample guard gives up)

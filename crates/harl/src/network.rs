@@ -36,6 +36,8 @@ pub struct HarlNetworkTuner<'m> {
     pub rounds: Vec<NetRound>,
     pub trace: TuneTrace,
     total_trials_used: u64,
+    /// Observation only — see [`HarlOperatorTuner::set_tracer`].
+    tracer: harl_obs::Tracer,
     cfg: HarlConfig,
     rng: StdRng,
 }
@@ -78,9 +80,20 @@ impl<'m> HarlNetworkTuner<'m> {
             rounds: Vec::new(),
             trace: TuneTrace::new(),
             total_trials_used: 0,
+            tracer: harl_obs::Tracer::disabled(),
             cfg,
             rng,
         }
+    }
+
+    /// Attaches a tracer to the network tuner and every per-task operator
+    /// tuner: allocation decisions become `net_round` spans with a
+    /// `task_pick` event, operator rounds nest underneath.
+    pub fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        for t in &mut self.tuners {
+            t.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
     }
 
     /// Weighted network latency `Σ w_n g_n` of the current bests.
@@ -93,12 +106,14 @@ impl<'m> HarlNetworkTuner<'m> {
         if budget == 0 {
             return 0;
         }
+        let _net_span = self.tracer.span("net_round");
         // subgraph selection π_t(n)
         let task = if self.cfg.subgraph_mab {
             self.subgraph_bandit.select(&mut self.rng)
         } else {
             self.greedy_fallback.select(&self.infos, &self.states)
         };
+        self.tracer.event("task_pick", &[("task", task.into())]);
 
         let used = self.tuners[task].round(budget as usize) as u64;
         if used == 0 {

@@ -95,6 +95,13 @@ pub trait Tuner {
     fn score_stats(&self) -> Option<&ScoreStats> {
         None
     }
+
+    /// Attaches a span tracer for phase-level observability. Observation
+    /// only: a traced run is bit-identical to an untraced one. The default
+    /// implementation discards the tracer (for tuners without spans).
+    fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        let _ = tracer;
+    }
 }
 
 // A mutable borrow drives the same way, so callers can keep ownership of
@@ -134,6 +141,10 @@ impl<T: Tuner + ?Sized> Tuner for &mut T {
 
     fn score_stats(&self) -> Option<&ScoreStats> {
         (**self).score_stats()
+    }
+
+    fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        (**self).set_tracer(tracer)
     }
 }
 
@@ -176,6 +187,10 @@ impl Tuner for HarlOperatorTuner<'_> {
     fn score_stats(&self) -> Option<&ScoreStats> {
         Some(HarlOperatorTuner::score_stats(self))
     }
+
+    fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        HarlOperatorTuner::set_tracer(self, tracer)
+    }
 }
 
 impl Tuner for AnsorTuner<'_> {
@@ -217,6 +232,10 @@ impl Tuner for AnsorTuner<'_> {
     fn score_stats(&self) -> Option<&ScoreStats> {
         Some(AnsorTuner::score_stats(self))
     }
+
+    fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        AnsorTuner::set_tracer(self, tracer)
+    }
 }
 
 impl Tuner for FlextensorTuner<'_> {
@@ -252,6 +271,10 @@ impl Tuner for FlextensorTuner<'_> {
 
     fn trace(&self) -> Option<&TuneTrace> {
         Some(&self.trace)
+    }
+
+    fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        FlextensorTuner::set_tracer(self, tracer)
     }
 }
 

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use harl_bandit::{AnyBandit, Bandit};
 use harl_gbt::{CostModel, ScoreStats, ScoringPipeline};
 use harl_nnet::PpoAgent;
+use harl_obs::Tracer;
 use harl_store::MeasureRecord;
 use harl_tensor_ir::{
     extract_features, generate_sketches, ActionSpace, Schedule, Sketch, Subgraph, Target,
@@ -66,6 +67,10 @@ pub struct HarlOperatorTuner<'m> {
     /// thread width must not leak into checkpoints, which stay byte-equal
     /// across `HARL_SCORE_THREADS` settings.
     pipeline: ScoringPipeline,
+    /// Span tracer for round/episode phases. Like the pipeline, runtime
+    /// machinery only: never serialized, never feeds back into search
+    /// state, so traced and untraced runs are bit-identical.
+    tracer: Tracer,
     cfg: HarlConfig,
     rng: StdRng,
 }
@@ -109,6 +114,7 @@ impl<'m> HarlOperatorTuner<'m> {
             lint_stats: LintStats::new(),
             analyzer: Analyzer::for_hardware(measurer.hardware()),
             pipeline: ScoringPipeline::from_env(),
+            tracer: Tracer::disabled(),
             cfg,
             rng,
         }
@@ -125,6 +131,14 @@ impl<'m> HarlOperatorTuner<'m> {
     /// bit-identical at any width.
     pub fn set_score_threads(&mut self, threads: usize) {
         self.pipeline.set_threads(threads);
+    }
+
+    /// Attaches a tracer; rounds then emit `harl_round`/`episode`/
+    /// `measure`/`gbt_retrain` spans. Pure observation — the search is
+    /// bit-identical with or without it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.pipeline.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Current cost-model sample count (for diagnostics).
@@ -148,11 +162,15 @@ impl<'m> HarlOperatorTuner<'m> {
         if budget == 0 {
             return 0;
         }
+        let round_span = self.tracer.span("harl_round");
         // --- sketch selection (§4.1, Eq. 2) -------------------------------
-        let sketch_id = if self.cfg.sketch_mab {
-            self.sketch_bandit.select(&mut self.rng)
-        } else {
-            self.rng.gen_range(0..self.sketches.len())
+        let sketch_id = {
+            let _pick_span = self.tracer.span("sketch_pick");
+            if self.cfg.sketch_mab {
+                self.sketch_bandit.select(&mut self.rng)
+            } else {
+                self.rng.gen_range(0..self.sketches.len())
+            }
         };
         let sketch = self.sketches[sketch_id].clone();
 
@@ -161,6 +179,9 @@ impl<'m> HarlOperatorTuner<'m> {
             .iter()
             .map(|(_, s)| s.clone())
             .collect();
+        let episode_span = self
+            .tracer
+            .span_with("episode", &[("sketch", sketch_id.into())]);
         let episode = run_episode(
             &self.graph,
             &sketch,
@@ -171,8 +192,10 @@ impl<'m> HarlOperatorTuner<'m> {
             &seeds,
             &self.analyzer,
             &mut self.pipeline,
+            &self.tracer,
             &mut self.rng,
         );
+        drop(episode_span);
         self.critical_steps
             .extend(episode.critical_steps.iter().copied());
         self.lint_stats.merge(&episode.lint_stats);
@@ -181,6 +204,7 @@ impl<'m> HarlOperatorTuner<'m> {
         // Schedules are ranked by predicted score; picks are capped per
         // schedule track so the measurement set stays diverse instead of
         // collapsing onto the single best-predicted track's neighbourhood.
+        let topk_span = self.tracer.span("topk_select");
         let k = budget.min(self.cfg.measure_per_round);
         let mut scored = episode.visited;
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -234,10 +258,14 @@ impl<'m> HarlOperatorTuner<'m> {
             }
             picks.push(s);
         }
+        drop(topk_span);
         if picks.is_empty() {
             return 0;
         }
 
+        let measure_span = self
+            .tracer
+            .span_with("measure", &[("k", picks.len().into())]);
         let mut round_best_flops = 0.0f64;
         let mut updates = Vec::with_capacity(picks.len());
         for s in &picks {
@@ -256,12 +284,16 @@ impl<'m> HarlOperatorTuner<'m> {
                 m.flops_per_sec,
             ));
         }
+        drop(measure_span);
         for pool in &mut self.elites {
             pool.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             pool.truncate(32);
         }
         // train the cost model with the measurements (line 22)
-        self.cost_model.update_batch(updates);
+        {
+            let _retrain_span = self.tracer.span("gbt_retrain");
+            self.cost_model.update_batch(updates);
+        }
 
         // --- sketch MAB reward: normalized maximal performance X_t ---------
         let mut x_t = if self.cost_model.scale() > 0.0 {
@@ -292,6 +324,7 @@ impl<'m> HarlOperatorTuner<'m> {
             self.measurer.sim_seconds(),
             self.best_time,
         );
+        drop(round_span);
         picks.len()
     }
 

@@ -1,6 +1,7 @@
 //! # harl-par
 //!
-//! A tiny dependency-free scoped thread pool for the scoring pipeline.
+//! A tiny scoped thread pool for the scoring pipeline (no dependencies
+//! beyond the workspace's own `harl-obs` counters).
 //!
 //! The workspace has no crates.io access (same discipline as `shims/`), so
 //! this crate provides the minimal parallel primitive the tuners need: an
@@ -19,7 +20,21 @@
 //! so it cannot perturb determinism.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+use harl_obs::Counter;
+
+/// Global counters for how often maps run inline vs spawn workers — the
+/// signal for whether `HARL_SCORE_THREADS` is actually buying parallelism.
+fn map_counter(mode: &'static str) -> &'static Counter {
+    static INLINE: OnceLock<Counter> = OnceLock::new();
+    static PARALLEL: OnceLock<Counter> = OnceLock::new();
+    let (cell, name) = match mode {
+        "inline" => (&INLINE, "harl_par_maps_total{mode=\"inline\"}"),
+        _ => (&PARALLEL, "harl_par_maps_total{mode=\"parallel\"}"),
+    };
+    cell.get_or_init(|| harl_obs::global().counter(name))
+}
 
 /// Environment variable selecting the scoring-pool width.
 pub const THREADS_ENV: &str = "HARL_SCORE_THREADS";
@@ -84,8 +99,10 @@ impl ThreadPool {
     {
         let n = items.len();
         if self.threads == 1 || n < self.threads * MIN_ITEMS_PER_WORKER {
+            map_counter("inline").inc();
             return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
         }
+        map_counter("parallel").inc();
         let workers = self.threads.min(n);
         // a few chunks per worker: enough slack to balance skewed items
         // without paying cursor contention on every element

@@ -5,6 +5,7 @@
 //!          [--hardware H] [--trials N] [--priority P] [--target-ms MS] [--watch]
 //! harl-cli [--addr HOST:PORT] status|result|cancel|watch JOB_ID
 //! harl-cli [--addr HOST:PORT] list
+//! harl-cli [--addr HOST:PORT] metrics
 //! harl-cli [--addr HOST:PORT] shutdown
 //! ```
 //!
@@ -27,6 +28,7 @@ fn usage() -> ! {
          \x20 watch JOB_ID       follow a job to completion\n\
          \x20 cancel JOB_ID      stop a queued or running job\n\
          \x20 list               all jobs\n\
+         \x20 metrics            Prometheus text dump of the daemon's metrics\n\
          \x20 shutdown           checkpoint in-flight jobs and stop the daemon\n\
          WORKLOAD is e.g. gemm:1024x1024x1024, bgemm:8x128x64x128,\n\
          conv2d:1x56x56x64x64x3x1x1, or softmax:1024x1024"
@@ -78,6 +80,9 @@ fn main() {
             for view in client.list().unwrap_or_else(|e| die(e)) {
                 print_view(&view);
             }
+        }
+        "metrics" => {
+            print!("{}", client.metrics().unwrap_or_else(|e| die(e)));
         }
         "shutdown" => {
             client.shutdown().unwrap_or_else(|e| die(e));

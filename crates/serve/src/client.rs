@@ -79,6 +79,14 @@ impl Client {
         }
     }
 
+    /// The daemon's metrics registry as a Prometheus text dump.
+    pub fn metrics(&self) -> Result<String, ServeError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Asks the daemon to checkpoint in-flight jobs and stop.
     pub fn shutdown(&self) -> Result<(), ServeError> {
         match self.request(&Request::Shutdown)? {

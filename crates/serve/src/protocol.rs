@@ -26,6 +26,8 @@ pub enum Request {
     Cancel(String),
     /// List every job the daemon knows about.
     List,
+    /// Dump the daemon's metrics registry in Prometheus text format.
+    Metrics,
     /// Checkpoint all in-flight jobs and stop the daemon.
     Shutdown,
 }
@@ -76,6 +78,11 @@ pub enum Response {
     },
     /// Every known job, newest last.
     Jobs(Vec<JobView>),
+    /// The metrics registry, Prometheus text exposition format.
+    Metrics {
+        /// The rendered dump.
+        text: String,
+    },
     /// Shutdown acknowledged; in-flight jobs are being checkpointed.
     ShuttingDown,
     /// The request failed.
@@ -149,6 +156,7 @@ mod tests {
             Request::Result("j000001".into()),
             Request::Cancel("j000002".into()),
             Request::List,
+            Request::Metrics,
             Request::Shutdown,
         ];
         let mut buf = Vec::new();
@@ -195,6 +203,9 @@ mod tests {
                 }),
                 error: None,
             }]),
+            Response::Metrics {
+                text: "# TYPE x counter\nx 1\n".into(),
+            },
             Response::ShuttingDown,
             Response::error(ErrorCode::UnknownJob, "no job j000009"),
         ];

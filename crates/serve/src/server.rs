@@ -152,6 +152,7 @@ impl Shared {
         if let Some(e) = self.jobs.lock().expect("jobs poisoned").get_mut(id) {
             e.state = JobState::Cancelled;
         }
+        job_counter("cancelled").inc();
     }
 
     /// Marks a job failed with a persisted reason.
@@ -161,7 +162,21 @@ impl Shared {
             e.state = JobState::Failed;
             e.error = Some(message.to_string());
         }
+        job_counter("failed").inc();
     }
+
+    /// Publishes the waiting-queue depth gauge; called after every
+    /// push/pop so the dump always reflects the live queue.
+    pub(crate) fn update_queue_gauge(&self) {
+        harl_obs::global()
+            .gauge("harl_serve_queue_depth")
+            .set(self.queue.len() as f64);
+    }
+}
+
+/// Job lifecycle counter `harl_serve_jobs_total{state="..."}`.
+pub(crate) fn job_counter(state: &str) -> harl_obs::Counter {
+    harl_obs::global().counter(&format!("harl_serve_jobs_total{{state=\"{state}\"}}"))
 }
 
 /// A running daemon: accept loop + worker pool over a state root.
@@ -329,7 +344,17 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
 }
 
 fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
-    match req {
+    let verb = match &req {
+        Request::Submit(_) => "submit",
+        Request::Status(_) => "status",
+        Request::Result(_) => "result",
+        Request::Cancel(_) => "cancel",
+        Request::List => "list",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
+    };
+    let started = std::time::Instant::now();
+    let resp = match req {
         Request::Submit(spec) => submit(shared, spec),
         Request::Status(id) => status(shared, &id),
         Request::Result(id) => result(shared, &id),
@@ -343,11 +368,20 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
                 .map(|(id, e)| e.view(id))
                 .collect(),
         ),
+        Request::Metrics => Response::Metrics {
+            text: harl_obs::global().render(),
+        },
         Request::Shutdown => {
             shared.begin_shutdown();
             Response::ShuttingDown
         }
-    }
+    };
+    let reg = harl_obs::global();
+    reg.counter(&format!("harl_serve_requests_total{{verb=\"{verb}\"}}"))
+        .inc();
+    reg.histogram("harl_serve_request_seconds", harl_obs::SECONDS_BOUNDS)
+        .observe(started.elapsed().as_secs_f64());
+    resp
 }
 
 fn submit(shared: &Arc<Shared>, spec: JobSpec) -> Response {
@@ -376,7 +410,11 @@ fn submit(shared: &Arc<Shared>, spec: JobSpec) -> Response {
         .expect("jobs poisoned")
         .insert(id.clone(), JobEntry::new(spec));
     match shared.queue.push(id.clone(), priority) {
-        Ok(()) => Response::Submitted { id },
+        Ok(()) => {
+            job_counter("submitted").inc();
+            shared.update_queue_gauge();
+            Response::Submitted { id }
+        }
         Err(err) => {
             // roll the registration back: the job was never accepted
             shared.jobs.lock().expect("jobs poisoned").remove(&id);

@@ -18,11 +18,12 @@ use harl_tensor_sim::{Hardware, MeasureConfig, Measurer};
 
 use crate::error::ServeError;
 use crate::job::{JobOutcome, JobState, TunerKind};
-use crate::server::Shared;
+use crate::server::{job_counter, Shared};
 
 /// Pops and runs jobs until the queue closes (graceful shutdown).
 pub(crate) fn worker_loop(shared: &Arc<Shared>) {
     while let Some(id) = shared.queue.pop() {
+        shared.update_queue_gauge();
         let claimed = {
             let mut jobs = shared.jobs.lock().expect("jobs poisoned");
             match jobs.get_mut(&id) {
@@ -64,7 +65,23 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
         .map(|pool| pool.matching(graph.similarity_key()))
         .unwrap_or_default();
 
-    let tuner: Box<dyn Tuner + '_> = match spec.tuner {
+    // per-job trace: with HARL_TRACE on, each job writes its own
+    // jobs/<id>/trace.jsonl (the global HARL_TRACE_FILE would interleave
+    // concurrent jobs). Tracing failures never take the job down.
+    let tracer = if harl_obs::Tracer::env_enabled() {
+        match harl_obs::Tracer::to_file(&shared.job_dir(id).join("trace.jsonl")) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("harl-serve: cannot open trace for job {id}: {e}; tracing disabled");
+                harl_obs::Tracer::disabled()
+            }
+        }
+    } else {
+        harl_obs::Tracer::disabled()
+    };
+    let _job_span = tracer.span_with("job", &[("id", id.into())]);
+
+    let mut tuner: Box<dyn Tuner + '_> = match spec.tuner {
         TunerKind::Harl => Box::new(HarlOperatorTuner::new(
             graph,
             &measurer,
@@ -77,6 +94,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
             FlextensorConfig::default(),
         )),
     };
+    tuner.set_tracer(tracer.clone());
     let mut session = TuningSession::builder()
         .job_key(spec.job_key())
         .warm_pool(warm_pool)
@@ -84,6 +102,9 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
         .launch(tuner, &measurer, Some(store.clone()))?;
 
     let resumed = session.resumed();
+    if resumed {
+        job_counter("resumed").inc();
+    }
     let warm_records = session.warm_records() as u64;
     {
         let mut jobs = shared.jobs.lock().expect("jobs poisoned");
@@ -189,5 +210,6 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
             e.outcome = Some(payload);
         }
     }
+    job_counter("completed").inc();
     Ok(())
 }

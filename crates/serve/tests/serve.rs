@@ -299,3 +299,39 @@ fn priorities_order_the_queue_and_invalid_specs_are_rejected() {
     daemon.wait();
     let _ = std::fs::remove_dir_all(&root);
 }
+
+#[test]
+fn metrics_verb_exposes_lifecycle_and_request_counters() {
+    let root = temp_root("metrics");
+    let (daemon, client) = start(&root, 1, 8);
+
+    let id = client.submit(&gemm_spec(16)).expect("submit");
+    client
+        .wait(&id, Duration::from_millis(10), |_| {})
+        .expect("job completes");
+
+    let dump = client.metrics().expect("metrics verb");
+    // Prometheus exposition format: typed families, labelled samples
+    assert!(dump.contains("# TYPE harl_serve_requests_total counter"));
+    assert!(dump.contains("harl_serve_requests_total{verb=\"submit\"}"));
+    assert!(dump.contains("harl_serve_requests_total{verb=\"status\"}"));
+    assert!(dump.contains("harl_serve_jobs_total{state=\"submitted\"}"));
+    assert!(dump.contains("harl_serve_jobs_total{state=\"completed\"}"));
+    assert!(dump.contains("# TYPE harl_serve_request_seconds histogram"));
+    assert!(dump.contains("harl_serve_request_seconds_bucket{le=\"+Inf\"}"));
+    assert!(dump.contains("harl_serve_request_seconds_count"));
+    assert!(dump.contains("harl_serve_queue_depth"));
+    // the tuning run itself feeds the scoring counters
+    assert!(dump.contains("harl_scoring_candidates_total"));
+    assert!(dump.contains("harl_measure_trials_total"));
+
+    // raw wire shape: one Metrics request line -> one Metrics response line
+    match client.request(&Request::Metrics).expect("raw request") {
+        Response::Metrics { text } => assert!(text.contains("harl_serve_requests_total")),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    daemon.wait();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -50,6 +50,23 @@ use harl_tensor_ir::Schedule;
 use harl_tensor_sim::{MeasureEvent, RecordSink};
 use serde::{Deserialize, Serialize};
 
+/// Global store I/O metrics: append volume and checkpoint write cost.
+fn store_metrics() -> &'static (harl_obs::Counter, harl_obs::Counter, harl_obs::Histogram) {
+    static CELL: OnceLock<(harl_obs::Counter, harl_obs::Counter, harl_obs::Histogram)> =
+        OnceLock::new();
+    CELL.get_or_init(|| {
+        let reg = harl_obs::global();
+        (
+            reg.counter("harl_store_records_appended_total"),
+            reg.counter("harl_store_checkpoint_writes_total"),
+            reg.histogram(
+                "harl_store_checkpoint_write_seconds",
+                harl_obs::SECONDS_BOUNDS,
+            ),
+        )
+    })
+}
+
 /// Current on-disk format version (the `version` field of the header).
 pub const FORMAT_VERSION: u32 = 1;
 
@@ -342,6 +359,7 @@ impl RecordStore {
             .lock()
             .expect("record store poisoned")
             .push(record);
+        store_metrics().0.inc();
         Ok(())
     }
 
@@ -352,9 +370,13 @@ impl RecordStore {
 
     /// Atomically writes a session checkpoint (opaque JSON payload).
     pub fn save_checkpoint(&self, json: &str) -> Result<(), StoreError> {
+        let t = std::time::Instant::now();
         let tmp = self.dir.join(format!("{CHECKPOINT_FILE}.tmp"));
         fs::write(&tmp, json)?;
         fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
+        let (_, writes, seconds) = store_metrics();
+        writes.inc();
+        seconds.observe(t.elapsed().as_secs_f64());
         Ok(())
     }
 

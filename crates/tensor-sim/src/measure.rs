@@ -18,6 +18,13 @@ use harl_tensor_ir::{Schedule, Sketch, Subgraph};
 use crate::config::ConfigError;
 use crate::hardware::Hardware;
 
+/// Global count of measurement trials issued — the scarce resource every
+/// tuner budgets against, so it belongs in every metrics dump.
+fn trials_counter() -> &'static harl_obs::Counter {
+    static CELL: std::sync::OnceLock<harl_obs::Counter> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| harl_obs::global().counter("harl_measure_trials_total"))
+}
+
 /// Configuration of the measurement process.
 #[derive(Debug, Clone)]
 pub struct MeasureConfig {
@@ -266,6 +273,7 @@ impl Measurer {
         // repeated execution until r_min seconds have elapsed, plus build
         st.sim_seconds += self.cfg.r_min.max(t) + self.cfg.build_overhead;
         drop(st);
+        trials_counter().inc();
         let flops_per_sec = graph.flops() / noisy;
         self.notify_sink(graph, schedule, noisy, flops_per_sec);
         Measurement {
@@ -312,6 +320,7 @@ impl Measurer {
             });
         }
         drop(st);
+        trials_counter().add(out.len() as u64);
         for m in &out {
             self.notify_sink(graph, &m.schedule, m.time, m.flops_per_sec);
         }

@@ -10,7 +10,9 @@
 //! warm-starts from the first run's measurements (or resumes, if the first
 //! run was interrupted). `HARL_TARGET_MS=<ms>` additionally reports how
 //! many trials it took to reach that latency — the hook the CI warm-start
-//! smoke test uses.
+//! smoke test uses. `HARL_TRACE=1` writes a span trace of the whole run to
+//! `trace.jsonl` (`HARL_TRACE_FILE` overrides the path); summarize it with
+//! `harl-trace trace.jsonl`. Tracing never changes the search.
 
 use std::sync::Arc;
 
@@ -49,7 +51,10 @@ fn main() {
     let store = env_or_die(envopts::store_dir_from_env())
         .map(|dir| Arc::new(RecordStore::open(&dir).expect("open record store")));
     let target_ms = env_or_die(envopts::target_ms_from_env());
+    let tracer = harl_repro::obs::Tracer::from_env();
+    let quickstart_span = tracer.span("quickstart");
     let mut tuner = HarlOperatorTuner::new(gemm.clone(), &measurer, HarlConfig::fast());
+    tuner.set_tracer(tracer.clone());
     let mut session = TuningSession::builder()
         .job_key(format!("quickstart/{}", gemm.name))
         .launch(Box::new(&mut tuner), &measurer, store.clone())
@@ -68,6 +73,10 @@ fn main() {
     }
     session.run(160).expect("tuning session");
     session.finish().expect("finish session");
+    drop(quickstart_span);
+    if tracer.is_enabled() {
+        println!("trace: written (summarize with `harl-trace`)");
+    }
 
     // 5. Report.
     let best = tuner

@@ -52,6 +52,7 @@ pub use harl_core as harl;
 pub use harl_gbt as gbt;
 pub use harl_nn_models as models;
 pub use harl_nnet as nnet;
+pub use harl_obs as obs;
 pub use harl_serve as serve;
 pub use harl_store as store;
 pub use harl_tensor_ir as ir;

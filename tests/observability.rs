@@ -1,0 +1,197 @@
+//! The observability layer must be *observation only*: running with a
+//! tracer attached has to leave every search-visible artifact — best
+//! latency bits, the tuning trace, the checkpoint bytes — exactly as the
+//! untraced run produces them, while still writing a structurally valid
+//! span log. These tests pin that invariant for the HARL and Ansor tuners
+//! end-to-end.
+//!
+//! The tracer is constructed directly (not via `HARL_TRACE`): mutating
+//! process env in a multi-threaded test binary races with other tests.
+//! CI's smoke stage covers the env path against the quickstart example.
+
+use harl_repro::ansor::AnsorTuner;
+use harl_repro::harl::HarlOperatorTuner;
+use harl_repro::obs::Tracer;
+use harl_repro::prelude::*;
+
+fn gemm() -> Subgraph {
+    harl_repro::ir::workload::gemm(256, 256, 256)
+}
+
+fn trace_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("harl-obs-{tag}-{}.jsonl", std::process::id()))
+}
+
+/// (best_time bits, trials, trace JSON, checkpoint JSON) of a HARL run,
+/// optionally traced.
+fn harl_run(tracer: Option<Tracer>, trials: u64) -> (u64, u64, String, String) {
+    let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t = HarlOperatorTuner::new(gemm(), &m, HarlConfig::tiny());
+    if let Some(tr) = tracer {
+        t.set_tracer(tr);
+    }
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t), &m, None)
+            .unwrap();
+        s.run(trials).unwrap();
+    }
+    (
+        t.best_time.to_bits(),
+        t.trials_used,
+        serde_json::to_string(&t.trace).unwrap(),
+        serde_json::to_string(&t.checkpoint_state()).unwrap(),
+    )
+}
+
+fn ansor_run(tracer: Option<Tracer>, trials: u64) -> (u64, u64, String, String) {
+    let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t = AnsorTuner::new(gemm(), &m, AnsorConfig::default());
+    if let Some(tr) = tracer {
+        t.set_tracer(tr);
+    }
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t), &m, None)
+            .unwrap();
+        s.run(trials).unwrap();
+    }
+    (
+        t.best_time.to_bits(),
+        t.trials_used,
+        serde_json::to_string(&t.trace).unwrap(),
+        serde_json::to_string(&t.checkpoint_state()).unwrap(),
+    )
+}
+
+/// Numeric field of one hand-rolled JSON trace line.
+fn num_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// String field of one hand-rolled JSON trace line (no escapes in names).
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    rest.split('"').next()
+}
+
+/// Structural checks on a written trace file: parseable lines, balanced
+/// span_start/span_end, ids unique, timestamps monotone.
+fn check_trace(path: &std::path::Path, expect_span: &str) {
+    let text = std::fs::read_to_string(path).expect("trace file written");
+    assert!(!text.is_empty(), "trace file is empty");
+    let mut starts = 0u64;
+    let mut ends = 0u64;
+    let mut last_ts = 0u64;
+    let mut ids = std::collections::HashSet::new();
+    let mut names = std::collections::HashSet::new();
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "malformed trace line: {line}"
+        );
+        let kind = str_field(line, "t").expect("record kind");
+        let ts = num_field(line, "ts_us").expect("timestamp");
+        assert!(ts >= last_ts, "timestamps must be monotone");
+        last_ts = ts;
+        match kind {
+            "span_start" => {
+                starts += 1;
+                let id = num_field(line, "id").expect("span id");
+                assert!(ids.insert(id), "span ids unique");
+                names.insert(str_field(line, "name").unwrap().to_string());
+            }
+            "span_end" => ends += 1,
+            "event" => {
+                names.insert(str_field(line, "name").unwrap().to_string());
+            }
+            other => panic!("unknown record kind `{other}`"),
+        }
+    }
+    assert_eq!(starts, ends, "every span must close");
+    assert!(
+        names.contains(expect_span),
+        "trace must contain `{expect_span}`; saw {names:?}"
+    );
+}
+
+#[test]
+fn traced_harl_run_is_bit_identical_to_untraced() {
+    let path = trace_path("harl");
+    let _ = std::fs::remove_file(&path);
+    let plain = harl_run(None, 48);
+    let traced = {
+        let tracer = Tracer::to_file(&path).expect("open trace file");
+        harl_run(Some(tracer), 48)
+    };
+    assert_eq!(plain.0, traced.0, "best_time bits must match");
+    assert_eq!(plain.1, traced.1, "trials must match");
+    assert_eq!(plain.2, traced.2, "tuning trace must match");
+    assert_eq!(plain.3, traced.3, "checkpoint bytes must match");
+    check_trace(&path, "harl_round");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn traced_ansor_run_is_bit_identical_to_untraced() {
+    let path = trace_path("ansor");
+    let _ = std::fs::remove_file(&path);
+    let plain = ansor_run(None, 64);
+    let traced = {
+        let tracer = Tracer::to_file(&path).expect("open trace file");
+        ansor_run(Some(tracer), 64)
+    };
+    assert_eq!(plain.0, traced.0, "best_time bits must match");
+    assert_eq!(plain.1, traced.1, "trials must match");
+    assert_eq!(plain.2, traced.2, "tuning trace must match");
+    assert_eq!(plain.3, traced.3, "checkpoint bytes must match");
+    check_trace(&path, "ansor_round");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn harl_trace_contains_episode_phases() {
+    let path = trace_path("phases");
+    let _ = std::fs::remove_file(&path);
+    let tracer = Tracer::to_file(&path).expect("open trace file");
+    harl_run(Some(tracer), 32);
+    let text = std::fs::read_to_string(&path).unwrap();
+    for phase in [
+        "sketch_pick",
+        "episode",
+        "ppo_act",
+        "score",
+        "topk_select",
+        "measure",
+        "gbt_retrain",
+    ] {
+        assert!(
+            text.contains(&format!("\"name\":\"{phase}\"")),
+            "trace must contain phase `{phase}`"
+        );
+    }
+    // pipeline events are parented under the episode's spans
+    assert!(text.contains("\"name\":\"score_batch\""));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn global_metrics_render_after_a_run() {
+    harl_run(None, 16);
+    let dump = harl_repro::obs::global().render();
+    for needle in [
+        "harl_scoring_candidates_total",
+        "harl_gbt_retrains_total",
+        "harl_measure_trials_total",
+    ] {
+        assert!(dump.contains(needle), "metrics dump must contain {needle}");
+    }
+}
