@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Repo-wide quality gate, staged:
 #
-#   ci/check.sh                  run every stage (fmt -> lint -> test -> smoke)
+#   ci/check.sh                  run every stage (fmt -> lint -> test -> smoke -> analyze)
 #   ci/check.sh --stage lint     run one stage
 #
 # Stages live in their own scripts (ci/fmt.sh, ci/lint.sh, ci/test.sh,
-# ci/smoke.sh) so CI systems can run them as separate fail-fast jobs; this
+# ci/smoke.sh, ci/analyze.sh) so CI systems can run them as separate
+# fail-fast jobs; this
 # orchestrator adds per-stage timing lines and a summary table, exiting
 # non-zero when any stage failed. Pass --offline (the default when the
 # registry is unreachable) through CARGO_FLAGS if needed.
@@ -13,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 usage() {
-    echo "usage: ci/check.sh [--stage fmt|lint|test|smoke|all]" >&2
+    echo "usage: ci/check.sh [--stage fmt|lint|test|smoke|analyze|all]" >&2
     exit 2
 }
 
@@ -26,8 +27,8 @@ elif [ $# -ge 1 ]; then
 fi
 
 case "$STAGE" in
-fmt | lint | test | smoke) STAGES=("$STAGE") ;;
-all) STAGES=(fmt lint test smoke) ;;
+fmt | lint | test | smoke | analyze) STAGES=("$STAGE") ;;
+all) STAGES=(fmt lint test smoke analyze) ;;
 *) usage ;;
 esac
 

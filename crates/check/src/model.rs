@@ -1,0 +1,360 @@
+//! A small explicit-state model checker (loom-style, but dependency-free
+//! and sequentially consistent).
+//!
+//! A [`Model`] is a deterministic state machine over `N` logical threads:
+//! [`Checker::check`] explores every interleaving of their atomic steps
+//! by depth-first search, deduplicating states by hash fingerprint. After
+//! every transition the model's [`Model::invariant`] must hold; when all
+//! threads are done, [`Model::finale`] checks completion properties
+//! (e.g. "everything pushed was popped exactly once"). A state where no
+//! thread can step but some are still blocked is reported as a deadlock.
+//!
+//! Every violation carries the exact thread **schedule** (the sequence of
+//! thread ids stepped from the initial state) that reproduces it —
+//! [`replay`] re-runs a schedule deterministically for debugging.
+//!
+//! The models stay small (a handful of threads, bounded data), so the
+//! checker is *exhaustive* within its bounds: a pass is a proof over the
+//! model, not a statistical argument like a stress test. What the model
+//! abstracts away (the real memory model, the real filesystem) is what a
+//! pass does **not** cover — see DESIGN.md §11 for the proves-vs-tests
+//! boundary.
+
+use std::collections::HashSet;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+/// Outcome of asking a model thread to take its next atomic step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The thread performed a transition; the state changed (or at least
+    /// may have).
+    Ran,
+    /// The thread cannot currently step (waiting on a lock/condvar); it
+    /// may become runnable after another thread runs.
+    Blocked,
+    /// The thread has terminated; it will never step again.
+    Done,
+}
+
+/// A finite-state concurrency model: `N` logical threads stepping over
+/// shared state.
+///
+/// Requirements for the search to be sound:
+/// - `step(tid)` must be **deterministic** given the current state;
+/// - a `Blocked`/`Done` reply must leave the state unchanged;
+/// - `Hash` must cover *all* state that influences future behaviour
+///   (two states hashing equal are treated as identical).
+pub trait Model: Clone + Hash {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+    /// Number of logical threads (thread ids are `0..thread_count()`).
+    fn thread_count(&self) -> usize;
+    /// Advance thread `tid` by one atomic step.
+    fn step(&mut self, tid: usize) -> Step;
+    /// Safety property, checked after every transition.
+    fn invariant(&self) -> Result<(), String>;
+    /// Completion property, checked when every thread is `Done`.
+    fn finale(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A counterexample: the schedule that led to the failure.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Thread ids stepped, in order, from the initial state.
+    pub schedule: Vec<usize>,
+    /// What went wrong (invariant/finale message, or a deadlock note).
+    pub message: String,
+}
+
+/// Result of exploring one model.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The model's display name.
+    pub model: &'static str,
+    /// Distinct states expanded.
+    pub states_explored: usize,
+    /// Successor states skipped because an equal-hash state was already
+    /// seen.
+    pub deduped: usize,
+    /// Deepest schedule reached.
+    pub max_depth_seen: usize,
+    /// True when the search finished without hitting a bound: the state
+    /// space was covered exhaustively.
+    pub exhausted: bool,
+    /// First violation found, if any (the search stops at the first).
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// Exhaustive and violation-free.
+    pub fn passed(&self) -> bool {
+        self.exhausted && self.violation.is_none()
+    }
+}
+
+/// Bounded DFS over a model's interleavings.
+#[derive(Debug, Clone, Copy)]
+pub struct Checker {
+    /// Longest schedule explored before the branch is abandoned (and the
+    /// report marked non-exhaustive).
+    pub max_depth: usize,
+    /// Most distinct states expanded before the search is cut off.
+    pub max_states: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            max_depth: 128,
+            max_states: 200_000,
+        }
+    }
+}
+
+fn fingerprint<M: Hash>(m: &M) -> u64 {
+    let mut h = DefaultHasher::new();
+    m.hash(&mut h);
+    h.finish()
+}
+
+impl Checker {
+    /// Explores every interleaving of `model` within the bounds, stopping
+    /// at the first violation.
+    pub fn check<M: Model>(&self, model: M) -> Report {
+        let mut report = Report {
+            model: model.name(),
+            states_explored: 0,
+            deduped: 0,
+            max_depth_seen: 0,
+            exhausted: true,
+            violation: None,
+        };
+        let threads = model.thread_count();
+        let mut seen: HashSet<u64> = HashSet::new();
+        seen.insert(fingerprint(&model));
+        let mut stack: Vec<(M, Vec<usize>)> = vec![(model, Vec::new())];
+
+        while let Some((state, path)) = stack.pop() {
+            if report.states_explored >= self.max_states {
+                report.exhausted = false;
+                break;
+            }
+            report.states_explored += 1;
+            report.max_depth_seen = report.max_depth_seen.max(path.len());
+            if path.len() >= self.max_depth {
+                report.exhausted = false;
+                continue;
+            }
+
+            let mut any_ran = false;
+            let mut any_blocked = false;
+            let mut all_done = true;
+            for tid in 0..threads {
+                let mut next = state.clone();
+                match next.step(tid) {
+                    Step::Done => continue,
+                    Step::Blocked => {
+                        any_blocked = true;
+                        all_done = false;
+                        continue;
+                    }
+                    Step::Ran => {
+                        any_ran = true;
+                        all_done = false;
+                    }
+                }
+                let mut next_path = path.clone();
+                next_path.push(tid);
+                if let Err(msg) = next.invariant() {
+                    report.violation = Some(Violation {
+                        schedule: next_path,
+                        message: msg,
+                    });
+                    return report;
+                }
+                if seen.insert(fingerprint(&next)) {
+                    stack.push((next, next_path));
+                } else {
+                    report.deduped += 1;
+                }
+            }
+
+            if all_done {
+                if let Err(msg) = state.finale() {
+                    report.violation = Some(Violation {
+                        schedule: path,
+                        message: format!("finale: {msg}"),
+                    });
+                    return report;
+                }
+            } else if !any_ran && any_blocked {
+                report.violation = Some(Violation {
+                    schedule: path,
+                    message: "deadlock: no thread can run but some are still blocked".to_string(),
+                });
+                return report;
+            }
+        }
+        report
+    }
+}
+
+/// Re-runs `schedule` from `model`'s initial state, returning the final
+/// state and the first invariant failure hit along the way (if any).
+pub fn replay<M: Model>(mut model: M, schedule: &[usize]) -> (M, Option<String>) {
+    for &tid in schedule {
+        if model.step(tid) != Step::Ran {
+            return (
+                model,
+                Some(format!("schedule stuck: thread {tid} did not run")),
+            );
+        }
+        if let Err(msg) = model.invariant() {
+            return (model, Some(msg));
+        }
+    }
+    (model, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads each do read-modify-write on a shared counter. In the
+    /// `atomic` variant the increment is one step; in the racy variant it
+    /// is a separate read step and write step, so interleavings lose
+    /// updates.
+    #[derive(Clone, Hash)]
+    struct CounterModel {
+        atomic: bool,
+        shared: u8,
+        // per-thread: program counter (0 = start, 1 = read done, 2 = done)
+        // and the value read
+        pc: [u8; 2],
+        tmp: [u8; 2],
+    }
+
+    impl CounterModel {
+        fn new(atomic: bool) -> Self {
+            CounterModel {
+                atomic,
+                shared: 0,
+                pc: [0; 2],
+                tmp: [0; 2],
+            }
+        }
+    }
+
+    impl Model for CounterModel {
+        fn name(&self) -> &'static str {
+            "counter"
+        }
+        fn thread_count(&self) -> usize {
+            2
+        }
+        fn step(&mut self, tid: usize) -> Step {
+            if self.atomic {
+                match self.pc[tid] {
+                    0 => {
+                        self.shared += 1;
+                        self.pc[tid] = 2;
+                        Step::Ran
+                    }
+                    _ => Step::Done,
+                }
+            } else {
+                match self.pc[tid] {
+                    0 => {
+                        self.tmp[tid] = self.shared;
+                        self.pc[tid] = 1;
+                        Step::Ran
+                    }
+                    1 => {
+                        self.shared = self.tmp[tid] + 1;
+                        self.pc[tid] = 2;
+                        Step::Ran
+                    }
+                    _ => Step::Done,
+                }
+            }
+        }
+        fn invariant(&self) -> Result<(), String> {
+            Ok(())
+        }
+        fn finale(&self) -> Result<(), String> {
+            if self.shared == 2 {
+                Ok(())
+            } else {
+                Err(format!("lost update: counter is {} not 2", self.shared))
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_counter_passes_exhaustively() {
+        let r = Checker::default().check(CounterModel::new(true));
+        assert!(r.passed(), "report: {r:?}");
+        assert!(r.states_explored >= 3);
+    }
+
+    #[test]
+    fn racy_counter_yields_counterexample_schedule() {
+        let r = Checker::default().check(CounterModel::new(false));
+        let v = r.violation.expect("racy counter must fail");
+        assert!(v.message.contains("lost update"), "got: {}", v.message);
+        // The counterexample must replay: both reads before both writes.
+        let (end, err) = replay(CounterModel::new(false), &v.schedule);
+        assert!(err.is_none(), "replay broke: {err:?}");
+        assert!(end.pc.iter().all(|&p| p == 2));
+        assert_eq!(end.shared, 1, "replayed schedule must lose an update");
+    }
+
+    /// A thread that blocks forever while the other finishes → deadlock.
+    #[derive(Clone, Hash)]
+    struct StuckModel {
+        pc: [u8; 2],
+    }
+
+    impl Model for StuckModel {
+        fn name(&self) -> &'static str {
+            "stuck"
+        }
+        fn thread_count(&self) -> usize {
+            2
+        }
+        fn step(&mut self, tid: usize) -> Step {
+            match (tid, self.pc[tid]) {
+                (0, 0) => {
+                    self.pc[0] = 1;
+                    Step::Ran
+                }
+                (0, _) => Step::Done,
+                // thread 1 waits for a signal nobody sends
+                (1, _) => Step::Blocked,
+                _ => unreachable!(),
+            }
+        }
+        fn invariant(&self) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn blocked_forever_is_reported_as_deadlock() {
+        let r = Checker::default().check(StuckModel { pc: [0; 2] });
+        let v = r.violation.expect("stuck model must deadlock");
+        assert!(v.message.contains("deadlock"), "got: {}", v.message);
+    }
+
+    #[test]
+    fn depth_bound_marks_report_non_exhaustive() {
+        let c = Checker {
+            max_depth: 1,
+            max_states: 1000,
+        };
+        let r = c.check(CounterModel::new(false));
+        assert!(!r.exhausted);
+    }
+}

@@ -1,0 +1,793 @@
+//! Instrumented `std::sync` wrappers.
+//!
+//! Without `--cfg harl_check` every type here is a `#[repr(transparent)]`
+//! newtype over its `std::sync` counterpart with `#[inline]` forwarding
+//! methods — release builds pay nothing (the `passthrough` tests pin the
+//! layout). With `--cfg harl_check` and `HARL_CHECK=1` in the
+//! environment, acquisitions feed a per-thread held-lock stack and a
+//! global *class-level* acquisition-order graph ("class" = the static
+//! name given at construction, e.g. `"serve.queue"`), and the wrappers
+//! fail fast on C001/C002/C004 or record C003 warnings (see the crate
+//! docs for the code meanings).
+//!
+//! Atomics additionally declare a [`AtomicRole`]: a `Counter` is a pure
+//! statistic where `Ordering::Relaxed` is fine; a `Flag` publishes a
+//! decision other threads act on (shutdown, cancellation), where a
+//! `Relaxed` access is flagged as C004.
+
+/// What an atomic is used for — determines which orderings the checked
+/// build accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicRole {
+    /// A statistic or monotonically advancing cursor; any ordering is
+    /// acceptable, including `Relaxed`.
+    Counter,
+    /// A flag other threads make control-flow decisions on (shutdown,
+    /// cancel, "results ready"). `Relaxed` loads/stores are reported as
+    /// C004 under checking.
+    Flag,
+}
+
+// ---------------------------------------------------------------------------
+// Passthrough build: transparent newtypes, zero overhead.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(harl_check))]
+mod passthrough {
+    use super::AtomicRole;
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Condvar, LockResult, Mutex, MutexGuard};
+
+    /// `std::sync::Mutex` with a lock-class name (discarded in this
+    /// build).
+    #[repr(transparent)]
+    #[derive(Debug, Default)]
+    pub struct CMutex<T>(Mutex<T>);
+
+    impl<T> CMutex<T> {
+        /// Wraps `value`; `_name` is the lock class used by the checked
+        /// build.
+        #[inline]
+        pub fn new(_name: &'static str, value: T) -> Self {
+            CMutex(Mutex::new(value))
+        }
+
+        #[inline]
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            self.0.lock()
+        }
+
+        #[inline]
+        pub fn into_inner(self) -> LockResult<T> {
+            self.0.into_inner()
+        }
+
+        /// The lock-class name (only retained by the checked build).
+        #[inline]
+        pub fn name(&self) -> &'static str {
+            "<unchecked>"
+        }
+
+        /// Checked builds panic (C004) when the current thread does not
+        /// hold this lock; a no-op here.
+        #[inline]
+        pub fn assert_held(&self) {}
+    }
+
+    /// `std::sync::Condvar` usable with [`CMutex`] guards.
+    #[repr(transparent)]
+    #[derive(Debug, Default)]
+    pub struct CCondvar(Condvar);
+
+    impl CCondvar {
+        #[inline]
+        pub fn new() -> Self {
+            CCondvar(Condvar::new())
+        }
+
+        #[inline]
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            self.0.wait(guard)
+        }
+
+        #[inline]
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        #[inline]
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+
+    macro_rules! passthrough_atomic {
+        ($name:ident, $inner:ident, $val:ty) => {
+            /// Role-declared atomic; plain `std::sync::atomic` in this
+            /// build.
+            #[repr(transparent)]
+            #[derive(Debug, Default)]
+            pub struct $name($inner);
+
+            impl $name {
+                #[inline]
+                pub fn new(value: $val, _name: &'static str, _role: AtomicRole) -> Self {
+                    $name($inner::new(value))
+                }
+
+                #[inline]
+                pub fn load(&self, order: Ordering) -> $val {
+                    self.0.load(order)
+                }
+
+                #[inline]
+                pub fn store(&self, value: $val, order: Ordering) {
+                    self.0.store(value, order);
+                }
+            }
+        };
+    }
+
+    passthrough_atomic!(CAtomicBool, AtomicBool, bool);
+    passthrough_atomic!(CAtomicU64, AtomicU64, u64);
+    passthrough_atomic!(CAtomicUsize, AtomicUsize, usize);
+
+    impl CAtomicU64 {
+        #[inline]
+        pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+            self.0.fetch_add(value, order)
+        }
+    }
+
+    impl CAtomicUsize {
+        #[inline]
+        pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+            self.0.fetch_add(value, order)
+        }
+    }
+}
+
+#[cfg(not(harl_check))]
+pub use passthrough::{CAtomicBool, CAtomicU64, CAtomicUsize, CCondvar, CMutex};
+
+// ---------------------------------------------------------------------------
+// Checked build: lock-graph recording, fail-fast diagnostics.
+// ---------------------------------------------------------------------------
+
+#[cfg(harl_check)]
+mod checked {
+    use super::AtomicRole;
+    use crate::active::{checking_enabled, fail, record_warning};
+    use crate::{DEFAULT_HOLD_MS, HOLD_MS_ENV};
+    use harl_verify::{Component, Diagnostic, LintCode};
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::ops::{Deref, DerefMut};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Condvar, LockResult, Mutex, MutexGuard, OnceLock, PoisonError};
+    use std::time::{Duration, Instant};
+
+    fn diag(code: LintCode, message: String) -> Diagnostic {
+        Diagnostic::new(code, Component::SyncPrimitive, message)
+    }
+
+    fn hold_threshold() -> Duration {
+        static MS: OnceLock<u64> = OnceLock::new();
+        Duration::from_millis(*MS.get_or_init(|| {
+            std::env::var(HOLD_MS_ENV)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_HOLD_MS)
+        }))
+    }
+
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    struct Held {
+        id: u64,
+        class: &'static str,
+        since: Instant,
+    }
+
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Class-level acquisition graph: an edge `a -> b` means some thread
+    /// acquired a lock of class `b` while holding one of class `a`.
+    fn graph() -> &'static Mutex<HashMap<&'static str, HashSet<&'static str>>> {
+        static GRAPH: OnceLock<Mutex<HashMap<&'static str, HashSet<&'static str>>>> =
+            OnceLock::new();
+        GRAPH.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn reaches(
+        g: &HashMap<&'static str, HashSet<&'static str>>,
+        from: &'static str,
+        to: &'static str,
+    ) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen: HashSet<&'static str> = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = g.get(n) {
+                for &m in next {
+                    if m == to {
+                        return true;
+                    }
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// Records an acquisition of `(id, class)` on the current thread.
+    /// Returns `true` when the acquisition is tracked (checking on).
+    /// Must run *before* the real `Mutex::lock` so a self-deadlock
+    /// panics instead of hanging.
+    fn on_acquire(id: u64, class: &'static str) -> bool {
+        if !checking_enabled() {
+            return false;
+        }
+        // Same-instance or same-class nesting → C002.
+        let nested: Option<Diagnostic> = HELD.with(|h| {
+            let h = h.borrow();
+            for held in h.iter() {
+                if held.id == id {
+                    return Some(diag(
+                        LintCode::DoubleLock,
+                        format!(
+                            "thread re-locked mutex `{class}` (id {id}) it already \
+                             holds; std::sync::Mutex is not reentrant, this deadlocks"
+                        ),
+                    ));
+                }
+                if held.class == class {
+                    return Some(diag(
+                        LintCode::DoubleLock,
+                        format!(
+                            "thread acquired a second lock of class `{class}` while \
+                             holding one; same-class nesting has no defined order"
+                        ),
+                    ));
+                }
+            }
+            None
+        });
+        if let Some(d) = nested {
+            fail(d);
+        }
+        // Order inversion: acquiring `class` while holding `h` creates
+        // the edge h -> class; if class already reaches h, that's a
+        // cycle → C001.
+        let inversion: Option<Diagnostic> = {
+            let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+            let held_classes: Vec<&'static str> =
+                HELD.with(|h| h.borrow().iter().map(|e| e.class).collect());
+            let mut found = None;
+            for hc in &held_classes {
+                if reaches(&g, class, hc) {
+                    found = Some(diag(
+                        LintCode::LockOrderInversion,
+                        format!(
+                            "acquiring `{class}` while holding `{hc}` inverts the \
+                             established order `{class}` -> `{hc}`; two threads taking \
+                             the classes in opposite orders can deadlock"
+                        ),
+                    ));
+                    break;
+                }
+            }
+            if found.is_none() {
+                for hc in held_classes {
+                    g.entry(hc).or_default().insert(class);
+                }
+            }
+            found
+        };
+        if let Some(d) = inversion {
+            fail(d);
+        }
+        HELD.with(|h| {
+            h.borrow_mut().push(Held {
+                id,
+                class,
+                since: Instant::now(),
+            })
+        });
+        true
+    }
+
+    fn on_release(id: u64) {
+        let released = HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            h.iter().rposition(|e| e.id == id).map(|pos| h.remove(pos))
+        });
+        if let Some(e) = released {
+            let held_for = e.since.elapsed();
+            if held_for > hold_threshold() {
+                record_warning(diag(
+                    LintCode::LongLockHold,
+                    format!(
+                        "lock `{}` held for {:?} (threshold {:?}); long holds \
+                         serialize the pipeline — move slow work (measurement, I/O) \
+                         outside the critical section",
+                        e.class,
+                        held_for,
+                        hold_threshold()
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn held_classes() -> Vec<&'static str> {
+        HELD.with(|h| h.borrow().iter().map(|e| e.class).collect())
+    }
+
+    pub(crate) fn assert_lock_free_impl(context: &str) {
+        if !checking_enabled() {
+            return;
+        }
+        let held = held_classes();
+        if !held.is_empty() {
+            record_warning(diag(
+                LintCode::LongLockHold,
+                format!(
+                    "blocking region `{context}` entered while holding lock(s) \
+                     [{}]; a slow measurement here stalls every thread contending \
+                     on them",
+                    held.join(", ")
+                ),
+            ));
+        }
+    }
+
+    /// `std::sync::Mutex` that records acquisitions in the lock graph.
+    #[derive(Debug)]
+    pub struct CMutex<T> {
+        id: u64,
+        name: &'static str,
+        inner: Mutex<T>,
+    }
+
+    impl<T> CMutex<T> {
+        pub fn new(name: &'static str, value: T) -> Self {
+            CMutex {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                name,
+                inner: Mutex::new(value),
+            }
+        }
+
+        pub fn lock(&self) -> LockResult<CMutexGuard<'_, T>> {
+            // Before the real lock: a self-deadlock must panic, not hang.
+            let tracked = on_acquire(self.id, self.name);
+            match self.inner.lock() {
+                Ok(g) => Ok(CMutexGuard {
+                    id: self.id,
+                    class: self.name,
+                    inner: Some(g),
+                    tracked,
+                }),
+                Err(e) => Err(PoisonError::new(CMutexGuard {
+                    id: self.id,
+                    class: self.name,
+                    inner: Some(e.into_inner()),
+                    tracked,
+                })),
+            }
+        }
+
+        pub fn into_inner(self) -> LockResult<T> {
+            self.inner.into_inner()
+        }
+
+        pub fn name(&self) -> &'static str {
+            self.name
+        }
+
+        /// Panics (C004) when checking is on and the current thread does
+        /// not hold this mutex — guards data documented as
+        /// "protected by" it against unprotected access paths.
+        pub fn assert_held(&self) {
+            if !checking_enabled() {
+                return;
+            }
+            let held = HELD.with(|h| h.borrow().iter().any(|e| e.id == self.id));
+            if !held {
+                fail(diag(
+                    LintCode::UnorderedSharedWrite,
+                    format!(
+                        "data protected by `{}` accessed without holding it \
+                         (assert_held failed)",
+                        self.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    impl<T: Default> Default for CMutex<T> {
+        fn default() -> Self {
+            CMutex::new("<default>", T::default())
+        }
+    }
+
+    /// Guard for [`CMutex`]; pops the held-lock stack (and checks the
+    /// hold duration) on drop.
+    #[derive(Debug)]
+    pub struct CMutexGuard<'a, T> {
+        id: u64,
+        class: &'static str,
+        inner: Option<MutexGuard<'a, T>>,
+        tracked: bool,
+    }
+
+    impl<T> Deref for CMutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<T> DerefMut for CMutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard taken")
+        }
+    }
+
+    impl<T> Drop for CMutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.tracked {
+                on_release(self.id);
+            }
+        }
+    }
+
+    /// `std::sync::Condvar` aware of [`CMutexGuard`] tracking: the wait
+    /// releases the guard's slot in the held stack and re-records it on
+    /// wake, and waiting while holding *other* locks is a C003 warning
+    /// (those locks stay held for the whole sleep).
+    #[derive(Debug, Default)]
+    pub struct CCondvar {
+        inner: Condvar,
+    }
+
+    impl CCondvar {
+        pub fn new() -> Self {
+            CCondvar {
+                inner: Condvar::new(),
+            }
+        }
+
+        pub fn wait<'a, T>(&self, mut guard: CMutexGuard<'a, T>) -> LockResult<CMutexGuard<'a, T>> {
+            let id = guard.id;
+            let class = guard.class;
+            if guard.tracked {
+                let others: Vec<&'static str> =
+                    held_classes().into_iter().filter(|c| *c != class).collect();
+                if !others.is_empty() {
+                    record_warning(diag(
+                        LintCode::LongLockHold,
+                        format!(
+                            "condvar wait on `{class}` while still holding \
+                             [{}]; those locks stay blocked for the whole sleep",
+                            others.join(", ")
+                        ),
+                    ));
+                }
+                on_release(id);
+                guard.tracked = false;
+            }
+            let inner = guard.inner.take().expect("guard taken");
+            drop(guard);
+            let rewrap = |g: MutexGuard<'a, T>| CMutexGuard {
+                id,
+                class,
+                inner: Some(g),
+                tracked: on_acquire(id, class),
+            };
+            match self.inner.wait(inner) {
+                Ok(g) => Ok(rewrap(g)),
+                Err(e) => Err(PoisonError::new(rewrap(e.into_inner()))),
+            }
+        }
+
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+
+    fn check_flag_ordering(name: &'static str, role: AtomicRole, order: Ordering, op: &str) {
+        if role == AtomicRole::Flag && order == Ordering::Relaxed && checking_enabled() {
+            fail(diag(
+                LintCode::UnorderedSharedWrite,
+                format!(
+                    "Relaxed {op} on flag atomic `{name}`; a flag publishes a \
+                     decision other threads act on and needs at least \
+                     Acquire/Release ordering"
+                ),
+            ));
+        }
+    }
+
+    macro_rules! checked_atomic {
+        ($name:ident, $inner:ident, $val:ty) => {
+            /// Role-declared atomic; checks orderings against the role.
+            #[derive(Debug)]
+            pub struct $name {
+                inner: $inner,
+                name: &'static str,
+                role: AtomicRole,
+            }
+
+            impl $name {
+                pub fn new(value: $val, name: &'static str, role: AtomicRole) -> Self {
+                    $name {
+                        inner: $inner::new(value),
+                        name,
+                        role,
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $val {
+                    check_flag_ordering(self.name, self.role, order, "load");
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, value: $val, order: Ordering) {
+                    check_flag_ordering(self.name, self.role, order, "store");
+                    self.inner.store(value, order);
+                }
+            }
+        };
+    }
+
+    checked_atomic!(CAtomicBool, AtomicBool, bool);
+    checked_atomic!(CAtomicU64, AtomicU64, u64);
+    checked_atomic!(CAtomicUsize, AtomicUsize, usize);
+
+    impl CAtomicU64 {
+        pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+            check_flag_ordering(self.name, self.role, order, "fetch_add");
+            self.inner.fetch_add(value, order)
+        }
+    }
+
+    impl CAtomicUsize {
+        pub fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+            check_flag_ordering(self.name, self.role, order, "fetch_add");
+            self.inner.fetch_add(value, order)
+        }
+    }
+}
+
+#[cfg(harl_check)]
+pub use checked::{CAtomicBool, CAtomicU64, CAtomicUsize, CCondvar, CMutex, CMutexGuard};
+
+#[cfg(harl_check)]
+pub(crate) use checked::assert_lock_free_impl;
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(all(test, not(harl_check)))]
+mod passthrough_tests {
+    use super::*;
+    use std::mem::size_of;
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex};
+
+    /// The whole point of the passthrough build: the wrappers add no
+    /// fields, so every release-mode access compiles to the plain
+    /// std::sync operation.
+    #[test]
+    fn wrappers_are_layout_identical_to_std() {
+        assert_eq!(size_of::<CMutex<u64>>(), size_of::<Mutex<u64>>());
+        assert_eq!(
+            size_of::<CMutex<Vec<String>>>(),
+            size_of::<Mutex<Vec<String>>>()
+        );
+        assert_eq!(size_of::<CCondvar>(), size_of::<Condvar>());
+        assert_eq!(size_of::<CAtomicBool>(), size_of::<AtomicBool>());
+        assert_eq!(size_of::<CAtomicU64>(), size_of::<AtomicU64>());
+        assert_eq!(size_of::<CAtomicUsize>(), size_of::<AtomicUsize>());
+    }
+
+    #[test]
+    fn passthrough_mutex_and_atomics_behave_like_std() {
+        let m = CMutex::new("test.plain", 1u64);
+        *m.lock().expect("lock") += 41;
+        m.assert_held(); // no-op here
+        assert_eq!(m.into_inner().expect("into_inner"), 42);
+        assert_eq!(CMutex::new("test.plain", 7u8).name(), "<unchecked>");
+
+        let b = CAtomicBool::new(false, "test.flag", AtomicRole::Flag);
+        b.store(true, Ordering::SeqCst);
+        assert!(b.load(Ordering::SeqCst));
+        let c = CAtomicU64::new(5, "test.ctr", AtomicRole::Counter);
+        assert_eq!(c.fetch_add(3, Ordering::Relaxed), 5);
+        assert_eq!(c.load(Ordering::Relaxed), 8);
+        let u = CAtomicUsize::new(0, "test.cursor", AtomicRole::Counter);
+        u.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(u.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn checking_is_compiled_out() {
+        assert!(!crate::checking_enabled());
+        crate::force_enable();
+        assert!(!crate::checking_enabled());
+        crate::assert_lock_free("anywhere");
+        assert!(crate::take_warnings().is_empty());
+    }
+}
+
+#[cfg(all(test, harl_check))]
+mod checked_tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// The warnings sink is global and `take_warnings` drains it, so the
+    /// tests that assert on recorded warnings must not run concurrently
+    /// with each other.
+    static WARNINGS_SINK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn panic_message(r: std::thread::Result<()>) -> String {
+        let payload = r.expect_err("expected a harl-check panic");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn double_lock_same_instance_is_c002() {
+        crate::force_enable();
+        let m = CMutex::new("t.double", 0u32);
+        let _g = m.lock().expect("first lock");
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _g2 = m.lock();
+        })));
+        assert!(msg.contains("C002"), "got: {msg}");
+    }
+
+    #[test]
+    fn same_class_nesting_is_c002() {
+        crate::force_enable();
+        let a = CMutex::new("t.sameclass", 0u32);
+        let b = CMutex::new("t.sameclass", 0u32);
+        let _g = a.lock().expect("lock a");
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _g2 = b.lock();
+        })));
+        assert!(msg.contains("C002"), "got: {msg}");
+    }
+
+    #[test]
+    fn abba_inversion_is_c001() {
+        crate::force_enable();
+        let a = CMutex::new("t.inv_a", ());
+        let b = CMutex::new("t.inv_b", ());
+        {
+            let _ga = a.lock().expect("a");
+            let _gb = b.lock().expect("b"); // establishes t.inv_a -> t.inv_b
+        }
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _gb = b.lock().expect("b");
+            let _ga = a.lock(); // inverts the order
+        })));
+        assert!(msg.contains("C001"), "got: {msg}");
+    }
+
+    #[test]
+    fn relaxed_flag_access_is_c004() {
+        crate::force_enable();
+        let f = CAtomicBool::new(false, "t.flag_relaxed", AtomicRole::Flag);
+        f.store(true, Ordering::SeqCst); // fine
+        assert!(f.load(Ordering::Acquire));
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            f.store(false, Ordering::Relaxed);
+        })));
+        assert!(msg.contains("C004"), "got: {msg}");
+        // Counters may be Relaxed.
+        let c = CAtomicUsize::new(0, "t.ctr_relaxed", AtomicRole::Counter);
+        c.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(c.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn assert_held_outside_lock_is_c004() {
+        crate::force_enable();
+        let m = CMutex::new("t.assert_held", 0u32);
+        {
+            let _g = m.lock().expect("lock");
+            m.assert_held(); // fine while held
+        }
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            m.assert_held();
+        })));
+        assert!(msg.contains("C004"), "got: {msg}");
+    }
+
+    #[test]
+    fn long_hold_records_c003_warning() {
+        crate::force_enable();
+        let _sink = WARNINGS_SINK.lock().unwrap_or_else(|e| e.into_inner());
+        let m = CMutex::new("t.long_hold", ());
+        {
+            let _g = m.lock().expect("lock");
+            std::thread::sleep(Duration::from_millis(crate::DEFAULT_HOLD_MS + 50));
+        }
+        let warned = crate::take_warnings()
+            .iter()
+            .any(|d| d.code.code() == "C003" && d.message.contains("t.long_hold"));
+        assert!(warned, "expected a C003 long-hold warning");
+    }
+
+    #[test]
+    fn assert_lock_free_under_lock_records_c003() {
+        crate::force_enable();
+        let _sink = WARNINGS_SINK.lock().unwrap_or_else(|e| e.into_inner());
+        let m = CMutex::new("t.lock_free_zone", ());
+        {
+            let _g = m.lock().expect("lock");
+            crate::assert_lock_free("measurer call");
+        }
+        let warned = crate::take_warnings().iter().any(|d| {
+            d.code.code() == "C003"
+                && d.message.contains("measurer call")
+                && d.message.contains("t.lock_free_zone")
+        });
+        assert!(warned, "expected a C003 blocking-region warning");
+    }
+
+    #[test]
+    fn condvar_wait_holding_another_lock_records_c003() {
+        crate::force_enable();
+        let _sink = WARNINGS_SINK.lock().unwrap_or_else(|e| e.into_inner());
+        let outer = CMutex::new("t.wait_outer", ());
+        let pair = Arc::new((CMutex::new("t.wait_inner", false), CCondvar::new()));
+        {
+            let _outer = outer.lock().expect("outer");
+            let mut g = pair.0.lock().expect("inner");
+            // Spawned while we hold the inner lock: the notifier can only
+            // set the flag after our wait() has released it, so the wait
+            // genuinely happens.
+            let notifier = {
+                let pair = Arc::clone(&pair);
+                std::thread::spawn(move || {
+                    *pair.0.lock().expect("inner") = true;
+                    pair.1.notify_all();
+                })
+            };
+            while !*g {
+                g = pair.1.wait(g).expect("wait");
+            }
+            drop(g);
+            notifier.join().expect("notifier");
+        }
+        let warned = crate::take_warnings().iter().any(|d| {
+            d.code.code() == "C003"
+                && d.message.contains("t.wait_inner")
+                && d.message.contains("t.wait_outer")
+        });
+        assert!(warned, "expected a C003 wait-while-holding warning");
+    }
+}

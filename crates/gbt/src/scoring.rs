@@ -26,6 +26,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
+use harl_check::CMutex;
+
 use crate::cost_model::CostModel;
 use harl_obs::{Counter, Tracer};
 use harl_par::ThreadPool;
@@ -181,7 +183,10 @@ pub const DEFAULT_CACHE_CAP: usize = 4096;
 #[derive(Debug)]
 pub struct ScoringPipeline {
     pool: ThreadPool,
-    cache: FeatureCache,
+    /// Shared with pool workers in spirit (probed before and filled
+    /// after the parallel extraction), so it lives behind a named lock
+    /// the concurrency lints can see.
+    cache: CMutex<FeatureCache>,
     stats: ScoreStats,
     /// Scratch: fingerprints of the current batch, input order.
     keys: Vec<u64>,
@@ -208,7 +213,7 @@ impl ScoringPipeline {
         };
         ScoringPipeline {
             pool,
-            cache: FeatureCache::new(cache_cap),
+            cache: CMutex::new("gbt.score_cache", FeatureCache::new(cache_cap)),
             stats,
             keys: Vec::new(),
             misses: Vec::new(),
@@ -253,7 +258,7 @@ impl ScoringPipeline {
     /// (graph, sketch-set, target) context — nor across a cost-model
     /// update, since cached entries hold the model's scores.
     pub fn begin_episode(&mut self) {
-        self.cache.clear();
+        self.cache.lock().expect("score cache poisoned").clear();
     }
 
     /// Feature row `i` of the last batch (valid until the next call).
@@ -291,20 +296,23 @@ impl ScoringPipeline {
 
         // 1. cache probe, coordinator thread, input order: a hit fills
         // both the feature row and the final score
-        for (i, item) in items.iter().enumerate() {
-            let key = fingerprint(item);
-            self.keys.push(key);
-            match self.cache.get(key) {
-                Some((feat, score)) => {
-                    self.stats.cache_hits += 1;
-                    let row = &mut self.rows[i];
-                    row.clear();
-                    row.extend_from_slice(feat);
-                    out[i] = score;
-                }
-                None => {
-                    self.stats.cache_misses += 1;
-                    self.misses.push(i);
+        {
+            let mut cache = self.cache.lock().expect("score cache poisoned");
+            for (i, item) in items.iter().enumerate() {
+                let key = fingerprint(item);
+                self.keys.push(key);
+                match cache.get(key) {
+                    Some((feat, score)) => {
+                        self.stats.cache_hits += 1;
+                        let row = &mut self.rows[i];
+                        row.clear();
+                        row.extend_from_slice(feat);
+                        out[i] = score;
+                    }
+                    None => {
+                        self.stats.cache_misses += 1;
+                        self.misses.push(i);
+                    }
                 }
             }
         }
@@ -349,6 +357,7 @@ impl ScoringPipeline {
             .map(|&i| self.rows[i].as_slice())
             .collect();
         cost.score_batch_into(&miss_rows, &mut self.miss_scores);
+        let mut cache = self.cache.lock().expect("score cache poisoned");
         for ((&i, feat), &score) in self
             .misses
             .iter()
@@ -356,7 +365,7 @@ impl ScoringPipeline {
             .zip(self.miss_scores.iter())
         {
             out[i] = score;
-            self.cache.insert(self.keys[i], feat, score);
+            cache.insert(self.keys[i], feat, score);
             self.stats.features_cached += 1;
         }
     }

@@ -1,7 +1,8 @@
 //! # harl-par
 //!
 //! A tiny scoped thread pool for the scoring pipeline (no dependencies
-//! beyond the workspace's own `harl-obs` counters).
+//! beyond the workspace's own `harl-obs` counters and the `harl-check`
+//! sync wrappers, which are plain `std::sync` in release builds).
 //!
 //! The workspace has no crates.io access (same discipline as `shims/`), so
 //! this crate provides the minimal parallel primitive the tuners need: an
@@ -19,9 +20,10 @@
 //! decision, and it depends only on the input length (never on timing),
 //! so it cannot perturb determinism.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
 
+use harl_check::{AtomicRole, CAtomicUsize, CMutex};
 use harl_obs::Counter;
 
 /// Global counters for how often maps run inline vs spawn workers — the
@@ -107,8 +109,8 @@ impl ThreadPool {
         // a few chunks per worker: enough slack to balance skewed items
         // without paying cursor contention on every element
         let chunk = (n / (workers * 4)).max(1);
-        let cursor = AtomicUsize::new(0);
-        let results: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+        let cursor = CAtomicUsize::new(0, "par.cursor", AtomicRole::Counter);
+        let results: CMutex<Vec<(usize, Vec<U>)>> = CMutex::new("par.results", Vec::new());
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {

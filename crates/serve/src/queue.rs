@@ -7,7 +7,8 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex};
+
+use harl_check::{CCondvar, CMutex};
 
 /// Why a push was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,8 +54,8 @@ struct QueueInner {
 /// Bounded, closable priority queue of job ids.
 #[derive(Debug)]
 pub struct JobQueue {
-    inner: Mutex<QueueInner>,
-    ready: Condvar,
+    inner: CMutex<QueueInner>,
+    ready: CCondvar,
     capacity: usize,
 }
 
@@ -62,8 +63,8 @@ impl JobQueue {
     /// Creates a queue holding at most `capacity` waiting jobs.
     pub fn new(capacity: usize) -> JobQueue {
         JobQueue {
-            inner: Mutex::new(QueueInner::default()),
-            ready: Condvar::new(),
+            inner: CMutex::new("serve.queue", QueueInner::default()),
+            ready: CCondvar::new(),
             capacity: capacity.max(1),
         }
     }

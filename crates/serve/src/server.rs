@@ -22,8 +22,10 @@ use std::fs;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use harl_check::{AtomicRole, CAtomicBool, CAtomicU64, CMutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -70,7 +72,7 @@ impl ServeConfig {
 pub(crate) struct JobEntry {
     pub(crate) spec: JobSpec,
     pub(crate) state: JobState,
-    pub(crate) cancel: Arc<AtomicBool>,
+    pub(crate) cancel: Arc<CAtomicBool>,
     pub(crate) trials_used: u64,
     pub(crate) rounds_done: u64,
     /// Best latency so far, seconds (`+inf` before any measurement).
@@ -87,7 +89,11 @@ impl JobEntry {
         JobEntry {
             spec,
             state: JobState::Queued,
-            cancel: Arc::new(AtomicBool::new(false)),
+            cancel: Arc::new(CAtomicBool::new(
+                false,
+                "serve.job_cancel",
+                AtomicRole::Flag,
+            )),
             trials_used: 0,
             rounds_done: 0,
             best_latency: f64::INFINITY,
@@ -119,13 +125,13 @@ impl JobEntry {
 /// State shared by the accept loop, connection handlers, and workers.
 pub(crate) struct Shared {
     pub(crate) cfg: ServeConfig,
-    pub(crate) jobs: Mutex<BTreeMap<String, JobEntry>>,
+    pub(crate) jobs: CMutex<BTreeMap<String, JobEntry>>,
     pub(crate) queue: JobQueue,
     /// Cross-job warm-start pool; `None` once the daemon has fully stopped
     /// (dropping it releases the store's writer lock for a successor).
-    pool: Mutex<Option<Arc<RecordStore>>>,
-    pub(crate) shutdown: AtomicBool,
-    next_id: AtomicU64,
+    pool: CMutex<Option<Arc<RecordStore>>>,
+    pub(crate) shutdown: CAtomicBool,
+    next_id: CAtomicU64,
 }
 
 impl Shared {
@@ -201,10 +207,10 @@ impl Daemon {
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity),
             cfg,
-            jobs: Mutex::new(BTreeMap::new()),
-            pool: Mutex::new(Some(pool)),
-            shutdown: AtomicBool::new(false),
-            next_id: AtomicU64::new(1),
+            jobs: CMutex::new("serve.jobs", BTreeMap::new()),
+            pool: CMutex::new("serve.pool", Some(pool)),
+            shutdown: CAtomicBool::new(false, "serve.shutdown", AtomicRole::Flag),
+            next_id: CAtomicU64::new(1, "serve.next_id", AtomicRole::Counter),
         });
         recover_jobs(&shared)?;
 

@@ -121,6 +121,10 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
     // run would have made — that is what makes restart-resume bit-equal.
     let remaining = spec.trials.saturating_sub(session.trials_used());
     let outcome = session.run_with(remaining, |p| {
+        // Round boundary: the session is about to go back into sketch
+        // generation + measurement. Holding any daemon lock across that
+        // would stall the other workers and every status request.
+        harl_check::assert_lock_free("session round boundary");
         {
             let mut jobs = shared.jobs.lock().expect("jobs poisoned");
             if let Some(e) = jobs.get_mut(id) {

@@ -43,9 +43,10 @@ use std::collections::HashSet;
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
 
+use harl_check::{AtomicRole, CAtomicU64, CMutex};
 use harl_tensor_ir::Schedule;
 use harl_tensor_sim::{MeasureEvent, RecordSink};
 use serde::{Deserialize, Serialize};
@@ -127,9 +128,9 @@ impl From<std::io::Error> for StoreError {
 }
 
 /// Canonical paths of store directories locked by *this* process.
-fn lock_registry() -> &'static Mutex<HashSet<PathBuf>> {
-    static REGISTRY: OnceLock<Mutex<HashSet<PathBuf>>> = OnceLock::new();
-    REGISTRY.get_or_init(|| Mutex::new(HashSet::new()))
+fn lock_registry() -> &'static CMutex<HashSet<PathBuf>> {
+    static REGISTRY: OnceLock<CMutex<HashSet<PathBuf>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| CMutex::new("store.registry", HashSet::new()))
 }
 
 /// Best-effort liveness check for a lock-holding PID. On systems without
@@ -160,31 +161,74 @@ impl DirLock {
             )));
         }
         let path = dir.join(LOCK_FILE);
-        // Bounded retry: each iteration either acquires the lock file or
-        // removes one it has proven stale.
+        let pid = std::process::id();
+        // The lock file is created by hard-linking a pre-written private
+        // tmp file into place: unlike `create_new` + `write`, the file
+        // appears atomically *with* the owner PID in it, so no reader can
+        // ever observe an empty lock.
+        let tmp = dir.join(format!("{LOCK_FILE}.tmp.{pid}"));
+        fs::write(&tmp, format!("{pid}\n"))?;
+        let acquired = Self::acquire_file(dir, &path, pid);
+        let _ = fs::remove_file(&tmp);
+        acquired?;
+        registry.insert(canon.clone());
+        Ok(DirLock { path, canon })
+    }
+
+    /// Bounded retry: each iteration either links the lock file into
+    /// place, proves the holder is alive (and fails), or claims one
+    /// stale lock file via `rename` and verifies the claim.
+    fn acquire_file(dir: &Path, path: &Path, pid: u32) -> Result<(), StoreError> {
+        let read_pid = |p: &Path| {
+            fs::read_to_string(p)
+                .ok()
+                .and_then(|s| s.trim().parse::<u32>().ok())
+        };
+        let tmp = dir.join(format!("{LOCK_FILE}.tmp.{pid}"));
         for _ in 0..8 {
-            match OpenOptions::new().write(true).create_new(true).open(&path) {
-                Ok(mut f) => {
-                    let _ = writeln!(f, "{}", std::process::id());
-                    registry.insert(canon.clone());
-                    return Ok(DirLock { path, canon });
-                }
+            match fs::hard_link(&tmp, path) {
+                Ok(()) => return Ok(()),
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    let holder = fs::read_to_string(&path)
-                        .ok()
-                        .and_then(|s| s.trim().parse::<u32>().ok());
-                    match holder {
-                        Some(pid) if pid != std::process::id() && pid_alive(pid) => {
+                    match read_pid(path) {
+                        Some(holder) if holder != pid && pid_alive(holder) => {
                             return Err(StoreError::Locked(format!(
-                                "{} is locked by live process {pid}",
+                                "{} is locked by live process {holder}",
                                 dir.display()
                             )));
                         }
                         // Our own PID but absent from the registry, a dead
-                        // PID, or an unreadable file: a stale lock from a
-                        // crashed writer. Steal it and retry.
+                        // PID, or an unreadable file: likely a stale lock
+                        // from a crashed writer. Steal it by *renaming* to
+                        // a stealer-unique tomb — never `remove_file`: two
+                        // racing stealers removing blindly can delete each
+                        // other's freshly acquired lock, and rename lets us
+                        // verify what we actually took before discarding it.
                         _ => {
-                            let _ = fs::remove_file(&path);
+                            let tomb = dir.join(format!("{LOCK_FILE}.steal.{pid}"));
+                            match fs::rename(path, &tomb) {
+                                Ok(()) => match read_pid(&tomb) {
+                                    Some(stolen) if stolen != pid && pid_alive(stolen) => {
+                                        // The stale read raced a live
+                                        // acquirer and we stole *their*
+                                        // lock: restore it (unless they
+                                        // already re-created it) and back
+                                        // off.
+                                        let _ = fs::hard_link(&tomb, path);
+                                        let _ = fs::remove_file(&tomb);
+                                        return Err(StoreError::Locked(format!(
+                                            "{} is locked by live process {stolen}",
+                                            dir.display()
+                                        )));
+                                    }
+                                    // Genuinely stale: discard and retry.
+                                    _ => {
+                                        let _ = fs::remove_file(&tomb);
+                                    }
+                                },
+                                // Another stealer claimed it first; retry.
+                                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                                Err(e) => return Err(e.into()),
+                            }
                         }
                     }
                 }
@@ -276,9 +320,9 @@ pub fn read_records(dir: impl AsRef<Path>) -> Result<Vec<MeasureRecord>, StoreEr
 /// single-writer lock until it is dropped.
 pub struct RecordStore {
     dir: PathBuf,
-    writer: Mutex<BufWriter<File>>,
-    records: Mutex<Vec<MeasureRecord>>,
-    dropped: AtomicU64,
+    writer: CMutex<BufWriter<File>>,
+    records: CMutex<Vec<MeasureRecord>>,
+    dropped: CAtomicU64,
     // Held for its Drop impl: releases the directory lock with the handle.
     _lock: DirLock,
 }
@@ -309,9 +353,9 @@ impl RecordStore {
         }
         Ok(RecordStore {
             dir,
-            writer: Mutex::new(writer),
-            records: Mutex::new(records),
-            dropped: AtomicU64::new(0),
+            writer: CMutex::new("store.writer", writer),
+            records: CMutex::new("store.records", records),
+            dropped: CAtomicU64::new(0, "store.dropped", AtomicRole::Counter),
             _lock: lock,
         })
     }

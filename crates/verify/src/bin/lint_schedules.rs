@@ -76,10 +76,27 @@ struct Population {
 }
 
 fn main() {
-    let per_sketch: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(150);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--explain") {
+        let Some(code) = args.get(1) else {
+            eprintln!("usage: lint-schedules --explain <V001..V006|C001..C005>");
+            std::process::exit(2);
+        };
+        match LintCode::from_code(code) {
+            Some(c) => {
+                println!("{}", c.explain());
+                return;
+            }
+            None => {
+                eprintln!("unknown lint code `{code}`; known codes:");
+                for c in LintCode::ALL {
+                    eprintln!("  {} {}", c.code(), c.name());
+                }
+                std::process::exit(2);
+            }
+        }
+    }
+    let per_sketch: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(150);
     let target = Target::Cpu;
     let analyzer = Analyzer::for_target(target);
     let mut rng = StdRng::seed_from_u64(0x11f7);
@@ -153,7 +170,7 @@ fn main() {
         "lint", "name", "severity", "hits", "checked", "rate"
     );
     println!("{}", "-".repeat(70));
-    for code in LintCode::ALL {
+    for code in LintCode::SCHEDULE {
         let checked = if code == LintCode::NonFiniteValue {
             v006_checked
         } else {

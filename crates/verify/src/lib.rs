@@ -59,17 +59,61 @@ pub enum LintCode {
     /// V006 — non-finite value (NaN/∞) in search state: PPO advantages,
     /// rewards, SW-UCB observations.
     NonFiniteValue,
+    /// C001 — lock-order inversion: acquiring a lock class that the
+    /// recorded acquisition graph already orders *before* a lock the
+    /// thread currently holds (potential ABBA deadlock).
+    LockOrderInversion,
+    /// C002 — double lock: re-acquiring a lock instance (guaranteed
+    /// deadlock with `std::sync::Mutex`) or nesting two locks of the same
+    /// class on one thread.
+    DoubleLock,
+    /// C003 — long lock hold: a lock held across a blocking region (a
+    /// `Measurer` call, a condvar wait with other locks held, or past the
+    /// configured hold-time threshold).
+    LongLockHold,
+    /// C004 — unprotected shared write: mutating shared state without the
+    /// guarding lock held, or publishing through an atomic flag with
+    /// `Ordering::Relaxed`.
+    UnorderedSharedWrite,
+    /// C005 — model-checker violation: an interleaving of a concurrency
+    /// model (job queue, directory lock, chunk stealing) that breaks its
+    /// invariant — lost/duplicated items, two writers, deadlock.
+    ModelCheckViolation,
 }
 
 impl LintCode {
-    /// Every built-in lint code, in `V001..` order.
-    pub const ALL: [LintCode; 6] = [
+    /// The schedule lints, in `V001..` order.
+    pub const SCHEDULE: [LintCode; 6] = [
         LintCode::TileFactorization,
         LintCode::ParallelReductionRace,
         LintCode::CacheOverSubscription,
         LintCode::DegenerateUnroll,
         LintCode::IllegalComputeAt,
         LintCode::NonFiniteValue,
+    ];
+
+    /// The concurrency lints, in `C001..` order (reported by `harl-check`).
+    pub const CONCURRENCY: [LintCode; 5] = [
+        LintCode::LockOrderInversion,
+        LintCode::DoubleLock,
+        LintCode::LongLockHold,
+        LintCode::UnorderedSharedWrite,
+        LintCode::ModelCheckViolation,
+    ];
+
+    /// Every built-in lint code: `V001..V006` then `C001..C005`.
+    pub const ALL: [LintCode; 11] = [
+        LintCode::TileFactorization,
+        LintCode::ParallelReductionRace,
+        LintCode::CacheOverSubscription,
+        LintCode::DegenerateUnroll,
+        LintCode::IllegalComputeAt,
+        LintCode::NonFiniteValue,
+        LintCode::LockOrderInversion,
+        LintCode::DoubleLock,
+        LintCode::LongLockHold,
+        LintCode::UnorderedSharedWrite,
+        LintCode::ModelCheckViolation,
     ];
 
     /// Number of built-in lint codes.
@@ -84,10 +128,15 @@ impl LintCode {
             LintCode::DegenerateUnroll => 3,
             LintCode::IllegalComputeAt => 4,
             LintCode::NonFiniteValue => 5,
+            LintCode::LockOrderInversion => 6,
+            LintCode::DoubleLock => 7,
+            LintCode::LongLockHold => 8,
+            LintCode::UnorderedSharedWrite => 9,
+            LintCode::ModelCheckViolation => 10,
         }
     }
 
-    /// The stable `Vxxx` identifier printed in diagnostics and tables.
+    /// The stable `Vxxx`/`Cxxx` identifier printed in diagnostics.
     pub fn code(self) -> &'static str {
         match self {
             LintCode::TileFactorization => "V001",
@@ -96,7 +145,18 @@ impl LintCode {
             LintCode::DegenerateUnroll => "V004",
             LintCode::IllegalComputeAt => "V005",
             LintCode::NonFiniteValue => "V006",
+            LintCode::LockOrderInversion => "C001",
+            LintCode::DoubleLock => "C002",
+            LintCode::LongLockHold => "C003",
+            LintCode::UnorderedSharedWrite => "C004",
+            LintCode::ModelCheckViolation => "C005",
         }
+    }
+
+    /// Parses a stable identifier (`"V002"`, `"c004"`) back to its code.
+    pub fn from_code(code: &str) -> Option<LintCode> {
+        let code = code.trim().to_ascii_uppercase();
+        Self::ALL.iter().copied().find(|c| c.code() == code)
     }
 
     /// Human-readable lint name.
@@ -108,6 +168,11 @@ impl LintCode {
             LintCode::DegenerateUnroll => "degenerate-unroll",
             LintCode::IllegalComputeAt => "illegal-compute-at",
             LintCode::NonFiniteValue => "non-finite-value",
+            LintCode::LockOrderInversion => "lock-order-inversion",
+            LintCode::DoubleLock => "double-lock",
+            LintCode::LongLockHold => "long-lock-hold",
+            LintCode::UnorderedSharedWrite => "unprotected-shared-write",
+            LintCode::ModelCheckViolation => "model-check-violation",
         }
     }
 
@@ -117,8 +182,102 @@ impl LintCode {
             LintCode::TileFactorization
             | LintCode::ParallelReductionRace
             | LintCode::IllegalComputeAt
-            | LintCode::NonFiniteValue => Severity::Error,
-            LintCode::CacheOverSubscription | LintCode::DegenerateUnroll => Severity::Warn,
+            | LintCode::NonFiniteValue
+            | LintCode::LockOrderInversion
+            | LintCode::DoubleLock
+            | LintCode::UnorderedSharedWrite
+            | LintCode::ModelCheckViolation => Severity::Error,
+            LintCode::CacheOverSubscription
+            | LintCode::DegenerateUnroll
+            | LintCode::LongLockHold => Severity::Warn,
+        }
+    }
+
+    /// Multi-line `--explain` text: what the lint catches, why it matters,
+    /// and how to fix a hit.
+    pub fn explain(self) -> &'static str {
+        match self {
+            LintCode::TileFactorization => {
+                "V001 tile-factorization (error)\n\
+                 The tile factor list of an iterator is malformed: wrong number of\n\
+                 levels, a zero factor, or factors whose product differs from the\n\
+                 iterator extent. Such a schedule indexes out of bounds or drops\n\
+                 iterations. Fix the generator producing the factors; legal\n\
+                 generators sample factorizations of the exact extent."
+            }
+            LintCode::ParallelReductionRace => {
+                "V002 parallel-reduction-race (error)\n\
+                 The fused parallel outer band covers a reduction-carrying iterator\n\
+                 without an rfactor step, so concurrent threads read-modify-write\n\
+                 the same accumulator. Shrink the parallel fuse below the reduction\n\
+                 boundary or introduce a privatized partial accumulator."
+            }
+            LintCode::CacheOverSubscription => {
+                "V003 cache-over-subscription (warn)\n\
+                 The working set of a tile level exceeds the cache budget of the\n\
+                 level it is pinned to (L1/L2 or GPU shared memory). The schedule\n\
+                 is legal but will thrash; prefer smaller inner tiles."
+            }
+            LintCode::DegenerateUnroll => {
+                "V004 degenerate-unroll (warn)\n\
+                 The auto-unroll depth is at or above the innermost trip count, so\n\
+                 unrolling degenerates to straight-line bloat with no steady-state\n\
+                 loop. Lower the unroll depth index."
+            }
+            LintCode::IllegalComputeAt => {
+                "V005 illegal-compute-at (error)\n\
+                 The compute-at position is outside the candidate list or fuses a\n\
+                 consumer inside the anchor's reduction scope, where it would read\n\
+                 partial accumulations. Clamp the position to the sketch's\n\
+                 compute_at_candidates."
+            }
+            LintCode::NonFiniteValue => {
+                "V006 non-finite-value (error)\n\
+                 A NaN or infinity reached search state: a PPO reward/advantage, a\n\
+                 bandit observation, or a schedule score. Non-finite values poison\n\
+                 every later update; callers substitute a neutral value and count\n\
+                 the finding. Check divisions by measured time or baselines."
+            }
+            LintCode::LockOrderInversion => {
+                "C001 lock-order-inversion (error)\n\
+                 A thread acquired lock class B while holding A, after some thread\n\
+                 had acquired A while holding B (an ABBA cycle in the acquisition\n\
+                 graph) — two threads can deadlock waiting on each other. Follow\n\
+                 the documented hierarchy (DESIGN.md §11): acquire classes in one\n\
+                 global order and release before calling into other subsystems."
+            }
+            LintCode::DoubleLock => {
+                "C002 double-lock (error)\n\
+                 A thread re-acquired a lock it already holds. std::sync::Mutex is\n\
+                 not reentrant, so this deadlocks at runtime. Nesting two distinct\n\
+                 locks of the same class is reported too: class-level nesting makes\n\
+                 the acquisition order between instances unanalyzable. Restructure\n\
+                 so the critical section is entered once."
+            }
+            LintCode::LongLockHold => {
+                "C003 long-lock-hold (warn)\n\
+                 A lock was held across a blocking region: a simulated-measurement\n\
+                 (Measurer) call, a condvar wait with other locks held, or longer\n\
+                 than the HARL_CHECK_HOLD_MS threshold. Long holds serialize the\n\
+                 scoring pool and the serve workers. Copy what you need out of the\n\
+                 guard and drop it before blocking."
+            }
+            LintCode::UnorderedSharedWrite => {
+                "C004 unprotected-shared-write (error)\n\
+                 Shared state was mutated without its guarding lock held\n\
+                 (CMutex::assert_held failed), or a cross-thread publish flag was\n\
+                 accessed with Ordering::Relaxed. Relaxed flags reorder against the\n\
+                 data they publish; use Acquire/Release (or SeqCst), or declare the\n\
+                 atomic a Counter if it never publishes."
+            }
+            LintCode::ModelCheckViolation => {
+                "C005 model-check-violation (error)\n\
+                 The interleaving model checker found a schedule of a concurrency\n\
+                 model (job queue, directory lock, chunk-stealing map) that breaks\n\
+                 its invariant: a lost or duplicated job, two processes holding one\n\
+                 store directory, a lost wakeup, or a deadlock. The reported thread\n\
+                 schedule reproduces the violation deterministically."
+            }
         }
     }
 }
@@ -138,6 +297,9 @@ pub enum Component {
     Unroll,
     /// A scalar inside the search algorithm (reward, advantage, …).
     SearchValue,
+    /// A synchronization primitive (mutex, condvar, atomic) — used by the
+    /// `harl-check` concurrency lints (C001–C005).
+    SyncPrimitive,
 }
 
 /// One lint finding.
@@ -456,8 +618,49 @@ mod tests {
     fn codes_are_stable_and_dense() {
         for (i, c) in LintCode::ALL.iter().enumerate() {
             assert_eq!(c.index(), i);
+        }
+        for (i, c) in LintCode::SCHEDULE.iter().enumerate() {
             assert_eq!(c.code(), format!("V{:03}", i + 1));
         }
+        for (i, c) in LintCode::CONCURRENCY.iter().enumerate() {
+            assert_eq!(c.code(), format!("C{:03}", i + 1));
+            assert_eq!(c.index(), LintCode::SCHEDULE.len() + i);
+        }
+        assert_eq!(LintCode::COUNT, 11);
+    }
+
+    #[test]
+    fn from_code_round_trips_and_rejects_unknown() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::from_code(c.code()), Some(c));
+            assert_eq!(LintCode::from_code(&c.code().to_ascii_lowercase()), Some(c));
+        }
+        assert_eq!(LintCode::from_code("V999"), None);
+        assert_eq!(LintCode::from_code("nonsense"), None);
+    }
+
+    #[test]
+    fn every_code_has_explain_text_starting_with_its_id() {
+        for c in LintCode::ALL {
+            let text = c.explain();
+            assert!(text.starts_with(c.code()), "{}: {text}", c.code());
+            assert!(text.contains(c.name()), "{} missing name", c.code());
+            assert!(text.len() > 80, "{} explain too short", c.code());
+        }
+    }
+
+    #[test]
+    fn concurrency_codes_severities() {
+        use LintCode::*;
+        for c in [
+            LockOrderInversion,
+            DoubleLock,
+            UnorderedSharedWrite,
+            ModelCheckViolation,
+        ] {
+            assert_eq!(c.severity(), Severity::Error, "{c:?}");
+        }
+        assert_eq!(LongLockHold.severity(), Severity::Warn);
     }
 
     #[test]

@@ -72,6 +72,35 @@ fn harl_scoring_is_bit_identical_at_widths_1_and_4() {
 }
 
 #[test]
+fn harl_scoring_is_bit_identical_across_width_matrix() {
+    // The pairwise 1-vs-4 test catches most regressions; this matrix
+    // pins the awkward widths too — 2 (minimal real parallelism), 3 and
+    // 7 (odd widths whose chunk boundaries never divide the batch
+    // evenly, so any chunk-shape dependence in float accumulation or
+    // cache fill order would surface here).
+    let serial = harl_run(1, 48);
+    for threads in [2, 3, 7] {
+        let pooled = harl_run(threads, 48);
+        assert_eq!(
+            serial.0, pooled.0,
+            "width {threads}: best latency must match bit-for-bit"
+        );
+        assert_eq!(
+            serial.1, pooled.1,
+            "width {threads}: trial count must match"
+        );
+        assert_eq!(
+            serial.2, pooled.2,
+            "width {threads}: trace must match byte-for-byte"
+        );
+        assert_eq!(
+            serial.3, pooled.3,
+            "width {threads}: checkpoint must match byte-for-byte"
+        );
+    }
+}
+
+#[test]
 fn ansor_scoring_is_bit_identical_at_widths_1_and_4() {
     let serial = ansor_run(1, 32);
     let pooled = ansor_run(4, 32);
