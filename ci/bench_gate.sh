@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Bench-regression gate for the batched scoring pipeline.
+# Bench-regression gate for the batched scoring pipeline and the batched
+# PPO kernels.
 #
-# Reruns the scoring bench in smoke mode (HARL_BENCH_SMOKE=1) with a
-# raised rep count (HARL_BENCH_REPS=15 — the 2-rep CI smoke median is too
-# noisy to gate on) and fails when the measured batched/serial time ratio
+# Reruns each bench in smoke mode (HARL_BENCH_SMOKE=1) with a raised rep
+# count (HARL_BENCH_REPS=15 — the 2-rep CI smoke median is too noisy to
+# gate on) and fails when the measured batched/serial time ratio
 # regresses more than 25% over the committed baseline ratio in
-# ci/BENCH_scoring_smoke.json. Comparing the *ratio* of two timings from
+# ci/BENCH_<name>_smoke.json. Comparing the *ratio* of two timings from
 # the same run cancels machine speed, so one committed baseline serves
 # every box. A run that is not bit-identical always fails.
 #
@@ -19,46 +20,53 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=${CARGO_FLAGS:---offline}
-BASELINE=ci/BENCH_scoring_smoke.json
 MARGIN=1.25
 
 json_num() { sed -n "s/.*\"$2\": *\([0-9.eE+-]*\).*/\1/p" "$1" | head -1; }
 
-base_serial=$(json_num "$BASELINE" serial_ms)
-base_batched=$(json_num "$BASELINE" batched_ms)
-base_ratio=$(awk "BEGIN{printf \"%.4f\", $base_batched/$base_serial}")
-budget=$(awk "BEGIN{printf \"%.4f\", $base_ratio*$MARGIN}")
+gate_bench() {
+    local bench=$1
+    local baseline=ci/BENCH_${bench}_smoke.json
+    local base_serial base_batched base_ratio budget
+    base_serial=$(json_num "$baseline" serial_ms)
+    base_batched=$(json_num "$baseline" batched_ms)
+    base_ratio=$(awk "BEGIN{printf \"%.4f\", $base_batched/$base_serial}")
+    budget=$(awk "BEGIN{printf \"%.4f\", $base_ratio*$MARGIN}")
 
-best_ratio=""
-for attempt in 1 2; do
-    OUT=$(mktemp)
-    # shellcheck disable=SC2086  # CARGO_FLAGS is a flag list, word-splitting intended
-    HARL_BENCH_SMOKE=1 HARL_BENCH_REPS=15 HARL_BENCH_OUT="$OUT" \
-        cargo bench $CARGO_FLAGS -q -p harl-bench --bench scoring
-    if ! grep -q '"bit_identical": true' "$OUT"; then
+    local best_ratio="" attempt OUT serial batched ratio
+    for attempt in 1 2; do
+        OUT=$(mktemp)
+        # shellcheck disable=SC2086  # CARGO_FLAGS is a flag list, word-splitting intended
+        HARL_BENCH_SMOKE=1 HARL_BENCH_REPS=15 HARL_BENCH_OUT="$OUT" \
+            cargo bench $CARGO_FLAGS -q -p harl-bench --bench "$bench"
+        if ! grep -q '"bit_identical": true' "$OUT"; then
+            rm -f "$OUT"
+            echo "FAIL: $bench: batched path is not bit-identical to the serial path"
+            exit 1
+        fi
+        serial=$(json_num "$OUT" serial_ms)
+        batched=$(json_num "$OUT" batched_ms)
         rm -f "$OUT"
-        echo "FAIL: batched scoring is not bit-identical to serial scoring"
+        if [ -n "${BENCH_GATE_INJECT_SLOWDOWN:-}" ]; then
+            batched=$(awk "BEGIN{print $batched*$BENCH_GATE_INJECT_SLOWDOWN}")
+            echo "note: $bench: injected ${BENCH_GATE_INJECT_SLOWDOWN}x slowdown into batched_ms"
+        fi
+        ratio=$(awk "BEGIN{printf \"%.4f\", $batched/$serial}")
+        echo "bench gate [$bench] attempt $attempt: serial=${serial}ms batched=${batched}ms ratio=$ratio (budget $budget, baseline $base_ratio)"
+        if [ -z "$best_ratio" ] || awk "BEGIN{exit !($ratio < $best_ratio)}"; then
+            best_ratio=$ratio
+        fi
+        if awk "BEGIN{exit !($best_ratio <= $budget)}"; then
+            break
+        fi
+    done
+
+    if awk "BEGIN{exit !($best_ratio > $budget)}"; then
+        echo "FAIL: $bench: batched/serial ratio $best_ratio exceeds budget $budget (baseline $base_ratio +25%)"
         exit 1
     fi
-    serial=$(json_num "$OUT" serial_ms)
-    batched=$(json_num "$OUT" batched_ms)
-    rm -f "$OUT"
-    if [ -n "${BENCH_GATE_INJECT_SLOWDOWN:-}" ]; then
-        batched=$(awk "BEGIN{print $batched*$BENCH_GATE_INJECT_SLOWDOWN}")
-        echo "note: injected ${BENCH_GATE_INJECT_SLOWDOWN}x slowdown into batched_ms"
-    fi
-    ratio=$(awk "BEGIN{printf \"%.4f\", $batched/$serial}")
-    echo "bench gate attempt $attempt: serial=${serial}ms batched=${batched}ms ratio=$ratio (budget $budget, baseline $base_ratio)"
-    if [ -z "$best_ratio" ] || awk "BEGIN{exit !($ratio < $best_ratio)}"; then
-        best_ratio=$ratio
-    fi
-    if awk "BEGIN{exit !($best_ratio <= $budget)}"; then
-        break
-    fi
-done
+    echo "bench gate OK [$bench]: ratio $best_ratio within budget $budget"
+}
 
-if awk "BEGIN{exit !($best_ratio > $budget)}"; then
-    echo "FAIL: batched/serial ratio $best_ratio exceeds budget $budget (baseline $base_ratio +25%)"
-    exit 1
-fi
-echo "bench gate OK: ratio $best_ratio within budget $budget"
+gate_bench scoring
+gate_bench ppo

@@ -12,6 +12,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use harl_nnet::{PpoAgent, PpoConfig};
+use harl_par::ParallelismOpts;
 use harl_tensor_ir::{
     apply_action, compute_at_mask, extract_features, extract_features_into, generate_sketches,
     parallel_mask, tile_action_mask, unroll_mask, Action, ActionSpace, Schedule, Sketch, StepDir,
@@ -136,12 +137,13 @@ impl<'m> FlextensorTuner<'m> {
             StepDir::COUNT,
             StepDir::COUNT,
         ];
-        let agent = PpoAgent::new(
+        let mut agent = PpoAgent::new(
             harl_tensor_ir::FEATURE_DIM,
             &head_sizes,
             cfg.ppo.clone(),
             &mut rng,
         );
+        agent.set_threads(harl_par::ppo_threads_from_env());
         FlextensorTuner {
             graph,
             sketch,
@@ -165,7 +167,15 @@ impl<'m> FlextensorTuner<'m> {
     /// Tracing never changes the search — checkpoints stay byte-equal
     /// with it on or off.
     pub fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        self.agent.set_tracer(tracer.clone());
         self.tracer = tracer;
+    }
+
+    /// Applies thread-pool widths. Flextensor measures every candidate on
+    /// hardware (no scoring pipeline), so only the PPO width applies.
+    /// Results are bit-identical at any width.
+    pub fn set_parallelism(&mut self, opts: ParallelismOpts) {
+        self.agent.set_threads(opts.ppo_threads);
     }
 
     fn masks(&self, s: &Schedule) -> Vec<Vec<bool>> {
@@ -309,7 +319,12 @@ impl<'m> FlextensorTuner<'m> {
     /// Overwrites the mutable search state from a checkpoint. The tuner
     /// must have been constructed with the same graph, config, and seed.
     pub fn restore_state(&mut self, state: FlextensorTunerState) {
+        // the agent's pool width and tracer are runtime config, not search
+        // state: carry them across the overwrite
+        let ppo_threads = self.agent.threads();
         self.agent = state.agent;
+        self.agent.set_threads(ppo_threads);
+        self.agent.set_tracer(self.tracer.clone());
         // "no best yet" round-trips through JSON as null/NaN
         self.best_time = if state.best_time.is_finite() {
             state.best_time

@@ -8,6 +8,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use harl_gbt::{CostModel, GbtParams, ScoreStats, ScoringPipeline};
+use harl_par::ParallelismOpts;
 use harl_store::MeasureRecord;
 use harl_tensor_ir::{extract_features, generate_sketches, Schedule, Sketch, Subgraph, Target};
 use harl_tensor_sim::{ConfigError, Measurer, TuneTrace};
@@ -253,11 +254,12 @@ impl<'m> AnsorTuner<'m> {
         self.pipeline.stats()
     }
 
-    /// Overrides the scoring-pool width (tests and explicit config;
-    /// normally inherited from `HARL_SCORE_THREADS`). Scores are
-    /// bit-identical at any width.
-    pub fn set_score_threads(&mut self, threads: usize) {
-        self.pipeline.set_threads(threads);
+    /// Applies thread-pool widths (tests and explicit config; normally
+    /// inherited from `HARL_SCORE_THREADS`). Ansor has no PPO stage, so
+    /// only the scoring width applies. Scores are bit-identical at any
+    /// width.
+    pub fn set_parallelism(&mut self, opts: ParallelismOpts) {
+        self.pipeline.set_threads(opts.score_threads);
     }
 
     /// The on-line cost model (diagnostics; e.g. warm-start checks).

@@ -225,6 +225,7 @@ impl HarlConfig {
                 return Err(ConfigError::new(field, "must be finite and non-negative"));
             }
         }
+        self.ppo.validate()?;
         Ok(())
     }
 }

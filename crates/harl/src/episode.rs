@@ -153,22 +153,31 @@ pub fn run_episode(
         step += 1;
 
         // Phase A: the actor proposes several candidate modifications per
-        // track (§3.2); illegal candidates are dropped before cost-model
-        // scoring. Track-major sample order keeps the RNG stream identical
-        // to the serial implementation.
-        let mut step_props: Vec<Vec<Proposal>> = Vec::with_capacity(tracks.len());
-        let mut step_masks: Vec<Vec<Vec<bool>>> = Vec::with_capacity(tracks.len());
+        // track (§3.2) — one batched policy forward across all live tracks,
+        // then `action_samples` draws per track from the batched softmax.
+        // `act_batch` consumes the RNG in track-major, then draw, then head
+        // order, exactly like the per-track `act` loop it replaced, and its
+        // logit rows are bit-equal to per-track forwards, so the stream —
+        // and every downstream byte — is identical to the serial version.
+        // Illegal candidates are dropped before cost-model scoring.
+        let samples = cfg.action_samples.max(1);
         let act_span = tracer.span_with("ppo_act", &[("tracks", tracks.len().into())]);
+        let mut step_masks: Vec<Vec<Vec<bool>>> = Vec::with_capacity(tracks.len());
+        let mut flat_features: Vec<f32> = Vec::new();
         for t in tracks.iter() {
-            let masks = vec![
+            step_masks.push(vec![
                 tile_action_mask(sketch, &t.schedule, &space),
                 compute_at_mask(sketch, &t.schedule).to_vec(),
                 parallel_mask(sketch, &t.schedule).to_vec(),
                 unroll_mask(target, &t.schedule).to_vec(),
-            ];
-            let mut props = Vec::with_capacity(cfg.action_samples.max(1));
-            for _ in 0..cfg.action_samples.max(1) {
-                let (acts, logp) = agent.act(&t.features, &masks, rng);
+            ]);
+            flat_features.extend_from_slice(&t.features);
+        }
+        let draws = agent.act_batch(&flat_features, tracks.len(), &step_masks, samples, rng);
+        let mut step_props: Vec<Vec<Proposal>> = Vec::with_capacity(tracks.len());
+        for (t, track_draws) in tracks.iter().zip(draws) {
+            let mut props = Vec::with_capacity(samples);
+            for (acts, logp) in track_draws {
                 let action = Action {
                     tile: acts[0],
                     compute_at: StepDir::from_index(acts[1]),
@@ -182,7 +191,6 @@ pub fn run_episode(
                 props.push(Proposal { acts, logp, cand });
             }
             step_props.push(props);
-            step_masks.push(masks);
         }
         drop(act_span);
 

@@ -34,3 +34,5 @@ pub use session::{
     TunerState, TuningSession, CHECKPOINT_VERSION,
 };
 pub use tuner::{HarlOperatorTuner, HarlTunerState, RoundLog};
+
+pub use harl_par::ParallelismOpts;

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use harl_ansor::{AnsorTuner, AnsorTunerState, FlextensorTuner, FlextensorTunerState};
 use harl_gbt::ScoreStats;
+use harl_par::ParallelismOpts;
 use harl_store::{MeasureRecord, RecordStore, StoreError};
 use harl_tensor_sim::{Measurer, MeasurerState, TuneTrace};
 
@@ -102,6 +103,14 @@ pub trait Tuner {
     fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
         let _ = tracer;
     }
+
+    /// Applies thread-pool widths for the tuner's parallel stages (candidate
+    /// scoring, PPO gradient reduction). Performance only: any width is
+    /// bit-identical to serial. The default implementation discards the
+    /// options (for tuners without parallel stages).
+    fn set_parallelism(&mut self, opts: ParallelismOpts) {
+        let _ = opts;
+    }
 }
 
 // A mutable borrow drives the same way, so callers can keep ownership of
@@ -145,6 +154,10 @@ impl<T: Tuner + ?Sized> Tuner for &mut T {
 
     fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
         (**self).set_tracer(tracer)
+    }
+
+    fn set_parallelism(&mut self, opts: ParallelismOpts) {
+        (**self).set_parallelism(opts)
     }
 }
 
@@ -191,6 +204,10 @@ impl Tuner for HarlOperatorTuner<'_> {
     fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
         HarlOperatorTuner::set_tracer(self, tracer)
     }
+
+    fn set_parallelism(&mut self, opts: ParallelismOpts) {
+        HarlOperatorTuner::set_parallelism(self, opts)
+    }
 }
 
 impl Tuner for AnsorTuner<'_> {
@@ -236,6 +253,10 @@ impl Tuner for AnsorTuner<'_> {
     fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
         AnsorTuner::set_tracer(self, tracer)
     }
+
+    fn set_parallelism(&mut self, opts: ParallelismOpts) {
+        AnsorTuner::set_parallelism(self, opts)
+    }
 }
 
 impl Tuner for FlextensorTuner<'_> {
@@ -276,6 +297,10 @@ impl Tuner for FlextensorTuner<'_> {
     fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
         FlextensorTuner::set_tracer(self, tracer)
     }
+
+    fn set_parallelism(&mut self, opts: ParallelismOpts) {
+        FlextensorTuner::set_parallelism(self, opts)
+    }
 }
 
 /// On-disk session checkpoint: tuner + measurer state plus bookkeeping.
@@ -305,6 +330,7 @@ pub struct SessionBuilder {
     resume: bool,
     job_key: Option<String>,
     warm_pool: Vec<MeasureRecord>,
+    parallelism: Option<ParallelismOpts>,
 }
 
 impl Default for SessionBuilder {
@@ -315,6 +341,7 @@ impl Default for SessionBuilder {
             resume: true,
             job_key: None,
             warm_pool: Vec::new(),
+            parallelism: None,
         }
     }
 }
@@ -355,6 +382,16 @@ impl SessionBuilder {
     /// Ignored when a checkpoint is resumed.
     pub fn warm_pool(mut self, records: Vec<MeasureRecord>) -> Self {
         self.warm_pool = records;
+        self
+    }
+
+    /// Thread-pool widths applied to the tuner via
+    /// [`Tuner::set_parallelism`] before the first round (after any
+    /// resume/warm-start). Performance only — results are bit-identical at
+    /// any width. Defaults to the tuner's own construction-time widths
+    /// (typically read from `HARL_SCORE_THREADS` / `HARL_PPO_THREADS`).
+    pub fn parallelism(mut self, opts: ParallelismOpts) -> Self {
+        self.parallelism = Some(opts);
         self
     }
 
@@ -429,6 +466,9 @@ impl SessionBuilder {
                 }
             }
             None => {}
+        }
+        if let Some(opts) = self.parallelism {
+            session.tuner.set_parallelism(opts);
         }
         Ok(session)
     }

@@ -12,6 +12,7 @@ use harl_bandit::{AnyBandit, Bandit};
 use harl_gbt::{CostModel, ScoreStats, ScoringPipeline};
 use harl_nnet::PpoAgent;
 use harl_obs::Tracer;
+use harl_par::ParallelismOpts;
 use harl_store::MeasureRecord;
 use harl_tensor_ir::{
     extract_features, generate_sketches, ActionSpace, Schedule, Sketch, Subgraph, Target,
@@ -81,12 +82,13 @@ impl<'m> HarlOperatorTuner<'m> {
         let sketches = generate_sketches(&graph, target);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (graph.name.len() as u64) << 3);
         let space = ActionSpace::of(&sketches[0]);
-        let agent = PpoAgent::new(
+        let mut agent = PpoAgent::new(
             harl_tensor_ir::FEATURE_DIM,
             &[space.tile_actions(), 3, 3, 3],
             cfg.ppo.clone(),
             &mut rng,
         );
+        agent.set_threads(harl_par::ppo_threads_from_env());
         let mut mab_kind = cfg.mab_kind;
         if let harl_bandit::BanditKind::SwUcb { c, tau } = &mut mab_kind {
             *c = cfg.mab_c;
@@ -126,18 +128,21 @@ impl<'m> HarlOperatorTuner<'m> {
         self.pipeline.stats()
     }
 
-    /// Overrides the scoring-pool width (tests and explicit config;
-    /// normally inherited from `HARL_SCORE_THREADS`). Scores are
-    /// bit-identical at any width.
-    pub fn set_score_threads(&mut self, threads: usize) {
-        self.pipeline.set_threads(threads);
+    /// Overrides every pool width the tuner owns (tests and explicit
+    /// config; normally inherited from `HARL_SCORE_THREADS` /
+    /// `HARL_PPO_THREADS`). Results are bit-identical at any width.
+    pub fn set_parallelism(&mut self, opts: ParallelismOpts) {
+        self.pipeline.set_threads(opts.score_threads);
+        self.agent.set_threads(opts.ppo_threads);
     }
 
     /// Attaches a tracer; rounds then emit `harl_round`/`episode`/
-    /// `measure`/`gbt_retrain` spans. Pure observation — the search is
-    /// bit-identical with or without it.
+    /// `measure`/`gbt_retrain` spans (and the agent its
+    /// `ppo_act_batch`/`gemm`/`ppo_backward` spans). Pure observation —
+    /// the search is bit-identical with or without it.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.pipeline.set_tracer(tracer.clone());
+        self.agent.set_tracer(tracer.clone());
         self.tracer = tracer;
     }
 
@@ -372,7 +377,12 @@ impl<'m> HarlOperatorTuner<'m> {
     /// must have been constructed with the same graph, config, and seed.
     pub fn restore_state(&mut self, state: HarlTunerState) {
         self.cost_model = state.cost_model;
+        // the agent's pool width and tracer are runtime wiring outside the
+        // checkpoint (like the scoring pipeline's) — carry them across
+        let ppo_threads = self.agent.threads();
         self.agent = state.agent;
+        self.agent.set_threads(ppo_threads);
+        self.agent.set_tracer(self.tracer.clone());
         self.sketch_bandit = state.sketch_bandit;
         self.seen = state.seen.into_iter().collect();
         self.elites = state.elites;

@@ -1,14 +1,21 @@
 //! Dense layers with manual backprop and Adam state.
 //!
 //! The networks in the paper are small MLPs (the PPO reference
-//! implementation (reference \[4\] of the paper) uses two hidden layers of 64 tanh units), so a
-//! straightforward single-sample forward/backward is plenty fast and keeps
-//! the code auditable.
+//! implementation (reference \[4\] of the paper) uses two hidden layers of
+//! 64 tanh units), but Algorithm 1 evaluates them once per live schedule
+//! track per step and once per minibatch sample per update — an
+//! embarrassingly batchable shape. The layer API is therefore batch-major:
+//! `&self` forward through the blocked GEMM in [`crate::gemm`], and a
+//! batched backward whose per-parameter reductions keep one fixed
+//! summation order no matter the batch size or pool width.
 
+use harl_par::ThreadPool;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// A fully-connected layer `y = W·x + b` with gradient accumulators and
+use crate::gemm::{gemm_bias_into, transpose_into};
+
+/// A fully-connected layer `Y = X·Wᵀ + b` with gradient accumulators and
 /// Adam moments.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Linear {
@@ -52,33 +59,79 @@ impl Linear {
         }
     }
 
-    /// Computes `y = W·x + b` into `y`.
-    pub fn forward(&self, x: &[f32], y: &mut Vec<f32>) {
-        debug_assert_eq!(x.len(), self.in_dim);
-        y.clear();
-        y.reserve(self.out_dim);
-        for o in 0..self.out_dim {
-            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
-            let mut acc = self.b[o];
-            for (wi, xi) in row.iter().zip(x) {
-                acc += wi * xi;
-            }
-            y.push(acc);
-        }
+    /// Batch-major forward: `y[b·out + o] = b[o] + Σ_k w[o·in + k]·x[b·in + k]`
+    /// for every row `b < batch`, through the blocked GEMM. `wt` is caller
+    /// scratch for the weight transpose (reused across calls to amortize
+    /// the allocation); every row comes out bit-equal to a batch-1 call.
+    pub fn forward_batch_into(&self, x: &[f32], batch: usize, wt: &mut Vec<f32>, y: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), batch * self.in_dim);
+        transpose_into(&self.w, self.out_dim, self.in_dim, wt);
+        gemm_bias_into(x, wt, &self.b, batch, self.in_dim, self.out_dim, y);
     }
 
-    /// Accumulates gradients for one sample and returns `∂L/∂x` into `gx`.
-    pub fn backward(&mut self, x: &[f32], gy: &[f32], gx: &mut Vec<f32>) {
-        debug_assert_eq!(gy.len(), self.out_dim);
-        gx.clear();
-        gx.resize(self.in_dim, 0.0);
-        for (o, &g) in gy.iter().enumerate().take(self.out_dim) {
-            self.gb[o] += g;
-            let row = o * self.in_dim;
-            for i in 0..self.in_dim {
-                self.gw[row + i] += g * x[i];
-                gx[i] += self.w[row + i] * g;
+    /// Batched backward: accumulates `∂L/∂W` and `∂L/∂b` over the whole
+    /// batch and writes `∂L/∂X` (batch-major) into `gx`.
+    ///
+    /// The parameter reduction is parallelized over output rows on `pool`:
+    /// each row `o` sums its batch contributions in ascending-`b` order
+    /// into a private accumulator (starting at +0.0), and the private sums
+    /// are folded into `gw`/`gb` serially in ascending-`o` order. Both
+    /// orders are independent of the pool width, and adding a private
+    /// ascending-`b` partial into the accumulator produces the same bits
+    /// as accumulating the terms directly (the partial of a `+0.0`-seeded
+    /// chain is never `-0.0`), so any width — and any batch split — equals
+    /// the serial per-sample loop bit-for-bit.
+    pub fn backward_batch(
+        &mut self,
+        x: &[f32],
+        gy: &[f32],
+        batch: usize,
+        pool: &ThreadPool,
+        gx: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(x.len(), batch * self.in_dim);
+        debug_assert_eq!(gy.len(), batch * self.out_dim);
+        let (in_dim, out_dim) = (self.in_dim, self.out_dim);
+
+        // dL/dW, dL/db: one task per output row, batch summed in order
+        let row_grads = pool.map_range(out_dim, |o| {
+            let mut gw_row = vec![0.0f32; in_dim];
+            let mut gb_o = 0.0f32;
+            for b in 0..batch {
+                let g = gy[b * out_dim + o];
+                gb_o += g;
+                let x_row = &x[b * in_dim..(b + 1) * in_dim];
+                for (gwi, &xi) in gw_row.iter_mut().zip(x_row) {
+                    *gwi += g * xi;
+                }
             }
+            (gw_row, gb_o)
+        });
+        for (o, (gw_row, gb_o)) in row_grads.iter().enumerate() {
+            self.gb[o] += gb_o;
+            let row = &mut self.gw[o * in_dim..(o + 1) * in_dim];
+            for (acc, &g) in row.iter_mut().zip(gw_row) {
+                *acc += g;
+            }
+        }
+
+        // dL/dX: rows are independent, ascending-o accumulation per row
+        let w = &self.w;
+        let gx_rows = pool.map_range(batch, |b| {
+            let mut gx_row = vec![0.0f32; in_dim];
+            for o in 0..out_dim {
+                let g = gy[b * out_dim + o];
+                let w_row = &w[o * in_dim..(o + 1) * in_dim];
+                for (gxi, &wi) in gx_row.iter_mut().zip(w_row) {
+                    *gxi += wi * g;
+                }
+            }
+            gx_row
+        });
+        gx.clear();
+        gx.reserve(batch * in_dim);
+        for row in gx_rows {
+            gx.extend_from_slice(&row);
         }
     }
 
@@ -136,14 +189,19 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    fn forward1(l: &Linear, x: &[f32]) -> Vec<f32> {
+        let (mut wt, mut y) = (Vec::new(), Vec::new());
+        l.forward_batch_into(x, 1, &mut wt, &mut y);
+        y
+    }
+
     #[test]
     fn forward_matches_manual() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut l = Linear::new(2, 2, &mut rng);
         l.w = vec![1.0, 2.0, 3.0, 4.0];
         l.b = vec![0.5, -0.5];
-        let mut y = Vec::new();
-        l.forward(&[1.0, -1.0], &mut y);
+        let y = forward1(&l, &[1.0, -1.0]);
         assert_eq!(y, vec![1.0 - 2.0 + 0.5, 3.0 - 4.0 - 0.5]);
     }
 
@@ -151,23 +209,21 @@ mod tests {
     fn backward_matches_finite_difference() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut l = Linear::new(3, 2, &mut rng);
+        let pool = ThreadPool::new(1);
         let x = [0.3f32, -0.7, 1.1];
         // loss = sum(y)
         let gy = [1.0f32, 1.0];
         let mut gx = Vec::new();
         l.zero_grad();
-        l.backward(&x, &gy, &mut gx);
+        l.backward_batch(&x, &gy, 1, &pool, &mut gx);
 
         let eps = 1e-3f32;
         for i in 0..l.w.len() {
             let orig = l.w[i];
-            let mut y = Vec::new();
             l.w[i] = orig + eps;
-            l.forward(&x, &mut y);
-            let lp: f32 = y.iter().sum();
+            let lp: f32 = forward1(&l, &x).iter().sum();
             l.w[i] = orig - eps;
-            l.forward(&x, &mut y);
-            let lm: f32 = y.iter().sum();
+            let lm: f32 = forward1(&l, &x).iter().sum();
             l.w[i] = orig;
             let fd = (lp - lm) / (2.0 * eps);
             assert!(
@@ -180,14 +236,47 @@ mod tests {
         for i in 0..3 {
             let mut xp = x;
             xp[i] += eps;
-            let mut y = Vec::new();
-            l.forward(&xp, &mut y);
-            let lp: f32 = y.iter().sum();
+            let lp: f32 = forward1(&l, &xp).iter().sum();
             xp[i] = x[i] - eps;
-            l.forward(&xp, &mut y);
-            let lm: f32 = y.iter().sum();
+            let lm: f32 = forward1(&l, &xp).iter().sum();
             let fd = (lp - lm) / (2.0 * eps);
             assert!((fd - gx[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn batched_backward_equals_per_sample_accumulation() {
+        // one batch-3 backward must leave the exact gradient bits of three
+        // batch-1 backwards, at every pool width
+        let mut rng = StdRng::seed_from_u64(21);
+        let l0 = Linear::new(5, 4, &mut rng);
+        let x: Vec<f32> = (0..15).map(|i| (i as f32 * 0.37).sin()).collect();
+        let gy: Vec<f32> = (0..12).map(|i| (i as f32 * 0.53).cos()).collect();
+
+        let mut serial = l0.clone();
+        let pool1 = ThreadPool::new(1);
+        let mut gx_serial = Vec::new();
+        for b in 0..3 {
+            let mut gx_b = Vec::new();
+            serial.backward_batch(
+                &x[b * 5..(b + 1) * 5],
+                &gy[b * 4..(b + 1) * 4],
+                1,
+                &pool1,
+                &mut gx_b,
+            );
+            gx_serial.extend_from_slice(&gx_b);
+        }
+
+        for threads in [1, 2, 7] {
+            let mut batched = l0.clone();
+            let pool = ThreadPool::new(threads);
+            let mut gx = Vec::new();
+            batched.backward_batch(&x, &gy, 3, &pool, &mut gx);
+            let bits = |v: &[f32]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&batched.gw), bits(&serial.gw), "gw, width {threads}");
+            assert_eq!(bits(&batched.gb), bits(&serial.gb), "gb, width {threads}");
+            assert_eq!(bits(&gx), bits(&gx_serial), "gx, width {threads}");
         }
     }
 
@@ -195,20 +284,19 @@ mod tests {
     fn adam_reduces_quadratic_loss() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut l = Linear::new(1, 1, &mut rng);
+        let pool = ThreadPool::new(1);
         // learn y = 2x: loss = (y - 2x)^2 on x=1
         let mut t = 0;
         for _ in 0..500 {
-            let mut y = Vec::new();
-            l.forward(&[1.0], &mut y);
+            let y = forward1(&l, &[1.0]);
             let err = y[0] - 2.0;
             l.zero_grad();
             let mut gx = Vec::new();
-            l.backward(&[1.0], &[2.0 * err], &mut gx);
+            l.backward_batch(&[1.0], &[2.0 * err], 1, &pool, &mut gx);
             t += 1;
             l.adam_step(0.05, t, 1.0);
         }
-        let mut y = Vec::new();
-        l.forward(&[1.0], &mut y);
+        let y = forward1(&l, &[1.0]);
         assert!((y[0] - 2.0).abs() < 0.05, "converged to {}", y[0]);
     }
 

@@ -1,9 +1,142 @@
 //! Multi-layer perceptron with tanh hidden activations.
+//!
+//! The forward/backward API is batch-major and `&self`-shareable: all
+//! mutable per-pass state (activation caches, transpose scratch, gradient
+//! buffers) lives in a caller-owned [`Workspace`], not inside the network.
+//! That is what lets one set of weights serve any batch shape without
+//! interior mutability, and it keeps serde state identical to the old
+//! per-sample design (the caches were `#[serde(skip)]` there too).
 
+use harl_par::ThreadPool;
+use harl_tensor_sim::ConfigError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::layers::{tanh_backward, tanh_forward, Linear};
+
+/// Validated MLP shape: `in_dim → hidden (tanh) × hidden_layers → out_dim`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input dimensionality.
+    pub in_dim: usize,
+    /// Width of every hidden layer.
+    pub hidden: usize,
+    /// Number of hidden tanh layers.
+    pub hidden_layers: usize,
+    /// Output dimensionality (linear, no activation).
+    pub out_dim: usize,
+}
+
+impl Default for MlpConfig {
+    /// The paper's value/actor trunk shape: two hidden tanh layers of 64.
+    fn default() -> Self {
+        MlpConfig {
+            in_dim: 1,
+            hidden: 64,
+            hidden_layers: 2,
+            out_dim: 1,
+        }
+    }
+}
+
+impl MlpConfig {
+    /// Fluent builder starting from [`MlpConfig::default`].
+    pub fn builder() -> MlpConfigBuilder {
+        MlpConfigBuilder {
+            cfg: MlpConfig::default(),
+        }
+    }
+
+    /// Rejects degenerate shapes before they panic (or silently collapse
+    /// the network) deep inside training.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.in_dim == 0 {
+            return Err(ConfigError::new("mlp.in_dim", "must be at least 1"));
+        }
+        if self.out_dim == 0 {
+            return Err(ConfigError::new("mlp.out_dim", "must be at least 1"));
+        }
+        if self.hidden == 0 {
+            return Err(ConfigError::new("mlp.hidden", "must be at least 1"));
+        }
+        Ok(())
+    }
+
+    /// The layer-size vector `[in, hidden, …, out]` this config describes.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = Vec::with_capacity(self.hidden_layers + 2);
+        sizes.push(self.in_dim);
+        sizes.extend(std::iter::repeat_n(self.hidden, self.hidden_layers));
+        sizes.push(self.out_dim);
+        sizes
+    }
+}
+
+/// Builder for [`MlpConfig`]; `build` validates and returns the shared
+/// [`ConfigError`] on rejection.
+#[derive(Debug, Clone)]
+pub struct MlpConfigBuilder {
+    cfg: MlpConfig,
+}
+
+impl MlpConfigBuilder {
+    /// Sets the input dimensionality.
+    pub fn in_dim(mut self, v: usize) -> Self {
+        self.cfg.in_dim = v;
+        self
+    }
+
+    /// Sets the hidden width.
+    pub fn hidden(mut self, v: usize) -> Self {
+        self.cfg.hidden = v;
+        self
+    }
+
+    /// Sets the number of hidden tanh layers.
+    pub fn hidden_layers(mut self, v: usize) -> Self {
+        self.cfg.hidden_layers = v;
+        self
+    }
+
+    /// Sets the output dimensionality.
+    pub fn out_dim(mut self, v: usize) -> Self {
+        self.cfg.out_dim = v;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<MlpConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// Caller-owned scratch for one network's forward/backward passes:
+/// batch-major activations, weight-transpose scratch, and gradient
+/// buffers. Reusing one workspace across calls amortizes every allocation
+/// in the hot path; distinct workspaces make the same `&Mlp` usable from
+/// several call sites without aliasing.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    batch: usize,
+    input: Vec<f32>,
+    acts: Vec<Vec<f32>>,
+    wt: Vec<f32>,
+    gy: Vec<f32>,
+    gx: Vec<f32>,
+}
+
+impl Workspace {
+    /// A fresh, empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Batch size of the most recent forward pass.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
 
 /// An MLP: linear layers with tanh between them; the final layer is linear
 /// (logits / value output).
@@ -11,12 +144,6 @@ use crate::layers::{tanh_backward, tanh_forward, Linear};
 pub struct Mlp {
     /// The dense layers, in forward order.
     pub layers: Vec<Linear>,
-    /// Cached post-activation outputs of each layer from the last forward
-    /// pass (needed by backprop).
-    #[serde(skip)]
-    cache: Vec<Vec<f32>>,
-    #[serde(skip)]
-    cached_input: Vec<f32>,
     adam_t: u64,
 }
 
@@ -29,12 +156,13 @@ impl Mlp {
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
             .collect();
-        Mlp {
-            layers,
-            cache: Vec::new(),
-            cached_input: Vec::new(),
-            adam_t: 0,
-        }
+        Mlp { layers, adam_t: 0 }
+    }
+
+    /// Builds an MLP from a validated [`MlpConfig`].
+    pub fn from_config<R: Rng + ?Sized>(cfg: &MlpConfig, rng: &mut R) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Mlp::new(&cfg.sizes(), rng))
     }
 
     /// Input dimensionality.
@@ -47,62 +175,64 @@ impl Mlp {
         self.layers.last().expect("non-empty").out_dim
     }
 
-    /// Forward pass, caching activations for a subsequent [`Mlp::backward`].
-    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
-        self.cached_input = x.to_vec();
-        self.cache.clear();
+    /// Batch-major forward pass: `x` is `batch × in_dim` row-major, the
+    /// returned slice is `batch × out_dim`. Activations are cached in `ws`
+    /// for a subsequent [`Mlp::backward_batch`]. Every output row is
+    /// bit-equal to a batch-1 call on that row (see [`crate::gemm`]).
+    pub fn forward_batch<'w>(&self, x: &[f32], batch: usize, ws: &'w mut Workspace) -> &'w [f32] {
         let n = self.layers.len();
-        let mut cur = x.to_vec();
-        for (li, layer) in self.layers.iter().enumerate() {
-            let mut next = Vec::new();
-            layer.forward(&cur, &mut next);
+        debug_assert_eq!(x.len(), batch * self.in_dim());
+        ws.batch = batch;
+        ws.input.clear();
+        ws.input.extend_from_slice(x);
+        ws.acts.resize(n, Vec::new());
+        let Workspace {
+            acts, wt, input, ..
+        } = ws;
+        for li in 0..n {
+            let (prev, rest) = acts.split_at_mut(li);
+            let inp: &[f32] = if li == 0 { input } else { &prev[li - 1] };
+            self.layers[li].forward_batch_into(inp, batch, wt, &mut rest[0]);
             if li + 1 < n {
-                tanh_forward(&mut next);
+                tanh_forward(&mut rest[0]);
             }
-            self.cache.push(next.clone());
-            cur = next;
         }
-        cur
+        acts.last().expect("non-empty").as_slice()
     }
 
-    /// Inference-only forward (no caching; usable through `&self`).
-    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+    /// Backward pass for the most recent [`Mlp::forward_batch`] through
+    /// the same workspace; accumulates parameter gradients (reduction on
+    /// `pool`, order fixed — see [`Linear::backward_batch`]) and returns
+    /// the batch-major `∂L/∂input`.
+    pub fn backward_batch(
+        &mut self,
+        grad_out: &[f32],
+        ws: &mut Workspace,
+        pool: &ThreadPool,
+    ) -> Vec<f32> {
         let n = self.layers.len();
-        let mut cur = x.to_vec();
-        for (li, layer) in self.layers.iter().enumerate() {
-            let mut next = Vec::new();
-            layer.forward(&cur, &mut next);
-            if li + 1 < n {
-                tanh_forward(&mut next);
-            }
-            cur = next;
-        }
-        cur
-    }
-
-    /// Backward pass for the most recent [`Mlp::forward`]; accumulates
-    /// parameter gradients and returns `∂L/∂input`.
-    pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
-        let n = self.layers.len();
-        assert_eq!(self.cache.len(), n, "backward without forward");
-        let mut gy = grad_out.to_vec();
-        let mut gx = Vec::new();
+        assert_eq!(ws.acts.len(), n, "backward without forward");
+        let batch = ws.batch;
+        debug_assert_eq!(grad_out.len(), batch * self.out_dim());
+        ws.gy.clear();
+        ws.gy.extend_from_slice(grad_out);
+        let Workspace {
+            acts,
+            input,
+            gy,
+            gx,
+            ..
+        } = ws;
         for li in (0..n).rev() {
             if li + 1 < n {
                 // gy is w.r.t. the post-tanh output of layer li
-                tanh_backward(&self.cache[li], &mut gy);
+                tanh_backward(&acts[li], gy);
             }
-            let input_owned;
-            let input: &[f32] = if li == 0 {
-                &self.cached_input
-            } else {
-                input_owned = self.cache[li - 1].clone();
-                &input_owned
-            };
-            self.layers[li].backward(input, &gy, &mut gx);
-            gy = std::mem::take(&mut gx);
+            let inp: &[f32] = if li == 0 { input } else { &acts[li - 1] };
+            self.layers[li].backward_batch(inp, gy, batch, pool, gx);
+            std::mem::swap(gy, gx);
         }
-        gy
+        std::mem::take(gy)
     }
 
     /// Clears accumulated gradients.
@@ -163,43 +293,62 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
+    fn infer1(mlp: &Mlp, x: &[f32]) -> Vec<f32> {
+        let mut ws = Workspace::new();
+        mlp.forward_batch(x, 1, &mut ws).to_vec()
+    }
+
     #[test]
     fn forward_shapes() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mut mlp = Mlp::new(&[8, 16, 3], &mut rng);
-        let y = mlp.forward(&[0.1; 8]);
+        let mlp = Mlp::new(&[8, 16, 3], &mut rng);
+        let mut ws = Workspace::new();
+        let y = mlp.forward_batch(&[0.1; 8], 1, &mut ws);
         assert_eq!(y.len(), 3);
         assert_eq!(mlp.in_dim(), 8);
         assert_eq!(mlp.out_dim(), 3);
     }
 
     #[test]
-    fn infer_matches_forward() {
+    fn batched_forward_rows_equal_single_rows() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut mlp = Mlp::new(&[4, 8, 2], &mut rng);
-        let x = vec![0.3, -0.2, 0.8, 0.0];
-        assert_eq!(mlp.forward(&x), mlp.infer(&x));
+        let mlp = Mlp::new(&[4, 8, 2], &mut rng);
+        let x: Vec<f32> = (0..12).map(|i| (i as f32 * 0.31).sin()).collect();
+        let mut ws = Workspace::new();
+        let y = mlp.forward_batch(&x, 3, &mut ws).to_vec();
+        for b in 0..3 {
+            let row = infer1(&mlp, &x[b * 4..(b + 1) * 4]);
+            assert_eq!(
+                row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y[b * 2..(b + 1) * 2]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "row {b}"
+            );
+        }
     }
 
     #[test]
     fn gradcheck_full_network() {
         let mut rng = StdRng::seed_from_u64(6);
         let mut mlp = Mlp::new(&[3, 5, 2], &mut rng);
+        let pool = ThreadPool::new(1);
         let x = vec![0.2f32, -0.4, 0.9];
         // loss = sum of outputs
-        let y = mlp.forward(&x);
-        let _ = y;
+        let mut ws = Workspace::new();
+        let _ = mlp.forward_batch(&x, 1, &mut ws);
         mlp.zero_grad();
-        let gin = mlp.backward(&[1.0, 1.0]);
+        let gin = mlp.backward_batch(&[1.0, 1.0], &mut ws, &pool);
 
         let eps = 1e-3f32;
         // check one weight in each layer
         for li in 0..mlp.layers.len() {
             let orig = mlp.layers[li].w[0];
             mlp.layers[li].w[0] = orig + eps;
-            let lp: f32 = mlp.infer(&x).iter().sum();
+            let lp: f32 = infer1(&mlp, &x).iter().sum();
             mlp.layers[li].w[0] = orig - eps;
-            let lm: f32 = mlp.infer(&x).iter().sum();
+            let lm: f32 = infer1(&mlp, &x).iter().sum();
             mlp.layers[li].w[0] = orig;
             let fd = (lp - lm) / (2.0 * eps);
             assert!(
@@ -212,9 +361,9 @@ mod tests {
         for i in 0..3 {
             let mut xp = x.clone();
             xp[i] += eps;
-            let lp: f32 = mlp.infer(&xp).iter().sum();
+            let lp: f32 = infer1(&mlp, &xp).iter().sum();
             xp[i] = x[i] - eps;
-            let lm: f32 = mlp.infer(&xp).iter().sum();
+            let lm: f32 = infer1(&mlp, &xp).iter().sum();
             let fd = (lp - lm) / (2.0 * eps);
             assert!((fd - gin[i]).abs() < 2e-2);
         }
@@ -224,25 +373,43 @@ mod tests {
     fn can_learn_xor() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut mlp = Mlp::new(&[2, 16, 1], &mut rng);
-        let data = [
-            ([0.0f32, 0.0], 0.0f32),
-            ([0.0, 1.0], 1.0),
-            ([1.0, 0.0], 1.0),
-            ([1.0, 1.0], 0.0),
-        ];
+        let pool = ThreadPool::new(1);
+        let mut ws = Workspace::new();
+        let xs: Vec<f32> = vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0];
+        let ts = [0.0f32, 1.0, 1.0, 0.0];
         for _ in 0..2000 {
             mlp.zero_grad();
-            for (x, t) in &data {
-                let y = mlp.forward(x);
-                let err = y[0] - t;
-                mlp.backward(&[2.0 * err]);
-            }
+            let y = mlp.forward_batch(&xs, 4, &mut ws).to_vec();
+            let grad: Vec<f32> = y.iter().zip(&ts).map(|(yi, ti)| 2.0 * (yi - ti)).collect();
+            mlp.backward_batch(&grad, &mut ws, &pool);
             mlp.adam_step(0.01, 0.25);
         }
-        for (x, t) in &data {
-            let y = mlp.infer(x)[0];
-            assert!((y - t).abs() < 0.2, "xor({x:?}) = {y}, want {t}");
+        for (i, t) in ts.iter().enumerate() {
+            let y = infer1(&mlp, &xs[i * 2..(i + 1) * 2])[0];
+            assert!((y - t).abs() < 0.2, "xor case {i} = {y}, want {t}");
         }
+    }
+
+    #[test]
+    fn mlp_config_builder_validates() {
+        let cfg = MlpConfig::builder()
+            .in_dim(8)
+            .hidden(16)
+            .hidden_layers(2)
+            .out_dim(3)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.sizes(), vec![8, 16, 16, 3]);
+        let mut rng = StdRng::seed_from_u64(30);
+        let mlp = Mlp::from_config(&cfg, &mut rng).unwrap();
+        assert_eq!((mlp.in_dim(), mlp.out_dim()), (8, 3));
+
+        let err = MlpConfig::builder().hidden(0).build().unwrap_err();
+        assert_eq!(err.field, "mlp.hidden");
+        let err = MlpConfig::builder().in_dim(0).build().unwrap_err();
+        assert_eq!(err.field, "mlp.in_dim");
+        let err = MlpConfig::builder().out_dim(0).build().unwrap_err();
+        assert_eq!(err.field, "mlp.out_dim");
     }
 
     #[test]

@@ -5,20 +5,61 @@
 //! A.1: `num_iters² + 1` actions for tiling, 3 for each of the others). A
 //! shared tanh trunk feeds independent linear heads; invalid actions are
 //! masked out of the softmax.
+//!
+//! Like [`crate::mlp::Mlp`], the network itself is `&self`-shareable: all
+//! per-pass state lives in a caller-owned [`PolicyWorkspace`], and the
+//! forward path is batch-major so one matrix-matrix pass serves every
+//! live schedule track of an episode step.
 
+use harl_par::ThreadPool;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::layers::{tanh_backward, tanh_forward, Linear};
-use crate::mlp::{masked_softmax, Mlp};
+use crate::mlp::{masked_softmax, Mlp, Workspace};
+
+/// Caller-owned scratch for the policy's batched passes: the trunk's own
+/// [`Workspace`], the post-tanh trunk output, per-head batch-major logits,
+/// and gradient buffers.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyWorkspace {
+    trunk: Workspace,
+    trunk_out: Vec<f32>,
+    logits: Vec<Vec<f32>>,
+    wt: Vec<f32>,
+    gx: Vec<f32>,
+    g_trunk: Vec<f32>,
+    batch: usize,
+}
+
+impl PolicyWorkspace {
+    /// A fresh, empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        PolicyWorkspace::default()
+    }
+
+    /// Batch size of the most recent forward pass.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Batch-major logits of head `h` from the last forward pass.
+    pub fn logits(&self, h: usize) -> &[f32] {
+        &self.logits[h]
+    }
+
+    /// Logits of head `h` for batch row `b` from the last forward pass.
+    pub fn head_logits(&self, h: usize, b: usize) -> &[f32] {
+        let out = self.logits[h].len() / self.batch.max(1);
+        &self.logits[h][b * out..(b + 1) * out]
+    }
+}
 
 /// Shared-trunk, multi-head categorical policy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MultiHeadPolicy {
     trunk: Mlp,
     heads: Vec<Linear>,
-    #[serde(skip)]
-    cached_trunk_out: Vec<f32>,
     adam_t: u64,
 }
 
@@ -38,7 +79,6 @@ impl MultiHeadPolicy {
         MultiHeadPolicy {
             trunk,
             heads,
-            cached_trunk_out: Vec::new(),
             adam_t: 0,
         }
     }
@@ -53,50 +93,44 @@ impl MultiHeadPolicy {
         self.heads.iter().map(|h| h.out_dim).collect()
     }
 
-    /// Training forward pass: caches intermediates, returns per-head logits.
-    pub fn forward(&mut self, x: &[f32]) -> Vec<Vec<f32>> {
-        let mut t = self.trunk.forward(x);
-        tanh_forward(&mut t);
-        self.cached_trunk_out = t.clone();
-        self.heads
-            .iter()
-            .map(|h| {
-                let mut y = Vec::new();
-                h.forward(&t, &mut y);
-                y
-            })
-            .collect()
+    /// Batch-major forward pass: `x` is `batch × state_dim` row-major.
+    /// Leaves per-head logits (and everything a subsequent
+    /// [`Self::backward_batch`] needs) in `ws`.
+    pub fn forward_batch(&self, x: &[f32], batch: usize, ws: &mut PolicyWorkspace) {
+        ws.batch = batch;
+        let t = self.trunk.forward_batch(x, batch, &mut ws.trunk);
+        ws.trunk_out.clear();
+        ws.trunk_out.extend_from_slice(t);
+        tanh_forward(&mut ws.trunk_out);
+        ws.logits.resize(self.heads.len(), Vec::new());
+        for (h, head) in self.heads.iter().enumerate() {
+            head.forward_batch_into(&ws.trunk_out, batch, &mut ws.wt, &mut ws.logits[h]);
+        }
     }
 
-    /// Inference forward (no caching).
-    pub fn infer(&self, x: &[f32]) -> Vec<Vec<f32>> {
-        let mut t = self.trunk.infer(x);
-        tanh_forward(&mut t);
-        self.heads
-            .iter()
-            .map(|h| {
-                let mut y = Vec::new();
-                h.forward(&t, &mut y);
-                y
-            })
-            .collect()
-    }
-
-    /// Backward pass for the most recent [`Self::forward`]: accumulates
-    /// gradients given per-head logit gradients.
-    pub fn backward(&mut self, grad_logits: &[Vec<f32>]) {
+    /// Batched backward for the most recent [`Self::forward_batch`]
+    /// through the same workspace: `grad_logits[h]` is the batch-major
+    /// logit gradient of head `h`. Heads are reduced in ascending head
+    /// order into the trunk gradient, so the accumulation order matches
+    /// the per-sample loop regardless of batch size or pool width.
+    pub fn backward_batch(
+        &mut self,
+        grad_logits: &[Vec<f32>],
+        ws: &mut PolicyWorkspace,
+        pool: &ThreadPool,
+    ) {
         assert_eq!(grad_logits.len(), self.heads.len());
-        let t = self.cached_trunk_out.clone();
-        let mut g_trunk = vec![0.0f32; t.len()];
-        let mut gx = Vec::new();
+        let batch = ws.batch;
+        ws.g_trunk.clear();
+        ws.g_trunk.resize(ws.trunk_out.len(), 0.0);
         for (h, gl) in self.heads.iter_mut().zip(grad_logits) {
-            h.backward(&t, gl, &mut gx);
-            for (a, b) in g_trunk.iter_mut().zip(&gx) {
+            h.backward_batch(&ws.trunk_out, gl, batch, pool, &mut ws.gx);
+            for (a, b) in ws.g_trunk.iter_mut().zip(&ws.gx) {
                 *a += *b;
             }
         }
-        tanh_backward(&t, &mut g_trunk);
-        let _ = self.trunk.backward(&g_trunk);
+        tanh_backward(&ws.trunk_out, &mut ws.g_trunk);
+        let _ = self.trunk.backward_batch(&ws.g_trunk, &mut ws.trunk, pool);
     }
 
     /// Clears accumulated gradients.
@@ -122,14 +156,15 @@ impl MultiHeadPolicy {
         &self,
         x: &[f32],
         masks: &[Vec<bool>],
+        ws: &mut PolicyWorkspace,
         rng: &mut R,
     ) -> (Vec<usize>, f32) {
-        let logits = self.infer(x);
-        let mut actions = Vec::with_capacity(logits.len());
+        self.forward_batch(x, 1, ws);
+        let mut actions = Vec::with_capacity(self.heads.len());
         let mut logp = 0.0f32;
-        for (h, lg) in logits.iter().enumerate() {
+        for h in 0..self.heads.len() {
             let mask = masks.get(h).filter(|m| !m.is_empty()).map(|m| m.as_slice());
-            let probs = masked_softmax(lg, mask);
+            let probs = masked_softmax(ws.head_logits(h, 0), mask);
             let a = sample_categorical(&probs, rng);
             actions.push(a);
             logp += probs[a].max(1e-12).ln();
@@ -138,14 +173,12 @@ impl MultiHeadPolicy {
     }
 
     /// Greedy (argmax) action per head.
-    pub fn greedy(&self, x: &[f32], masks: &[Vec<bool>]) -> Vec<usize> {
-        let logits = self.infer(x);
-        logits
-            .iter()
-            .enumerate()
-            .map(|(h, lg)| {
+    pub fn greedy(&self, x: &[f32], masks: &[Vec<bool>], ws: &mut PolicyWorkspace) -> Vec<usize> {
+        self.forward_batch(x, 1, ws);
+        (0..self.heads.len())
+            .map(|h| {
                 let mask = masks.get(h).filter(|m| !m.is_empty()).map(|m| m.as_slice());
-                let probs = masked_softmax(lg, mask);
+                let probs = masked_softmax(ws.head_logits(h, 0), mask);
                 probs
                     .iter()
                     .enumerate()
@@ -190,21 +223,48 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let p = MultiHeadPolicy::new(10, 16, &[101, 3, 3, 3], &mut rng);
         assert_eq!(p.head_sizes(), vec![101, 3, 3, 3]);
-        let logits = p.infer(&[0.0; 10]);
-        assert_eq!(logits.len(), 4);
-        assert_eq!(logits[0].len(), 101);
+        let mut ws = PolicyWorkspace::new();
+        p.forward_batch(&[0.0; 10], 1, &mut ws);
+        assert_eq!(p.num_heads(), 4);
+        assert_eq!(ws.logits(0).len(), 101);
+        assert_eq!(ws.head_logits(3, 0).len(), 3);
+    }
+
+    #[test]
+    fn batched_logits_equal_single_rows() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let p = MultiHeadPolicy::new(6, 8, &[5, 3], &mut rng);
+        let x: Vec<f32> = (0..24).map(|i| (i as f32 * 0.17).sin()).collect();
+        let mut ws = PolicyWorkspace::new();
+        p.forward_batch(&x, 4, &mut ws);
+        let batched: Vec<Vec<u32>> = (0..4)
+            .map(|b| {
+                (0..2)
+                    .flat_map(|h| ws.head_logits(h, b).iter().map(|v| v.to_bits()))
+                    .collect()
+            })
+            .collect();
+        for b in 0..4 {
+            let mut ws1 = PolicyWorkspace::new();
+            p.forward_batch(&x[b * 6..(b + 1) * 6], 1, &mut ws1);
+            let single: Vec<u32> = (0..2)
+                .flat_map(|h| ws1.head_logits(h, 0).iter().map(|v| v.to_bits()))
+                .collect();
+            assert_eq!(single, batched[b], "row {b} must equal its batch-1 twin");
+        }
     }
 
     #[test]
     fn sample_respects_masks() {
         let mut rng = StdRng::seed_from_u64(9);
         let p = MultiHeadPolicy::new(4, 8, &[5, 3], &mut rng);
+        let mut ws = PolicyWorkspace::new();
         let masks = vec![
             vec![false, false, true, false, false],
             vec![true, true, true],
         ];
         for _ in 0..50 {
-            let (a, logp) = p.sample(&[0.1, 0.2, 0.3, 0.4], &masks, &mut rng);
+            let (a, logp) = p.sample(&[0.1, 0.2, 0.3, 0.4], &masks, &mut ws, &mut rng);
             assert_eq!(a[0], 2, "masked sampling must pick the only valid action");
             assert!(logp.is_finite());
         }
@@ -215,11 +275,13 @@ mod tests {
         // pushing gradient toward an action should raise its probability
         let mut rng = StdRng::seed_from_u64(10);
         let mut p = MultiHeadPolicy::new(3, 8, &[4], &mut rng);
+        let pool = ThreadPool::new(1);
+        let mut ws = PolicyWorkspace::new();
         let x = [0.5f32, -0.5, 0.25];
         let target = 2usize;
         for _ in 0..200 {
-            let logits = p.forward(&x);
-            let probs = masked_softmax(&logits[0], None);
+            p.forward_batch(&x, 1, &mut ws);
+            let probs = masked_softmax(ws.head_logits(0, 0), None);
             // gradient of -logp(target): p - onehot
             let g: Vec<f32> = probs
                 .iter()
@@ -227,10 +289,11 @@ mod tests {
                 .map(|(i, &pi)| pi - if i == target { 1.0 } else { 0.0 })
                 .collect();
             p.zero_grad();
-            p.backward(&[g]);
+            p.backward_batch(&[g], &mut ws, &pool);
             p.adam_step(0.01, 1.0);
         }
-        let probs = masked_softmax(&p.infer(&x)[0], None);
+        p.forward_batch(&x, 1, &mut ws);
+        let probs = masked_softmax(ws.head_logits(0, 0), None);
         assert!(probs[target] > 0.9, "target prob {}", probs[target]);
     }
 
@@ -248,7 +311,8 @@ mod tests {
         let mut p = MultiHeadPolicy::new(2, 4, &[3], &mut rng);
         // force strong logits via a head bias
         p.heads[0].b = vec![-5.0, 10.0, -5.0];
-        let a = p.greedy(&[0.0, 0.0], &[vec![]]);
+        let mut ws = PolicyWorkspace::new();
+        let a = p.greedy(&[0.0, 0.0], &[vec![]], &mut ws);
         assert_eq!(a[0], 1);
     }
 }

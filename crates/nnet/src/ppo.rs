@@ -6,15 +6,26 @@
 //! advantage `A = r + γ V(s') − V(s)` (Eq. 6), actor lr `3e-4`, critic lr
 //! `1e-3`, discount `γ = 0.9` (Table 5). Transitions are stored in a replay
 //! buffer and trained in minibatches every `T_rl` steps (Algorithm 1).
+//!
+//! Both hot phases are batch-major: [`PpoAgent::act_batch`] runs one
+//! matrix-matrix forward for every live schedule track of a step, and
+//! [`PpoAgent::train_minibatch`] runs one batched forward/backward over
+//! the whole minibatch with the gradient reduction parallelized on the
+//! agent's `harl-par` pool (`HARL_PPO_THREADS`). Both are bit-identical
+//! to their per-sample equivalents at any batch size and any pool width —
+//! the same contract `tests/scoring_determinism.rs` pins for scoring.
 
 use std::collections::VecDeque;
 
+use harl_obs::Tracer;
+use harl_par::ThreadPool;
+use harl_tensor_sim::ConfigError;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::mlp::{masked_softmax, Mlp};
-use crate::policy::MultiHeadPolicy;
+use crate::mlp::{masked_softmax, Mlp, Workspace};
+use crate::policy::{sample_categorical, MultiHeadPolicy, PolicyWorkspace};
 
 /// PPO hyper-parameters (defaults = Table 5).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -52,6 +63,143 @@ impl Default for PpoConfig {
             buffer_capacity: 4096,
             hidden: 64,
         }
+    }
+}
+
+impl PpoConfig {
+    /// Fluent builder starting from [`PpoConfig::default`].
+    pub fn builder() -> PpoConfigBuilder {
+        PpoConfigBuilder {
+            cfg: PpoConfig::default(),
+        }
+    }
+
+    /// Rejects hyper-parameters that would panic or silently diverge deep
+    /// inside training (a zero minibatch samples nothing forever, a zero
+    /// hidden width collapses both networks, a non-finite learning rate
+    /// poisons every weight on the first Adam step).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.minibatch == 0 {
+            return Err(ConfigError::new("ppo.minibatch", "must be at least 1"));
+        }
+        if self.hidden == 0 {
+            return Err(ConfigError::new("ppo.hidden", "must be at least 1"));
+        }
+        if !self.lr_actor.is_finite() || self.lr_actor <= 0.0 {
+            return Err(ConfigError::new(
+                "ppo.lr_actor",
+                format!(
+                    "must be a finite positive learning rate, got {}",
+                    self.lr_actor
+                ),
+            ));
+        }
+        if !self.lr_critic.is_finite() || self.lr_critic <= 0.0 {
+            return Err(ConfigError::new(
+                "ppo.lr_critic",
+                format!(
+                    "must be a finite positive learning rate, got {}",
+                    self.lr_critic
+                ),
+            ));
+        }
+        if !self.gamma.is_finite() || !(0.0..=1.0).contains(&self.gamma) {
+            return Err(ConfigError::new(
+                "ppo.gamma",
+                format!("discount must lie in [0, 1], got {}", self.gamma),
+            ));
+        }
+        if !self.clip.is_finite() || self.clip <= 0.0 {
+            return Err(ConfigError::new(
+                "ppo.clip",
+                format!("clip range must be finite and positive, got {}", self.clip),
+            ));
+        }
+        if !self.entropy_weight.is_finite() || self.entropy_weight < 0.0 {
+            return Err(ConfigError::new(
+                "ppo.entropy_weight",
+                format!(
+                    "must be finite and non-negative, got {}",
+                    self.entropy_weight
+                ),
+            ));
+        }
+        if !self.value_weight.is_finite() || self.value_weight < 0.0 {
+            return Err(ConfigError::new(
+                "ppo.value_weight",
+                format!("must be finite and non-negative, got {}", self.value_weight),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`PpoConfig`]; `build` validates and returns the shared
+/// [`ConfigError`] on rejection.
+#[derive(Debug, Clone)]
+pub struct PpoConfigBuilder {
+    cfg: PpoConfig,
+}
+
+impl PpoConfigBuilder {
+    /// Sets the actor learning rate.
+    pub fn lr_actor(mut self, v: f32) -> Self {
+        self.cfg.lr_actor = v;
+        self
+    }
+
+    /// Sets the critic learning rate.
+    pub fn lr_critic(mut self, v: f32) -> Self {
+        self.cfg.lr_critic = v;
+        self
+    }
+
+    /// Sets the discount factor γ.
+    pub fn gamma(mut self, v: f32) -> Self {
+        self.cfg.gamma = v;
+        self
+    }
+
+    /// Sets the PPO clip range ε.
+    pub fn clip(mut self, v: f32) -> Self {
+        self.cfg.clip = v;
+        self
+    }
+
+    /// Sets the entropy bonus weight.
+    pub fn entropy_weight(mut self, v: f32) -> Self {
+        self.cfg.entropy_weight = v;
+        self
+    }
+
+    /// Sets the critic MSE weight.
+    pub fn value_weight(mut self, v: f32) -> Self {
+        self.cfg.value_weight = v;
+        self
+    }
+
+    /// Sets the minibatch size.
+    pub fn minibatch(mut self, v: usize) -> Self {
+        self.cfg.minibatch = v;
+        self
+    }
+
+    /// Sets the replay buffer capacity (0 = unbounded).
+    pub fn buffer_capacity(mut self, v: usize) -> Self {
+        self.cfg.buffer_capacity = v;
+        self
+    }
+
+    /// Sets the hidden layer width of actor and critic.
+    pub fn hidden(mut self, v: usize) -> Self {
+        self.cfg.hidden = v;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<PpoConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -123,6 +271,11 @@ impl ReplayBuffer {
 }
 
 /// The actor-critic agent.
+///
+/// The networks are plain weights (`&self`-shareable, serde-stable); all
+/// per-pass scratch lives in the agent's two workspaces, and the gradient
+/// reduction pool plus tracer are runtime wiring a checkpoint restore
+/// re-applies (`#[serde(skip)]`, like the scoring pipeline's pool).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PpoAgent {
     /// The multi-head actor network π_θ.
@@ -134,6 +287,14 @@ pub struct PpoAgent {
     /// Replay buffer of recorded transitions.
     pub buffer: ReplayBuffer,
     updates: u64,
+    #[serde(skip)]
+    ws_policy: PolicyWorkspace,
+    #[serde(skip)]
+    ws_critic: Workspace,
+    #[serde(skip)]
+    pool: ThreadPool,
+    #[serde(skip)]
+    tracer: Tracer,
 }
 
 impl PpoAgent {
@@ -153,30 +314,107 @@ impl PpoAgent {
             cfg,
             buffer: ReplayBuffer::with_capacity(cap),
             updates: 0,
+            ws_policy: PolicyWorkspace::new(),
+            ws_critic: Workspace::new(),
+            pool: ThreadPool::default(),
+            tracer: Tracer::default(),
         }
     }
 
-    /// Value estimate `V(s)`.
-    pub fn value(&self, state: &[f32]) -> f32 {
-        self.critic.infer(state)[0]
+    /// Resizes the gradient-reduction pool (results are bit-identical at
+    /// any width; this trades wall time only).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = ThreadPool::new(threads);
     }
 
-    /// Samples actions for a state; returns `(actions, logp)`.
+    /// Width of the gradient-reduction pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Attaches a tracer for the `ppo_act_batch` / `gemm` /
+    /// `ppo_backward` spans.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Value estimate `V(s)`.
+    pub fn value(&mut self, state: &[f32]) -> f32 {
+        self.critic.forward_batch(state, 1, &mut self.ws_critic)[0]
+    }
+
+    /// Samples actions for a single state; returns `(actions, logp)`.
     pub fn act<R: Rng + ?Sized>(
-        &self,
+        &mut self,
         state: &[f32],
         masks: &[Vec<bool>],
         rng: &mut R,
     ) -> (Vec<usize>, f32) {
-        self.policy.sample(state, masks, rng)
+        self.policy.sample(state, masks, &mut self.ws_policy, rng)
+    }
+
+    /// Batched action sampling: one policy forward for `batch` states
+    /// (row-major in `states`), then `samples` independent draws per row.
+    ///
+    /// Row `b` uses `masks[b]` for every draw; its softmax is computed
+    /// once and reused, which is exactly what the per-sample loop did
+    /// (the state, logits, and masks are constant across a row's draws).
+    /// RNG consumption order is row-major, then draw, then head — the
+    /// same stream the equivalent `act` loop would consume, so batching
+    /// changes no downstream byte.
+    pub fn act_batch<R: Rng + ?Sized>(
+        &mut self,
+        states: &[f32],
+        batch: usize,
+        masks: &[Vec<Vec<bool>>],
+        samples: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<(Vec<usize>, f32)>> {
+        debug_assert_eq!(masks.len(), batch);
+        let _span = self.tracer.span_with(
+            "ppo_act_batch",
+            &[("tracks", batch.into()), ("samples", samples.into())],
+        );
+        {
+            let _gemm = self.tracer.span_with("gemm", &[("batch", batch.into())]);
+            self.policy
+                .forward_batch(states, batch, &mut self.ws_policy);
+        }
+        let num_heads = self.policy.num_heads();
+        let mut out = Vec::with_capacity(batch);
+        for (b, row_masks) in masks.iter().enumerate().take(batch) {
+            let probs: Vec<Vec<f32>> = (0..num_heads)
+                .map(|h| {
+                    let mask = row_masks
+                        .get(h)
+                        .filter(|m| !m.is_empty())
+                        .map(|m| m.as_slice());
+                    masked_softmax(self.ws_policy.head_logits(h, b), mask)
+                })
+                .collect();
+            let mut draws = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let mut actions = Vec::with_capacity(num_heads);
+                let mut logp = 0.0f32;
+                for p in &probs {
+                    let a = sample_categorical(p, rng);
+                    actions.push(a);
+                    logp += p[a].max(1e-12).ln();
+                }
+                draws.push((actions, logp));
+            }
+            out.push(draws);
+        }
+        out
     }
 
     /// One-step TD advantage (Eq. 6): `A = r + γ V(s') − V(s)`.
-    pub fn advantage(&self, reward: f32, state: &[f32], next_state: &[f32]) -> f32 {
+    pub fn advantage(&mut self, reward: f32, state: &[f32], next_state: &[f32]) -> f32 {
         reward + self.cfg.gamma * self.value(next_state) - self.value(state)
     }
 
-    /// Records a transition, computing advantage and critic target.
+    /// Records a transition, computing advantage and critic target (one
+    /// batch-2 critic pass for both value estimates).
     pub fn record(
         &mut self,
         state: Vec<f32>,
@@ -186,8 +424,11 @@ impl PpoAgent {
         next_state: &[f32],
         masks: Vec<Vec<bool>>,
     ) -> f32 {
-        let v_next = self.value(next_state);
-        let v = self.value(&state);
+        let mut x = Vec::with_capacity(next_state.len() + state.len());
+        x.extend_from_slice(next_state);
+        x.extend_from_slice(&state);
+        let out = self.critic.forward_batch(&x, 2, &mut self.ws_critic);
+        let (v_next, v) = (out[0], out[1]);
         let advantage = reward + self.cfg.gamma * v_next - v;
         let value_target = reward + self.cfg.gamma * v_next;
         self.buffer.push(Transition {
@@ -220,11 +461,25 @@ impl PpoAgent {
             .into_iter()
             .cloned()
             .collect();
-        Some(self.train_batch(&batch))
+        Some(self.train_minibatch(&batch))
     }
 
-    fn train_batch(&mut self, batch: &[Transition]) -> (f32, f32) {
-        let n = batch.len().max(1) as f32;
+    /// One PPO update on an explicit minibatch: a single batched policy
+    /// and critic forward, the per-sample surrogate-loss scalars in
+    /// sample order, then one batched backward with the parameter
+    /// reduction on the agent's pool.
+    ///
+    /// Summation-order inventory (why this is bit-equal to the serial
+    /// per-sample loop): loss accumulators and logit gradients are
+    /// computed per sample in ascending order from the batched logits
+    /// (whose rows are bit-equal to per-sample forwards); parameter
+    /// gradients accumulate per cell in ascending sample order inside
+    /// [`crate::layers::Linear::backward_batch`] regardless of pool
+    /// width; and the policy-then-critic phase split is exact because the
+    /// two networks share no accumulator.
+    pub fn train_minibatch(&mut self, batch: &[Transition]) -> (f32, f32) {
+        let n_samples = batch.len();
+        let n = n_samples.max(1) as f32;
         self.policy.zero_grad();
         self.critic.zero_grad();
         let mut policy_loss_acc = 0.0f32;
@@ -239,20 +494,36 @@ impl PpoAgent {
             / n;
         let std_a = var_a.sqrt().max(1e-6);
 
+        let mut x = Vec::with_capacity(n_samples * batch.first().map_or(0, |t| t.state.len()));
         for t in batch {
+            x.extend_from_slice(&t.state);
+        }
+
+        // --- actor: one batched forward, per-sample surrogate scalars ---
+        {
+            let _gemm = self.tracer.span_with(
+                "gemm",
+                &[("batch", n_samples.into()), ("net", "policy".into())],
+            );
+            self.policy
+                .forward_batch(&x, n_samples, &mut self.ws_policy);
+        }
+        let head_sizes = self.policy.head_sizes();
+        let mut grad_logits: Vec<Vec<f32>> = head_sizes
+            .iter()
+            .map(|&hs| vec![0.0f32; n_samples * hs])
+            .collect();
+        for (s, t) in batch.iter().enumerate() {
             let adv = (t.advantage - mean_a) / std_a;
-            // --- actor ---------------------------------------------------
-            let logits = self.policy.forward(&t.state);
-            let mut grad_logits: Vec<Vec<f32>> = Vec::with_capacity(logits.len());
             let mut logp_new = 0.0f32;
-            let mut per_head: Vec<(Vec<f32>, usize)> = Vec::with_capacity(logits.len());
-            for (h, lg) in logits.iter().enumerate() {
+            let mut per_head: Vec<(Vec<f32>, usize)> = Vec::with_capacity(head_sizes.len());
+            for h in 0..head_sizes.len() {
                 let mask = t
                     .masks
                     .get(h)
                     .filter(|m| !m.is_empty())
                     .map(|m| m.as_slice());
-                let probs = masked_softmax(lg, mask);
+                let probs = masked_softmax(self.ws_policy.head_logits(h, s), mask);
                 let a = t.actions[h].min(probs.len() - 1);
                 logp_new += probs[a].max(1e-12).ln();
                 per_head.push((probs, a));
@@ -265,33 +536,55 @@ impl PpoAgent {
             // dL/dlogp_new: −A·ratio when the unclipped branch is active
             let dlogp = if surr1 <= surr2 { -adv * ratio } else { 0.0 };
 
-            for (probs, a) in &per_head {
+            for (h, (probs, a)) in per_head.iter().enumerate() {
                 let entropy: f32 = probs
                     .iter()
                     .filter(|&&p| p > 0.0)
                     .map(|&p| -p * p.ln())
                     .sum();
-                let g: Vec<f32> = probs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &p)| {
-                        if p <= 0.0 {
-                            return 0.0; // masked action: no gradient
-                        }
-                        let d_logp = (if i == *a { 1.0 } else { 0.0 }) - p;
-                        let d_ent = -p * (p.ln() + entropy);
-                        dlogp * d_logp - self.cfg.entropy_weight * d_ent
-                    })
-                    .collect();
-                grad_logits.push(g);
+                let dst = &mut grad_logits[h][s * head_sizes[h]..(s + 1) * head_sizes[h]];
+                for (i, (&p, slot)) in probs.iter().zip(dst.iter_mut()).enumerate() {
+                    if p <= 0.0 {
+                        continue; // masked action: no gradient
+                    }
+                    let d_logp = (if i == *a { 1.0 } else { 0.0 }) - p;
+                    let d_ent = -p * (p.ln() + entropy);
+                    *slot = dlogp * d_logp - self.cfg.entropy_weight * d_ent;
+                }
             }
-            self.policy.backward(&grad_logits);
+        }
 
-            // --- critic --------------------------------------------------
-            let v = self.critic.forward(&t.state)[0];
-            let err = v - t.value_target;
+        // --- critic: one batched forward, per-sample MSE scalars --------
+        let values: Vec<f32> = {
+            let _gemm = self.tracer.span_with(
+                "gemm",
+                &[("batch", n_samples.into()), ("net", "critic".into())],
+            );
+            self.critic
+                .forward_batch(&x, n_samples, &mut self.ws_critic)
+                .to_vec()
+        };
+        let mut grad_v = Vec::with_capacity(n_samples);
+        for (s, t) in batch.iter().enumerate() {
+            let err = values[s] - t.value_target;
             value_loss_acc += self.cfg.value_weight * err * err;
-            let _ = self.critic.backward(&[2.0 * self.cfg.value_weight * err]);
+            grad_v.push(2.0 * self.cfg.value_weight * err);
+        }
+
+        // --- batched backward, parameter reduction on the pool ----------
+        {
+            let _span = self.tracer.span_with(
+                "ppo_backward",
+                &[
+                    ("minibatch", n_samples.into()),
+                    ("threads", self.pool.threads().into()),
+                ],
+            );
+            self.policy
+                .backward_batch(&grad_logits, &mut self.ws_policy, &self.pool);
+            let _ = self
+                .critic
+                .backward_batch(&grad_v, &mut self.ws_critic, &self.pool);
         }
 
         self.policy.adam_step(self.cfg.lr_actor, 1.0 / n);
@@ -349,6 +642,108 @@ mod tests {
     }
 
     #[test]
+    fn act_batch_matches_serial_act_loop() {
+        // one batched multi-draw call must consume the RNG and produce
+        // actions exactly like the per-track, per-draw `act` loop
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut a1 = PpoAgent::new(6, &[7, 3], PpoConfig::default(), &mut rng);
+        let mut a2 = a1.clone();
+        let states: Vec<f32> = (0..18).map(|i| (i as f32 * 0.23).sin()).collect();
+        let masks: Vec<Vec<Vec<bool>>> = vec![
+            vec![],
+            vec![vec![true, false, true, true, false, true, true], vec![]],
+            vec![vec![], vec![true, true, false]],
+        ];
+        let samples = 4;
+
+        let mut rng_a = StdRng::seed_from_u64(91);
+        let mut rng_b = StdRng::seed_from_u64(91);
+        let batched = a1.act_batch(&states, 3, &masks, samples, &mut rng_a);
+        for (b, draws) in batched.iter().enumerate() {
+            for (acts, logp) in draws {
+                let (sa, sl) = a2.act(&states[b * 6..(b + 1) * 6], &masks[b], &mut rng_b);
+                assert_eq!(*acts, sa, "track {b}");
+                assert_eq!(logp.to_bits(), sl.to_bits(), "track {b}");
+            }
+        }
+        // both agents must have drawn the same stream length
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+    }
+
+    #[test]
+    fn train_is_bit_identical_across_pool_widths() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut reference = PpoAgent::new(5, &[3, 3], PpoConfig::default(), &mut rng);
+        for pos in 0..4usize {
+            let (actions, logp) = reference.act(&corridor_state(pos), &[], &mut rng);
+            reference.record(
+                corridor_state(pos),
+                actions,
+                logp,
+                0.25,
+                &corridor_state(pos + 1),
+                vec![],
+            );
+        }
+        let pristine = reference.clone();
+        reference.set_threads(1);
+        let mut rng_ref = StdRng::seed_from_u64(7);
+        let losses_ref: Vec<(u32, u32)> = (0..3)
+            .map(|_| {
+                let (p, v) = reference.train_step(&mut rng_ref).unwrap();
+                (p.to_bits(), v.to_bits())
+            })
+            .collect();
+        let probe = corridor_state(2);
+        let value_ref = reference.value(&probe).to_bits();
+
+        for threads in [2, 3, 7] {
+            let mut agent = pristine.clone();
+            agent.set_threads(threads);
+            let mut rng_t = StdRng::seed_from_u64(7);
+            let losses: Vec<(u32, u32)> = (0..3)
+                .map(|_| {
+                    let (p, v) = agent.train_step(&mut rng_t).unwrap();
+                    (p.to_bits(), v.to_bits())
+                })
+                .collect();
+            assert_eq!(losses, losses_ref, "width {threads} losses diverged");
+            assert_eq!(
+                agent.value(&probe).to_bits(),
+                value_ref,
+                "width {threads} weights diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn ppo_config_builder_validates() {
+        let cfg = PpoConfig::builder()
+            .minibatch(16)
+            .hidden(32)
+            .lr_actor(1e-3)
+            .build()
+            .unwrap();
+        assert_eq!((cfg.minibatch, cfg.hidden), (16, 32));
+
+        let err = PpoConfig::builder().minibatch(0).build().unwrap_err();
+        assert_eq!(err.field, "ppo.minibatch");
+        let err = PpoConfig::builder().hidden(0).build().unwrap_err();
+        assert_eq!(err.field, "ppo.hidden");
+        let err = PpoConfig::builder().lr_actor(f32::NAN).build().unwrap_err();
+        assert_eq!(err.field, "ppo.lr_actor");
+        let err = PpoConfig::builder()
+            .lr_critic(f32::INFINITY)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.field, "ppo.lr_critic");
+        let err = PpoConfig::builder().gamma(1.5).build().unwrap_err();
+        assert_eq!(err.field, "ppo.gamma");
+        let err = PpoConfig::builder().clip(0.0).build().unwrap_err();
+        assert_eq!(err.field, "ppo.clip");
+    }
+
+    #[test]
     fn ppo_learns_to_move_right() {
         let mut rng = StdRng::seed_from_u64(42);
         let cfg = PpoConfig {
@@ -384,9 +779,12 @@ mod tests {
         }
 
         // greedy policy should walk right from the start
+        let mut ws = crate::policy::PolicyWorkspace::new();
         let mut pos = 0usize;
         for _ in 0..6 {
-            let a = agent.policy.greedy(&corridor_state(pos), &[vec![]]);
+            let a = agent
+                .policy
+                .greedy(&corridor_state(pos), &[vec![]], &mut ws);
             pos = match a[0] {
                 0 => pos.saturating_sub(1),
                 1 => pos,
@@ -399,7 +797,7 @@ mod tests {
     #[test]
     fn advantage_formula_matches_eq6() {
         let mut rng = StdRng::seed_from_u64(1);
-        let agent = PpoAgent::new(3, &[2], PpoConfig::default(), &mut rng);
+        let mut agent = PpoAgent::new(3, &[2], PpoConfig::default(), &mut rng);
         let s = vec![0.1, 0.2, 0.3];
         let ns = vec![0.3, 0.2, 0.1];
         let a = agent.advantage(0.5, &s, &ns);

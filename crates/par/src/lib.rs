@@ -19,12 +19,18 @@
 //! thread — the result is identical either way, this is purely a latency
 //! decision, and it depends only on the input length (never on timing),
 //! so it cannot perturb determinism.
+//!
+//! Two env-selected pool widths exist (`HARL_SCORE_THREADS` for the
+//! scoring pipeline, `HARL_PPO_THREADS` for the PPO batched backward
+//! pass); [`ParallelismOpts`] bundles them into the single knob the
+//! `Tuner` trait, tuning sessions, and serve job specs accept.
 
 use std::sync::atomic::Ordering;
 use std::sync::OnceLock;
 
 use harl_check::{AtomicRole, CAtomicUsize, CMutex};
 use harl_obs::Counter;
+use serde::{Deserialize, Serialize};
 
 /// Global counters for how often maps run inline vs spawn workers — the
 /// signal for whether `HARL_SCORE_THREADS` is actually buying parallelism.
@@ -41,10 +47,20 @@ fn map_counter(mode: &'static str) -> &'static Counter {
 /// Environment variable selecting the scoring-pool width.
 pub const THREADS_ENV: &str = "HARL_SCORE_THREADS";
 
+/// Environment variable selecting the PPO gradient-reduction pool width.
+pub const PPO_THREADS_ENV: &str = "HARL_PPO_THREADS";
+
 /// Below this many items per worker, [`ThreadPool::map_indexed`] runs
 /// inline instead of spawning: the per-call spawn cost (tens of µs) would
 /// dominate maps of cheap per-item work.
 pub const MIN_ITEMS_PER_WORKER: usize = 64;
+
+fn env_threads(var: &str) -> usize {
+    match std::env::var(var) {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => 1,
+    }
+}
 
 /// Number of scoring threads requested via `HARL_SCORE_THREADS`.
 ///
@@ -52,9 +68,80 @@ pub const MIN_ITEMS_PER_WORKER: usize = 64;
 /// scoring pipeline is bit-deterministic at any width, so the safe default
 /// is the one with zero thread overhead on small boxes.
 pub fn threads_from_env() -> usize {
-    match std::env::var(THREADS_ENV) {
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => 1,
+    env_threads(THREADS_ENV)
+}
+
+/// Number of PPO backward-pass threads requested via `HARL_PPO_THREADS`,
+/// with the same fallback rule as [`threads_from_env`].
+pub fn ppo_threads_from_env() -> usize {
+    env_threads(PPO_THREADS_ENV)
+}
+
+/// Thread widths for every parallel component a tuner owns.
+///
+/// Each width drives one bit-deterministic pool: the batched scoring
+/// pipeline and the PPO batched backward pass are both order-preserving
+/// reductions, so these settings change wall time only — never results,
+/// traces, or checkpoints. That is also why job identities (e.g. a serve
+/// job key) must not include them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelismOpts {
+    /// Width of the batched scoring pool (env default: `HARL_SCORE_THREADS`).
+    pub score_threads: usize,
+    /// Width of the PPO backward pool (env default: `HARL_PPO_THREADS`).
+    pub ppo_threads: usize,
+}
+
+impl Default for ParallelismOpts {
+    /// Environment defaults, i.e. [`ParallelismOpts::from_env`].
+    fn default() -> Self {
+        ParallelismOpts::from_env()
+    }
+}
+
+impl ParallelismOpts {
+    /// Hard sanity cap on any requested width.
+    pub const MAX_THREADS: usize = 512;
+
+    /// Widths from `HARL_SCORE_THREADS` / `HARL_PPO_THREADS` (default 1).
+    pub fn from_env() -> Self {
+        ParallelismOpts {
+            score_threads: threads_from_env(),
+            ppo_threads: ppo_threads_from_env(),
+        }
+    }
+
+    /// Fully serial execution (width 1 everywhere).
+    pub fn serial() -> Self {
+        ParallelismOpts::uniform(1)
+    }
+
+    /// The same width for every pool.
+    pub fn uniform(threads: usize) -> Self {
+        ParallelismOpts {
+            score_threads: threads,
+            ppo_threads: threads,
+        }
+    }
+
+    /// Rejects widths of 0 or beyond [`ParallelismOpts::MAX_THREADS`]
+    /// (job specs arrive over the wire; a typo must not spawn 10⁶ threads).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("score_threads", self.score_threads),
+            ("ppo_threads", self.ppo_threads),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be at least 1"));
+            }
+            if v > Self::MAX_THREADS {
+                return Err(format!(
+                    "{name} {v} exceeds the maximum of {}",
+                    Self::MAX_THREADS
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -81,6 +168,11 @@ impl ThreadPool {
         ThreadPool::new(threads_from_env())
     }
 
+    /// A pool sized by `HARL_PPO_THREADS` (default 1).
+    pub fn ppo_from_env() -> Self {
+        ThreadPool::new(ppo_threads_from_env())
+    }
+
     /// The configured width.
     pub fn threads(&self) -> usize {
         self.threads
@@ -99,10 +191,22 @@ impl ThreadPool {
         U: Send,
         F: Fn(usize, &T) -> U + Sync,
     {
-        let n = items.len();
+        self.map_range(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Applies `f(i)` for every `i in 0..n` and returns the results in
+    /// index order — the range-shaped sibling of
+    /// [`ThreadPool::map_indexed`], for work that is naturally indexed
+    /// (matrix rows) rather than sliced. Same determinism contract: slot
+    /// `i` holds `f(i)` no matter how many workers ran.
+    pub fn map_range<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
         if self.threads == 1 || n < self.threads * MIN_ITEMS_PER_WORKER {
             map_counter("inline").inc();
-            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+            return (0..n).map(&f).collect();
         }
         map_counter("parallel").inc();
         let workers = self.threads.min(n);
@@ -119,7 +223,7 @@ impl ThreadPool {
                         break;
                     }
                     let end = (start + chunk).min(n);
-                    let vals: Vec<U> = (start..end).map(|i| f(i, &items[i])).collect();
+                    let vals: Vec<U> = (start..end).map(&f).collect();
                     results
                         .lock()
                         .expect("par results poisoned")
@@ -136,6 +240,14 @@ impl ThreadPool {
         }
         debug_assert_eq!(out.len(), n);
         out
+    }
+}
+
+impl Default for ThreadPool {
+    /// A serial pool. Deserialized owners (checkpoint restores) start
+    /// serial and get their runtime width re-applied by the tuner.
+    fn default() -> Self {
+        ThreadPool::new(1)
     }
 }
 
@@ -197,6 +309,40 @@ mod tests {
     #[test]
     fn width_is_clamped_to_at_least_one() {
         assert_eq!(ThreadPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn map_range_matches_map_indexed() {
+        let items: Vec<usize> = (0..300).collect();
+        for threads in [1, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let by_range = pool.map_range(items.len(), |i| items[i] * 3 + 1);
+            let by_slice = pool.map_indexed(&items, |_, &x| x * 3 + 1);
+            assert_eq!(by_range, by_slice);
+        }
+    }
+
+    #[test]
+    fn parallelism_opts_validate() {
+        assert!(ParallelismOpts::serial().validate().is_ok());
+        assert!(ParallelismOpts::uniform(8).validate().is_ok());
+        assert!(ParallelismOpts::uniform(0).validate().is_err());
+        let absurd = ParallelismOpts {
+            score_threads: 4,
+            ppo_threads: ParallelismOpts::MAX_THREADS + 1,
+        };
+        assert!(absurd.validate().unwrap_err().contains("ppo_threads"));
+    }
+
+    #[test]
+    fn parallelism_opts_serde_round_trip() {
+        let opts = ParallelismOpts {
+            score_threads: 4,
+            ppo_threads: 2,
+        };
+        let json = serde_json::to_string(&opts).unwrap();
+        let back: ParallelismOpts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, opts);
     }
 
     #[test]

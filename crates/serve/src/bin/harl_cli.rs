@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! harl-cli [--addr HOST:PORT] submit WORKLOAD [--tuner T] [--preset P]
-//!          [--hardware H] [--trials N] [--priority P] [--target-ms MS] [--watch]
+//!          [--hardware H] [--trials N] [--priority P] [--target-ms MS]
+//!          [--score-threads N] [--ppo-threads N] [--watch]
 //! harl-cli [--addr HOST:PORT] status|result|cancel|watch JOB_ID
 //! harl-cli [--addr HOST:PORT] list
 //! harl-cli [--addr HOST:PORT] metrics
@@ -15,14 +16,17 @@
 
 use std::time::Duration;
 
-use harl_serve::{Client, JobSpec, JobState, JobView, Preset, TunerKind, WorkloadSpec};
+use harl_serve::{
+    Client, JobSpec, JobState, JobView, ParallelismOpts, Preset, TunerKind, WorkloadSpec,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: harl-cli [--addr HOST:PORT] <command>\n\
          commands:\n\
          \x20 submit WORKLOAD [--tuner harl|ansor|flextensor] [--preset tiny|fast|paper]\n\
-         \x20        [--hardware NAME] [--trials N] [--priority P] [--target-ms MS] [--watch]\n\
+         \x20        [--hardware NAME] [--trials N] [--priority P] [--target-ms MS]\n\
+         \x20        [--score-threads N] [--ppo-threads N] [--watch]\n\
          \x20 status JOB_ID      one job's live state\n\
          \x20 result JOB_ID      a finished job's metrics\n\
          \x20 watch JOB_ID       follow a job to completion\n\
@@ -112,6 +116,7 @@ fn submit(client: &Client, rest: &[String]) {
         trials: 160,
         priority: 0,
         target_ms: None,
+        parallelism: None,
     };
     let mut watch_it = false;
     let mut flags = flags.iter();
@@ -141,6 +146,22 @@ fn submit(client: &Client, rest: &[String]) {
                         .parse()
                         .unwrap_or_else(|e| die(format!("--target-ms: {e}"))),
                 )
+            }
+            "--score-threads" => {
+                let n = value("--score-threads")
+                    .parse()
+                    .unwrap_or_else(|e| die(format!("--score-threads: {e}")));
+                spec.parallelism
+                    .get_or_insert_with(ParallelismOpts::from_env)
+                    .score_threads = n;
+            }
+            "--ppo-threads" => {
+                let n = value("--ppo-threads")
+                    .parse()
+                    .unwrap_or_else(|e| die(format!("--ppo-threads: {e}")));
+                spec.parallelism
+                    .get_or_insert_with(ParallelismOpts::from_env)
+                    .ppo_threads = n;
             }
             "--watch" => watch_it = true,
             other => die(format!("unknown submit flag `{other}`")),

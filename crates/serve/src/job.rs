@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use harl_gbt::ScoreStats;
+use harl_par::ParallelismOpts;
 use harl_tensor_ir::{workload, Subgraph};
 use harl_tensor_sim::Hardware;
 
@@ -269,6 +270,12 @@ pub struct JobSpec {
     pub priority: i32,
     /// Optional target latency (ms) to report `trials_to_target` against.
     pub target_ms: Option<f64>,
+    /// Thread-pool widths for the job's parallel stages (scoring, PPO).
+    /// Performance only — results are bit-identical at any width — so it
+    /// is excluded from [`JobSpec::job_key`]. `None` uses the daemon's
+    /// environment (`HARL_SCORE_THREADS` / `HARL_PPO_THREADS`).
+    #[serde(default)]
+    pub parallelism: Option<ParallelismOpts>,
 }
 
 impl JobSpec {
@@ -288,13 +295,18 @@ impl JobSpec {
                 return Err(format!("target_ms must be a finite latency > 0, got {ms}"));
             }
         }
+        if let Some(par) = &self.parallelism {
+            par.validate()?;
+        }
         Ok(())
     }
 
     /// Stable identity of the *search* this spec describes, used to stamp
-    /// and guard session checkpoints. Priority and reporting targets do not
-    /// change the search, so they are excluded: re-submitting the same
-    /// workload at a different priority still resumes its checkpoint.
+    /// and guard session checkpoints. Priority, reporting targets, and
+    /// thread widths do not change the search (parallelism is
+    /// bit-identical at any width), so they are excluded: re-submitting
+    /// the same workload at a different priority or width still resumes
+    /// its checkpoint.
     pub fn job_key(&self) -> String {
         let canon = format!(
             "{}|{}|{}|{}|{}",
@@ -455,6 +467,7 @@ mod tests {
             trials,
             priority: 0,
             target_ms: None,
+            parallelism: None,
         }
     }
 
@@ -492,7 +505,12 @@ mod tests {
         let mut b = a.clone();
         b.priority = 9;
         b.target_ms = Some(1.5);
-        assert_eq!(a.job_key(), b.job_key(), "priority/target are not search");
+        b.parallelism = Some(ParallelismOpts::uniform(4));
+        assert_eq!(
+            a.job_key(),
+            b.job_key(),
+            "priority/target/parallelism are not search"
+        );
 
         let mut c = a.clone();
         c.trials = 200;
@@ -511,6 +529,12 @@ mod tests {
         assert!(s.validate().is_err());
         let mut s = spec(100);
         s.target_ms = Some(-1.0);
+        assert!(s.validate().is_err());
+        let mut s = spec(100);
+        s.parallelism = Some(ParallelismOpts {
+            score_threads: 0,
+            ppo_threads: 1,
+        });
         assert!(s.validate().is_err());
     }
 

@@ -32,6 +32,7 @@ pub mod client;
 
 pub use client::Client;
 pub use error::ServeError;
+pub use harl_par::ParallelismOpts;
 pub use job::{JobOutcome, JobSpec, JobState, JobView, Preset, TunerKind, WorkloadSpec};
 pub use protocol::{ErrorCode, Request, Response};
 pub use server::{Daemon, ServeConfig};

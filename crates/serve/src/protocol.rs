@@ -151,6 +151,7 @@ mod tests {
                 trials: 32,
                 priority: 1,
                 target_ms: Some(2.0),
+                parallelism: Some(harl_par::ParallelismOpts::uniform(2)),
             }),
             Request::Status("j000001".into()),
             Request::Result("j000001".into()),

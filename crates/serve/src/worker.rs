@@ -95,11 +95,14 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
         )),
     };
     tuner.set_tracer(tracer.clone());
-    let mut session = TuningSession::builder()
+    let mut builder = TuningSession::builder()
         .job_key(spec.job_key())
         .warm_pool(warm_pool)
-        .checkpoint_every(shared.cfg.checkpoint_every)
-        .launch(tuner, &measurer, Some(store.clone()))?;
+        .checkpoint_every(shared.cfg.checkpoint_every);
+    if let Some(par) = spec.parallelism {
+        builder = builder.parallelism(par);
+    }
+    let mut session = builder.launch(tuner, &measurer, Some(store.clone()))?;
 
     let resumed = session.resumed();
     if resumed {

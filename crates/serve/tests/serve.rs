@@ -30,6 +30,7 @@ fn gemm_spec(trials: u64) -> JobSpec {
         trials,
         priority: 0,
         target_ms: None,
+        parallelism: None,
     }
 }
 

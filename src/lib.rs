@@ -63,7 +63,8 @@ pub use harl_verify as verify;
 pub mod prelude {
     pub use harl_ansor::{AnsorConfig, AnsorNetworkTuner, AnsorTuner, FlextensorTuner};
     pub use harl_core::{
-        HarlConfig, HarlNetworkTuner, HarlOperatorTuner, Tuner, TunerState, TuningSession,
+        HarlConfig, HarlNetworkTuner, HarlOperatorTuner, ParallelismOpts, Tuner, TunerState,
+        TuningSession,
     };
     pub use harl_nn_models::{operator_suite, Network, OperatorClass};
     pub use harl_store::{MeasureRecord, RecordStore};

@@ -1,12 +1,14 @@
-//! Bit-determinism of the batched scoring pipeline across pool widths.
+//! Bit-determinism of the parallel stages across pool widths.
 //!
-//! The scoring pipeline fingerprints, caches, extracts in parallel, and
-//! batch-predicts — but every candidate's score must come out bit-equal to
-//! the seed's serial `extract → score` loop no matter how many threads
-//! run. These tests pin that guarantee end-to-end: a full tuning run at
-//! `HARL_SCORE_THREADS`-style width 4 must produce the same best latency,
-//! the same trace, and the same checkpoint bytes as the width-1 run, and
-//! the PR-2 kill/resume bit-equality must survive with the pool on.
+//! Two pools exist: the scoring pipeline (fingerprint, cache, extract,
+//! batch-predict — `HARL_SCORE_THREADS`) and the PPO gradient reduction
+//! (`HARL_PPO_THREADS`), plus the batched `ppo_act` matrix pass over all
+//! live tracks. Every one of them must come out bit-equal to the seed's
+//! serial loops no matter how many threads run or how wide the batch is.
+//! These tests pin that guarantee end-to-end: a full tuning run with both
+//! pools at width 4 must produce the same best latency, the same trace,
+//! and the same checkpoint bytes as the width-1 run, and the PR-2
+//! kill/resume bit-equality must survive with the pools and batching on.
 
 use std::sync::Arc;
 
@@ -24,11 +26,12 @@ fn temp_store(tag: &str) -> std::path::PathBuf {
     dir
 }
 
-/// (best_time bits, trials, trace JSON, checkpoint JSON) of a HARL run.
+/// (best_time bits, trials, trace JSON, checkpoint JSON) of a HARL run
+/// with both the scoring and the PPO pool at `threads`.
 fn harl_run(threads: usize, trials: u64) -> (u64, u64, String, String) {
     let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
     let mut t = HarlOperatorTuner::new(gemm(), &m, HarlConfig::tiny());
-    t.set_score_threads(threads);
+    t.set_parallelism(ParallelismOpts::uniform(threads));
     {
         let mut s = TuningSession::builder()
             .launch(Box::new(&mut t), &m, None)
@@ -46,7 +49,7 @@ fn harl_run(threads: usize, trials: u64) -> (u64, u64, String, String) {
 fn ansor_run(threads: usize, trials: u64) -> (u64, u64, String, String) {
     let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
     let mut t = AnsorTuner::new(gemm(), &m, AnsorConfig::default());
-    t.set_score_threads(threads);
+    t.set_parallelism(ParallelismOpts::uniform(threads));
     {
         let mut s = TuningSession::builder()
             .launch(Box::new(&mut t), &m, None)
@@ -77,7 +80,9 @@ fn harl_scoring_is_bit_identical_across_width_matrix() {
     // pins the awkward widths too — 2 (minimal real parallelism), 3 and
     // 7 (odd widths whose chunk boundaries never divide the batch
     // evenly, so any chunk-shape dependence in float accumulation or
-    // cache fill order would surface here).
+    // cache fill order would surface here). `uniform` drives both pools,
+    // so the PPO gradient reduction is exercised at every width — the
+    // checkpoint byte-compare covers the agent's weights after training.
     let serial = harl_run(1, 48);
     for threads in [2, 3, 7] {
         let pooled = harl_run(threads, 48);
@@ -111,12 +116,66 @@ fn ansor_scoring_is_bit_identical_at_widths_1_and_4() {
 }
 
 #[test]
+fn batched_ppo_act_matches_per_sample_act() {
+    // The episode loop batches all live tracks into one `act_batch`
+    // matrix pass. This pins, through the public facade, that the batch
+    // pass consumes the RNG stream and produces the (actions, logp)
+    // pairs of the seed's per-track `act` loop — bit-for-bit, including
+    // rows with empty masks.
+    use harl_repro::nnet::PpoAgent;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let heads = [11usize, 3, 3, 3];
+    let dim = harl_repro::ir::FEATURE_DIM;
+    let mut rng_init = StdRng::seed_from_u64(7);
+    let agent = PpoAgent::new(dim, &heads, Default::default(), &mut rng_init);
+
+    let batch = 5;
+    let samples = 3;
+    let mut states = vec![0.0f32; batch * dim];
+    for (i, v) in states.iter_mut().enumerate() {
+        *v = ((i * 37 % 101) as f32) / 101.0 - 0.5;
+    }
+    let masks: Vec<Vec<Vec<bool>>> = (0..batch)
+        .map(|b| {
+            heads
+                .iter()
+                .map(|&h| (0..h).map(|a| (a + b) % 3 != 0 || a == 1).collect())
+                .collect()
+        })
+        .collect();
+
+    let mut rng_a = StdRng::seed_from_u64(12345);
+    let mut rng_b = StdRng::seed_from_u64(12345);
+
+    let mut batched_agent = agent.clone();
+    let batched = batched_agent.act_batch(&states, batch, &masks, samples, &mut rng_a);
+
+    let mut serial_agent = agent.clone();
+    for b in 0..batch {
+        for (s, draw) in batched[b].iter().enumerate().take(samples) {
+            let (actions, logp) =
+                serial_agent.act(&states[b * dim..(b + 1) * dim], &masks[b], &mut rng_b);
+            assert_eq!(draw.0, actions, "row {b} draw {s}: actions");
+            assert_eq!(
+                draw.1.to_bits(),
+                logp.to_bits(),
+                "row {b} draw {s}: logp must match bit-for-bit"
+            );
+        }
+    }
+    // both paths must have consumed the identical RNG stream
+    assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+}
+
+#[test]
 fn scoring_pool_reports_cache_traffic() {
     // the determinism above must not come from the cache never engaging:
     // a real run has to show both batches and hits
     let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
     let mut t = HarlOperatorTuner::new(gemm(), &m, HarlConfig::tiny());
-    t.set_score_threads(4);
+    t.set_parallelism(ParallelismOpts::uniform(4));
     {
         let mut s = TuningSession::builder()
             .launch(Box::new(&mut t), &m, None)
@@ -136,14 +195,15 @@ fn scoring_pool_reports_cache_traffic() {
 
 #[test]
 fn killed_session_resumes_bit_equal_under_scoring_pool() {
-    // PR-2's kill/resume bit-equality, now with the width-4 pool on both
-    // sides of the kill — and a width-1 uninterrupted reference, so this
-    // also proves resume does not depend on pool width.
+    // PR-2's kill/resume bit-equality, now with both pools at width 4 on
+    // both sides of the kill (the batched ppo_act path is always on) —
+    // and a width-1 uninterrupted reference, so this also proves resume
+    // does not depend on pool width.
     let dir = temp_store("pool-resume");
 
     let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
     let mut t_ref = HarlOperatorTuner::new(gemm(), &m_ref, HarlConfig::tiny());
-    t_ref.set_score_threads(1);
+    t_ref.set_parallelism(ParallelismOpts::serial());
     {
         let mut s = TuningSession::builder()
             .launch(Box::new(&mut t_ref), &m_ref, None)
@@ -154,7 +214,7 @@ fn killed_session_resumes_bit_equal_under_scoring_pool() {
     let store = Arc::new(RecordStore::open(&dir).unwrap());
     let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
     let mut t1 = HarlOperatorTuner::new(gemm(), &m1, HarlConfig::tiny());
-    t1.set_score_threads(4);
+    t1.set_parallelism(ParallelismOpts::uniform(4));
     {
         let mut s = TuningSession::builder()
             .launch(Box::new(&mut t1), &m1, Some(store.clone()))
@@ -167,7 +227,7 @@ fn killed_session_resumes_bit_equal_under_scoring_pool() {
     let store2 = Arc::new(RecordStore::open(&dir).unwrap());
     let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
     let mut t2 = HarlOperatorTuner::new(gemm(), &m2, HarlConfig::tiny());
-    t2.set_score_threads(4);
+    t2.set_parallelism(ParallelismOpts::uniform(4));
     {
         let mut s = TuningSession::builder()
             .launch(Box::new(&mut t2), &m2, Some(store2))
