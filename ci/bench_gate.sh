@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Bench-regression gate for the batched scoring pipeline and the batched
-# PPO kernels.
+# Bench-regression gate for the batched scoring pipeline, the batched
+# PPO kernels, and (in `serve` mode) the daemon's request-serving
+# latency under concurrent load.
 #
 # Reruns each bench in smoke mode (HARL_BENCH_SMOKE=1) with a raised rep
 # count (HARL_BENCH_REPS=15 — the 2-rep CI smoke median is too noisy to
@@ -16,13 +17,64 @@
 # BENCH_GATE_INJECT_SLOWDOWN=<factor> multiplies the measured batched time
 # before the comparison — the manual hook used to verify the gate fires
 # (factor 2 must fail; see EXPERIMENTS.md).
+#
+# `ci/bench_gate.sh serve REPORT.json` instead gates a harl-cli
+# bench-load report (produced by ci/smoke.sh against a live daemon)
+# against ci/BENCH_serve_smoke.json. Wire latency has no in-run ratio to
+# cancel machine speed with, so the margins are deliberately generous —
+# status p99 within 4x of baseline, throughput within 4x the other way —
+# to catch order-of-magnitude regressions (an accidental sleep in the
+# event loop, a per-request thread spawn) and nothing subtler.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CARGO_FLAGS=${CARGO_FLAGS:---offline}
 MARGIN=1.25
+SERVE_MARGIN=4
 
 json_num() { sed -n "s/.*\"$2\": *\([0-9.eE+-]*\).*/\1/p" "$1" | head -1; }
+# verb_stat FILE VERB FIELD: FIELD inside VERB's one-line stats object
+verb_stat() { sed -n "s/.*\"$2\": {[^}]*\"$3\": \([0-9.eE+-]*\).*/\1/p" "$1" | head -1; }
+
+gate_serve() {
+    local report=$1
+    local baseline=ci/BENCH_serve_smoke.json
+    local errors base_p99 base_rps p99 rps p99_budget rps_floor
+    errors=$(json_num "$report" errors)
+    if [ -z "$errors" ] || [ "$errors" -ne 0 ]; then
+        echo "FAIL: serve: bench-load saw ${errors:-?} request errors"
+        exit 1
+    fi
+    base_p99=$(verb_stat "$baseline" status p99_ms)
+    base_rps=$(json_num "$baseline" throughput_rps)
+    p99=$(verb_stat "$report" status p99_ms)
+    rps=$(json_num "$report" throughput_rps)
+    if [ -z "$p99" ] || [ -z "$rps" ]; then
+        echo "FAIL: serve: report $report is missing status p99 or throughput"
+        exit 1
+    fi
+    p99_budget=$(awk "BEGIN{printf \"%.4f\", $base_p99*$SERVE_MARGIN}")
+    rps_floor=$(awk "BEGIN{printf \"%.1f\", $base_rps/$SERVE_MARGIN}")
+    echo "bench gate [serve]: status p99=${p99}ms (budget ${p99_budget}ms), throughput=${rps}rps (floor ${rps_floor}rps)"
+    if awk "BEGIN{exit !($p99 > $p99_budget)}"; then
+        echo "FAIL: serve: status p99 ${p99}ms exceeds budget ${p99_budget}ms (baseline ${base_p99}ms x$SERVE_MARGIN)"
+        exit 1
+    fi
+    if awk "BEGIN{exit !($rps < $rps_floor)}"; then
+        echo "FAIL: serve: throughput ${rps}rps below floor ${rps_floor}rps (baseline ${base_rps}rps /$SERVE_MARGIN)"
+        exit 1
+    fi
+    echo "bench gate OK [serve]"
+}
+
+if [ "${1:-}" = "serve" ]; then
+    if [ -z "${2:-}" ]; then
+        echo "usage: ci/bench_gate.sh serve REPORT.json"
+        exit 2
+    fi
+    gate_serve "$2"
+    exit 0
+fi
 
 gate_bench() {
     local bench=$1

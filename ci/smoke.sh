@@ -15,9 +15,13 @@ CARGO_FLAGS=${CARGO_FLAGS:---offline}
 
 SMOKE_TMP=$(mktemp -d)
 SERVE_PID=""
+FED_A_PID=""
+FED_B_PID=""
 cleanup() {
     rm -rf "$SMOKE_TMP"
-    if [ -n "$SERVE_PID" ]; then kill "$SERVE_PID" 2>/dev/null || true; fi
+    for pid in "$SERVE_PID" "$FED_A_PID" "$FED_B_PID"; do
+        if [ -n "$pid" ]; then kill "$pid" 2>/dev/null || true; fi
+    done
 }
 trap cleanup EXIT
 
@@ -163,3 +167,72 @@ fi
 wait "$SERVE_PID"
 SERVE_PID=""
 echo "serve restart OK: job $job3 resumed from its checkpoint after kill -9"
+
+echo "==> serve bench-load smoke (event-loop latency gate)"
+start_daemon
+"$CLI_BIN" --addr "$ADDR" bench-load --clients 4 --requests 80 --smoke \
+    --out "$SMOKE_TMP/BENCH_serve_run.json"
+"$CLI_BIN" --addr "$ADDR" shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+ci/bench_gate.sh serve "$SMOKE_TMP/BENCH_serve_run.json"
+
+echo "==> federation smoke (two daemons, one logical pool)"
+FED_A="$SMOKE_TMP/fed-a"
+FED_B="$SMOKE_TMP/fed-b"
+mkdir -p "$FED_A" "$FED_B"
+
+# boots one federated daemon; args: root, pid-var name, extra flags...
+start_fed() {
+    local froot=$1 pidvar=$2
+    shift 2
+    "$SERVE_BIN" --root "$froot" --workers 1 "$@" &
+    printf -v "$pidvar" '%s' "$!"
+    local faddr
+    for _ in $(seq 100); do
+        if [ -s "$froot/serve.addr" ]; then
+            faddr=$(cat "$froot/serve.addr")
+            if "$CLI_BIN" --addr "$faddr" list >/dev/null 2>&1; then
+                FED_ADDR=$faddr
+                return 0
+            fi
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: federated daemon on $froot did not come up"
+    return 1
+}
+
+start_fed "$FED_A" FED_A_PID
+ADDR_A=$FED_ADDR
+start_fed "$FED_B" FED_B_PID --peer "$ADDR_A" --sync-ms 100
+ADDR_B=$FED_ADDR
+
+# tune on A, then wait until B's puller has merged A's records
+"$CLI_BIN" --addr "$ADDR_A" submit gemm:256x256x256 --preset tiny --trials 48 --watch >/dev/null
+merged=0
+for _ in $(seq 200); do
+    merged=$("$CLI_BIN" --addr "$ADDR_B" metrics \
+        | sed -n 's/^harl_serve_pool_sync_records_total{event="merged"} \([0-9]*\)$/\1/p')
+    if [ -n "$merged" ] && [ "$merged" -gt 0 ]; then break; fi
+    sleep 0.1
+done
+if [ -z "$merged" ] || [ "$merged" -le 0 ]; then
+    echo "FAIL: daemon B never merged records from peer A"
+    exit 1
+fi
+
+# a similar job on B must warm-start from A's history
+fed_job=$("$CLI_BIN" --addr "$ADDR_B" submit gemm:256x256x256 --preset tiny --trials 48 --watch)
+fed_warm=$(printf '%s\n' "$fed_job" | sed -n 's/.*warm_records=\([0-9]*\).*/\1/p')
+if [ -z "$fed_warm" ] || [ "$fed_warm" -le 0 ]; then
+    echo "FAIL: job on B did not warm-start from A's synced records (warm_records=$fed_warm)"
+    exit 1
+fi
+"$CLI_BIN" --addr "$ADDR_B" shutdown
+wait "$FED_B_PID"
+FED_B_PID=""
+"$CLI_BIN" --addr "$ADDR_A" shutdown
+wait "$FED_A_PID"
+FED_A_PID=""
+echo "federation OK: daemon B merged $merged records from A; similar job on B replayed $fed_warm"

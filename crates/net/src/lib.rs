@@ -1,0 +1,573 @@
+//! # harl-net
+//!
+//! A dependency-free, mio-style nonblocking TCP event loop with
+//! line-delimited framing. One thread multiplexes a listener plus any
+//! number of connections: each tick accepts pending connects, pumps
+//! nonblocking reads into per-connection buffers, hands every complete
+//! line to a [`Service`], and drains the queued replies back out. Idle
+//! connections cost nothing but their buffers — no thread, no wakeup —
+//! which is what lets a daemon hold thousands of open `watch`/`status`
+//! clients on a fixed-size thread count.
+//!
+//! The loop is *level-polled*: with no epoll/kqueue binding available
+//! (the workspace is dependency-free), readiness is discovered by
+//! attempting nonblocking I/O on every connection each tick and backing
+//! off to a bounded sleep when a full sweep makes no progress. A sweep
+//! over N idle sockets is N `read(2)` calls returning `EWOULDBLOCK` —
+//! cheap enough for thousands of connections at the verb rates the wire
+//! protocol sees (see DESIGN.md §14 for the readiness state machine).
+//!
+//! Observability (all in the global [`harl_obs`] registry):
+//! `harl_net_conns_total{event=accepted|closed|dropped}`,
+//! `harl_net_connections` / `harl_net_idle_connections` gauges,
+//! `harl_net_wakeups_total`, `harl_net_wakeup_interval_seconds`, and
+//! `harl_net_dispatch_seconds` (per-line service latency).
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Identity of one live connection, unique within an [`EventLoop`]'s
+/// lifetime (monotonically assigned, never reused).
+pub type Token = u64;
+
+/// Reply channel handed to [`Service::on_line`]: the service pushes any
+/// number of reply lines and may ask for the connection to be closed once
+/// they have been flushed.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    lines: Vec<String>,
+    close: bool,
+}
+
+impl Outbox {
+    /// Queues one reply line (the trailing `\n` is added by the loop).
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Closes the connection after every queued reply has been written.
+    pub fn close_after_flush(&mut self) {
+        self.close = true;
+    }
+}
+
+/// What an [`EventLoop`] serves: a callback per framed line.
+///
+/// All callbacks run on the loop thread, so they must not block on
+/// long-running work — hand that to a worker pool and answer from shared
+/// state (exactly how `harl-serve` dispatches tuning jobs).
+pub trait Service {
+    /// One complete line from connection `token`, without its trailing
+    /// newline (a trailing `\r` is also stripped). Push replies into
+    /// `out`.
+    fn on_line(&mut self, token: Token, line: &str, out: &mut Outbox);
+
+    /// A new connection was accepted.
+    fn on_open(&mut self, _token: Token) {}
+
+    /// A connection closed (EOF, error, or service-requested close).
+    fn on_close(&mut self, _token: Token) {}
+}
+
+/// Event-loop tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LoopConfig {
+    /// A connection whose buffered partial line exceeds this is dropped
+    /// (protocol abuse / runaway peer protection).
+    pub max_line_bytes: usize,
+    /// Upper bound of the idle back-off sleep. Bounds worst-case added
+    /// latency for a request arriving on a fully idle loop.
+    pub max_idle_sleep: Duration,
+}
+
+impl Default for LoopConfig {
+    fn default() -> LoopConfig {
+        LoopConfig {
+            max_line_bytes: 16 * 1024 * 1024,
+            max_idle_sleep: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Why a connection left the loop (feeds the `closed`/`dropped` counters).
+enum Gone {
+    /// Clean close: EOF or service-requested close-after-flush.
+    Closed,
+    /// Error close: I/O failure, oversized line, or torn final line.
+    Dropped,
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    /// Scan cursor into `rbuf`: bytes before it contain no newline.
+    scanned: usize,
+    wbuf: Vec<u8>,
+    /// Bytes of `wbuf` already written.
+    wpos: usize,
+    close_after_flush: bool,
+    gone: Option<Gone>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            scanned: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+            close_after_flush: false,
+            gone: None,
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.rbuf.is_empty() && self.wpos >= self.wbuf.len()
+    }
+
+    /// Nonblocking write of everything pending. Returns true on progress.
+    fn flush(&mut self) -> bool {
+        let mut progressed = false;
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.gone = Some(Gone::Dropped);
+                    break;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.gone = Some(Gone::Dropped);
+                    break;
+                }
+            }
+        }
+        if self.wpos >= self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+            if self.close_after_flush && self.gone.is_none() {
+                self.gone = Some(Gone::Closed);
+            }
+        }
+        progressed
+    }
+}
+
+/// The event loop: one listener, N connections, one [`Service`].
+pub struct EventLoop<S: Service> {
+    listener: TcpListener,
+    service: S,
+    cfg: LoopConfig,
+    conns: BTreeMap<Token, Conn>,
+    next_token: Token,
+    accepted: harl_obs::Counter,
+    closed: harl_obs::Counter,
+    dropped: harl_obs::Counter,
+    active_gauge: harl_obs::Gauge,
+    idle_gauge: harl_obs::Gauge,
+    wakeups: harl_obs::Counter,
+    wakeup_interval: harl_obs::Histogram,
+    dispatch_seconds: harl_obs::Histogram,
+}
+
+impl<S: Service> EventLoop<S> {
+    /// Wraps an already-bound listener (switched to nonblocking here).
+    pub fn new(
+        listener: TcpListener,
+        service: S,
+        cfg: LoopConfig,
+    ) -> std::io::Result<EventLoop<S>> {
+        listener.set_nonblocking(true)?;
+        let reg = harl_obs::global();
+        Ok(EventLoop {
+            listener,
+            service,
+            cfg,
+            conns: BTreeMap::new(),
+            next_token: 1,
+            accepted: reg.counter("harl_net_conns_total{event=\"accepted\"}"),
+            closed: reg.counter("harl_net_conns_total{event=\"closed\"}"),
+            dropped: reg.counter("harl_net_conns_total{event=\"dropped\"}"),
+            active_gauge: reg.gauge("harl_net_connections"),
+            idle_gauge: reg.gauge("harl_net_idle_connections"),
+            wakeups: reg.counter("harl_net_wakeups_total"),
+            wakeup_interval: reg.histogram(
+                "harl_net_wakeup_interval_seconds",
+                harl_obs::FINE_SECONDS_BOUNDS,
+            ),
+            dispatch_seconds: reg
+                .histogram("harl_net_dispatch_seconds", harl_obs::FINE_SECONDS_BOUNDS),
+        })
+    }
+
+    /// Connections currently registered.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Runs until `stop()` turns true, then flushes pending replies
+    /// (briefly, best-effort) and drops every connection.
+    pub fn run(&mut self, stop: impl Fn() -> bool) {
+        let mut idle_sleep = Duration::ZERO;
+        let mut last_wake = Instant::now();
+        while !stop() {
+            self.wakeups.inc();
+            let now = Instant::now();
+            self.wakeup_interval
+                .observe(now.duration_since(last_wake).as_secs_f64());
+            last_wake = now;
+
+            let mut progressed = self.accept_pending();
+            let tokens: Vec<Token> = self.conns.keys().copied().collect();
+            for t in tokens {
+                progressed |= self.pump(t);
+            }
+            self.sweep();
+
+            if progressed {
+                idle_sleep = Duration::ZERO;
+            } else {
+                idle_sleep = (idle_sleep * 2)
+                    .max(Duration::from_millis(1))
+                    .min(self.cfg.max_idle_sleep);
+                std::thread::sleep(idle_sleep);
+            }
+        }
+        // Shutdown: give queued replies (e.g. the `shutdown` ack) a short
+        // grace window to reach their sockets before everything drops.
+        let deadline = Instant::now() + Duration::from_millis(250);
+        while Instant::now() < deadline {
+            let pending =
+                self.conns
+                    .values_mut()
+                    .filter(|c| c.gone.is_none())
+                    .fold(false, |acc, c| {
+                        c.flush();
+                        acc || c.wpos < c.wbuf.len()
+                    });
+            self.sweep();
+            if !pending {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Accepts every pending connect. Returns true if any arrived.
+    fn accept_pending(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        self.dropped.inc();
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.conns.insert(token, Conn::new(stream));
+                    self.accepted.inc();
+                    self.service.on_open(token);
+                    any = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    /// One connection's tick: flush pending writes, read what's there,
+    /// dispatch complete lines. Returns true on any I/O progress.
+    fn pump(&mut self, token: Token) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        let mut progressed = conn.flush();
+        if conn.gone.is_some() {
+            return progressed;
+        }
+
+        // nonblocking read sweep
+        let mut eof = false;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.gone = Some(Gone::Dropped);
+                    return progressed;
+                }
+            }
+        }
+
+        // frame + dispatch complete lines
+        while let Some(nl) = conn.rbuf[conn.scanned..].iter().position(|&b| b == b'\n') {
+            let end = conn.scanned + nl;
+            let line_bytes: Vec<u8> = conn.rbuf.drain(..=end).collect();
+            conn.scanned = 0;
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim_end_matches(['\n', '\r']);
+            let started = Instant::now();
+            let mut out = Outbox::default();
+            self.service.on_line(token, line, &mut out);
+            self.dispatch_seconds
+                .observe(started.elapsed().as_secs_f64());
+            for reply in out.lines {
+                conn.wbuf.extend_from_slice(reply.as_bytes());
+                conn.wbuf.push(b'\n');
+            }
+            if out.close {
+                conn.close_after_flush = true;
+                break;
+            }
+        }
+        conn.scanned = conn.rbuf.len();
+        if conn.rbuf.len() > self.cfg.max_line_bytes {
+            conn.gone = Some(Gone::Dropped);
+            return progressed;
+        }
+
+        progressed |= conn.flush();
+        if conn.gone.is_none() && eof {
+            // a partial line at EOF is a torn frame, not a clean close
+            conn.gone = Some(if conn.rbuf.is_empty() {
+                Gone::Closed
+            } else {
+                Gone::Dropped
+            });
+        }
+        progressed
+    }
+
+    /// Removes finished connections and republishes the gauges.
+    fn sweep(&mut self) {
+        let gone: Vec<Token> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.gone.is_some())
+            .map(|(&t, _)| t)
+            .collect();
+        for t in gone {
+            if let Some(conn) = self.conns.remove(&t) {
+                match conn.gone {
+                    Some(Gone::Dropped) => self.dropped.inc(),
+                    _ => self.closed.inc(),
+                }
+                self.service.on_close(t);
+            }
+        }
+        self.active_gauge.set(self.conns.len() as f64);
+        self.idle_gauge
+            .set(self.conns.values().filter(|c| c.idle()).count() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// Echoes `echo:<line>`; `close` asks for close-after-flush; `burst`
+    /// answers with three lines.
+    struct Echo;
+
+    impl Service for Echo {
+        fn on_line(&mut self, _token: Token, line: &str, out: &mut Outbox) {
+            match line {
+                "close" => {
+                    out.line("bye");
+                    out.close_after_flush();
+                }
+                "burst" => {
+                    out.line("a");
+                    out.line("b");
+                    out.line("c");
+                }
+                other => out.line(format!("echo:{other}")),
+            }
+        }
+    }
+
+    fn spawn_echo() -> (
+        std::net::SocketAddr,
+        Arc<AtomicBool>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut el = EventLoop::new(listener, Echo, LoopConfig::default()).unwrap();
+            el.run(|| stop2.load(Ordering::SeqCst));
+        });
+        (addr, stop, handle)
+    }
+
+    fn finish(stop: Arc<AtomicBool>, handle: std::thread::JoinHandle<()>) {
+        stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn echoes_lines_and_keeps_connection_open() {
+        let (addr, stop, handle) = spawn_echo();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for i in 0..5 {
+            writeln!(writer, "msg{i}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line, format!("echo:msg{i}\n"));
+        }
+        finish(stop, handle);
+    }
+
+    #[test]
+    fn pipelined_and_split_writes_frame_correctly() {
+        let (addr, stop, handle) = spawn_echo();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // two whole lines in one write...
+        writer.write_all(b"one\ntwo\n").unwrap();
+        // ...and one line split across three writes with pauses
+        for part in ["th", "re", "e\n"] {
+            writer.write_all(part.as_bytes()).unwrap();
+            writer.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for want in ["echo:one", "echo:two", "echo:three"] {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), want);
+        }
+        finish(stop, handle);
+    }
+
+    #[test]
+    fn multi_line_replies_arrive_in_order() {
+        let (addr, stop, handle) = spawn_echo();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "burst").unwrap();
+        for want in ["a", "b", "c"] {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), want);
+        }
+        finish(stop, handle);
+    }
+
+    #[test]
+    fn close_after_flush_delivers_reply_then_eof() {
+        let (addr, stop, handle) = spawn_echo();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "close").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "bye");
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "EOF after close");
+        finish(stop, handle);
+    }
+
+    #[test]
+    fn many_concurrent_connections_multiplex_on_one_thread() {
+        const CONNS: usize = 64;
+        let (addr, stop, handle) = spawn_echo();
+        let mut socks: Vec<(TcpStream, BufReader<TcpStream>)> = (0..CONNS)
+            .map(|_| {
+                let s = TcpStream::connect(addr).unwrap();
+                let r = BufReader::new(s.try_clone().unwrap());
+                (s, r)
+            })
+            .collect();
+        // interleave: all write, then all read, twice
+        for round in 0..2 {
+            for (i, (w, _)) in socks.iter_mut().enumerate() {
+                writeln!(w, "r{round}c{i}").unwrap();
+            }
+            for (i, (_, r)) in socks.iter_mut().enumerate() {
+                let mut line = String::new();
+                r.read_line(&mut line).unwrap();
+                assert_eq!(line.trim_end(), format!("echo:r{round}c{i}"));
+            }
+        }
+        finish(stop, handle);
+    }
+
+    #[test]
+    fn oversized_line_drops_the_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let cfg = LoopConfig {
+            max_line_bytes: 1024,
+            ..LoopConfig::default()
+        };
+        let handle = std::thread::spawn(move || {
+            let mut el = EventLoop::new(listener, Echo, cfg).unwrap();
+            el.run(|| stop2.load(Ordering::SeqCst));
+        });
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // 4 KB with no newline: must exceed the 1 KB cap and get dropped
+        let blob = vec![b'x'; 4096];
+        let _ = writer.write_all(&blob);
+        let mut line = String::new();
+        assert_eq!(
+            reader.read_line(&mut line).unwrap_or(0),
+            0,
+            "oversized sender must see the connection die"
+        );
+        // the loop itself survives and serves new connections
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "still-alive").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "echo:still-alive");
+        finish(stop, handle);
+    }
+
+    #[test]
+    fn stop_flag_exits_promptly() {
+        let (addr, stop, handle) = spawn_echo();
+        let _conn = TcpStream::connect(addr).unwrap();
+        let t = Instant::now();
+        finish(stop, handle);
+        assert!(
+            t.elapsed() < Duration::from_secs(2),
+            "loop must exit promptly on stop"
+        );
+    }
+}

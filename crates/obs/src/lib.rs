@@ -20,7 +20,9 @@
 mod metrics;
 mod trace;
 
-pub use metrics::{global, Counter, Gauge, Histogram, MetricsRegistry, SECONDS_BOUNDS};
+pub use metrics::{
+    global, Counter, Gauge, Histogram, MetricsRegistry, FINE_SECONDS_BOUNDS, SECONDS_BOUNDS,
+};
 pub use trace::{
     FieldValue, Span, Tracer, DEFAULT_MAX_EVENTS, TRACE_ENV, TRACE_FILE_ENV, TRACE_MAX_ENV,
 };

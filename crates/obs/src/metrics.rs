@@ -154,6 +154,34 @@ impl Histogram {
         f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
     }
 
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the bucket counts by
+    /// linear interpolation inside the containing bucket — the usual
+    /// Prometheus `histogram_quantile` scheme. Observations above the last
+    /// bound clamp to that bound (there is no upper edge to interpolate
+    /// toward), and an empty histogram reports 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut acc = 0u64;
+        let mut lower = 0.0f64;
+        for (i, &bound) in self.inner.bounds.iter().enumerate() {
+            let in_bucket = self.inner.buckets[i].load(Ordering::Relaxed);
+            if (acc + in_bucket) as f64 >= rank {
+                if in_bucket == 0 {
+                    return bound;
+                }
+                let frac = (rank - acc as f64) / in_bucket as f64;
+                return lower + (bound - lower) * frac;
+            }
+            acc += in_bucket;
+            lower = bound;
+        }
+        lower
+    }
+
     /// Cumulative counts per bound (`le` semantics), excluding `+Inf`.
     pub fn cumulative(&self) -> Vec<(f64, u64)> {
         let mut acc = 0u64;
@@ -176,6 +204,17 @@ impl Histogram {
 pub const SECONDS_BOUNDS: &[f64] = &[
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
     5.0, 10.0,
+];
+
+/// Finer histogram bounds for wire-level latencies, in seconds.
+///
+/// Loopback request/response round trips and event-loop dispatch sit in
+/// the tens-of-microseconds to low-milliseconds range, below the useful
+/// resolution of [`SECONDS_BOUNDS`]; these bounds keep p50/p99 quantile
+/// estimates meaningful there (used by `harl-net` and `bench-load`).
+pub const FINE_SECONDS_BOUNDS: &[f64] = &[
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5,
 ];
 
 #[derive(Debug, Clone)]
@@ -413,6 +452,36 @@ mod tests {
         assert!(text.contains("lat_seconds_bucket{le=\"1\"} 2\n"));
         assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3\n"));
         assert!(text.contains("lat_seconds_count 3\n"));
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q", &[1.0, 2.0, 4.0]);
+        // 100 observations spread evenly through (1, 2]
+        for i in 0..100 {
+            h.observe(1.0 + (i as f64 + 0.5) / 100.0);
+        }
+        let p50 = h.quantile(0.5);
+        assert!(
+            (1.4..=1.6).contains(&p50),
+            "p50 of a uniform (1,2] sample ~ 1.5, got {p50}"
+        );
+        let p99 = h.quantile(0.99);
+        assert!((1.9..=2.0).contains(&p99), "p99 near 2.0, got {p99}");
+    }
+
+    #[test]
+    fn quantile_handles_empty_and_overflow() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q2", &[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram reports 0");
+        h.observe(50.0); // lands in +Inf
+        assert_eq!(
+            h.quantile(0.99),
+            2.0,
+            "overflow observations clamp to the last bound"
+        );
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! harl-cli [--addr HOST:PORT] status|result|cancel|watch JOB_ID
 //! harl-cli [--addr HOST:PORT] list
 //! harl-cli [--addr HOST:PORT] metrics
+//! harl-cli [--addr HOST:PORT] bench-load [--clients N] [--requests N]
+//!          [--submit-every N] [--list-every N] [--smoke] [--out FILE]
 //! harl-cli [--addr HOST:PORT] shutdown
 //! ```
 //!
@@ -17,7 +19,8 @@
 use std::time::Duration;
 
 use harl_serve::{
-    Client, JobSpec, JobState, JobView, ParallelismOpts, Preset, TunerKind, WorkloadSpec,
+    bench_load, BenchLoadConfig, Client, JobSpec, JobState, JobView, ParallelismOpts, Preset,
+    TunerKind, WorkloadSpec,
 };
 
 fn usage() -> ! {
@@ -33,6 +36,9 @@ fn usage() -> ! {
          \x20 cancel JOB_ID      stop a queued or running job\n\
          \x20 list               all jobs\n\
          \x20 metrics            Prometheus text dump of the daemon's metrics\n\
+         \x20 bench-load [--clients N] [--requests N] [--submit-every N]\n\
+         \x20        [--list-every N] [--smoke] [--out FILE]\n\
+         \x20                    drive the daemon with concurrent load, report p50/p99\n\
          \x20 shutdown           checkpoint in-flight jobs and stop the daemon\n\
          WORKLOAD is e.g. gemm:1024x1024x1024, bgemm:8x128x64x128,\n\
          conv2d:1x56x56x64x64x3x1x1, or softmax:1024x1024"
@@ -58,7 +64,7 @@ fn main() {
     let Some(addr) = addr else {
         die("no daemon address: pass --addr or set HARL_SERVE_ADDR");
     };
-    let client = Client::new(addr);
+    let client = Client::new(addr.clone());
 
     let Some(command) = args.first().cloned() else {
         usage();
@@ -88,6 +94,7 @@ fn main() {
         "metrics" => {
             print!("{}", client.metrics().unwrap_or_else(|e| die(e)));
         }
+        "bench-load" => bench(&addr, rest),
         "shutdown" => {
             client.shutdown().unwrap_or_else(|e| die(e));
             println!("shutdown requested");
@@ -175,6 +182,53 @@ fn submit(client: &Client, rest: &[String]) {
     }
 }
 
+fn bench(addr: &str, rest: &[String]) {
+    let mut cfg = BenchLoadConfig::default();
+    let mut out: Option<String> = None;
+    let mut flags = rest.iter();
+    while let Some(flag) = flags.next() {
+        let mut value = |name: &str| {
+            flags
+                .next()
+                .unwrap_or_else(|| die(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--clients" => {
+                cfg.clients = value("--clients")
+                    .parse()
+                    .unwrap_or_else(|e| die(format!("--clients: {e}")))
+            }
+            "--requests" => {
+                cfg.requests = value("--requests")
+                    .parse()
+                    .unwrap_or_else(|e| die(format!("--requests: {e}")))
+            }
+            "--submit-every" => {
+                cfg.submit_every = value("--submit-every")
+                    .parse()
+                    .unwrap_or_else(|e| die(format!("--submit-every: {e}")))
+            }
+            "--list-every" => {
+                cfg.list_every = value("--list-every")
+                    .parse()
+                    .unwrap_or_else(|e| die(format!("--list-every: {e}")))
+            }
+            "--smoke" => cfg.smoke = true,
+            "--out" => out = Some(value("--out").clone()),
+            other => die(format!("unknown bench-load flag `{other}`")),
+        }
+    }
+    let report = bench_load::run(addr, &cfg).unwrap_or_else(|e| die(e));
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).unwrap_or_else(|e| die(e));
+            eprintln!("bench-load report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
 fn watch(client: &Client, id: &str) {
     let mut last = (JobState::Queued, u64::MAX);
     let outcome = client
@@ -206,6 +260,9 @@ fn print_view(view: &JobView) {
         view.trials_total,
         view.rounds_done,
     );
+    if view.warm_records > 0 {
+        line.push_str(&format!(" warm={}", view.warm_records));
+    }
     if view.resumed {
         line.push_str(" resumed");
     }

@@ -2,16 +2,22 @@
 //!
 //! ```text
 //! harl-serve --root DIR [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!            [--peer HOST:PORT]... [--sync-ms N]
 //! ```
 //!
-//! Binds (`127.0.0.1:0` by default — the resolved address lands in
-//! `<root>/serve.addr`), recovers and requeues any unfinished jobs found
-//! under the root, then serves until a `shutdown` request arrives.
+//! Recovers and requeues any unfinished jobs found under the root, then
+//! binds (`127.0.0.1:0` by default — the resolved address lands in
+//! `<root>/serve.addr`) and serves until a `shutdown` request arrives.
+//! Each `--peer` names another daemon whose record pool this one pulls
+//! and merges into its own every `--sync-ms` milliseconds (federation).
 
 use harl_serve::{Daemon, ServeConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: harl-serve --root DIR [--addr HOST:PORT] [--workers N] [--queue-cap N]");
+    eprintln!(
+        "usage: harl-serve --root DIR [--addr HOST:PORT] [--workers N] [--queue-cap N]\n\
+         \x20                [--peer HOST:PORT]... [--sync-ms N]"
+    );
     std::process::exit(2);
 }
 
@@ -21,6 +27,8 @@ fn main() {
     let mut cfg_addr: Option<String> = None;
     let mut workers: Option<usize> = None;
     let mut queue_cap: Option<usize> = None;
+    let mut peers: Vec<String> = Vec::new();
+    let mut sync_ms: Option<u64> = None;
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
             args.next().unwrap_or_else(|| {
@@ -33,6 +41,8 @@ fn main() {
             "--addr" => cfg_addr = Some(value("--addr")),
             "--workers" => workers = Some(parse_num(&value("--workers"), "--workers")),
             "--queue-cap" => queue_cap = Some(parse_num(&value("--queue-cap"), "--queue-cap")),
+            "--peer" => peers.push(value("--peer")),
+            "--sync-ms" => sync_ms = Some(parse_num(&value("--sync-ms"), "--sync-ms") as u64),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag `{other}`");
@@ -54,6 +64,10 @@ fn main() {
     }
     if let Some(c) = queue_cap {
         cfg.queue_capacity = c;
+    }
+    cfg.peers = peers;
+    if let Some(ms) = sync_ms {
+        cfg.sync_interval = std::time::Duration::from_millis(ms);
     }
 
     let root_display = cfg.root.display().to_string();

@@ -386,6 +386,11 @@ pub struct JobView {
     pub best_latency_ms: f64,
     /// True when the job resumed from a checkpoint after a restart.
     pub resumed: bool,
+    /// Records replayed from the shared pool before the first fresh
+    /// trial (0 while queued; with federation on, this counts the whole
+    /// fleet's matching history, not just this daemon's).
+    #[serde(default)]
+    pub warm_records: u64,
     /// Batched-scoring pipeline counters (`None` while the job is queued,
     /// or for tuners without a cost model, e.g. flextensor).
     #[serde(default)]

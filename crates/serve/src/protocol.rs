@@ -28,6 +28,14 @@ pub enum Request {
     List,
     /// Dump the daemon's metrics registry in Prometheus text format.
     Metrics,
+    /// Federation pull: one page of this daemon's shared pool viewed as
+    /// an append-only segment, starting at record offset `from`. The
+    /// reply is a [`Response::PoolSegment`]; the puller advances its
+    /// cursor by the page length until it reaches the reported total.
+    PoolSync {
+        /// Append-order record offset the puller has already merged.
+        from: u64,
+    },
     /// Checkpoint all in-flight jobs and stop the daemon.
     Shutdown,
 }
@@ -82,6 +90,15 @@ pub enum Response {
     Metrics {
         /// The rendered dump.
         text: String,
+    },
+    /// One page of the shared pool (answer to [`Request::PoolSync`]).
+    PoolSegment {
+        /// Total records currently in this daemon's pool segment.
+        total: u64,
+        /// The page: records `[from, from + len)` in append order, at
+        /// most the daemon's per-page cap (so one reply stays one
+        /// bounded wire line).
+        records: Vec<harl_store::MeasureRecord>,
     },
     /// Shutdown acknowledged; in-flight jobs are being checkpointed.
     ShuttingDown,
@@ -158,6 +175,7 @@ mod tests {
             Request::Cancel("j000002".into()),
             Request::List,
             Request::Metrics,
+            Request::PoolSync { from: 42 },
             Request::Shutdown,
         ];
         let mut buf = Vec::new();
@@ -194,6 +212,7 @@ mod tests {
                 rounds_done: 1,
                 best_latency_ms: 1.5,
                 resumed: false,
+                warm_records: 12,
                 score_stats: Some(harl_gbt::ScoreStats {
                     batch_count: 3,
                     scored: 96,
@@ -206,6 +225,10 @@ mod tests {
             }]),
             Response::Metrics {
                 text: "# TYPE x counter\nx 1\n".into(),
+            },
+            Response::PoolSegment {
+                total: 3,
+                records: Vec::new(),
             },
             Response::ShuttingDown,
             Response::error(ErrorCode::UnknownJob, "no job j000009"),

@@ -1,4 +1,5 @@
-//! The tuning daemon: TCP accept loop, job registry, recovery, dispatch.
+//! The tuning daemon: event-loop frontend, job registry, recovery,
+//! dispatch.
 //!
 //! On-disk layout under [`ServeConfig::root`]:
 //!
@@ -15,12 +16,18 @@
 //! Every job state is thus derivable from disk alone: a restarted daemon
 //! (graceful or `kill -9`) rebuilds its registry by scanning `jobs/` and
 //! requeues everything unfinished, which then resumes from its store
-//! checkpoint.
+//! checkpoint. Recovery completes *before* the listener binds, so a
+//! client that can connect at all is guaranteed to see the full
+//! recovered registry — `serve.addr` appearing means recovery is done.
+//!
+//! All connections are multiplexed onto a single `harl-net` event-loop
+//! thread: a thousand idle `watch` clients cost buffers, not threads.
+//! The daemon's thread count is fixed at `workers + 1` (plus one
+//! federation puller when [`ServeConfig::peers`] is non-empty).
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -29,11 +36,13 @@ use harl_check::{AtomicRole, CAtomicBool, CAtomicU64, CMutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use harl_net::{EventLoop, LoopConfig, Outbox, Service, Token};
 use harl_store::RecordStore;
 
 use crate::error::ServeError;
+use crate::federation;
 use crate::job::{JobOutcome, JobSpec, JobState, JobView};
-use crate::protocol::{read_message, write_message, ErrorCode, Request, Response};
+use crate::protocol::{ErrorCode, Request, Response};
 use crate::queue::{JobQueue, PushError};
 use crate::worker;
 
@@ -51,11 +60,21 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Checkpoint cadence forwarded to each job's session (rounds).
     pub checkpoint_every: u64,
+    /// Peer daemon addresses this daemon pulls pool records from. Empty
+    /// (the default) disables federation and its puller thread.
+    pub peers: Vec<String>,
+    /// Pause between federation sync rounds.
+    pub sync_interval: Duration,
+    /// Test hook: artificial delay inserted before recovery scans the
+    /// job directory, widening the recovery window so tests can prove
+    /// the listener only accepts once recovery has completed.
+    #[doc(hidden)]
+    pub recovery_pause: Duration,
 }
 
 impl ServeConfig {
     /// Defaults: loopback ephemeral port, 2 workers, queue of 16,
-    /// checkpoint every round.
+    /// checkpoint every round, no peers.
     pub fn new(root: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             root: root.into(),
@@ -63,6 +82,9 @@ impl ServeConfig {
             workers: 2,
             queue_capacity: 16,
             checkpoint_every: 1,
+            peers: Vec::new(),
+            sync_interval: Duration::from_millis(500),
+            recovery_pause: Duration::ZERO,
         }
     }
 }
@@ -78,6 +100,8 @@ pub(crate) struct JobEntry {
     /// Best latency so far, seconds (`+inf` before any measurement).
     pub(crate) best_latency: f64,
     pub(crate) resumed: bool,
+    /// Pool records replayed before the job's first fresh trial.
+    pub(crate) warm_records: u64,
     /// Scoring-pipeline counters, filled in when the job completes.
     pub(crate) score_stats: Option<harl_gbt::ScoreStats>,
     pub(crate) outcome: Option<JobOutcome>,
@@ -98,6 +122,7 @@ impl JobEntry {
             rounds_done: 0,
             best_latency: f64::INFINITY,
             resumed: false,
+            warm_records: 0,
             score_stats: None,
             outcome: None,
             error: None,
@@ -116,13 +141,14 @@ impl JobEntry {
             rounds_done: self.rounds_done,
             best_latency_ms: self.best_latency * 1e3,
             resumed: self.resumed,
+            warm_records: self.warm_records,
             score_stats: self.score_stats,
             error: self.error.clone(),
         }
     }
 }
 
-/// State shared by the accept loop, connection handlers, and workers.
+/// State shared by the event loop, workers, and the federation puller.
 pub(crate) struct Shared {
     pub(crate) cfg: ServeConfig,
     pub(crate) jobs: CMutex<BTreeMap<String, JobEntry>>,
@@ -185,25 +211,26 @@ pub(crate) fn job_counter(state: &str) -> harl_obs::Counter {
     harl_obs::global().counter(&format!("harl_serve_jobs_total{{state=\"{state}\"}}"))
 }
 
-/// A running daemon: accept loop + worker pool over a state root.
+/// A running daemon: one event-loop thread + worker pool over a state
+/// root, plus a federation puller when peers are configured.
 pub struct Daemon {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    accept: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
+    sync: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Daemon {
-    /// Binds, recovers every job found under the root (requeueing the
-    /// unfinished ones), and starts the worker pool and accept loop.
+    /// Recovers every job found under the root (requeueing the unfinished
+    /// ones), then binds and starts the worker pool and event loop.
+    ///
+    /// Recovery runs to completion *before* the listener exists, so any
+    /// client that can connect observes the fully rebuilt registry;
+    /// `serve.addr` is only written once the daemon is serving.
     pub fn start(cfg: ServeConfig) -> Result<Daemon, ServeError> {
         fs::create_dir_all(cfg.root.join("jobs"))?;
         let pool = Arc::new(RecordStore::open(cfg.root.join("pool"))?);
-        let listener = TcpListener::bind(&cfg.addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
-        fs::write(cfg.root.join("serve.addr"), format!("{addr}\n"))?;
-
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity),
             cfg,
@@ -212,7 +239,27 @@ impl Daemon {
             shutdown: CAtomicBool::new(false, "serve.shutdown", AtomicRole::Flag),
             next_id: CAtomicU64::new(1, "serve.next_id", AtomicRole::Counter),
         });
+        if !shared.cfg.recovery_pause.is_zero() {
+            std::thread::sleep(shared.cfg.recovery_pause);
+        }
         recover_jobs(&shared)?;
+
+        let listener = TcpListener::bind(&shared.cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let mut event_loop = EventLoop::new(
+            listener,
+            ServeService {
+                shared: shared.clone(),
+            },
+            LoopConfig::default(),
+        )?;
+        let event_loop = {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                event_loop.run(|| shared.shutdown.load(Ordering::SeqCst));
+            })
+        };
+        fs::write(shared.cfg.root.join("serve.addr"), format!("{addr}\n"))?;
 
         let workers = (0..shared.cfg.workers.max(1))
             .map(|_| {
@@ -220,14 +267,17 @@ impl Daemon {
                 std::thread::spawn(move || worker::worker_loop(&shared))
             })
             .collect();
-        let accept = {
+        let sync = if shared.cfg.peers.is_empty() {
+            None
+        } else {
             let shared = shared.clone();
-            std::thread::spawn(move || accept_loop(&shared, listener))
+            Some(std::thread::spawn(move || federation::sync_loop(&shared)))
         };
         Ok(Daemon {
             shared,
             addr,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
+            sync,
             workers,
         })
     }
@@ -242,14 +292,18 @@ impl Daemon {
         self.shared.begin_shutdown();
     }
 
-    /// Blocks until the accept loop and every worker have exited (i.e.
-    /// until a shutdown completes), then releases the warm-start pool so a
-    /// successor daemon can reopen the same root in this process.
+    /// Blocks until the event loop, every worker, and the federation
+    /// puller have exited (i.e. until a shutdown completes), then
+    /// releases the warm-start pool so a successor daemon can reopen the
+    /// same root in this process.
     pub fn wait(mut self) {
-        if let Some(h) = self.accept.take() {
+        if let Some(h) = self.event_loop.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sync.take() {
             let _ = h.join();
         }
         *self.shared.pool.lock().expect("pool poisoned") = None;
@@ -287,6 +341,7 @@ fn recover_jobs(shared: &Arc<Shared>) -> Result<(), ServeError> {
             entry.trials_used = outcome.trials;
             entry.best_latency = outcome.best_ms / 1e3;
             entry.resumed = outcome.resumed;
+            entry.warm_records = outcome.warm_records;
             entry.score_stats = outcome.score_stats;
             entry.outcome = Some(outcome);
         } else if dir.join("cancelled").exists() {
@@ -305,48 +360,49 @@ fn recover_jobs(shared: &Arc<Shared>) -> Result<(), ServeError> {
     Ok(())
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
+/// The wire frontend: decodes one [`Request`] per line and answers with
+/// exactly one [`Response`] line, preserving the thread-per-connection
+/// protocol byte-for-byte. Runs on the event-loop thread, so every arm
+/// of [`dispatch`] must stay non-blocking (workers do the tuning).
+struct ServeService {
+    shared: Arc<Shared>,
+}
+
+impl Service for ServeService {
+    fn on_line(&mut self, _token: Token, line: &str, out: &mut Outbox) {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            out.line(encode(&Response::error(
+                ErrorCode::BadRequest,
+                "empty message line",
+            )));
+            out.close_after_flush();
+            return;
         }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let shared = shared.clone();
-                std::thread::spawn(move || handle_conn(&shared, stream));
+        let req: Request = match serde_json::from_str(trimmed) {
+            Ok(req) => req,
+            Err(e) => {
+                // framing is unrecoverable mid-line: answer and hang up
+                out.line(encode(&Response::error(
+                    ErrorCode::BadRequest,
+                    format!("bad message `{trimmed}`: {e}"),
+                )));
+                out.close_after_flush();
+                return;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        out.line(encode(&dispatch(&self.shared, req)));
+        if is_shutdown {
+            out.close_after_flush();
         }
     }
 }
 
-fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        match read_message::<Request>(&mut reader) {
-            Ok(None) => break,
-            Ok(Some(req)) => {
-                let is_shutdown = matches!(req, Request::Shutdown);
-                let resp = dispatch(shared, req);
-                if write_message(&mut writer, &resp).is_err() || is_shutdown {
-                    break;
-                }
-            }
-            Err(ServeError::Protocol(m)) => {
-                // framing is unrecoverable mid-line: answer and hang up
-                let _ = write_message(&mut writer, &Response::error(ErrorCode::BadRequest, m));
-                break;
-            }
-            Err(_) => break,
-        }
-    }
+fn encode(resp: &Response) -> String {
+    serde_json::to_string(resp).unwrap_or_else(|_| {
+        r#"{"Error":{"code":"Internal","message":"encoding reply failed"}}"#.to_string()
+    })
 }
 
 fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
@@ -357,6 +413,7 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
         Request::Cancel(_) => "cancel",
         Request::List => "list",
         Request::Metrics => "metrics",
+        Request::PoolSync { .. } => "pool_sync",
         Request::Shutdown => "shutdown",
     };
     let started = std::time::Instant::now();
@@ -377,6 +434,7 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
         Request::Metrics => Response::Metrics {
             text: harl_obs::global().render(),
         },
+        Request::PoolSync { from } => pool_segment(shared, from),
         Request::Shutdown => {
             shared.begin_shutdown();
             Response::ShuttingDown
@@ -388,6 +446,20 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
     reg.histogram("harl_serve_request_seconds", harl_obs::SECONDS_BOUNDS)
         .observe(started.elapsed().as_secs_f64());
     resp
+}
+
+/// One page of the shared pool for a federated puller.
+fn pool_segment(shared: &Arc<Shared>, from: u64) -> Response {
+    match shared.pool_handle() {
+        Some(pool) => {
+            let (total, records) = pool.segment(from, federation::SYNC_PAGE);
+            harl_obs::global()
+                .counter("harl_serve_pool_sync_served_records_total")
+                .add(records.len() as u64);
+            Response::PoolSegment { total, records }
+        }
+        None => Response::error(ErrorCode::ShuttingDown, "pool is closed"),
+    }
 }
 
 fn submit(shared: &Arc<Shared>, spec: JobSpec) -> Response {

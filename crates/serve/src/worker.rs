@@ -113,6 +113,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
         let mut jobs = shared.jobs.lock().expect("jobs poisoned");
         if let Some(e) = jobs.get_mut(id) {
             e.resumed = resumed;
+            e.warm_records = warm_records;
             e.trials_used = session.trials_used();
             e.rounds_done = session.rounds_done();
             e.best_latency = session.best_latency();
@@ -200,9 +201,11 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
         score_stats,
     };
     session.finish()?;
+    // append_unique keeps the pool duplicate-free even when a federated
+    // peer already pulled and re-donated some of these records
     if let Some(pool) = shared.pool_handle() {
         for record in store.snapshot() {
-            let _ = pool.append(record);
+            let _ = pool.append_unique(record);
         }
     }
     let json =

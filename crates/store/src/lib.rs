@@ -92,6 +92,24 @@ pub struct MeasureRecord {
     pub flops_per_sec: f64,
 }
 
+impl MeasureRecord {
+    /// Stable content fingerprint used for dedup-append when merging
+    /// pools across daemons (federation sync). Hashes the record's
+    /// canonical compact-JSON serialization with FNV-1a, so two records
+    /// are equal-by-fingerprint exactly when they serialize identically —
+    /// including the measured time bits, which makes genuinely distinct
+    /// measurements of the same schedule distinct records.
+    pub fn fingerprint(&self) -> u64 {
+        let canon = serde_json::to_string(self).unwrap_or_default();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canon.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
 #[derive(Debug, Serialize, Deserialize)]
 struct StoreHeader {
     format: String,
@@ -322,6 +340,9 @@ pub struct RecordStore {
     dir: PathBuf,
     writer: CMutex<BufWriter<File>>,
     records: CMutex<Vec<MeasureRecord>>,
+    /// Fingerprints of every held record, maintained by both append
+    /// paths so [`RecordStore::append_unique`] can dedup across them.
+    fingerprints: CMutex<HashSet<u64>>,
     dropped: CAtomicU64,
     // Held for its Drop impl: releases the directory lock with the handle.
     _lock: DirLock,
@@ -340,6 +361,24 @@ impl RecordStore {
         let lock = DirLock::acquire(&dir)?;
         let path = dir.join(RECORDS_FILE);
         let records = parse_records_file(&path)?;
+        // Crash repair: a torn final line (kill -9 mid-append) is skipped
+        // by the parse above, but it must also be cut from the file —
+        // otherwise the append handle below would glue the next record
+        // onto the torn bytes, corrupting *that* line too.
+        if path.exists() {
+            let bytes = fs::read(&path)?;
+            if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
+                let clean = bytes
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map(|p| p + 1)
+                    .unwrap_or(0);
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(clean as u64)?;
+            }
+        }
         let is_new = !path.exists();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let mut writer = BufWriter::new(file);
@@ -351,10 +390,12 @@ impl RecordStore {
             writeln!(writer, "{}", serde_json::to_string(&header)?)?;
             writer.flush()?;
         }
+        let fingerprints = records.iter().map(MeasureRecord::fingerprint).collect();
         Ok(RecordStore {
             dir,
             writer: CMutex::new("store.writer", writer),
             records: CMutex::new("store.records", records),
+            fingerprints: CMutex::new("store.fingerprints", fingerprints),
             dropped: CAtomicU64::new(0, "store.dropped", AtomicRole::Counter),
             _lock: lock,
         })
@@ -393,6 +434,41 @@ impl RecordStore {
 
     /// Appends one record to disk and to the in-memory view.
     pub fn append(&self, record: MeasureRecord) -> Result<(), StoreError> {
+        self.fingerprints
+            .lock()
+            .expect("record store poisoned")
+            .insert(record.fingerprint());
+        self.append_inner(record)
+    }
+
+    /// Appends `record` unless an identical record (by
+    /// [`MeasureRecord::fingerprint`]) is already held. Returns `true`
+    /// when the record was actually appended. This is the federation
+    /// merge primitive: replaying the same pool segment any number of
+    /// times, in any direction, leaves the store's contents unchanged.
+    pub fn append_unique(&self, record: MeasureRecord) -> Result<bool, StoreError> {
+        let fresh = self
+            .fingerprints
+            .lock()
+            .expect("record store poisoned")
+            .insert(record.fingerprint());
+        if !fresh {
+            return Ok(false);
+        }
+        let fp = record.fingerprint();
+        if let Err(e) = self.append_inner(record) {
+            // the record never landed: forget its fingerprint so a retry
+            // (e.g. the next sync round) is not silently deduped away
+            self.fingerprints
+                .lock()
+                .expect("record store poisoned")
+                .remove(&fp);
+            return Err(e);
+        }
+        Ok(true)
+    }
+
+    fn append_inner(&self, record: MeasureRecord) -> Result<(), StoreError> {
         let line = serde_json::to_string(&record)?;
         {
             let mut w = self.writer.lock().expect("record store poisoned");
@@ -405,6 +481,19 @@ impl RecordStore {
             .push(record);
         store_metrics().0.inc();
         Ok(())
+    }
+
+    /// One page of the store viewed as an append-only segment: up to
+    /// `max` records starting at append-order offset `from`, plus the
+    /// current total. Offsets past the end return an empty page. This is
+    /// what the `pool_sync` wire verb serves: a puller advances its
+    /// cursor by the page length until it reaches `total`.
+    pub fn segment(&self, from: u64, max: usize) -> (u64, Vec<MeasureRecord>) {
+        let records = self.records.lock().expect("record store poisoned");
+        let total = records.len() as u64;
+        let start = (from.min(total)) as usize;
+        let end = (start + max).min(records.len());
+        (total, records[start..end].to_vec())
     }
 
     /// Records silently dropped because a disk append failed.
@@ -695,6 +784,157 @@ mod tests {
         assert_eq!(read_records(&dir).unwrap().len(), 3);
         drop(store);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_records_and_is_stable() {
+        let recs = sample_records(3);
+        assert_eq!(recs[0].fingerprint(), recs[0].clone().fingerprint());
+        assert_ne!(recs[0].fingerprint(), recs[1].fingerprint());
+        let mut tweaked = recs[0].clone();
+        tweaked.time += 1e-9;
+        assert_ne!(
+            recs[0].fingerprint(),
+            tweaked.fingerprint(),
+            "distinct measured times are distinct records"
+        );
+    }
+
+    #[test]
+    fn append_unique_dedups_against_both_append_paths() {
+        let dir = tmp_dir("unique");
+        let recs = sample_records(3);
+        {
+            let store = RecordStore::open(&dir).unwrap();
+            store.append(recs[0].clone()).unwrap();
+            assert!(!store.append_unique(recs[0].clone()).unwrap());
+            assert!(store.append_unique(recs[1].clone()).unwrap());
+            assert!(!store.append_unique(recs[1].clone()).unwrap());
+            assert_eq!(store.len(), 2);
+        }
+        // fingerprints are rebuilt from disk on reopen
+        let store = RecordStore::open(&dir).unwrap();
+        assert!(!store.append_unique(recs[0].clone()).unwrap());
+        assert!(store.append_unique(recs[2].clone()).unwrap());
+        assert_eq!(store.len(), 3);
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_pages_through_append_order() {
+        let dir = tmp_dir("segment");
+        let store = RecordStore::open(&dir).unwrap();
+        let recs = sample_records(5);
+        for r in &recs {
+            store.append(r.clone()).unwrap();
+        }
+        let (total, page) = store.segment(0, 2);
+        assert_eq!(total, 5);
+        assert_eq!(page, recs[0..2].to_vec());
+        let (_, page) = store.segment(2, 2);
+        assert_eq!(page, recs[2..4].to_vec());
+        let (_, page) = store.segment(4, 2);
+        assert_eq!(page, recs[4..5].to_vec());
+        let (total, page) = store.segment(99, 2);
+        assert_eq!((total, page.len()), (5, 0), "past-the-end page is empty");
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Replays every record of `src` into `dst` with dedup-append, the
+    /// way a federation pull merges a peer's pool segment.
+    fn merge_all(src: &RecordStore, dst: &RecordStore) -> usize {
+        let (total, _) = src.segment(0, 0);
+        let mut cursor = 0u64;
+        let mut appended = 0;
+        while cursor < total {
+            let (_, page) = src.segment(cursor, 2);
+            cursor += page.len() as u64;
+            for r in page {
+                if dst.append_unique(r).unwrap() {
+                    appended += 1;
+                }
+            }
+        }
+        appended
+    }
+
+    #[test]
+    fn double_sync_in_either_direction_is_idempotent_and_bit_identical() {
+        let dir_a = tmp_dir("fed-a");
+        let dir_b = tmp_dir("fed-b");
+        let recs = sample_records(6);
+        let a = RecordStore::open(&dir_a).unwrap();
+        let b = RecordStore::open(&dir_b).unwrap();
+        for r in &recs[..4] {
+            a.append(r.clone()).unwrap();
+        }
+        // b holds a disjoint tail plus one overlap with a
+        b.append(recs[3].clone()).unwrap();
+        for r in &recs[4..] {
+            b.append(r.clone()).unwrap();
+        }
+
+        // first pass merges both directions; both converge to 6 records
+        assert_eq!(merge_all(&a, &b), 3);
+        assert_eq!(merge_all(&b, &a), 2);
+        assert_eq!((a.len(), b.len()), (6, 6));
+        let bytes_a = fs::read(dir_a.join("records.jsonl")).unwrap();
+        let bytes_b = fs::read(dir_b.join("records.jsonl")).unwrap();
+
+        // replaying the same segments again, in either order, appends
+        // nothing and leaves both files bit-identical
+        assert_eq!(merge_all(&a, &b), 0);
+        assert_eq!(merge_all(&b, &a), 0);
+        assert_eq!(merge_all(&b, &a), 0);
+        assert_eq!(merge_all(&a, &b), 0);
+        assert_eq!(fs::read(dir_a.join("records.jsonl")).unwrap(), bytes_a);
+        assert_eq!(fs::read(dir_b.join("records.jsonl")).unwrap(), bytes_b);
+        // both pools hold the same multiset (same order here: append order
+        // is a's records then b's tail on both sides after the first pass)
+        assert_eq!(a.snapshot().len(), 6);
+        assert_eq!(b.snapshot().len(), 6);
+
+        drop(a);
+        drop(b);
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn torn_pool_after_crash_mid_sync_is_readable_and_resyncable() {
+        let dir_a = tmp_dir("crash-a");
+        let dir_b = tmp_dir("crash-b");
+        let recs = sample_records(4);
+        {
+            let a = RecordStore::open(&dir_a).unwrap();
+            for r in &recs {
+                a.append(r.clone()).unwrap();
+            }
+            let b = RecordStore::open(&dir_b).unwrap();
+            merge_all(&a, &b);
+        }
+        // simulate kill -9 mid-append on b: tear its last line
+        let path_b = dir_b.join("records.jsonl");
+        let mut text = fs::read_to_string(&path_b).unwrap();
+        text.truncate(text.len() - 7);
+        fs::write(&path_b, &text).unwrap();
+
+        // both pools reopen cleanly; re-syncing repairs b bit-for-bit
+        let a = RecordStore::open(&dir_a).unwrap();
+        let b = RecordStore::open(&dir_b).unwrap();
+        assert_eq!(b.len(), 3, "torn record dropped, rest intact");
+        assert_eq!(merge_all(&a, &b), 1, "resync re-pulls only the torn one");
+        assert_eq!(b.snapshot().len(), 4);
+        // a second resync is a no-op: recovery converged
+        assert_eq!(merge_all(&a, &b), 0);
+        let reread = read_records(&dir_b).unwrap();
+        assert_eq!(reread.len(), 4);
+        drop(a);
+        drop(b);
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
     }
 
     #[test]
