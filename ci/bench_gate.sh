@@ -18,6 +18,10 @@
 # before the comparison — the manual hook used to verify the gate fires
 # (factor 2 must fail; see EXPERIMENTS.md).
 #
+# `ci/bench_gate.sh simd` runs only the SIMD-kernel gate (scalar vs
+# dispatched backends; see gate_simd below). With no argument every
+# cargo-bench gate runs: scoring, ppo, simd.
+#
 # `ci/bench_gate.sh serve REPORT.json` instead gates a harl-cli
 # bench-load report (produced by ci/smoke.sh against a live daemon)
 # against ci/BENCH_serve_smoke.json. Wire latency has no in-run ratio to
@@ -67,12 +71,72 @@ gate_serve() {
     echo "bench gate OK [serve]"
 }
 
+# The simd bench reports scalar-forced vs runtime-dispatched times for the
+# same kernels. Bit-identity is gated unconditionally — a vector backend
+# that changes bits is a correctness bug regardless of speed. The timing
+# ratio is only gated when the dispatcher picked a vector backend; on
+# scalar-only hosts the ratio is ~1.0 by construction and timing noise
+# must not fail CI there.
+gate_simd() {
+    local baseline=ci/BENCH_simd_smoke.json
+    local base_scalar base_simd base_ratio budget
+    base_scalar=$(json_num "$baseline" gemm_scalar_ms)
+    base_simd=$(json_num "$baseline" gemm_simd_ms)
+    base_ratio=$(awk "BEGIN{printf \"%.4f\", $base_simd/$base_scalar}")
+    budget=$(awk "BEGIN{printf \"%.4f\", $base_ratio*$MARGIN}")
+
+    local best_ratio="" attempt OUT backend scalar simd ratio
+    for attempt in 1 2; do
+        OUT=$(mktemp)
+        # shellcheck disable=SC2086  # CARGO_FLAGS is a flag list, word-splitting intended
+        HARL_BENCH_SMOKE=1 HARL_BENCH_REPS=15 HARL_BENCH_OUT="$OUT" \
+            cargo bench $CARGO_FLAGS -q -p harl-bench --bench simd
+        if ! grep -q '"bit_identical": true' "$OUT"; then
+            rm -f "$OUT"
+            echo "FAIL: simd: dispatched kernels are not bit-identical to scalar"
+            exit 1
+        fi
+        backend=$(sed -n 's/.*"backend": *"\([a-z0-9]*\)".*/\1/p' "$OUT" | head -1)
+        scalar=$(json_num "$OUT" gemm_scalar_ms)
+        simd=$(json_num "$OUT" gemm_simd_ms)
+        rm -f "$OUT"
+        if [ "$backend" = "scalar" ]; then
+            echo "bench gate [simd]: host dispatches scalar; bit-identity OK, ratio check skipped"
+            echo "bench gate OK [simd]"
+            return 0
+        fi
+        if [ -n "${BENCH_GATE_INJECT_SLOWDOWN:-}" ]; then
+            simd=$(awk "BEGIN{print $simd*$BENCH_GATE_INJECT_SLOWDOWN}")
+            echo "note: simd: injected ${BENCH_GATE_INJECT_SLOWDOWN}x slowdown into gemm_simd_ms"
+        fi
+        ratio=$(awk "BEGIN{printf \"%.4f\", $simd/$scalar}")
+        echo "bench gate [simd] attempt $attempt: backend=$backend scalar=${scalar}ms simd=${simd}ms ratio=$ratio (budget $budget, baseline $base_ratio)"
+        if [ -z "$best_ratio" ] || awk "BEGIN{exit !($ratio < $best_ratio)}"; then
+            best_ratio=$ratio
+        fi
+        if awk "BEGIN{exit !($best_ratio <= $budget)}"; then
+            break
+        fi
+    done
+
+    if awk "BEGIN{exit !($best_ratio > $budget)}"; then
+        echo "FAIL: simd: simd/scalar gemm ratio $best_ratio exceeds budget $budget (baseline $base_ratio +25%)"
+        exit 1
+    fi
+    echo "bench gate OK [simd]: ratio $best_ratio within budget $budget"
+}
+
 if [ "${1:-}" = "serve" ]; then
     if [ -z "${2:-}" ]; then
         echo "usage: ci/bench_gate.sh serve REPORT.json"
         exit 2
     fi
     gate_serve "$2"
+    exit 0
+fi
+
+if [ "${1:-}" = "simd" ]; then
+    gate_simd
     exit 0
 fi
 
@@ -122,3 +186,4 @@ gate_bench() {
 
 gate_bench scoring
 gate_bench ppo
+gate_simd

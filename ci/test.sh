@@ -10,6 +10,13 @@ echo "==> cargo test -q"
 # shellcheck disable=SC2086  # CARGO_FLAGS is a flag list, word-splitting intended
 cargo test $CARGO_FLAGS -q --workspace
 
+echo "==> kernel-dispatch crates with HARL_SIMD=0 (forced-scalar dispatch)"
+# the SIMD backends are bit-identical to scalar by construction; rerunning
+# the crates that consume them with dispatch forced off proves the scalar
+# fallback path stays green on hosts without vector ISAs
+# shellcheck disable=SC2086
+HARL_SIMD=0 cargo test $CARGO_FLAGS -q -p harl-simd -p harl-nnet -p harl-gbt -p harl-tensor-ir
+
 echo "==> scoring determinism suite at pool widths 1 and 4"
 # the suite pins explicit widths internally; running it under both env
 # values additionally exercises the from_env construction paths

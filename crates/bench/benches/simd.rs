@@ -1,0 +1,250 @@
+//! SIMD-kernel benchmark: the scalar reference kernels vs the
+//! runtime-dispatched backends in `harl-simd`, on the two hottest
+//! consumers — the nnet GEMM (`gemm_bias_into`) and GBT batch scoring
+//! (`CostModel::score_batch_into` over the flat tree-major kernel).
+//!
+//! Every backend is bit-identical to scalar by construction (vector lanes
+//! run across independent output cells; per-cell accumulation order is
+//! unchanged; FMA is never used) — the benchmark asserts bit-identity
+//! before timing anything, so a speedup number is only ever reported for
+//! math that produces the same bits.
+//!
+//! On hosts without AVX2/SSE2 the dispatched path degrades to scalar and
+//! the speedup is ~1.0x; the bench gate skips the ratio check when the
+//! reported backend is "scalar" (bit-identity is still enforced).
+//!
+//! `--list-backends` prints the backend table (supported + lanes) and the
+//! auto-dispatched choice, then exits. `HARL_BENCH_SMOKE=1` shrinks the
+//! workload for CI smoke runs; `HARL_BENCH_REPS` raises the rep count;
+//! `HARL_BENCH_OUT` redirects the JSON report (default `BENCH_simd.json`).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use harl_gbt::{CostModel, GbtParams};
+use harl_simd::Backend;
+use harl_tensor_ir::{extract_features, generate_sketches, workload, Schedule, Target};
+use harl_tensor_sim::Hardware;
+
+struct Workload {
+    /// GEMM shape: `batch x in_dim -> batch x out_dim`.
+    batch: usize,
+    in_dim: usize,
+    out_dim: usize,
+    /// GEMM passes per timed rep.
+    gemm_passes: usize,
+    /// Rows per GBT scoring batch.
+    rows: usize,
+    /// Scoring passes per timed rep.
+    score_passes: usize,
+    reps: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    /// Backend the dispatcher picked on this host (auto mode).
+    backend: String,
+    batch: usize,
+    in_dim: usize,
+    out_dim: usize,
+    rows: usize,
+    gemm_scalar_ms: f64,
+    gemm_simd_ms: f64,
+    gemm_speedup: f64,
+    gbt_scalar_ms: f64,
+    gbt_simd_ms: f64,
+    gbt_speedup: f64,
+    bit_identical: bool,
+    smoke: bool,
+}
+
+fn run_gemm(x: &[f32], wt: &[f32], bias: &[f32], wl: &Workload, y: &mut Vec<f32>) {
+    for _ in 0..wl.gemm_passes {
+        harl_simd::gemm_bias_into(x, wt, bias, wl.batch, wl.in_dim, wl.out_dim, y);
+        std::hint::black_box(&y[..]);
+    }
+}
+
+fn run_score(cm: &CostModel, rows: &[Vec<f32>], passes: usize, out: &mut Vec<f64>) {
+    for _ in 0..passes {
+        cm.score_batch_into(rows, out);
+        std::hint::black_box(&out[..]);
+    }
+}
+
+fn bits_equal_f32(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn bits_equal_f64(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn time_reps(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    median_ms(samples)
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--list-backends") {
+        println!("backend  lanes  supported");
+        for b in Backend::ALL {
+            println!(
+                "{:<8} {:<6} {}",
+                b.name(),
+                b.lanes(),
+                if b.is_supported() { "yes" } else { "no" }
+            );
+        }
+        println!("dispatched: {}", harl_simd::backend_name());
+        return;
+    }
+
+    let smoke = std::env::var("HARL_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let mut wl = if smoke {
+        Workload {
+            batch: 32,
+            in_dim: 64,
+            out_dim: 64,
+            gemm_passes: 8,
+            rows: 64,
+            score_passes: 2,
+            reps: 2,
+        }
+    } else {
+        Workload {
+            batch: 256,
+            in_dim: 256,
+            out_dim: 256,
+            gemm_passes: 64,
+            rows: 1024,
+            score_passes: 16,
+            reps: 5,
+        }
+    };
+    if let Ok(reps) = std::env::var("HARL_BENCH_REPS") {
+        if let Ok(r) = reps.trim().parse::<usize>() {
+            wl.reps = r.max(1);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // --- GEMM workload (nnet forward-pass shape, scaled up) --------------
+    let x: Vec<f32> = (0..wl.batch * wl.in_dim)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let wt: Vec<f32> = (0..wl.in_dim * wl.out_dim)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let bias: Vec<f32> = (0..wl.out_dim)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+
+    // --- GBT workload (trained cost model + feature batch) ---------------
+    let g = workload::gemm(512, 512, 512);
+    let sketches = generate_sketches(&g, Target::Cpu);
+    let sk = &sketches[0];
+    let cpu = Hardware::cpu();
+    let mut cm = CostModel::new(GbtParams::default());
+    let train: Vec<(Vec<f32>, f64)> = (0..256)
+        .map(|_| {
+            let s = Schedule::random(sk, Target::Cpu, &mut rng);
+            let f = extract_features(&g, sk, Target::Cpu, &s);
+            let y = g.flops() / cpu.execution_time(&g, sk, &s);
+            (f, y)
+        })
+        .collect();
+    cm.update_batch(train);
+    assert!(cm.is_trained(), "benchmark needs a trained model");
+    let rows: Vec<Vec<f32>> = (0..wl.rows)
+        .map(|_| {
+            let s = Schedule::random(sk, Target::Cpu, &mut rng);
+            extract_features(&g, sk, Target::Cpu, &s)
+        })
+        .collect();
+
+    // --- bit-identity check outside the timed region ---------------------
+    // (also serves as warm-up for both paths)
+    let mut y_scalar = Vec::new();
+    let mut y_simd = Vec::new();
+    let mut s_scalar = Vec::new();
+    let mut s_simd = Vec::new();
+    harl_simd::force_backend(Some(Backend::Scalar));
+    run_gemm(&x, &wt, &bias, &wl, &mut y_scalar);
+    run_score(&cm, &rows, 1, &mut s_scalar);
+    harl_simd::force_backend(None);
+    run_gemm(&x, &wt, &bias, &wl, &mut y_simd);
+    run_score(&cm, &rows, 1, &mut s_simd);
+    let bit_identical = bits_equal_f32(&y_scalar, &y_simd) && bits_equal_f64(&s_scalar, &s_simd);
+    assert!(
+        bit_identical,
+        "dispatched kernels must be bit-identical to the scalar reference"
+    );
+
+    // --- timed reps -------------------------------------------------------
+    harl_simd::force_backend(Some(Backend::Scalar));
+    let gemm_scalar_ms = time_reps(wl.reps, || run_gemm(&x, &wt, &bias, &wl, &mut y_scalar));
+    let gbt_scalar_ms = time_reps(wl.reps, || {
+        run_score(&cm, &rows, wl.score_passes, &mut s_scalar)
+    });
+    harl_simd::force_backend(None);
+    let gemm_simd_ms = time_reps(wl.reps, || run_gemm(&x, &wt, &bias, &wl, &mut y_simd));
+    let gbt_simd_ms = time_reps(wl.reps, || {
+        run_score(&cm, &rows, wl.score_passes, &mut s_simd)
+    });
+
+    let backend = harl_simd::backend_name().to_string();
+    let gemm_speedup = gemm_scalar_ms / gemm_simd_ms;
+    let gbt_speedup = gbt_scalar_ms / gbt_simd_ms;
+    println!(
+        "simd_gemm_{}x{}x{} scalar: [{gemm_scalar_ms:.3} ms] {backend}: [{gemm_simd_ms:.3} ms] \
+         speedup {gemm_speedup:.2}x",
+        wl.batch, wl.in_dim, wl.out_dim
+    );
+    println!(
+        "simd_gbt_score_r{} scalar: [{gbt_scalar_ms:.3} ms] {backend}: [{gbt_simd_ms:.3} ms] \
+         speedup {gbt_speedup:.2}x",
+        wl.rows
+    );
+    println!("simd backend: {backend} (bit-identical)");
+
+    let report = Report {
+        backend,
+        batch: wl.batch,
+        in_dim: wl.in_dim,
+        out_dim: wl.out_dim,
+        rows: wl.rows,
+        gemm_scalar_ms,
+        gemm_simd_ms,
+        gemm_speedup,
+        gbt_scalar_ms,
+        gbt_simd_ms,
+        gbt_speedup,
+        bit_identical,
+        smoke,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = match std::env::var("HARL_BENCH_OUT") {
+        Ok(p) => std::path::PathBuf::from(p),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_simd.json"),
+    };
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}

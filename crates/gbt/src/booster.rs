@@ -72,17 +72,56 @@ impl Gbt {
     /// arrays stay hot in cache while they sweep the whole candidate
     /// matrix, instead of re-chasing every tree's pointers per sample.
     ///
-    /// Bit-identical to per-sample [`Gbt::predict`]: each sample's
-    /// accumulator starts at 0, adds `eta * leaf` in tree order (the same
-    /// fold `sum::<f64>()` performs), and the base score is added last.
+    /// On SIMD backends the sweep walks samples in *lanes* — 8 at a time
+    /// via AVX2 gathers, 4 interleaved on SSE2/NEON — with per-sample
+    /// leaf values folded back in ascending-sample order, so the result is
+    /// bit-identical to per-sample [`Gbt::predict`] on every backend: each
+    /// sample's accumulator starts at 0, adds `eta * leaf` in tree order
+    /// (the same fold `sum::<f64>()` performs), and the base score is
+    /// added last.
     pub fn predict_batch_into<X: AsRef<[f32]>>(&self, xs: &[X], out: &mut Vec<f64>) {
         out.clear();
         out.resize(xs.len(), 0.0);
-        for tree in &self.trees {
-            let flat = tree.flat();
-            for (acc, x) in out.iter_mut().zip(xs) {
-                *acc += self.params.eta * flat.predict(x.as_ref());
+        let eta = self.params.eta;
+        let n = xs.len();
+        let backend = harl_simd::active_backend();
+        let vec_samples = match backend {
+            #[cfg(target_arch = "x86_64")]
+            harl_simd::Backend::Avx2 => self.sweep_avx2(xs, out),
+            harl_simd::Backend::Sse2 | harl_simd::Backend::Neon => {
+                for tree in &self.trees {
+                    let flat = tree.flat();
+                    let mut s = 0;
+                    while s + 4 <= n {
+                        let leaves = flat.predict4_interleaved([
+                            xs[s].as_ref(),
+                            xs[s + 1].as_ref(),
+                            xs[s + 2].as_ref(),
+                            xs[s + 3].as_ref(),
+                        ]);
+                        for (acc, leaf) in out[s..s + 4].iter_mut().zip(leaves) {
+                            *acc += eta * leaf;
+                        }
+                        s += 4;
+                    }
+                    for (acc, x) in out[s..].iter_mut().zip(&xs[s..]) {
+                        *acc += eta * flat.predict(x.as_ref());
+                    }
+                }
+                n - n % 4
             }
+            _ => {
+                for tree in &self.trees {
+                    let flat = tree.flat();
+                    for (acc, x) in out.iter_mut().zip(xs) {
+                        *acc += eta * flat.predict(x.as_ref());
+                    }
+                }
+                0
+            }
+        };
+        if !self.trees.is_empty() {
+            harl_simd::record_score_batch(vec_samples as u64, (n - vec_samples) as u64);
         }
         // IEEE addition is commutative, so `acc + base` is bit-equal to
         // the serial `base + sum` (associativity is what must be kept:
@@ -90,6 +129,67 @@ impl Gbt {
         for acc in out.iter_mut() {
             *acc += self.params.base_score;
         }
+    }
+
+    /// AVX2 gather sweep: flattens the rows into one row-major matrix so a
+    /// lane's feature load is a single gather at `sample·dim + f`, then
+    /// walks 8 samples per tree step. Trees whose feature set does not fit
+    /// the row width (or non-uniform batches) fall back to scalar walks,
+    /// preserving the `x.get(f).unwrap_or(0.0)` semantics. Returns how many
+    /// samples rode vector lanes.
+    #[cfg(target_arch = "x86_64")]
+    fn sweep_avx2<X: AsRef<[f32]>>(&self, xs: &[X], out: &mut [f64]) -> usize {
+        use std::cell::RefCell;
+        thread_local! {
+            /// Per-thread flatten scratch, reused across batch calls.
+            static XFLAT: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+        }
+        let n = xs.len();
+        let eta = self.params.eta;
+        let dim = xs.first().map(|x| x.as_ref().len()).unwrap_or(0);
+        let uniform =
+            dim > 0 && n * dim <= i32::MAX as usize && xs.iter().all(|x| x.as_ref().len() == dim);
+        if !uniform || n < 8 {
+            for tree in &self.trees {
+                let flat = tree.flat();
+                for (acc, x) in out.iter_mut().zip(xs) {
+                    *acc += eta * flat.predict(x.as_ref());
+                }
+            }
+            return 0;
+        }
+        XFLAT.with(|cell| {
+            let mut xflat = cell.borrow_mut();
+            xflat.clear();
+            xflat.reserve(n * dim);
+            for x in xs {
+                xflat.extend_from_slice(x.as_ref());
+            }
+            for tree in &self.trees {
+                let flat = tree.flat();
+                if flat.lanes_ok(dim) {
+                    let mut leaves = [0.0f64; 8];
+                    let mut s = 0;
+                    while s + 8 <= n {
+                        // SAFETY: AVX2 is active (dispatch), lanes_ok(dim)
+                        // holds, and xflat has (s+8)·dim floats.
+                        unsafe { flat.predict8_avx2(&xflat, dim, s, &mut leaves) };
+                        for (acc, leaf) in out[s..s + 8].iter_mut().zip(leaves) {
+                            *acc += eta * leaf;
+                        }
+                        s += 8;
+                    }
+                    for (acc, x) in out[s..].iter_mut().zip(&xs[s..]) {
+                        *acc += eta * flat.predict(x.as_ref());
+                    }
+                } else {
+                    for (acc, x) in out.iter_mut().zip(xs) {
+                        *acc += eta * flat.predict(x.as_ref());
+                    }
+                }
+            }
+        });
+        n - n % 8
     }
 
     /// Predicts a batch of samples via the flattened batch kernel.
@@ -292,6 +392,67 @@ mod tests {
         let batch = model.predict_batch(&xs);
         for (b, x) in batch.iter().zip(&xs) {
             assert_eq!(b.to_bits(), model.predict(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_batch_bit_equal_on_every_backend() {
+        // the lane walks (AVX2 gathers, interleaved 4-wide) must take each
+        // sample down exactly the scalar path; sizes cover lane tails
+        let (xs, ys) = synthetic(203, 11);
+        let model = Gbt::fit(&xs, &ys, GbtParams::default());
+        let want: Vec<u64> = xs.iter().map(|x| model.predict(x).to_bits()).collect();
+        for backend in harl_simd::Backend::ALL
+            .into_iter()
+            .filter(|b| b.is_supported())
+        {
+            let prev = harl_simd::force_backend(Some(backend));
+            for n in [1usize, 3, 4, 7, 8, 9, 16, 203] {
+                let mut out = Vec::new();
+                model.predict_batch_into(&xs[..n], &mut out);
+                for (i, (got, want)) in out.iter().zip(&want[..n]).enumerate() {
+                    assert_eq!(
+                        got.to_bits(),
+                        *want,
+                        "{}: sample {i} of batch {n}",
+                        backend.name()
+                    );
+                }
+            }
+            harl_simd::force_backend(prev);
+        }
+    }
+
+    #[test]
+    fn predict_batch_handles_non_uniform_and_short_rows_on_simd() {
+        // rows narrower than the trees' feature set (and mixed widths)
+        // must keep the scalar `x.get(f).unwrap_or(0.0)` semantics on
+        // every backend rather than gathering out of bounds
+        let (xs, ys) = synthetic(150, 13);
+        let model = Gbt::fit(&xs, &ys, GbtParams::default());
+        let probes: Vec<Vec<f32>> = vec![
+            vec![],
+            vec![0.5],
+            vec![0.5, -1.0],
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![1e9, -1e9],
+            vec![f32::NAN, 0.0, 0.0, 0.0],
+            vec![0.7; 4],
+            vec![-0.3; 4],
+            vec![0.0; 4],
+        ];
+        let want: Vec<u64> = probes.iter().map(|x| model.predict(x).to_bits()).collect();
+        for backend in harl_simd::Backend::ALL
+            .into_iter()
+            .filter(|b| b.is_supported())
+        {
+            let prev = harl_simd::force_backend(Some(backend));
+            let mut out = Vec::new();
+            model.predict_batch_into(&probes, &mut out);
+            harl_simd::force_backend(prev);
+            for (i, (got, want)) in out.iter().zip(&want).enumerate() {
+                assert_eq!(got.to_bits(), *want, "{}: probe {i}", backend.name());
+            }
         }
     }
 

@@ -142,11 +142,7 @@ impl FeatureCache {
     /// when full.
     pub fn insert(&mut self, key: u64, features: Vec<f32>, score: f64) {
         self.tick += 1;
-        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
-            if let Some(&lru) = self.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k) {
-                self.map.remove(&lru);
-            }
-        }
+        self.evict_if_full(key);
         self.map.insert(
             key,
             CacheEntry {
@@ -155,6 +151,35 @@ impl FeatureCache {
                 score,
             },
         );
+    }
+
+    /// Inserts a scoring result from a borrowed row, reusing the evicted
+    /// entry's allocation when full — so once the cache reaches capacity,
+    /// caching a miss allocates nothing.
+    pub fn insert_from_slice(&mut self, key: u64, features: &[f32], score: f64) {
+        self.tick += 1;
+        let mut buf = self.evict_if_full(key).unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(features);
+        self.map.insert(
+            key,
+            CacheEntry {
+                tick: self.tick,
+                features: buf,
+                score,
+            },
+        );
+    }
+
+    /// Evicts the LRU entry if inserting `key` would exceed capacity,
+    /// returning the evicted feature buffer for reuse.
+    fn evict_if_full(&mut self, key: u64) -> Option<Vec<f32>> {
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some(&lru) = self.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k) {
+                return self.map.remove(&lru).map(|e| e.features);
+            }
+        }
+        None
     }
 
     /// Number of cached feature vectors.
@@ -195,6 +220,10 @@ pub struct ScoringPipeline {
     /// Scratch feature matrix; inner `Vec`s keep their capacity across
     /// batches, so steady-state hits allocate nothing.
     rows: Vec<Vec<f32>>,
+    /// Scratch extraction buffers, one per miss, reused across batches:
+    /// pool workers extract into these in place (`for_each_mut`), so
+    /// steady-state misses allocate nothing either.
+    miss_rows: Vec<Vec<f32>>,
     /// Scratch: scores of the current batch's misses.
     miss_scores: Vec<f64>,
     /// Rows valid after the last `score_into` call.
@@ -218,6 +247,7 @@ impl ScoringPipeline {
             keys: Vec::new(),
             misses: Vec::new(),
             rows: Vec::new(),
+            miss_rows: Vec::new(),
             miss_scores: Vec::new(),
             last_n: 0,
             tracer: Tracer::disabled(),
@@ -329,6 +359,7 @@ impl ScoringPipeline {
                     ("hits", hits.into()),
                     ("misses", self.misses.len().into()),
                     ("threads", self.pool.threads().into()),
+                    ("backend", harl_simd::backend_name().into()),
                 ],
             );
         }
@@ -336,36 +367,38 @@ impl ScoringPipeline {
             return;
         }
 
-        // 2. extract misses over the pool, scattered back by index
-        let extracted: Vec<Vec<f32>> = self.pool.map_indexed(&self.misses, |_, &i| {
-            let mut buf = Vec::new();
-            extract(&items[i], &mut buf);
-            buf
-        });
-        for (&i, feat) in self.misses.iter().zip(&extracted) {
+        // 2. extract misses over the pool, in place into the persistent
+        // per-miss buffers (buffers keep their capacity across batches,
+        // so steady-state misses allocate nothing here)
+        if self.miss_rows.len() < self.misses.len() {
+            self.miss_rows.resize_with(self.misses.len(), Vec::new);
+        }
+        let misses = &self.misses;
+        self.pool
+            .for_each_mut(&mut self.miss_rows[..misses.len()], |j, buf| {
+                buf.clear();
+                extract(&items[misses[j]], buf);
+            });
+        for (j, &i) in self.misses.iter().enumerate() {
             let row = &mut self.rows[i];
             row.clear();
-            row.extend_from_slice(feat);
+            row.extend_from_slice(&self.miss_rows[j]);
         }
 
         // 3. batched prediction of the misses with the flattened kernel.
         // Per-sample accumulation is independent, so scoring the misses
         // alone is bit-identical to scoring them inside the full batch.
-        let miss_rows: Vec<&[f32]> = self
-            .misses
+        let miss_refs: Vec<&[f32]> = self.miss_rows[..self.misses.len()]
             .iter()
-            .map(|&i| self.rows[i].as_slice())
+            .map(|r| r.as_slice())
             .collect();
-        cost.score_batch_into(&miss_rows, &mut self.miss_scores);
+        cost.score_batch_into(&miss_refs, &mut self.miss_scores);
         let mut cache = self.cache.lock().expect("score cache poisoned");
-        for ((&i, feat), &score) in self
-            .misses
-            .iter()
-            .zip(extracted)
-            .zip(self.miss_scores.iter())
-        {
+        for ((j, &i), &score) in self.misses.iter().enumerate().zip(self.miss_scores.iter()) {
             out[i] = score;
-            cache.insert(self.keys[i], feat, score);
+            // once the cache is full, this recycles the evicted entry's
+            // buffer instead of allocating
+            cache.insert_from_slice(self.keys[i], &self.miss_rows[j], score);
             self.stats.features_cached += 1;
         }
     }

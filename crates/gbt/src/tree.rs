@@ -64,6 +64,10 @@ pub struct FlatTree {
     threshold: Vec<f32>,
     left_child: Vec<u32>,
     leaf_value: Vec<f64>,
+    /// `1 + max(feature_idx over splits)`, 0 for split-free trees: the
+    /// minimum row width for which every feature lookup is in bounds, so
+    /// the gather walk can skip the scalar `x.get(f)` bounds dance.
+    features_needed: u32,
 }
 
 impl FlatTree {
@@ -74,6 +78,7 @@ impl FlatTree {
             threshold: vec![0.0; nodes.len()],
             left_child: vec![0; nodes.len()],
             leaf_value: vec![0.0; nodes.len()],
+            features_needed: 0,
         };
         if nodes.is_empty() {
             return flat;
@@ -98,6 +103,7 @@ impl FlatTree {
                     flat.feature_idx[slot] = *feature as u32;
                     flat.threshold[slot] = *threshold;
                     flat.left_child[slot] = l;
+                    flat.features_needed = flat.features_needed.max(*feature as u32 + 1);
                     queue.push_back((*left, l as usize));
                     queue.push_back((*right, l as usize + 1));
                 }
@@ -127,6 +133,95 @@ impl FlatTree {
                 l as usize + 1
             };
         }
+    }
+
+    /// Whether the gather/lane walks may run against rows of width `dim`:
+    /// the tree must have nodes and every feature lookup must be in bounds
+    /// (the scalar walk's `x.get(f).unwrap_or(0.0)` default never fires).
+    #[inline]
+    pub fn lanes_ok(&self, dim: usize) -> bool {
+        !self.left_child.is_empty() && self.features_needed as usize <= dim
+    }
+
+    /// Walks 8 samples at once with AVX2 gathers: one lane per sample,
+    /// per-lane node cursor, lanes freeze at their leaf (frozen lanes keep
+    /// gathering their leaf slot, whose `feature_idx` is 0 — in bounds).
+    /// `_CMP_LT_OQ` matches the scalar `v < threshold` exactly, including
+    /// NaN → false → go right, so each lane takes the scalar walk's path.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available, `lanes_ok(dim)` holds, and
+    /// `xflat` holds at least `(s0 + 8) · dim` floats (8 row-major rows
+    /// starting at sample `s0`).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn predict8_avx2(&self, xflat: &[f32], dim: usize, s0: usize, out: &mut [f64; 8]) {
+        use core::arch::x86_64::*;
+        debug_assert!(self.lanes_ok(dim));
+        debug_assert!(xflat.len() >= (s0 + 8) * dim);
+        let lc = self.left_child.as_ptr() as *const i32;
+        let fi = self.feature_idx.as_ptr() as *const i32;
+        let row0: [i32; 8] = core::array::from_fn(|l| ((s0 + l) * dim) as i32);
+        let row = _mm256_loadu_si256(row0.as_ptr() as *const __m256i);
+        let one = _mm256_set1_epi32(1);
+        let zero = _mm256_setzero_si256();
+        let mut at = zero;
+        loop {
+            let l = _mm256_i32gather_epi32::<4>(lc, at);
+            let done = _mm256_cmpeq_epi32(l, zero);
+            if _mm256_movemask_epi8(done) == -1 {
+                break;
+            }
+            let f = _mm256_i32gather_epi32::<4>(fi, at);
+            let t = _mm256_i32gather_ps::<4>(self.threshold.as_ptr(), at);
+            let v = _mm256_i32gather_ps::<4>(xflat.as_ptr(), _mm256_add_epi32(row, f));
+            let lt = _mm256_cmp_ps::<_CMP_LT_OQ>(v, t);
+            // go left on v < t, right (+1) otherwise; frozen lanes keep `at`
+            let next = _mm256_add_epi32(l, _mm256_andnot_si256(_mm256_castps_si256(lt), one));
+            at = _mm256_blendv_epi8(next, at, done);
+        }
+        let mut ats = [0i32; 8];
+        _mm256_storeu_si256(ats.as_mut_ptr() as *mut __m256i, at);
+        for (o, &a) in out.iter_mut().zip(&ats) {
+            *o = self.leaf_value[a as usize];
+        }
+    }
+
+    /// Walks 4 samples in lockstep with plain code: the SSE2/NEON-tier
+    /// batch path (those ISAs lack gathers, but the interleaved descent
+    /// still overlaps the four dependent chains). Trivially bit-identical
+    /// to four scalar walks — it performs exactly those comparisons.
+    pub fn predict4_interleaved(&self, xs: [&[f32]; 4]) -> [f64; 4] {
+        if self.left_child.is_empty() {
+            return [0.0; 4];
+        }
+        let mut at = [0usize; 4];
+        let mut done = [false; 4];
+        loop {
+            let mut live = false;
+            for l in 0..4 {
+                if done[l] {
+                    continue;
+                }
+                let lc = self.left_child[at[l]];
+                if lc == 0 {
+                    done[l] = true;
+                    continue;
+                }
+                let f = self.feature_idx[at[l]] as usize;
+                let v = xs[l].get(f).copied().unwrap_or(0.0);
+                at[l] = if v < self.threshold[at[l]] {
+                    lc as usize
+                } else {
+                    lc as usize + 1
+                };
+                live = true;
+            }
+            if !live {
+                break;
+            }
+        }
+        core::array::from_fn(|l| self.leaf_value[at[l]])
     }
 }
 
@@ -393,6 +488,68 @@ mod tests {
             leaf.flat().predict(&[1.0]).to_bits(),
             leaf.predict(&[1.0]).to_bits()
         );
+    }
+
+    #[test]
+    fn lane_walks_match_scalar_including_nan_and_extremes() {
+        let xs = grid(256);
+        let grad: Vec<f64> = (0..256).map(|i| (i as f64 * 0.37).sin()).collect();
+        let t = RegressionTree::fit(&xs, &grad, &TreeParams::default());
+        let flat = t.flat();
+        let dim = 2usize;
+        assert!(flat.lanes_ok(dim));
+        // awkward probes: NaN must go right (v < t is false), extremes hit
+        // the outermost leaves
+        let probes: Vec<Vec<f32>> = vec![
+            vec![10.0, 1.0],
+            vec![f32::NAN, 3.0],
+            vec![-1e9, 0.0],
+            vec![1e9, 6.0],
+            vec![128.0, f32::NAN],
+            vec![50.0, 2.0],
+            vec![49.999, 2.0],
+            vec![0.0, 0.0],
+        ];
+        let want: Vec<u64> = probes.iter().map(|x| flat.predict(x).to_bits()).collect();
+
+        let quad = flat.predict4_interleaved([&probes[0], &probes[1], &probes[2], &probes[3]]);
+        for (l, v) in quad.iter().enumerate() {
+            assert_eq!(v.to_bits(), want[l], "interleaved lane {l}");
+        }
+
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let xflat: Vec<f32> = probes.iter().flatten().copied().collect();
+            let mut out = [0.0f64; 8];
+            // SAFETY: avx2 checked above, lanes_ok(dim) asserted, xflat
+            // holds 8 rows of `dim`
+            unsafe { flat.predict8_avx2(&xflat, dim, 0, &mut out) };
+            for (l, v) in out.iter().enumerate() {
+                assert_eq!(v.to_bits(), want[l], "avx2 lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_ok_rejects_narrow_rows_and_empty_trees() {
+        let xs = grid(64);
+        let grad: Vec<f64> = (0..64).map(|i| if i < 32 { 1.0 } else { -1.0 }).collect();
+        let t = RegressionTree::fit(&xs, &grad, &TreeParams::default());
+        let needed = t
+            .flat()
+            .lanes_ok(2)
+            .then_some(2)
+            .expect("2-feature tree fits 2-wide rows");
+        assert_eq!(needed, 2);
+        assert!(!t.flat().lanes_ok(0), "0-wide rows can satisfy no split");
+        // a fit on no data still yields a single leaf: lane-walkable at
+        // any row width since it reads no features
+        let leaf_only = RegressionTree::fit(&[], &[], &TreeParams::default());
+        assert!(leaf_only.flat().lanes_ok(0));
+        let walked = leaf_only.flat().predict4_interleaved([&[], &[], &[], &[]]);
+        assert_eq!(walked, [leaf_only.predict(&[]); 4]);
+        // only a node-free layout (never produced by fit) is rejected
+        assert!(!FlatTree::default().lanes_ok(8));
     }
 
     #[test]

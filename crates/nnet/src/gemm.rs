@@ -5,8 +5,9 @@
 //! serde. For a batch-major forward pass `Y = X·Wᵀ + b` that layout is
 //! hostile: the inner product over `k` strides `W` by `in_dim`. So the
 //! kernel first transposes the weights into a k-major scratch buffer
-//! `wt[k·out_dim + o]` and then sweeps `k` in panels, accumulating whole
-//! output rows with a contiguous, autovectorizable inner loop over `o`.
+//! `wt[k·out_dim + o]` and then hands the blocked sweep to the
+//! runtime-dispatched `harl-simd` MR×NR microkernel, whose vector lanes run
+//! across `o` cells (AVX2/SSE2/NEON, scalar fallback, FMA never used).
 //!
 //! ## Determinism contract
 //!
@@ -25,14 +26,15 @@
 //! happens in the same order on the same products (multiplication is
 //! commutative bitwise under IEEE-754). This is what lets callers batch
 //! freely while `tests/scoring_determinism.rs` pins bit-equality.
+//!
+//! The same argument extends to vector backends: `harl-simd` holds each
+//! cell's accumulator in one vector *lane*, multiplies and adds separately
+//! (no FMA, which would round once instead of twice), and spills between
+//! k-panels through exact f32 load/store — so AVX2, SSE2, NEON, and scalar
+//! all produce identical bits (pinned by harl-simd's own backend-matrix
+//! tests and by `tests/scoring_determinism.rs`).
 
-/// Batch rows swept per panel pass: small enough that `MB` rows of `x`
-/// plus one `wt` panel stay cache-resident.
-const MB: usize = 8;
-
-/// Columns of the k-panel (elements of the reduction dimension) processed
-/// per sweep; `KC · out_dim` floats of `wt` are hot per panel.
-const KC: usize = 256;
+pub use harl_simd::gemm_bias_into;
 
 /// Transposes row-major `w` (`out_dim × in_dim`) into k-major `wt`
 /// (`in_dim × out_dim`), i.e. `wt[k·out_dim + o] = w[o·in_dim + k]`.
@@ -45,49 +47,6 @@ pub fn transpose_into(w: &[f32], out_dim: usize, in_dim: usize, wt: &mut Vec<f32
         for (k, &v) in row.iter().enumerate() {
             wt[k * out_dim + o] = v;
         }
-    }
-}
-
-/// Computes `y[b·out_dim + o] = bias[o] + Σ_k x[b·in_dim + k] · wt[k·out_dim + o]`
-/// for all `b < batch`, with the fixed ascending-`k` summation order
-/// documented in the module header. `y` is resized to `batch · out_dim`.
-pub fn gemm_bias_into(
-    x: &[f32],
-    wt: &[f32],
-    bias: &[f32],
-    batch: usize,
-    in_dim: usize,
-    out_dim: usize,
-    y: &mut Vec<f32>,
-) {
-    debug_assert_eq!(x.len(), batch * in_dim);
-    debug_assert_eq!(wt.len(), in_dim * out_dim);
-    debug_assert_eq!(bias.len(), out_dim);
-    y.clear();
-    y.resize(batch * out_dim, 0.0);
-    let mut bb = 0;
-    while bb < batch {
-        let bend = (bb + MB).min(batch);
-        for b in bb..bend {
-            y[b * out_dim..(b + 1) * out_dim].copy_from_slice(bias);
-        }
-        let mut kk = 0;
-        while kk < in_dim {
-            let kend = (kk + KC).min(in_dim);
-            for b in bb..bend {
-                let x_row = &x[b * in_dim..(b + 1) * in_dim];
-                let y_row = &mut y[b * out_dim..(b + 1) * out_dim];
-                for k in kk..kend {
-                    let xv = x_row[k];
-                    let w_row = &wt[k * out_dim..(k + 1) * out_dim];
-                    for (yo, &wo) in y_row.iter_mut().zip(w_row) {
-                        *yo += xv * wo;
-                    }
-                }
-            }
-            kk = kend;
-        }
-        bb = bend;
     }
 }
 
@@ -148,16 +107,25 @@ mod tests {
             let bias: Vec<f32> = (0..out_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let mut wt = Vec::new();
             transpose_into(&w, out_dim, in_dim, &mut wt);
-            let mut y = Vec::new();
-            gemm_bias_into(&x, &wt, &bias, batch, in_dim, out_dim, &mut y);
             let reference = per_sample_reference(&x, &w, &bias, batch, in_dim, out_dim);
-            assert_eq!(y.len(), reference.len());
-            for (i, (a, b)) in y.iter().zip(&reference).enumerate() {
-                assert_eq!(
-                    a.to_bits(),
-                    b.to_bits(),
-                    "({batch}×{in_dim}→{out_dim}) cell {i}: {a} vs {b}"
-                );
+            // every dispatch tier must reproduce the serial per-sample bits
+            for backend in harl_simd::Backend::ALL
+                .into_iter()
+                .filter(|b| b.is_supported())
+            {
+                let prev = harl_simd::force_backend(Some(backend));
+                let mut y = Vec::new();
+                gemm_bias_into(&x, &wt, &bias, batch, in_dim, out_dim, &mut y);
+                harl_simd::force_backend(prev);
+                assert_eq!(y.len(), reference.len());
+                for (i, (a, b)) in y.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{}: ({batch}×{in_dim}→{out_dim}) cell {i}: {a} vs {b}",
+                        backend.name()
+                    );
+                }
             }
         }
     }

@@ -93,17 +93,17 @@ impl Linear {
         debug_assert_eq!(gy.len(), batch * self.out_dim);
         let (in_dim, out_dim) = (self.in_dim, self.out_dim);
 
-        // dL/dW, dL/db: one task per output row, batch summed in order
+        // dL/dW, dL/db: one task per output row, batch summed in order.
+        // The rank-1 update `gw_row += g·x_row` is elementwise, so the
+        // harl-simd lanes (one cell per lane, mul-then-add, no FMA) keep
+        // the serial bits at every backend.
         let row_grads = pool.map_range(out_dim, |o| {
             let mut gw_row = vec![0.0f32; in_dim];
             let mut gb_o = 0.0f32;
             for b in 0..batch {
                 let g = gy[b * out_dim + o];
                 gb_o += g;
-                let x_row = &x[b * in_dim..(b + 1) * in_dim];
-                for (gwi, &xi) in gw_row.iter_mut().zip(x_row) {
-                    *gwi += g * xi;
-                }
+                harl_simd::axpy_lanes(g, &x[b * in_dim..(b + 1) * in_dim], &mut gw_row);
             }
             (gw_row, gb_o)
         });
@@ -121,10 +121,8 @@ impl Linear {
             let mut gx_row = vec![0.0f32; in_dim];
             for o in 0..out_dim {
                 let g = gy[b * out_dim + o];
-                let w_row = &w[o * in_dim..(o + 1) * in_dim];
-                for (gxi, &wi) in gx_row.iter_mut().zip(w_row) {
-                    *gxi += wi * g;
-                }
+                // w·g vs g·w: IEEE-754 multiplication commutes bitwise
+                harl_simd::axpy_lanes(g, &w[o * in_dim..(o + 1) * in_dim], &mut gx_row);
             }
             gx_row
         });

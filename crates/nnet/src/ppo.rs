@@ -376,7 +376,13 @@ impl PpoAgent {
             &[("tracks", batch.into()), ("samples", samples.into())],
         );
         {
-            let _gemm = self.tracer.span_with("gemm", &[("batch", batch.into())]);
+            let _gemm = self.tracer.span_with(
+                "gemm",
+                &[
+                    ("batch", batch.into()),
+                    ("backend", harl_simd::backend_name().into()),
+                ],
+            );
             self.policy
                 .forward_batch(states, batch, &mut self.ws_policy);
         }
@@ -503,7 +509,11 @@ impl PpoAgent {
         {
             let _gemm = self.tracer.span_with(
                 "gemm",
-                &[("batch", n_samples.into()), ("net", "policy".into())],
+                &[
+                    ("batch", n_samples.into()),
+                    ("net", "policy".into()),
+                    ("backend", harl_simd::backend_name().into()),
+                ],
             );
             self.policy
                 .forward_batch(&x, n_samples, &mut self.ws_policy);
@@ -558,7 +568,11 @@ impl PpoAgent {
         let values: Vec<f32> = {
             let _gemm = self.tracer.span_with(
                 "gemm",
-                &[("batch", n_samples.into()), ("net", "critic".into())],
+                &[
+                    ("batch", n_samples.into()),
+                    ("net", "critic".into()),
+                    ("backend", harl_simd::backend_name().into()),
+                ],
             );
             self.critic
                 .forward_batch(&x, n_samples, &mut self.ws_critic)

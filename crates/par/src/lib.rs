@@ -194,6 +194,44 @@ impl ThreadPool {
         self.map_range(items.len(), |i| f(i, &items[i]))
     }
 
+    /// Applies `f(index, &mut item)` to every item **in place** — the
+    /// mutable sibling of [`ThreadPool::map_indexed`] for callers that own
+    /// reusable per-item buffers (e.g. the scoring pipeline's persistent
+    /// miss-row scratch) and must not allocate a result `Vec` per call.
+    ///
+    /// Items are split into one contiguous chunk per worker via
+    /// `chunks_mut` (no `unsafe`, no stealing: mutation pins each item to
+    /// exactly one worker). Every slot is written by the closure that got
+    /// its index, so results are independent of scheduling, like every
+    /// other pool primitive. The same inline threshold applies.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n < self.threads * MIN_ITEMS_PER_WORKER {
+            map_counter("inline").inc();
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        map_counter("parallel").inc();
+        let workers = self.threads.min(n);
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (c, slice) in items.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    for (i, item) in slice.iter_mut().enumerate() {
+                        f(c * chunk + i, item);
+                    }
+                });
+            }
+        });
+    }
+
     /// Applies `f(i)` for every `i in 0..n` and returns the results in
     /// index order — the range-shaped sibling of
     /// [`ThreadPool::map_indexed`], for work that is naturally indexed
@@ -319,6 +357,38 @@ mod tests {
             let by_range = pool.map_range(items.len(), |i| items[i] * 3 + 1);
             let by_slice = pool.map_indexed(&items, |_, &x| x * 3 + 1);
             assert_eq!(by_range, by_slice);
+        }
+    }
+
+    #[test]
+    fn for_each_mut_matches_serial_at_any_width() {
+        // above and below the inline threshold, every slot must hold the
+        // value its own index produced
+        for n in [0usize, 1, 63, 256, 1000] {
+            let reference: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
+            for threads in [1, 2, 4, 8] {
+                let pool = ThreadPool::new(threads);
+                let mut items = vec![0u64; n];
+                pool.for_each_mut(&mut items, |i, slot| {
+                    *slot = (i as u64) * (i as u64) + 1;
+                });
+                assert_eq!(items, reference, "n={n} width {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_mut_reuses_buffers_in_place() {
+        let pool = ThreadPool::new(4);
+        let mut rows: Vec<Vec<f32>> = (0..512).map(|_| Vec::with_capacity(8)).collect();
+        let ptrs: Vec<*const f32> = rows.iter().map(|r| r.as_ptr()).collect();
+        pool.for_each_mut(&mut rows, |i, row| {
+            row.clear();
+            row.push(i as f32);
+        });
+        for (i, (row, &ptr)) in rows.iter().zip(&ptrs).enumerate() {
+            assert_eq!(row.as_slice(), &[i as f32]);
+            assert_eq!(row.as_ptr(), ptr, "row {i} must keep its allocation");
         }
     }
 

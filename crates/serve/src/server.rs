@@ -431,9 +431,12 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
                 .map(|(id, e)| e.view(id))
                 .collect(),
         ),
-        Request::Metrics => Response::Metrics {
-            text: harl_obs::global().render(),
-        },
+        Request::Metrics => {
+            publish_simd_metrics();
+            Response::Metrics {
+                text: harl_obs::global().render(),
+            }
+        }
         Request::PoolSync { from } => pool_segment(shared, from),
         Request::Shutdown => {
             shared.begin_shutdown();
@@ -446,6 +449,29 @@ fn dispatch(shared: &Arc<Shared>, req: Request) -> Response {
     reg.histogram("harl_serve_request_seconds", harl_obs::SECONDS_BOUNDS)
         .observe(started.elapsed().as_secs_f64());
     resp
+}
+
+/// Snapshots the process-wide SIMD kernel stats into the metrics
+/// registry so every `metrics` reply reports the dispatched backend and
+/// kernel counters. The gauge value of `harl_simd_backend` is the
+/// backend code (0 scalar, 1 sse2, 2 avx2, 3 neon); the labeled
+/// `harl_simd_backend_info` gauge carries the name for humans.
+fn publish_simd_metrics() {
+    let reg = harl_obs::global();
+    let stats = harl_simd::stats();
+    reg.gauge("harl_simd_backend")
+        .set(stats.backend.code() as f64);
+    reg.gauge(&format!(
+        "harl_simd_backend_info{{backend=\"{}\"}}",
+        stats.backend.name()
+    ))
+    .set(1.0);
+    reg.gauge("harl_simd_gemm_calls")
+        .set(stats.gemm_calls as f64);
+    reg.gauge("harl_simd_score_batch_calls")
+        .set(stats.score_batch_calls as f64);
+    reg.gauge("harl_simd_vector_lane_fraction")
+        .set(stats.vector_fraction());
 }
 
 /// One page of the shared pool for a federated puller.

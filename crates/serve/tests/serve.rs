@@ -325,6 +325,15 @@ fn metrics_verb_exposes_lifecycle_and_request_counters() {
     // the tuning run itself feeds the scoring counters
     assert!(dump.contains("harl_scoring_candidates_total"));
     assert!(dump.contains("harl_measure_trials_total"));
+    // SIMD dispatch surface: backend code gauge, labelled name, kernel counters
+    assert!(dump.contains("harl_simd_backend"));
+    assert!(dump.contains(&format!(
+        "harl_simd_backend_info{{backend=\"{}\"}}",
+        harl_simd::backend_name()
+    )));
+    assert!(dump.contains("harl_simd_gemm_calls"));
+    assert!(dump.contains("harl_simd_score_batch_calls"));
+    assert!(dump.contains("harl_simd_vector_lane_fraction"));
 
     // raw wire shape: one Metrics request line -> one Metrics response line
     match client.request(&Request::Metrics).expect("raw request") {

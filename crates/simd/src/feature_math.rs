@@ -1,0 +1,51 @@
+//! Feature-math helpers for the hot `extract_features_into` loops.
+//!
+//! A SIMD polynomial `log2` approximation would *not* be bit-identical to
+//! libm's `f64::log2`, so the speedup here comes from a different angle:
+//! the tile-factor / loop-extent arguments are small non-negative integers,
+//! so the exact libm result is cached in a lookup table. Every entry is
+//! computed by the very scalar expression the callers used before
+//! (`((x as f64) + 1.0).log2() as f32`), making the table bit-identical by
+//! construction; arguments past the table fall through to that expression.
+
+use std::sync::OnceLock;
+
+/// Covers every tile factor / loop extent / task count seen in practice
+/// (factors are divisors of extents ≤ a few thousand); 16 KiB once built.
+const TABLE_SIZE: u64 = 4096;
+
+fn table() -> &'static [f32] {
+    static TABLE: OnceLock<Vec<f32>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        (0..TABLE_SIZE)
+            .map(|i| ((i as f64) + 1.0).log2() as f32)
+            .collect()
+    })
+}
+
+/// Exact `((x as f64) + 1.0).log2() as f32` for integer `x` — table-served
+/// for `x < 4096`, computed directly (same expression, same bits) above.
+pub fn log2p_int(x: u64) -> f32 {
+    if x < TABLE_SIZE {
+        table()[x as usize]
+    } else {
+        ((x as f64) + 1.0).log2() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_direct_expression_bit_for_bit() {
+        for x in (0..6000u64).chain([TABLE_SIZE - 1, TABLE_SIZE, 1 << 20, 1 << 40, u64::MAX]) {
+            let want = ((x as f64) + 1.0).log2() as f32;
+            assert_eq!(
+                log2p_int(x).to_bits(),
+                want.to_bits(),
+                "log2p_int({x}) diverged from the scalar expression"
+            );
+        }
+    }
+}

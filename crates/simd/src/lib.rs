@@ -1,0 +1,573 @@
+//! Runtime-dispatched SIMD microkernels for the HARL hot paths.
+//!
+//! The repo pins a bit-identity invariant end to end: a tuning run must
+//! produce the same best_time/trace/checkpoint bits regardless of thread
+//! count, batching width — and now, instruction set. This crate makes SIMD
+//! compatible with that invariant **by construction** instead of by hope:
+//!
+//! * **Lanes run across independent output cells.** A vector register holds
+//!   8 (AVX2) or 4 (SSE2/NEON) *different* output cells — the `o` dimension
+//!   of `gemm_bias_into`, distinct samples in GBT batch prediction — never
+//!   8 partial sums of the *same* cell. Each cell keeps its existing
+//!   bias-then-ascending-`k` serial accumulation chain.
+//! * **No FMA, ever.** A fused multiply-add rounds once where `mul` + `add`
+//!   round twice, so `_mm256_fmadd_ps` would change the bits of every cell.
+//!   All backends use separate multiply and add instructions; IEEE-754
+//!   elementwise vector `mul`/`add` is bitwise-identical to the scalar ops.
+//! * **Register spills go through `f32`.** The GEMM microkernel loads the
+//!   partial `y` cells (holding bias or the previous k-panel's partial sum)
+//!   into registers, accumulates ascending `k`, and stores back; `f32`
+//!   load/store is exact, so panel boundaries don't perturb the chain.
+//!
+//! Backend selection: runtime detection (AVX2 → SSE2 on x86-64, NEON on
+//! aarch64, scalar otherwise), overridable with `HARL_SIMD=0|scalar|sse2|
+//! avx2|neon|auto` and, for tests/benches that need to compare backends in
+//! one process, [`force_backend`]. Unsupported requests clamp to the best
+//! supported tier — never undefined behaviour.
+
+mod feature_math;
+mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+pub use feature_math::log2p_int;
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// One SIMD tier. Ordered by preference within an architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Backend {
+    /// Plain Rust loops — the reference everything else must bit-match.
+    Scalar = 0,
+    /// 128-bit SSE2 (x86-64 baseline, always present there).
+    Sse2 = 1,
+    /// 256-bit AVX2 with FMA deliberately unused (see module docs).
+    Avx2 = 2,
+    /// 128-bit NEON (aarch64 baseline).
+    Neon = 3,
+}
+
+impl Backend {
+    /// Every backend, for `--list-backends` style enumeration.
+    pub const ALL: [Backend; 4] = [Backend::Scalar, Backend::Sse2, Backend::Avx2, Backend::Neon];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sse2 => "sse2",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// Stable numeric code for gauges/metrics (`harl_simd_backend`).
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    fn from_code(c: u8) -> Backend {
+        match c {
+            1 => Backend::Sse2,
+            2 => Backend::Avx2,
+            3 => Backend::Neon,
+            _ => Backend::Scalar,
+        }
+    }
+
+    /// Whether this CPU can execute the backend's instructions.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Sse2 => true, // part of the x86-64 baseline
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => true, // part of the aarch64 baseline
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// Output cells covered by one vector register (1 for scalar).
+    pub fn lanes(self) -> usize {
+        match self {
+            Backend::Scalar => 1,
+            Backend::Sse2 | Backend::Neon => 4,
+            Backend::Avx2 => 8,
+        }
+    }
+}
+
+fn best_supported() -> Backend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Backend::Avx2
+        } else {
+            Backend::Sse2
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        Backend::Neon
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        Backend::Scalar
+    }
+}
+
+/// Parses a `HARL_SIMD` value. `Ok(None)` means auto-detect.
+fn parse_override(v: &str) -> Result<Option<Backend>, ()> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "" | "1" | "auto" => Ok(None),
+        "0" | "off" | "scalar" => Ok(Some(Backend::Scalar)),
+        "sse2" => Ok(Some(Backend::Sse2)),
+        "avx2" => Ok(Some(Backend::Avx2)),
+        "neon" => Ok(Some(Backend::Neon)),
+        _ => Err(()),
+    }
+}
+
+fn detected() -> Backend {
+    static DETECTED: OnceLock<Backend> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        let best = best_supported();
+        match std::env::var("HARL_SIMD") {
+            Err(_) => best,
+            Ok(v) => match parse_override(&v) {
+                Ok(None) => best,
+                Ok(Some(b)) if b.is_supported() => b,
+                Ok(Some(b)) => {
+                    eprintln!(
+                        "harl-simd: HARL_SIMD={} is not supported on this CPU; using {}",
+                        b.name(),
+                        best.name()
+                    );
+                    best
+                }
+                Err(()) => {
+                    eprintln!(
+                        "harl-simd: unrecognized HARL_SIMD={v:?} \
+                         (expected 0|scalar|sse2|avx2|neon|auto); using {}",
+                        best.name()
+                    );
+                    best
+                }
+            },
+        }
+    })
+}
+
+const FORCE_NONE: u8 = u8::MAX;
+static FORCED: AtomicU8 = AtomicU8::new(FORCE_NONE);
+
+/// Forces a backend process-wide, overriding both detection and `HARL_SIMD`.
+/// Returns the previously forced backend (`None` = auto). Meant for tests
+/// and benches that must compare backends inside one process; safe to flip
+/// mid-run because every backend produces identical bits. Unsupported
+/// requests clamp to the best supported tier — never undefined behaviour.
+pub fn force_backend(b: Option<Backend>) -> Option<Backend> {
+    let new = match b {
+        None => FORCE_NONE,
+        Some(b) if b.is_supported() => b.code(),
+        Some(_) => best_supported().code(),
+    };
+    let prev = FORCED.swap(new, Ordering::SeqCst);
+    if prev == FORCE_NONE {
+        None
+    } else {
+        Some(Backend::from_code(prev))
+    }
+}
+
+/// The backend kernels dispatch to right now (forced > env > detected).
+pub fn active_backend() -> Backend {
+    let f = FORCED.load(Ordering::Relaxed);
+    if f != FORCE_NONE {
+        return Backend::from_code(f);
+    }
+    detected()
+}
+
+/// Name of the active backend — handy for trace attributes.
+pub fn backend_name() -> &'static str {
+    active_backend().name()
+}
+
+// ---------------------------------------------------------------------------
+// Kernel counters (observability; see the serve `metrics` verb).
+
+static GEMM_CALLS: AtomicU64 = AtomicU64::new(0);
+static SCORE_BATCH_CALLS: AtomicU64 = AtomicU64::new(0);
+static VECTOR_CELLS: AtomicU64 = AtomicU64::new(0);
+static SCALAR_CELLS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the kernel counters plus the active backend.
+#[derive(Debug, Clone, Copy)]
+pub struct SimdStats {
+    pub backend: Backend,
+    /// `gemm_bias_into` invocations.
+    pub gemm_calls: u64,
+    /// GBT batch-prediction invocations routed through the lane walk.
+    pub score_batch_calls: u64,
+    /// Output cells computed in vector lanes.
+    pub vector_cells: u64,
+    /// Output cells computed by scalar remainder loops (tails, fallbacks).
+    pub scalar_cells: u64,
+}
+
+impl SimdStats {
+    /// Fraction of output cells that went through vector lanes.
+    pub fn vector_fraction(&self) -> f64 {
+        let total = self.vector_cells + self.scalar_cells;
+        if total == 0 {
+            0.0
+        } else {
+            self.vector_cells as f64 / total as f64
+        }
+    }
+}
+
+/// Reads the kernel counters (monotonic since process start).
+pub fn stats() -> SimdStats {
+    SimdStats {
+        backend: active_backend(),
+        gemm_calls: GEMM_CALLS.load(Ordering::Relaxed),
+        score_batch_calls: SCORE_BATCH_CALLS.load(Ordering::Relaxed),
+        vector_cells: VECTOR_CELLS.load(Ordering::Relaxed),
+        scalar_cells: SCALAR_CELLS.load(Ordering::Relaxed),
+    }
+}
+
+/// Records one batch-prediction call: how many samples rode vector lanes
+/// and how many fell to scalar walks (tails, non-uniform rows, tall trees).
+/// Called by `harl-gbt`, which owns the tree layout and thus the walk.
+pub fn record_score_batch(vector_cells: u64, scalar_cells: u64) {
+    SCORE_BATCH_CALLS.fetch_add(1, Ordering::Relaxed);
+    VECTOR_CELLS.fetch_add(vector_cells, Ordering::Relaxed);
+    SCALAR_CELLS.fetch_add(scalar_cells, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+
+/// `y[i] += a · x[i]` — one independent multiply-then-add per cell, so any
+/// backend produces the scalar bits exactly. Panics if lengths differ.
+pub fn axpy_lanes(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy_lanes: length mismatch");
+    match active_backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::axpy_avx2(a, x, y) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::axpy_sse2(a, x, y) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::axpy(a, x, y),
+        _ => scalar::axpy(a, x, y),
+    }
+}
+
+/// `y[o] += Σ_k x[k] · wt[k·n + o]` with `n = y.len()` and k-major `wt`
+/// (`wt.len() = x.len()·n`): one row of the GEMM, vector lanes across the
+/// `o` cells, each cell accumulating ascending `k` in a register.
+pub fn dot_lanes(x: &[f32], wt: &[f32], y: &mut [f32]) {
+    let n = y.len();
+    assert_eq!(
+        wt.len(),
+        x.len() * n,
+        "dot_lanes: wt must be x.len()·y.len()"
+    );
+    if n == 0 {
+        return;
+    }
+    panel_dispatch(active_backend(), x, x.len(), 0, 1, wt, n, 0, x.len(), y);
+}
+
+/// Batch rows swept per panel pass: small enough that `MB` rows of `x`
+/// plus one `wt` panel stay cache-resident.
+pub const MB: usize = 8;
+
+/// Columns of the k-panel (elements of the reduction dimension) processed
+/// per sweep; `KC · out_dim` floats of `wt` are hot per panel.
+pub const KC: usize = 256;
+
+/// Computes `y[b·out_dim + o] = bias[o] + Σ_k x[b·in_dim + k] · wt[k·out_dim + o]`
+/// for all `b < batch`, with a fixed bias-then-ascending-`k` summation order
+/// per cell (see module docs). `wt` is k-major; `y` is resized to
+/// `batch · out_dim`. The blocked sweep (`MB` rows × `KC` reduction panels)
+/// only changes *when* a `(b, o)` cell is touched, never the order of
+/// additions into it, so every backend — and every batch width — produces
+/// identical bits.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_bias_into(
+    x: &[f32],
+    wt: &[f32],
+    bias: &[f32],
+    batch: usize,
+    in_dim: usize,
+    out_dim: usize,
+    y: &mut Vec<f32>,
+) {
+    debug_assert_eq!(x.len(), batch * in_dim);
+    debug_assert_eq!(wt.len(), in_dim * out_dim);
+    debug_assert_eq!(bias.len(), out_dim);
+    y.clear();
+    y.resize(batch * out_dim, 0.0);
+    let backend = active_backend();
+    GEMM_CALLS.fetch_add(1, Ordering::Relaxed);
+    let lanes = backend.lanes();
+    let vec_cols = if lanes > 1 {
+        out_dim - out_dim % lanes
+    } else {
+        0
+    };
+    VECTOR_CELLS.fetch_add((batch * vec_cols) as u64, Ordering::Relaxed);
+    SCALAR_CELLS.fetch_add((batch * (out_dim - vec_cols)) as u64, Ordering::Relaxed);
+    let mut bb = 0;
+    while bb < batch {
+        let bend = (bb + MB).min(batch);
+        for b in bb..bend {
+            y[b * out_dim..(b + 1) * out_dim].copy_from_slice(bias);
+        }
+        let mut kk = 0;
+        while kk < in_dim {
+            let kend = (kk + KC).min(in_dim);
+            panel_dispatch(backend, x, in_dim, bb, bend, wt, out_dim, kk, kend, y);
+            kk = kend;
+        }
+        bb = bend;
+    }
+}
+
+/// One `rows × out_dim` panel over `k ∈ [k0, k1)`, routed to the backend's
+/// MR×NR microkernel. `y` already holds each cell's partial sum.
+#[allow(clippy::too_many_arguments)]
+fn panel_dispatch(
+    backend: Backend,
+    x: &[f32],
+    in_dim: usize,
+    b0: usize,
+    b1: usize,
+    wt: &[f32],
+    out_dim: usize,
+    k0: usize,
+    k1: usize,
+    y: &mut [f32],
+) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::panel_avx2(x, in_dim, b0, b1, wt, out_dim, k0, k1, y) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::panel_sse2(x, in_dim, b0, b1, wt, out_dim, k0, k1, y) },
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::panel(x, in_dim, b0, b1, wt, out_dim, k0, k1, y),
+        _ => scalar::panel(x, in_dim, b0, b1, wt, out_dim, k0, k1, y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Tests that flip the global forced backend serialize on this lock.
+    fn force_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn supported_non_scalar() -> Vec<Backend> {
+        Backend::ALL
+            .into_iter()
+            .filter(|b| *b != Backend::Scalar && b.is_supported())
+            .collect()
+    }
+
+    #[test]
+    fn parse_override_accepts_documented_values() {
+        assert_eq!(parse_override("auto"), Ok(None));
+        assert_eq!(parse_override("1"), Ok(None));
+        assert_eq!(parse_override(""), Ok(None));
+        assert_eq!(parse_override("0"), Ok(Some(Backend::Scalar)));
+        assert_eq!(parse_override("off"), Ok(Some(Backend::Scalar)));
+        assert_eq!(parse_override("Scalar"), Ok(Some(Backend::Scalar)));
+        assert_eq!(parse_override(" sse2 "), Ok(Some(Backend::Sse2)));
+        assert_eq!(parse_override("AVX2"), Ok(Some(Backend::Avx2)));
+        assert_eq!(parse_override("neon"), Ok(Some(Backend::Neon)));
+        assert_eq!(parse_override("avx512"), Err(()));
+    }
+
+    #[test]
+    fn force_backend_round_trips_and_clamps() {
+        let _g = force_lock();
+        let prev = force_backend(Some(Backend::Scalar));
+        assert_eq!(active_backend(), Backend::Scalar);
+        // Forcing an unsupported tier clamps to a supported one, never UB.
+        force_backend(Some(Backend::Neon));
+        assert!(active_backend().is_supported());
+        force_backend(Some(Backend::Avx2));
+        assert!(active_backend().is_supported());
+        force_backend(prev);
+    }
+
+    #[test]
+    fn scalar_is_always_supported_and_best_is_supported() {
+        assert!(Backend::Scalar.is_supported());
+        assert!(best_supported().is_supported());
+    }
+
+    fn axpy_reference(a: f32, x: &[f32], y: &mut [f32]) {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += a * xi;
+        }
+    }
+
+    #[test]
+    fn axpy_bits_match_scalar_on_every_backend() {
+        let _g = force_lock();
+        let prev = force_backend(None);
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 15, 16, 17, 31, 33, 64, 101] {
+            let a: f32 = rng.gen_range(-2.0..2.0);
+            let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let y0: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut want = y0.clone();
+            axpy_reference(a, &x, &mut want);
+            for b in supported_non_scalar() {
+                force_backend(Some(b));
+                let mut got = y0.clone();
+                axpy_lanes(a, &x, &mut got);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(g.to_bits(), w.to_bits(), "{}: n={n} cell {i}", b.name());
+                }
+            }
+        }
+        force_backend(prev);
+    }
+
+    fn gemm_reference(
+        x: &[f32],
+        wt: &[f32],
+        bias: &[f32],
+        batch: usize,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Vec<f32> {
+        // bias + ascending-k per cell: the pinned determinism contract
+        let mut y = vec![0.0f32; batch * out_dim];
+        for b in 0..batch {
+            for o in 0..out_dim {
+                let mut acc = bias[o];
+                for k in 0..in_dim {
+                    acc += x[b * in_dim + k] * wt[k * out_dim + o];
+                }
+                y[b * out_dim + o] = acc;
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn gemm_bits_match_scalar_on_every_backend() {
+        let _g = force_lock();
+        let prev = force_backend(None);
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(batch, in_dim, out_dim) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 16, 16),
+            (5, 300, 3), // straddles KC
+            (7, 257, 33),
+            (9, 64, 101),
+            (13, 31, 8),
+            (17, 64, 64),
+        ] {
+            let x: Vec<f32> = (0..batch * in_dim)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let wt: Vec<f32> = (0..in_dim * out_dim)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let bias: Vec<f32> = (0..out_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let want = gemm_reference(&x, &wt, &bias, batch, in_dim, out_dim);
+            force_backend(Some(Backend::Scalar));
+            let mut scalar_y = Vec::new();
+            gemm_bias_into(&x, &wt, &bias, batch, in_dim, out_dim, &mut scalar_y);
+            assert_eq!(
+                scalar_y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "scalar blocked sweep vs per-cell reference ({batch}×{in_dim}→{out_dim})"
+            );
+            for b in supported_non_scalar() {
+                force_backend(Some(b));
+                let mut y = Vec::new();
+                gemm_bias_into(&x, &wt, &bias, batch, in_dim, out_dim, &mut y);
+                for (i, (g, w)) in y.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "{}: ({batch}×{in_dim}→{out_dim}) cell {i}",
+                        b.name()
+                    );
+                }
+            }
+        }
+        force_backend(prev);
+    }
+
+    #[test]
+    fn dot_lanes_bits_match_scalar_on_every_backend() {
+        let _g = force_lock();
+        let prev = force_backend(None);
+        let mut rng = StdRng::seed_from_u64(33);
+        for &(k, n) in &[(1usize, 1usize), (3, 7), (64, 101), (257, 16), (70, 33)] {
+            let x: Vec<f32> = (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let wt: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let y0: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            force_backend(Some(Backend::Scalar));
+            let mut want = y0.clone();
+            dot_lanes(&x, &wt, &mut want);
+            for b in supported_non_scalar() {
+                force_backend(Some(b));
+                let mut got = y0.clone();
+                dot_lanes(&x, &wt, &mut got);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "{}: k={k} n={n} cell {i}",
+                        b.name()
+                    );
+                }
+            }
+        }
+        force_backend(prev);
+    }
+
+    #[test]
+    fn counters_are_monotonic_and_fraction_bounded() {
+        let before = stats();
+        let x = [1.0f32; 8];
+        let wt = [0.5f32; 8 * 12];
+        let bias = [0.0f32; 12];
+        let mut y = Vec::new();
+        gemm_bias_into(&x, &wt, &bias, 1, 8, 12, &mut y);
+        record_score_batch(8, 1);
+        let after = stats();
+        assert!(after.gemm_calls > before.gemm_calls);
+        assert!(after.score_batch_calls > before.score_batch_calls);
+        assert!(
+            after.vector_cells + after.scalar_cells > before.vector_cells + before.scalar_cells
+        );
+        let f = after.vector_fraction();
+        assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+    }
+}

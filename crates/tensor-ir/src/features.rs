@@ -20,6 +20,14 @@ fn log2p(x: f64) -> f32 {
     (x.max(0.0) + 1.0).log2() as f32
 }
 
+/// Integer-argument variant of [`log2p`], served from the exact lookup table
+/// in `harl-simd`. For any `x: u64`, `(x as f64).max(0.0) == x as f64`, so
+/// `log2p_int(x)` is bit-identical to `log2p(x as f64)` by construction
+/// (the table entries are computed by the same scalar expression).
+fn log2p_int(x: u64) -> f32 {
+    harl_simd::log2p_int(x)
+}
+
 /// Extracts the feature vector for a schedule.
 pub fn extract_features(
     graph: &Subgraph,
@@ -51,22 +59,28 @@ pub fn extract_features_into(
     for tiles in &schedule.tiles {
         for &factor in tiles {
             if slot < MAX_LOOPS {
-                f[slot] = log2p(factor as f64);
+                f[slot] = log2p_int(factor as u64);
             }
             slot += 1;
         }
     }
+    // Factors past MAX_LOOPS are dropped on the floor above. The constant is
+    // sized for the worst known sketch (C3D on GPU: 5*5 + 4*3 = 37 loops);
+    // trip this in debug builds if a new workload silently outgrows it.
+    debug_assert!(
+        slot <= MAX_LOOPS,
+        "schedule has {slot} flattened tile factors but MAX_LOOPS = {MAX_LOOPS}; \
+         positional features past the limit are silently truncated"
+    );
 
     let base = MAX_LOOPS;
     let flops = graph.flops();
-    let out_elems = anchor.output_elems() as f64;
-    let red_elems = anchor.reduction_elems() as f64;
     let bytes = (graph.input_bytes() + graph.output_bytes()) as f64;
 
     // --- aggregates ------------------------------------------------------
     f[base] = log2p(flops);
-    f[base + 1] = log2p(out_elems);
-    f[base + 2] = log2p(red_elems);
+    f[base + 1] = log2p_int(anchor.output_elems());
+    f[base + 2] = log2p_int(anchor.reduction_elems());
     f[base + 3] = log2p(flops / bytes.max(1.0)); // arithmetic intensity
 
     // vectorization-related: innermost factor of the innermost spatial iter
@@ -77,7 +91,7 @@ pub fn extract_features_into(
         .rfind(|(_, t)| t.kind == IterKind::Spatial)
         .map(|(k, _)| schedule.innermost(k))
         .unwrap_or(1);
-    f[base + 4] = log2p(innermost_spatial as f64);
+    f[base + 4] = log2p_int(innermost_spatial as u64);
     f[base + 5] = if innermost_spatial % 8 == 0 { 1.0 } else { 0.0 };
     f[base + 6] = if innermost_spatial % 16 == 0 {
         1.0
@@ -87,12 +101,12 @@ pub fn extract_features_into(
 
     // parallelism
     let tasks = schedule.parallel_tasks(sketch) * schedule.rfactor_tasks(sketch);
-    f[base + 7] = log2p(tasks as f64);
+    f[base + 7] = log2p_int(tasks);
     f[base + 8] = schedule.parallel_fuse as f32;
 
     // unroll
-    f[base + 9] = log2p(schedule.unroll_depth(target) as f64);
-    f[base + 10] = log2p(schedule.inner_body_size() as f64);
+    f[base + 9] = log2p_int(schedule.unroll_depth(target) as u64);
+    f[base + 10] = log2p_int(schedule.inner_body_size());
 
     // compute-at position (normalized)
     let nca = sketch.compute_at_candidates.len().max(1);
@@ -104,9 +118,9 @@ pub fn extract_features_into(
     };
 
     // working sets at three tile depths
-    f[base + 13] = log2p(schedule.tile_working_set(graph, sketch, 1) as f64);
-    f[base + 14] = log2p(schedule.tile_working_set(graph, sketch, 2) as f64);
-    f[base + 15] = log2p(schedule.tile_working_set(graph, sketch, 3) as f64);
+    f[base + 13] = log2p_int(schedule.tile_working_set(graph, sketch, 1));
+    f[base + 14] = log2p_int(schedule.tile_working_set(graph, sketch, 2));
+    f[base + 15] = log2p_int(schedule.tile_working_set(graph, sketch, 3));
 
     // structure flags
     f[base + 16] = if sketch.cache_write { 1.0 } else { 0.0 };
@@ -127,9 +141,9 @@ pub fn extract_features_into(
         .filter(|(_, t)| t.kind == IterKind::Spatial)
         .map(|(k, _)| schedule.tiles[k][0] as u64)
         .product();
-    f[base + 21] = log2p(outer as f64);
+    f[base + 21] = log2p_int(outer);
     f[base + 22] = sketch.num_loops() as f32 / MAX_LOOPS as f32;
-    f[base + 23] = log2p(anchor.inputs.len() as f64);
+    f[base + 23] = log2p_int(anchor.inputs.len() as u64);
 }
 
 #[cfg(test)]
@@ -178,6 +192,38 @@ mod tests {
             let s = Schedule::random(sk, Target::Cpu, &mut rng);
             extract_features_into(&g, sk, Target::Cpu, &s, &mut buf);
             assert_eq!(buf, extract_features(&g, sk, Target::Cpu, &s));
+        }
+    }
+
+    #[test]
+    fn max_loops_covers_c3d_gpu_worst_case() {
+        // The deepest known sketch: C3D on GPU tiles 5 spatial iterators at
+        // 5 levels and 4 reduction iterators at 3 levels = 37 flattened
+        // factors. MAX_LOOPS must keep headroom over it, and extraction must
+        // not trip the truncation debug_assert.
+        use crate::workload::conv3d;
+        let g = conv3d(1, 16, 56, 56, 64, 64, 3, 1, 1);
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut worst = 0usize;
+        for sk in generate_sketches(&g, Target::Gpu) {
+            let s = Schedule::random(&sk, Target::Gpu, &mut rng);
+            let slots: usize = s.tiles.iter().map(Vec::len).sum();
+            worst = worst.max(slots);
+            let f = extract_features(&g, &sk, Target::Gpu, &s);
+            assert_eq!(f.len(), FEATURE_DIM);
+        }
+        assert_eq!(worst, 37, "C3D-GPU flattened loop count changed");
+        assert!(worst <= MAX_LOOPS);
+    }
+
+    #[test]
+    fn log2p_int_matches_float_log2p_bitwise() {
+        for x in (0u64..5000).chain([u64::MAX / 2, u64::MAX]) {
+            assert_eq!(
+                log2p_int(x).to_bits(),
+                log2p(x as f64).to_bits(),
+                "log2p_int({x}) diverged from log2p"
+            );
         }
     }
 

@@ -9,6 +9,11 @@
 //! pools at width 4 must produce the same best latency, the same trace,
 //! and the same checkpoint bytes as the width-1 run, and the PR-2
 //! kill/resume bit-equality must survive with the pools and batching on.
+//!
+//! PR-9 adds a third axis: the runtime-dispatched SIMD backends
+//! (`harl-simd`). Scalar-forced, every supported vector backend, and
+//! auto-dispatched runs must all be bit-equal, and a checkpoint written
+//! under one backend must resume bit-equal under another.
 
 use std::sync::Arc;
 
@@ -62,6 +67,121 @@ fn ansor_run(threads: usize, trials: u64) -> (u64, u64, String, String) {
         serde_json::to_string(&t.trace).unwrap(),
         serde_json::to_string(&t.checkpoint_state()).unwrap(),
     )
+}
+
+/// Serializes the tests that flip the process-wide forced SIMD backend.
+/// (Flipping mid-run is harmless for the *other* tests in this binary —
+/// every backend is bit-identical, which is exactly what this file pins —
+/// but the matrix tests need each phase to really run the backend it
+/// names.)
+fn force_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores auto dispatch even if the test panics.
+struct RestoreDispatch;
+impl Drop for RestoreDispatch {
+    fn drop(&mut self) {
+        harl_simd::force_backend(None);
+    }
+}
+
+#[test]
+fn full_runs_are_bit_identical_across_simd_backends() {
+    // The PR-9 kernel-dispatch invariant end-to-end: a full HARL run and
+    // a full Ansor run forced onto the scalar reference kernels must be
+    // bit-equal — best latency, trace bytes, checkpoint bytes — to the
+    // same runs forced onto every vector backend this host supports, and
+    // to the auto-dispatched run (HARL_SIMD unset → best supported).
+    use harl_simd::Backend;
+    let _serialize = force_lock();
+    let _restore = RestoreDispatch;
+
+    harl_simd::force_backend(Some(Backend::Scalar));
+    let harl_ref = harl_run(4, 32);
+    let ansor_ref = ansor_run(4, 24);
+
+    let mut cases: Vec<(&str, Option<Backend>)> = Backend::ALL
+        .into_iter()
+        .filter(|b| b.is_supported() && *b != Backend::Scalar)
+        .map(|b| (b.name(), Some(b)))
+        .collect();
+    cases.push(("auto", None));
+
+    for (name, force) in cases {
+        harl_simd::force_backend(force);
+        let harl = harl_run(4, 32);
+        assert_eq!(harl_ref.0, harl.0, "{name}: HARL best latency bits");
+        assert_eq!(harl_ref.1, harl.1, "{name}: HARL trial count");
+        assert_eq!(harl_ref.2, harl.2, "{name}: HARL trace bytes");
+        assert_eq!(harl_ref.3, harl.3, "{name}: HARL checkpoint bytes");
+        let ansor = ansor_run(4, 24);
+        assert_eq!(ansor_ref.0, ansor.0, "{name}: Ansor best latency bits");
+        assert_eq!(ansor_ref.1, ansor.1, "{name}: Ansor trial count");
+        assert_eq!(ansor_ref.2, ansor.2, "{name}: Ansor trace bytes");
+        assert_eq!(ansor_ref.3, ansor.3, "{name}: Ansor checkpoint bytes");
+    }
+}
+
+#[test]
+fn killed_session_resumes_bit_equal_across_backend_flip() {
+    // A checkpoint written under the scalar kernels and resumed under the
+    // auto-dispatched vector backend (the "crashed on an old box, resumed
+    // on an AVX2 box" scenario) must land bit-equal to an uninterrupted
+    // auto-dispatched run.
+    use harl_simd::Backend;
+    let _serialize = force_lock();
+    let _restore = RestoreDispatch;
+    let dir = temp_store("backend-resume");
+
+    harl_simd::force_backend(None);
+    let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t_ref = HarlOperatorTuner::new(gemm(), &m_ref, HarlConfig::tiny());
+    t_ref.set_parallelism(ParallelismOpts::uniform(4));
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t_ref), &m_ref, None)
+            .unwrap();
+        s.run(48).unwrap();
+    }
+
+    harl_simd::force_backend(Some(Backend::Scalar));
+    let store = Arc::new(RecordStore::open(&dir).unwrap());
+    let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t1 = HarlOperatorTuner::new(gemm(), &m1, HarlConfig::tiny());
+    t1.set_parallelism(ParallelismOpts::uniform(4));
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t1), &m1, Some(store.clone()))
+            .unwrap();
+        s.run(24).unwrap();
+        // no finish(): checkpoint stays, as after a crash
+    }
+    drop(store);
+
+    harl_simd::force_backend(None);
+    let store2 = Arc::new(RecordStore::open(&dir).unwrap());
+    let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t2 = HarlOperatorTuner::new(gemm(), &m2, HarlConfig::tiny());
+    t2.set_parallelism(ParallelismOpts::uniform(4));
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t2), &m2, Some(store2))
+            .unwrap();
+        assert!(s.resumed(), "checkpoint must be picked up");
+        s.run(24).unwrap();
+    }
+
+    assert_eq!(
+        t2.best_time.to_bits(),
+        t_ref.best_time.to_bits(),
+        "scalar-kill / dispatched-resume must match the uninterrupted run"
+    );
+    assert_eq!(t2.trials_used, t_ref.trials_used);
+    assert_eq!(m2.trials(), m_ref.trials());
+    assert_eq!(m2.sim_seconds().to_bits(), m_ref.sim_seconds().to_bits());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
