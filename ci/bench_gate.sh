@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Bench-regression gate for the batched scoring pipeline, the batched
-# PPO kernels, and (in `serve` mode) the daemon's request-serving
-# latency under concurrent load.
+# PPO kernels, the SIMD microkernels, and (in `serve` mode) the daemon's
+# request-serving latency under concurrent load.
 #
-# Reruns each bench in smoke mode (HARL_BENCH_SMOKE=1) with a raised rep
-# count (HARL_BENCH_REPS=15 — the 2-rep CI smoke median is too noisy to
-# gate on) and fails when the measured batched/serial time ratio
+# Reruns each cargo bench in smoke mode (HARL_BENCH_SMOKE=1) with a raised
+# rep count (HARL_BENCH_REPS=15 — the 2-rep CI smoke median is too noisy
+# to gate on) and fails when the measured batched/serial time ratio
 # regresses more than 25% over the committed baseline ratio in
 # ci/BENCH_<name>_smoke.json. Comparing the *ratio* of two timings from
 # the same run cancels machine speed, so one committed baseline serves
-# every box. A run that is not bit-identical always fails.
+# every box. A run that is not bit-identical always fails, and a gate
+# whose committed baseline file is missing is a hard error — a gate that
+# silently skips is a gate that silently rots.
 #
 # Best-of-2: a second attempt only runs when the first misses the budget,
 # absorbing one-off scheduling noise without hiding a real regression.
@@ -18,17 +20,17 @@
 # before the comparison — the manual hook used to verify the gate fires
 # (factor 2 must fail; see EXPERIMENTS.md).
 #
-# `ci/bench_gate.sh simd` runs only the SIMD-kernel gate (scalar vs
-# dispatched backends; see gate_simd below). With no argument every
-# cargo-bench gate runs: scoring, ppo, simd.
+# Usage:
+#   ci/bench_gate.sh                   run every cargo-bench gate (scoring, ppo, simd)
+#   ci/bench_gate.sh scoring|ppo|simd  run one gate
+#   ci/bench_gate.sh serve REPORT.json gate a harl-cli bench-load report
+#   ci/bench_gate.sh --list            print the gated benches + their baselines
 #
-# `ci/bench_gate.sh serve REPORT.json` instead gates a harl-cli
-# bench-load report (produced by ci/smoke.sh against a live daemon)
-# against ci/BENCH_serve_smoke.json. Wire latency has no in-run ratio to
-# cancel machine speed with, so the margins are deliberately generous —
-# status p99 within 4x of baseline, throughput within 4x the other way —
-# to catch order-of-magnitude regressions (an accidental sleep in the
-# event loop, a per-request thread spawn) and nothing subtler.
+# The serve gate has no in-run ratio to cancel machine speed with, so its
+# margins are deliberately generous — status p99 within 4x of baseline,
+# throughput within 4x the other way — to catch order-of-magnitude
+# regressions (an accidental sleep in the event loop, a per-request
+# thread spawn) and nothing subtler.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,13 +38,73 @@ CARGO_FLAGS=${CARGO_FLAGS:---offline}
 MARGIN=1.25
 SERVE_MARGIN=4
 
+# The gate table: every gated bench, its kind, and its committed baseline.
+#   ratio — cargo bench, gated on the in-run batched/serial time ratio
+#   simd  — cargo bench, gated on the scalar/dispatched ratio + bit-identity
+#   serve — harl-cli bench-load report, gated on absolute p99/throughput
+GATES=(
+    "scoring ratio ci/BENCH_scoring_smoke.json"
+    "ppo ratio ci/BENCH_ppo_smoke.json"
+    "simd simd ci/BENCH_simd_smoke.json"
+    "serve serve ci/BENCH_serve_smoke.json"
+)
+
 json_num() { sed -n "s/.*\"$2\": *\([0-9.eE+-]*\).*/\1/p" "$1" | head -1; }
 # verb_stat FILE VERB FIELD: FIELD inside VERB's one-line stats object
 verb_stat() { sed -n "s/.*\"$2\": {[^}]*\"$3\": \([0-9.eE+-]*\).*/\1/p" "$1" | head -1; }
 
+# require_baseline NAME FILE FIELD...: the committed baseline must exist
+# and carry every field the gate reads, else the gate errors out instead
+# of comparing against garbage.
+require_baseline() {
+    local name=$1 file=$2 field
+    shift 2
+    if [ ! -f "$file" ]; then
+        echo "FAIL: $name: committed baseline $file is missing; re-commit it (see EXPERIMENTS.md)"
+        exit 1
+    fi
+    for field in "$@"; do
+        if [ -z "$(json_num "$file" "$field")$(verb_stat "$file" status "$field")" ]; then
+            echo "FAIL: $name: baseline $file has no \`$field\` field"
+            exit 1
+        fi
+    done
+}
+
+list_gates() {
+    echo "gated benches (baseline ratios re-derived from the committed files):"
+    local name kind baseline
+    for entry in "${GATES[@]}"; do
+        read -r name kind baseline <<<"$entry"
+        if [ ! -f "$baseline" ]; then
+            printf '  %-8s %-6s %s  (MISSING)\n' "$name" "$kind" "$baseline"
+            continue
+        fi
+        case "$kind" in
+        ratio)
+            printf '  %-8s %-6s %s  batched/serial=%s (margin x%s)\n' "$name" "$kind" "$baseline" \
+                "$(awk "BEGIN{printf \"%.4f\", $(json_num "$baseline" batched_ms)/$(json_num "$baseline" serial_ms)}")" \
+                "$MARGIN"
+            ;;
+        simd)
+            printf '  %-8s %-6s %s  simd/scalar=%s (margin x%s)\n' "$name" "$kind" "$baseline" \
+                "$(awk "BEGIN{printf \"%.4f\", $(json_num "$baseline" gemm_simd_ms)/$(json_num "$baseline" gemm_scalar_ms)}")" \
+                "$MARGIN"
+            ;;
+        serve)
+            printf '  %-8s %-6s %s  status_p99=%sms throughput=%srps (margin x%s)\n' "$name" "$kind" "$baseline" \
+                "$(verb_stat "$baseline" status p99_ms)" \
+                "$(json_num "$baseline" throughput_rps)" \
+                "$SERVE_MARGIN"
+            ;;
+        esac
+    done
+}
+
 gate_serve() {
     local report=$1
     local baseline=ci/BENCH_serve_smoke.json
+    require_baseline serve "$baseline" throughput_rps p99_ms
     local errors base_p99 base_rps p99 rps p99_budget rps_floor
     errors=$(json_num "$report" errors)
     if [ -z "$errors" ] || [ "$errors" -ne 0 ]; then
@@ -79,6 +141,7 @@ gate_serve() {
 # must not fail CI there.
 gate_simd() {
     local baseline=ci/BENCH_simd_smoke.json
+    require_baseline simd "$baseline" gemm_scalar_ms gemm_simd_ms
     local base_scalar base_simd base_ratio budget
     base_scalar=$(json_num "$baseline" gemm_scalar_ms)
     base_simd=$(json_num "$baseline" gemm_simd_ms)
@@ -126,23 +189,10 @@ gate_simd() {
     echo "bench gate OK [simd]: ratio $best_ratio within budget $budget"
 }
 
-if [ "${1:-}" = "serve" ]; then
-    if [ -z "${2:-}" ]; then
-        echo "usage: ci/bench_gate.sh serve REPORT.json"
-        exit 2
-    fi
-    gate_serve "$2"
-    exit 0
-fi
-
-if [ "${1:-}" = "simd" ]; then
-    gate_simd
-    exit 0
-fi
-
 gate_bench() {
     local bench=$1
     local baseline=ci/BENCH_${bench}_smoke.json
+    require_baseline "$bench" "$baseline" serial_ms batched_ms
     local base_serial base_batched base_ratio budget
     base_serial=$(json_num "$baseline" serial_ms)
     base_batched=$(json_num "$baseline" batched_ms)
@@ -184,6 +234,41 @@ gate_bench() {
     echo "bench gate OK [$bench]: ratio $best_ratio within budget $budget"
 }
 
-gate_bench scoring
-gate_bench ppo
-gate_simd
+# run_gate NAME [REPORT]: dispatch one table entry by kind
+run_gate() {
+    local want=$1 report=${2:-} name kind baseline
+    for entry in "${GATES[@]}"; do
+        read -r name kind baseline <<<"$entry"
+        [ "$name" = "$want" ] || continue
+        case "$kind" in
+        ratio) gate_bench "$name" ;;
+        simd) gate_simd ;;
+        serve)
+            if [ -z "$report" ]; then
+                echo "usage: ci/bench_gate.sh serve REPORT.json"
+                exit 2
+            fi
+            gate_serve "$report"
+            ;;
+        esac
+        return 0
+    done
+    echo "usage: ci/bench_gate.sh [--list | scoring | ppo | simd | serve REPORT.json]"
+    exit 2
+}
+
+case "${1:-}" in
+--list)
+    list_gates
+    ;;
+"")
+    # every gate that runs its own bench; serve needs a live-daemon report
+    # and is driven from ci/smoke.sh
+    run_gate scoring
+    run_gate ppo
+    run_gate simd
+    ;;
+*)
+    run_gate "$1" "${2:-}"
+    ;;
+esac

@@ -302,6 +302,30 @@ impl<'m> FlextensorTuner<'m> {
         }
     }
 
+    /// Coordinate-descent fine-tune pass over the current best schedule
+    /// (see [`harl_mcts::coordinate_descent`]); monotone — `best_time`
+    /// never regresses. Returns the trials spent. Flextensor keeps no
+    /// dedup set (it measures every visited schedule), so nothing extra
+    /// is recorded per measurement.
+    pub fn finetune(&mut self, cfg: &harl_mcts::FinetuneConfig) -> u64 {
+        let _span = self.tracer.span("flextensor_finetune");
+        let target = self.measurer.hardware().target();
+        harl_mcts::finetune_fields(
+            cfg,
+            &self.graph,
+            std::slice::from_ref(&self.sketch),
+            target,
+            self.measurer,
+            &self.analyzer,
+            &mut self.lint_stats,
+            |_| {},
+            &mut self.best_time,
+            &mut self.best_schedule,
+            &mut self.trials_used,
+            &mut self.trace,
+        )
+    }
+
     /// Snapshots the mutable search state for checkpointing.
     pub fn checkpoint_state(&self) -> FlextensorTunerState {
         FlextensorTunerState {

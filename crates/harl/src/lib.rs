@@ -30,8 +30,8 @@ pub use episode::{run_episode, EpisodeResult};
 pub use network::{HarlNetworkTuner, NetRound};
 pub use report::{NetworkReport, OperatorReport, SubgraphSummary};
 pub use session::{
-    RunOutcome, SessionBuilder, SessionCheckpoint, SessionControl, SessionProgress, Tuner,
-    TunerState, TuningSession, CHECKPOINT_VERSION,
+    FinetuneOutcome, RunOutcome, SessionBuilder, SessionCheckpoint, SessionControl,
+    SessionProgress, Tuner, TunerState, TuningSession, CHECKPOINT_VERSION,
 };
 pub use tuner::{HarlOperatorTuner, HarlTunerState, RoundLog};
 

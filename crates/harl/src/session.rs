@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use harl_ansor::{AnsorTuner, AnsorTunerState, FlextensorTuner, FlextensorTunerState};
 use harl_gbt::ScoreStats;
+use harl_mcts::{CdTuner, CdTunerState, FinetuneConfig, MctsTuner, MctsTunerState};
 use harl_par::ParallelismOpts;
 use harl_store::{MeasureRecord, RecordStore, StoreError};
 use harl_tensor_sim::{Measurer, MeasurerState, TuneTrace};
@@ -35,6 +36,10 @@ pub enum TunerState {
     Ansor(AnsorTunerState),
     /// State of a [`FlextensorTuner`].
     Flextensor(FlextensorTunerState),
+    /// State of an [`MctsTuner`].
+    Mcts(MctsTunerState),
+    /// State of a [`CdTuner`].
+    Cd(CdTunerState),
 }
 
 impl TunerState {
@@ -44,6 +49,8 @@ impl TunerState {
             TunerState::Harl(_) => "harl",
             TunerState::Ansor(_) => "ansor",
             TunerState::Flextensor(_) => "flextensor",
+            TunerState::Mcts(_) => "mcts",
+            TunerState::Cd(_) => "cd",
         }
     }
 }
@@ -81,6 +88,17 @@ pub trait Tuner {
     /// without a warm-startable component return 0.
     fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
         let _ = records;
+        0
+    }
+
+    /// Coordinate-descent fine-tune pass over the tuner's current best
+    /// schedule (arXiv 2406.20037): descend one parameter axis at a time,
+    /// keeping only strictly-better measured neighbours, so
+    /// [`Tuner::best_latency`] can never regress. Returns the trials
+    /// spent. The default is a no-op for tuners without a schedule-space
+    /// best to polish.
+    fn finetune(&mut self, cfg: &FinetuneConfig) -> u64 {
+        let _ = cfg;
         0
     }
 
@@ -144,6 +162,10 @@ impl<T: Tuner + ?Sized> Tuner for &mut T {
         (**self).warm_start(records)
     }
 
+    fn finetune(&mut self, cfg: &FinetuneConfig) -> u64 {
+        (**self).finetune(cfg)
+    }
+
     fn trace(&self) -> Option<&TuneTrace> {
         (**self).trace()
     }
@@ -191,6 +213,10 @@ impl Tuner for HarlOperatorTuner<'_> {
 
     fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
         HarlOperatorTuner::warm_start(self, records)
+    }
+
+    fn finetune(&mut self, cfg: &FinetuneConfig) -> u64 {
+        HarlOperatorTuner::finetune(self, cfg)
     }
 
     fn trace(&self) -> Option<&TuneTrace> {
@@ -242,6 +268,10 @@ impl Tuner for AnsorTuner<'_> {
         AnsorTuner::warm_start(self, records)
     }
 
+    fn finetune(&mut self, cfg: &FinetuneConfig) -> u64 {
+        AnsorTuner::finetune(self, cfg)
+    }
+
     fn trace(&self) -> Option<&TuneTrace> {
         Some(&self.trace)
     }
@@ -290,6 +320,10 @@ impl Tuner for FlextensorTuner<'_> {
         }
     }
 
+    fn finetune(&mut self, cfg: &FinetuneConfig) -> u64 {
+        FlextensorTuner::finetune(self, cfg)
+    }
+
     fn trace(&self) -> Option<&TuneTrace> {
         Some(&self.trace)
     }
@@ -303,6 +337,104 @@ impl Tuner for FlextensorTuner<'_> {
     }
 }
 
+impl Tuner for MctsTuner<'_> {
+    fn name(&self) -> &str {
+        "mcts"
+    }
+
+    fn round(&mut self, budget: usize) -> usize {
+        MctsTuner::round(self, budget)
+    }
+
+    fn best_latency(&self) -> f64 {
+        self.best_time
+    }
+
+    fn trials_used(&self) -> u64 {
+        self.trials_used
+    }
+
+    fn checkpoint(&self) -> TunerState {
+        TunerState::Mcts(self.checkpoint_state())
+    }
+
+    fn restore(&mut self, state: TunerState) {
+        match state {
+            TunerState::Mcts(s) => self.restore_state(s),
+            other => panic!("cannot restore {} state into mcts", other.tuner_name()),
+        }
+    }
+
+    fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
+        MctsTuner::warm_start(self, records)
+    }
+
+    fn finetune(&mut self, cfg: &FinetuneConfig) -> u64 {
+        MctsTuner::finetune(self, cfg)
+    }
+
+    fn trace(&self) -> Option<&TuneTrace> {
+        Some(&self.trace)
+    }
+
+    fn score_stats(&self) -> Option<&ScoreStats> {
+        Some(MctsTuner::score_stats(self))
+    }
+
+    fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        MctsTuner::set_tracer(self, tracer)
+    }
+
+    fn set_parallelism(&mut self, opts: ParallelismOpts) {
+        MctsTuner::set_parallelism(self, opts)
+    }
+}
+
+impl Tuner for CdTuner<'_> {
+    fn name(&self) -> &str {
+        "cd"
+    }
+
+    fn round(&mut self, budget: usize) -> usize {
+        CdTuner::round(self, budget)
+    }
+
+    fn best_latency(&self) -> f64 {
+        self.best_time
+    }
+
+    fn trials_used(&self) -> u64 {
+        self.trials_used
+    }
+
+    fn checkpoint(&self) -> TunerState {
+        TunerState::Cd(self.checkpoint_state())
+    }
+
+    fn restore(&mut self, state: TunerState) {
+        match state {
+            TunerState::Cd(s) => self.restore_state(s),
+            other => panic!("cannot restore {} state into cd", other.tuner_name()),
+        }
+    }
+
+    fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
+        CdTuner::warm_start(self, records)
+    }
+
+    fn finetune(&mut self, cfg: &FinetuneConfig) -> u64 {
+        CdTuner::finetune(self, cfg)
+    }
+
+    fn trace(&self) -> Option<&TuneTrace> {
+        Some(&self.trace)
+    }
+
+    fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        CdTuner::set_tracer(self, tracer)
+    }
+}
+
 /// On-disk session checkpoint: tuner + measurer state plus bookkeeping.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SessionCheckpoint {
@@ -313,6 +445,11 @@ pub struct SessionCheckpoint {
     pub job_key: Option<String>,
     /// Session rounds completed when the checkpoint was taken.
     pub rounds_done: u64,
+    /// True once [`TuningSession::then_finetune`] has completed, so a
+    /// resumed session does not descend a second time. Defaults to `false`
+    /// for checkpoints written before the field existed.
+    #[serde(default)]
+    pub finetuned: bool,
     /// Simulated-measurer state (noise RNG, trial count, sim clock).
     pub measurer: MeasurerState,
     /// Tuner search state.
@@ -410,6 +547,7 @@ impl SessionBuilder {
             store,
             checkpoint_every: self.checkpoint_every,
             rounds_done: 0,
+            finetuned: false,
             resumed: false,
             warm_records: 0,
             job_key: self.job_key.clone(),
@@ -453,6 +591,7 @@ impl SessionBuilder {
                 measurer.restore_state(&ck.measurer);
                 session.tuner.restore(ck.tuner);
                 session.rounds_done = ck.rounds_done;
+                session.finetuned = ck.finetuned;
                 session.resumed = true;
             }
             None if self.warm_start => {
@@ -507,6 +646,20 @@ pub struct RunOutcome {
     pub stopped: bool,
 }
 
+/// What a [`TuningSession::then_finetune`] call did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FinetuneOutcome {
+    /// Best latency before the descent (seconds).
+    pub before: f64,
+    /// Best latency after the descent; never worse than `before`.
+    pub after: f64,
+    /// Fresh measurement trials the descent consumed.
+    pub trials: u64,
+    /// True when the descent was skipped because this session (or the
+    /// checkpoint it resumed from) had already fine-tuned.
+    pub skipped: bool,
+}
+
 /// Drives one tuner against a measurer, persisting records and checkpoints
 /// into an optional [`RecordStore`].
 pub struct TuningSession<'m> {
@@ -515,6 +668,7 @@ pub struct TuningSession<'m> {
     store: Option<Arc<RecordStore>>,
     checkpoint_every: u64,
     rounds_done: u64,
+    finetuned: bool,
     resumed: bool,
     warm_records: usize,
     job_key: Option<String>,
@@ -566,6 +720,13 @@ impl<'m> TuningSession<'m> {
     /// Scoring-pipeline counters of the driven tuner, when it has them.
     pub fn score_stats(&self) -> Option<&ScoreStats> {
         self.tuner.score_stats()
+    }
+
+    /// A point-in-time snapshot of the tuner's serializable search state.
+    /// Two runs that took the same measurements serialize bit-identically,
+    /// which is how kill/resume equivalence is asserted end to end.
+    pub fn tuner_state(&self) -> TunerState {
+        self.tuner.checkpoint()
     }
 
     /// Runs one tuning round with up to `budget` measurements, then writes
@@ -631,6 +792,48 @@ impl<'m> TuningSession<'m> {
         })
     }
 
+    /// Runs a coordinate-descent fine-tuning phase on the tuner's current
+    /// best schedule (see [`harl_mcts::coordinate_descent`]), then writes a
+    /// checkpoint. Composes after *any* search phase — HARL, Ansor,
+    /// Flextensor, or MCTS — and never regresses `best_latency`: the
+    /// descent only accepts strictly better measured neighbours, so
+    /// `after <= before` always holds (pinned by tests). Runs at most once
+    /// per session lifecycle: a session resumed from a checkpoint written
+    /// after a completed fine-tune skips the descent, keeping the
+    /// kill/resume replay bit-identical.
+    pub fn then_finetune(&mut self, cfg: &FinetuneConfig) -> Result<FinetuneOutcome, StoreError> {
+        let before = self.tuner.best_latency();
+        if self.finetuned {
+            return Ok(FinetuneOutcome {
+                before,
+                after: before,
+                trials: 0,
+                skipped: true,
+            });
+        }
+        let trials = self.tuner.finetune(cfg);
+        let after = self.tuner.best_latency();
+        // `!(after > before)` rather than `after <= before`: a never-measured
+        // session has `before = after = infinity` (incomparable under <= only
+        // for NaN, but infinity == infinity holds) and must not trip the
+        // assert; only a strict regression is a contract violation.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        {
+            assert!(
+                !(after > before),
+                "finetune regressed best latency: {before} -> {after}"
+            );
+        }
+        self.finetuned = true;
+        self.checkpoint_now()?;
+        Ok(FinetuneOutcome {
+            before,
+            after,
+            trials,
+            skipped: false,
+        })
+    }
+
     /// Writes a checkpoint immediately (no-op without a store).
     pub fn checkpoint_now(&self) -> Result<(), StoreError> {
         let Some(store) = &self.store else {
@@ -640,6 +843,7 @@ impl<'m> TuningSession<'m> {
             version: CHECKPOINT_VERSION,
             job_key: self.job_key.clone(),
             rounds_done: self.rounds_done,
+            finetuned: self.finetuned,
             measurer: self.measurer.state(),
             tuner: self.tuner.checkpoint(),
         };
@@ -938,5 +1142,155 @@ mod tests {
         let used = session.round(20).unwrap();
         assert!(used > 0 && used <= 20);
         assert!(session.best_latency().is_finite());
+    }
+
+    #[test]
+    fn mcts_and_cd_drive_through_the_trait() {
+        let g = workload::gemm(128, 128, 128);
+
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let tuner = MctsTuner::new(g.clone(), &m1, harl_mcts::MctsConfig::default());
+        let mut session = TuningSession::builder()
+            .launch(Box::new(tuner), &m1, None)
+            .unwrap();
+        assert_eq!(session.tuner_name(), "mcts");
+        let used = session.round(16).unwrap();
+        assert!(used > 0 && used <= 16);
+        assert!(session.best_latency().is_finite());
+        assert!(session.trace().is_some());
+        assert!(session.score_stats().is_some());
+
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let tuner = CdTuner::new(g, &m2, harl_mcts::CdConfig::default());
+        let mut session = TuningSession::builder()
+            .launch(Box::new(tuner), &m2, None)
+            .unwrap();
+        assert_eq!(session.tuner_name(), "cd");
+        let used = session.round(12).unwrap();
+        assert!(used > 0 && used <= 12);
+        assert!(session.best_latency().is_finite());
+        assert!(session.score_stats().is_none(), "cd has no cost model");
+    }
+
+    #[test]
+    fn mcts_interrupted_session_resumes_bit_identically() {
+        let dir = temp_dir("mcts-resume");
+        let g = workload::gemm(256, 256, 256);
+
+        // uninterrupted reference: two rounds straight through, no store
+        let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t_ref = MctsTuner::new(g.clone(), &m_ref, harl_mcts::MctsConfig::default());
+        let mut s_ref = TuningSession::builder()
+            .launch(Box::new(t_ref), &m_ref, None)
+            .unwrap();
+        s_ref.run(24).unwrap();
+        s_ref.run(24).unwrap();
+        let best_ref = s_ref.best_latency();
+
+        // same run killed after the first 24 trials, resumed from the store
+        let store = Arc::new(RecordStore::open(&dir).unwrap());
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t1 = MctsTuner::new(g.clone(), &m1, harl_mcts::MctsConfig::default());
+        let mut s1 = TuningSession::builder()
+            .launch(Box::new(t1), &m1, Some(store.clone()))
+            .unwrap();
+        s1.run(24).unwrap();
+        drop(s1);
+        drop(store);
+
+        let store2 = Arc::new(RecordStore::open(&dir).unwrap());
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t2 = MctsTuner::new(g, &m2, harl_mcts::MctsConfig::default());
+        let mut s2 = TuningSession::builder()
+            .launch(Box::new(t2), &m2, Some(store2))
+            .unwrap();
+        assert!(s2.resumed());
+        s2.run(24).unwrap();
+        assert_eq!(
+            s2.best_latency().to_bits(),
+            best_ref.to_bits(),
+            "resumed MCTS run must match the uninterrupted run bit-for-bit"
+        );
+        assert_eq!(m2.trials(), m_ref.trials());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn then_finetune_never_regresses_and_runs_once() {
+        let dir = temp_dir("finetune");
+        let g = workload::gemm(256, 256, 256);
+        let cfg = harl_mcts::FinetuneConfig::default();
+
+        let store = Arc::new(RecordStore::open(&dir).unwrap());
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let tuner = HarlOperatorTuner::new(g.clone(), &measurer, HarlConfig::tiny());
+        let mut session = TuningSession::builder()
+            .launch(Box::new(tuner), &measurer, Some(store.clone()))
+            .unwrap();
+        session.run(24).unwrap();
+        let before = session.best_latency();
+
+        let out = session.then_finetune(&cfg).unwrap();
+        assert!(!out.skipped);
+        assert_eq!(out.before.to_bits(), before.to_bits());
+        assert!(out.after <= out.before, "descent must be monotone");
+        assert_eq!(out.after.to_bits(), session.best_latency().to_bits());
+
+        // a second call in the same session is a no-op
+        let again = session.then_finetune(&cfg).unwrap();
+        assert!(again.skipped);
+        assert_eq!(again.trials, 0);
+        assert_eq!(again.after.to_bits(), out.after.to_bits());
+        drop(session);
+        drop(store);
+
+        // a resumed session sees the finetuned flag and skips the descent,
+        // so kill-after-finetune replays stay bit-identical
+        let store2 = Arc::new(RecordStore::open(&dir).unwrap());
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t2 = HarlOperatorTuner::new(g, &m2, HarlConfig::tiny());
+        let mut s2 = TuningSession::builder()
+            .launch(Box::new(t2), &m2, Some(store2))
+            .unwrap();
+        assert!(s2.resumed());
+        let resumed = s2.then_finetune(&cfg).unwrap();
+        assert!(resumed.skipped);
+        assert_eq!(resumed.after.to_bits(), out.after.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn then_finetune_composes_after_every_searcher() {
+        let g = workload::gemm(128, 128, 128);
+        let cfg = harl_mcts::FinetuneConfig::builder()
+            .max_trials(24)
+            .build()
+            .unwrap();
+        // storeless sessions keep this test cheap; monotonicity is the
+        // property under test, persistence is covered elsewhere
+        for which in ["harl", "ansor", "flextensor", "mcts", "cd"] {
+            let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+            let tuner: Box<dyn Tuner + '_> = match which {
+                "harl" => Box::new(HarlOperatorTuner::new(g.clone(), &m, HarlConfig::tiny())),
+                "ansor" => Box::new(AnsorTuner::new(g.clone(), &m, AnsorConfig::default())),
+                "flextensor" => Box::new(FlextensorTuner::new(g.clone(), &m, Default::default())),
+                "mcts" => Box::new(MctsTuner::new(
+                    g.clone(),
+                    &m,
+                    harl_mcts::MctsConfig::default(),
+                )),
+                _ => Box::new(CdTuner::new(g.clone(), &m, harl_mcts::CdConfig::default())),
+            };
+            let mut session = TuningSession::builder().launch(tuner, &m, None).unwrap();
+            session.run(16).unwrap();
+            let out = session.then_finetune(&cfg).unwrap();
+            assert!(!out.skipped, "{which}: finetune must run");
+            assert!(
+                out.after <= out.before,
+                "{which}: finetune regressed {} -> {}",
+                out.before,
+                out.after
+            );
+        }
     }
 }

@@ -402,6 +402,30 @@ impl<'m> HarlOperatorTuner<'m> {
         self.rng = StdRng::from_state(state.rng);
     }
 
+    /// Coordinate-descent fine-tune pass over the current best schedule
+    /// (see [`harl_mcts::coordinate_descent`]); monotone — `best_time`
+    /// never regresses. Returns the trials spent.
+    pub fn finetune(&mut self, cfg: &harl_mcts::FinetuneConfig) -> u64 {
+        let _span = self.tracer.span("harl_finetune");
+        let seen = &mut self.seen;
+        harl_mcts::finetune_fields(
+            cfg,
+            &self.graph,
+            &self.sketches,
+            self.target,
+            self.measurer,
+            &self.analyzer,
+            &mut self.lint_stats,
+            |s| {
+                seen.insert(s.dedup_key());
+            },
+            &mut self.best_time,
+            &mut self.best_schedule,
+            &mut self.trials_used,
+            &mut self.trace,
+        )
+    }
+
     /// Warm-starts from prior measurement records of similar workloads:
     /// pre-trains the cost model, seeds the per-sketch elite pools (episode
     /// warm-start tracks), and queues the best prior schedules for forced

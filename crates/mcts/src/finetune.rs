@@ -1,0 +1,808 @@
+//! Coordinate-descent fine-tuning and the standalone raindrop searcher.
+//!
+//! [`coordinate_descent`] walks one parameter axis at a time — tile
+//! factorizations (moving one prime factor between levels), compute-at
+//! position, parallel fuse count, unroll depth — measuring each
+//! lint-valid neighbour and keeping only strictly-better ones. The best
+//! schedule therefore never regresses: the routine is monotone by
+//! construction, which `TuningSession::then_finetune` pins as an
+//! invariant. The enumeration is fully deterministic (no RNG), so a
+//! fine-tune pass never perturbs the driving tuner's RNG stream.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use harl_store::MeasureRecord;
+use harl_tensor_ir::factorization::move_smallest_factor;
+use harl_tensor_ir::{generate_sketches, Schedule, Sketch, Subgraph, Target};
+use harl_tensor_sim::{ConfigError, Measurer, TuneTrace};
+use harl_verify::{Analyzer, LintStats};
+
+/// Configuration of a fine-tune phase ([`coordinate_descent`]).
+#[derive(Debug, Clone)]
+pub struct FinetuneConfig {
+    /// Hardware-measurement budget for the descent.
+    pub max_trials: usize,
+    /// Full sweeps over all axes before declaring convergence.
+    pub max_sweeps: usize,
+    /// Simulated seconds of bookkeeping charged per sweep.
+    pub sweep_overhead: f64,
+}
+
+impl Default for FinetuneConfig {
+    fn default() -> Self {
+        FinetuneConfig {
+            max_trials: 64,
+            max_sweeps: 4,
+            sweep_overhead: 0.5,
+        }
+    }
+}
+
+impl FinetuneConfig {
+    /// Starts a validating builder from the defaults.
+    pub fn builder() -> FinetuneConfigBuilder {
+        FinetuneConfigBuilder {
+            cfg: FinetuneConfig::default(),
+        }
+    }
+
+    /// Checks every field without consuming the config.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_sweeps == 0 {
+            return Err(ConfigError::new("finetune.max_sweeps", "must be positive"));
+        }
+        if !self.sweep_overhead.is_finite() || self.sweep_overhead < 0.0 {
+            return Err(ConfigError::new(
+                "finetune.sweep_overhead",
+                "must be finite and non-negative",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`FinetuneConfig`].
+#[derive(Debug, Clone)]
+pub struct FinetuneConfigBuilder {
+    cfg: FinetuneConfig,
+}
+
+impl FinetuneConfigBuilder {
+    /// Hardware-measurement budget for the descent.
+    pub fn max_trials(mut self, n: usize) -> Self {
+        self.cfg.max_trials = n;
+        self
+    }
+
+    /// Full sweeps over all axes before declaring convergence.
+    pub fn max_sweeps(mut self, n: usize) -> Self {
+        self.cfg.max_sweeps = n;
+        self
+    }
+
+    /// Simulated bookkeeping seconds charged per sweep.
+    pub fn sweep_overhead(mut self, secs: f64) -> Self {
+        self.cfg.sweep_overhead = secs;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<FinetuneConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// What one [`coordinate_descent`] call did.
+#[derive(Debug, Clone)]
+pub struct DescentOutcome {
+    /// Best measured noise-free time after the descent (`<=` the start).
+    pub best_time: f64,
+    /// The schedule achieving `best_time`.
+    pub best_schedule: Schedule,
+    /// Hardware measurements spent.
+    pub trials: usize,
+    /// Accepted (strictly improving) moves.
+    pub moves: usize,
+    /// Axis sweeps completed (including the final no-improvement one).
+    pub sweeps: usize,
+}
+
+/// Number of descent axes for a schedule: one per tiled iterator plus
+/// compute-at, parallel fuse, and unroll depth.
+fn axis_count(s: &Schedule) -> usize {
+    s.tiles.len() + 3
+}
+
+/// Deterministic neighbours of `s` along one axis, nearest-first.
+fn axis_neighbors(sketch: &Sketch, target: Target, s: &Schedule, axis: usize) -> Vec<Schedule> {
+    let mut out = Vec::new();
+    if axis < s.tiles.len() {
+        // move one prime factor between each pair of adjacent levels,
+        // both directions
+        let levels = s.tiles[axis].len();
+        for from in 0..levels {
+            for to in [from.checked_sub(1), Some(from + 1)].into_iter().flatten() {
+                if to >= levels {
+                    continue;
+                }
+                let mut next = s.clone();
+                if move_smallest_factor(&mut next.tiles[axis], from, to) {
+                    out.push(next);
+                }
+            }
+        }
+    } else if axis == s.tiles.len() {
+        let n = sketch.compute_at_candidates.len();
+        for cand in [s.compute_at.checked_sub(1), Some(s.compute_at + 1)]
+            .into_iter()
+            .flatten()
+        {
+            if cand < n {
+                let mut next = s.clone();
+                next.compute_at = cand;
+                out.push(next);
+            }
+        }
+    } else if axis == s.tiles.len() + 1 {
+        let ns = sketch.num_spatial_iters().max(1);
+        for cand in [s.parallel_fuse.checked_sub(1), Some(s.parallel_fuse + 1)]
+            .into_iter()
+            .flatten()
+        {
+            if (1..=ns).contains(&cand) {
+                let mut next = s.clone();
+                next.parallel_fuse = cand;
+                out.push(next);
+            }
+        }
+    } else {
+        let depths = target.unroll_depths().len();
+        for cand in [s.unroll_idx.checked_sub(1), Some(s.unroll_idx + 1)]
+            .into_iter()
+            .flatten()
+        {
+            if cand < depths {
+                let mut next = s.clone();
+                next.unroll_idx = cand;
+                out.push(next);
+            }
+        }
+    }
+    out
+}
+
+/// Descends from `start` one parameter axis at a time, accepting only
+/// strictly-better measured neighbours (first improvement per axis, then
+/// on to the next axis; converged when a full sweep improves nothing).
+///
+/// `valid` is the lint gate (return `false` to reject a neighbour before
+/// it reaches the measurer); `measure` must return the neighbour's
+/// noise-free execution time and is charged one trial per call.
+///
+/// Monotone by construction: `best_time` of the outcome is never above
+/// `start_time` (when `start_time` is not finite the start itself is
+/// measured first, spending one trial of the budget).
+pub fn coordinate_descent(
+    cfg: &FinetuneConfig,
+    sketch: &Sketch,
+    target: Target,
+    start: Schedule,
+    start_time: f64,
+    mut valid: impl FnMut(&Schedule) -> bool,
+    mut measure: impl FnMut(&Schedule) -> f64,
+) -> DescentOutcome {
+    let mut out = DescentOutcome {
+        best_time: start_time,
+        best_schedule: start,
+        trials: 0,
+        moves: 0,
+        sweeps: 0,
+    };
+    let mut tried: HashSet<u64> = HashSet::new();
+    tried.insert(out.best_schedule.dedup_key());
+    if !out.best_time.is_finite() {
+        if cfg.max_trials == 0 {
+            return out;
+        }
+        out.best_time = measure(&out.best_schedule);
+        out.trials += 1;
+    }
+    'sweeps: for _ in 0..cfg.max_sweeps {
+        out.sweeps += 1;
+        let mut improved = false;
+        for axis in 0..axis_count(&out.best_schedule) {
+            for cand in axis_neighbors(sketch, target, &out.best_schedule, axis) {
+                if out.trials >= cfg.max_trials {
+                    break 'sweeps;
+                }
+                if !tried.insert(cand.dedup_key()) {
+                    continue;
+                }
+                if cand.validate(sketch, target).is_err() || !valid(&cand) {
+                    continue;
+                }
+                let t = measure(&cand);
+                out.trials += 1;
+                if t < out.best_time {
+                    out.best_time = t;
+                    out.best_schedule = cand;
+                    out.moves += 1;
+                    improved = true;
+                    break; // first improvement: move on to the next axis
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    out
+}
+
+/// Shared `Tuner::finetune` body: descends from the tuner's current best
+/// schedule and folds the outcome back into its bookkeeping. Returns the
+/// trials spent (0 when the tuner has no best schedule yet). The caller
+/// guarantees `best_time`/`best_schedule` describe the same measurement.
+#[allow(clippy::too_many_arguments)] // deliberately flat: borrows stay disjoint
+pub fn finetune_fields(
+    cfg: &FinetuneConfig,
+    graph: &Subgraph,
+    sketches: &[Sketch],
+    target: Target,
+    measurer: &Measurer,
+    analyzer: &Analyzer,
+    lint_stats: &mut LintStats,
+    mut note_measured: impl FnMut(&Schedule),
+    best_time: &mut f64,
+    best_schedule: &mut Option<Schedule>,
+    trials_used: &mut u64,
+    trace: &mut TuneTrace,
+) -> u64 {
+    let Some(start) = best_schedule.clone() else {
+        return 0;
+    };
+    let sk = &sketches[start.sketch_id];
+    let valid = |s: &Schedule| {
+        let diags = analyzer.analyze(graph, sk, target, s);
+        !lint_stats.record(&diags)
+    };
+    let measure = |s: &Schedule| {
+        measurer.measure(graph, sk, s);
+        note_measured(s);
+        measurer.true_time(graph, sk, s)
+    };
+    let out = coordinate_descent(cfg, sk, target, start, *best_time, valid, measure);
+    if out.best_time < *best_time || !best_time.is_finite() {
+        *best_time = out.best_time;
+        *best_schedule = Some(out.best_schedule);
+    }
+    measurer.charge_search_time(cfg.sweep_overhead * out.sweeps as f64);
+    *trials_used += out.trials as u64;
+    if out.trials > 0 {
+        trace.record(measurer.trials(), measurer.sim_seconds(), *best_time);
+    }
+    out.trials as u64
+}
+
+/// Configuration of the standalone [`CdTuner`].
+#[derive(Debug, Clone)]
+pub struct CdConfig {
+    /// Measurement budget per round (one restart per round).
+    pub measure_per_round: usize,
+    /// Axis sweeps per restart.
+    pub max_sweeps: usize,
+    /// Simulated seconds of fixed overhead charged per round.
+    pub round_overhead: f64,
+    /// Simulated bookkeeping seconds charged per sweep.
+    pub sweep_overhead: f64,
+    /// RNG seed (restart sampling only; the descent itself is RNG-free).
+    pub seed: u64,
+}
+
+impl Default for CdConfig {
+    fn default() -> Self {
+        CdConfig {
+            measure_per_round: 16,
+            max_sweeps: 3,
+            round_overhead: 1.0,
+            sweep_overhead: 0.5,
+            seed: 0xcd,
+        }
+    }
+}
+
+impl CdConfig {
+    /// Starts a validating builder from the defaults.
+    pub fn builder() -> CdConfigBuilder {
+        CdConfigBuilder {
+            cfg: CdConfig::default(),
+        }
+    }
+
+    /// Checks every field without consuming the config.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.measure_per_round == 0 {
+            return Err(ConfigError::new("cd.measure_per_round", "must be positive"));
+        }
+        if self.max_sweeps == 0 {
+            return Err(ConfigError::new("cd.max_sweeps", "must be positive"));
+        }
+        for (field, v) in [
+            ("cd.round_overhead", self.round_overhead),
+            ("cd.sweep_overhead", self.sweep_overhead),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ConfigError::new(field, "must be finite and non-negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`CdConfig`].
+#[derive(Debug, Clone)]
+pub struct CdConfigBuilder {
+    cfg: CdConfig,
+}
+
+impl CdConfigBuilder {
+    /// Measurement budget per round.
+    pub fn measure_per_round(mut self, n: usize) -> Self {
+        self.cfg.measure_per_round = n;
+        self
+    }
+
+    /// Axis sweeps per restart.
+    pub fn max_sweeps(mut self, n: usize) -> Self {
+        self.cfg.max_sweeps = n;
+        self
+    }
+
+    /// Fixed simulated overhead charged per round.
+    pub fn round_overhead(mut self, secs: f64) -> Self {
+        self.cfg.round_overhead = secs;
+        self
+    }
+
+    /// Simulated bookkeeping seconds charged per sweep.
+    pub fn sweep_overhead(mut self, secs: f64) -> Self {
+        self.cfg.sweep_overhead = secs;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<CdConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// Serializable snapshot of a [`CdTuner`]'s mutable search state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CdTunerState {
+    /// Dedup keys of every schedule measured so far (sorted).
+    pub seen: Vec<u64>,
+    /// Queued restart points (warm-start bests, best last).
+    pub pending_seeds: Vec<Schedule>,
+    /// Restarts (rounds) completed.
+    pub restarts: u64,
+    /// Best noise-free execution time found.
+    pub best_time: f64,
+    /// The schedule achieving `best_time`.
+    pub best_schedule: Option<Schedule>,
+    /// Hardware measurements consumed.
+    pub trials_used: u64,
+    /// Best-so-far curve.
+    pub trace: TuneTrace,
+    /// Lint counters.
+    pub lint_stats: LintStats,
+    /// Raw xoshiro256** state of the restart RNG.
+    pub rng: [u64; 4],
+}
+
+/// Multi-start coordinate descent as a searcher in its own right: every
+/// round is one "raindrop" — a fresh (or warm-started) schedule descended
+/// axis-by-axis on direct hardware measurements, no cost model at all.
+pub struct CdTuner<'m> {
+    /// The subgraph being tuned.
+    pub graph: Subgraph,
+    /// Its generated sketches.
+    pub sketches: Vec<Sketch>,
+    target: Target,
+    measurer: &'m Measurer,
+    seen: HashSet<u64>,
+    pending_seeds: Vec<Schedule>,
+    /// Restarts (rounds) completed.
+    pub restarts: u64,
+    /// Best noise-free execution time found.
+    pub best_time: f64,
+    /// The schedule achieving `best_time`.
+    pub best_schedule: Option<Schedule>,
+    /// Hardware measurements consumed so far.
+    pub trials_used: u64,
+    /// Best-so-far curve.
+    pub trace: TuneTrace,
+    /// Lint findings over every candidate; rejected ones are never
+    /// measured.
+    pub lint_stats: LintStats,
+    analyzer: Analyzer,
+    /// Observation only; never part of [`CdTunerState`].
+    tracer: harl_obs::Tracer,
+    cfg: CdConfig,
+    rng: StdRng,
+}
+
+impl<'m> CdTuner<'m> {
+    /// Creates a tuner; sketches are generated for the measurer's target.
+    pub fn new(graph: Subgraph, measurer: &'m Measurer, cfg: CdConfig) -> Self {
+        let target = measurer.hardware().target();
+        let sketches = generate_sketches(&graph, target);
+        let seed = cfg.seed ^ graph.name.len() as u64;
+        CdTuner {
+            graph,
+            sketches,
+            target,
+            measurer,
+            seen: HashSet::new(),
+            pending_seeds: Vec::new(),
+            restarts: 0,
+            best_time: f64::INFINITY,
+            best_schedule: None,
+            trials_used: 0,
+            trace: TuneTrace::new(),
+            lint_stats: LintStats::new(),
+            analyzer: Analyzer::for_hardware(measurer.hardware()),
+            tracer: harl_obs::Tracer::disabled(),
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Attaches a tracer (`cd_round` spans). Observation only.
+    pub fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// One restart: pick a starting schedule (queued warm-start best or a
+    /// fresh lint-valid random draw), measure it, then descend with the
+    /// rest of the round budget. Returns the trials used (≤ `budget`).
+    pub fn round(&mut self, budget: usize) -> usize {
+        if budget == 0 {
+            return 0;
+        }
+        let round_span = self.tracer.span("cd_round");
+        let k = budget.min(self.cfg.measure_per_round);
+        // starting point: warm-start seeds first (best queued last)
+        let mut start = None;
+        while let Some(s) = self.pending_seeds.pop() {
+            if !self.seen.contains(&s.dedup_key()) {
+                start = Some(s);
+                break;
+            }
+        }
+        let mut guard = 0;
+        while start.is_none() && guard < 50 * k {
+            guard += 1;
+            let sid = self.rng.gen_range(0..self.sketches.len());
+            let sk = &self.sketches[sid];
+            let s = Schedule::random(sk, self.target, &mut self.rng);
+            let diags = self.analyzer.analyze(&self.graph, sk, self.target, &s);
+            if self.lint_stats.record(&diags) || self.seen.contains(&s.dedup_key()) {
+                continue;
+            }
+            start = Some(s);
+        }
+        let Some(start) = start else {
+            return 0;
+        };
+
+        let descend_cfg = FinetuneConfig {
+            max_trials: k,
+            max_sweeps: self.cfg.max_sweeps,
+            sweep_overhead: self.cfg.sweep_overhead,
+        };
+        let sk = &self.sketches[start.sketch_id];
+        let analyzer = &self.analyzer;
+        let lint_stats = &mut self.lint_stats;
+        let graph = &self.graph;
+        let target = self.target;
+        let measurer = self.measurer;
+        let seen = &mut self.seen;
+        let valid = |s: &Schedule| {
+            let diags = analyzer.analyze(graph, sk, target, s);
+            !lint_stats.record(&diags)
+        };
+        let measure = |s: &Schedule| {
+            measurer.measure(graph, sk, s);
+            seen.insert(s.dedup_key());
+            measurer.true_time(graph, sk, s)
+        };
+        let out = coordinate_descent(
+            &descend_cfg,
+            sk,
+            target,
+            start,
+            f64::INFINITY,
+            valid,
+            measure,
+        );
+        if out.trials == 0 {
+            return 0;
+        }
+        if out.best_time < self.best_time {
+            self.best_time = out.best_time;
+            self.best_schedule = Some(out.best_schedule);
+        }
+        self.restarts += 1;
+        self.trials_used += out.trials as u64;
+        self.measurer.charge_search_time(
+            self.cfg.round_overhead + self.cfg.sweep_overhead * out.sweeps as f64,
+        );
+        self.trace.record(
+            self.measurer.trials(),
+            self.measurer.sim_seconds(),
+            self.best_time,
+        );
+        drop(round_span);
+        out.trials
+    }
+
+    /// Runs rounds until `total_trials` measurements have been used.
+    pub fn tune(&mut self, total_trials: u64) {
+        while self.trials_used < total_trials {
+            let remaining = (total_trials - self.trials_used) as usize;
+            if self.round(remaining) == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Snapshots the mutable search state for checkpointing.
+    pub fn checkpoint_state(&self) -> CdTunerState {
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        CdTunerState {
+            seen,
+            pending_seeds: self.pending_seeds.clone(),
+            restarts: self.restarts,
+            best_time: self.best_time,
+            best_schedule: self.best_schedule.clone(),
+            trials_used: self.trials_used,
+            trace: self.trace.clone(),
+            lint_stats: self.lint_stats.clone(),
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Overwrites the mutable search state from a checkpoint. The tuner
+    /// must have been constructed with the same graph, config, and seed.
+    pub fn restore_state(&mut self, state: CdTunerState) {
+        self.seen = state.seen.into_iter().collect();
+        self.pending_seeds = state.pending_seeds;
+        self.restarts = state.restarts;
+        // "no best yet" round-trips through JSON as null/NaN
+        self.best_time = if state.best_time.is_finite() {
+            state.best_time
+        } else {
+            f64::INFINITY
+        };
+        self.best_schedule = state.best_schedule;
+        self.trials_used = state.trials_used;
+        self.trace = state.trace;
+        self.lint_stats = state.lint_stats;
+        self.rng = StdRng::from_state(state.rng);
+    }
+
+    /// Coordinate-descent fine-tune pass over the current best schedule;
+    /// for this tuner it is one extra (deeper) descent from the global
+    /// best instead of a fresh restart. Monotone like every fine-tune.
+    /// Returns the trials spent.
+    pub fn finetune(&mut self, cfg: &FinetuneConfig) -> u64 {
+        let _span = self.tracer.span("cd_finetune");
+        let seen = &mut self.seen;
+        finetune_fields(
+            cfg,
+            &self.graph,
+            &self.sketches,
+            self.target,
+            self.measurer,
+            &self.analyzer,
+            &mut self.lint_stats,
+            |s| {
+                seen.insert(s.dedup_key());
+            },
+            &mut self.best_time,
+            &mut self.best_schedule,
+            &mut self.trials_used,
+            &mut self.trace,
+        )
+    }
+
+    /// Warm-starts by queueing the best matching prior schedules as
+    /// restart points (best popped first). No cost model to pre-train;
+    /// returns how many records were usable.
+    pub fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
+        let key = self.graph.similarity_key();
+        let mut usable: Vec<MeasureRecord> = Vec::new();
+        for r in records {
+            if r.similarity_key != key || r.sketch_id >= self.sketches.len() {
+                continue;
+            }
+            let sk = &self.sketches[r.sketch_id];
+            if r.schedule.sketch_id != r.sketch_id || r.schedule.validate(sk, self.target).is_err()
+            {
+                continue;
+            }
+            usable.push(r.clone());
+        }
+        if usable.is_empty() {
+            return 0;
+        }
+        let mut best = harl_store::best_records(&usable, self.cfg.measure_per_round);
+        best.reverse();
+        self.pending_seeds
+            .extend(best.into_iter().map(|r| r.schedule));
+        usable.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harl_tensor_ir::workload;
+    use harl_tensor_sim::{Hardware, MeasureConfig};
+
+    #[test]
+    fn descent_is_monotone_and_respects_budget() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(256, 256, 256);
+        let target = measurer.hardware().target();
+        let sketches = generate_sketches(&g, target);
+        let sk = &sketches[0];
+        let mut rng = StdRng::seed_from_u64(7);
+        let start = Schedule::random(sk, target, &mut rng);
+        let start_time = measurer.true_time(&g, sk, &start);
+        let cfg = FinetuneConfig {
+            max_trials: 20,
+            ..Default::default()
+        };
+        let out = coordinate_descent(
+            &cfg,
+            sk,
+            target,
+            start,
+            start_time,
+            |_| true,
+            |s| {
+                measurer.measure(&g, sk, s);
+                measurer.true_time(&g, sk, s)
+            },
+        );
+        assert!(out.best_time <= start_time, "descent regressed");
+        assert!(out.trials <= 20);
+        assert_eq!(measurer.trials(), out.trials as u64);
+        assert!(out.sweeps >= 1);
+        out.best_schedule.validate(sk, target).unwrap();
+    }
+
+    #[test]
+    fn descent_from_random_starts_usually_improves() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(512, 512, 512);
+        let target = measurer.hardware().target();
+        let sketches = generate_sketches(&g, target);
+        let sk = &sketches[0];
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut improved = 0;
+        for _ in 0..8 {
+            let start = Schedule::random(sk, target, &mut rng);
+            let t0 = measurer.true_time(&g, sk, &start);
+            let out = coordinate_descent(
+                &FinetuneConfig::default(),
+                sk,
+                target,
+                start,
+                t0,
+                |_| true,
+                |s| measurer.true_time(&g, sk, s),
+            );
+            if out.best_time < t0 {
+                improved += 1;
+            }
+        }
+        assert!(improved >= 4, "descent improved only {improved}/8 starts");
+    }
+
+    #[test]
+    fn cd_tuner_improves_and_tracks_trials() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(256, 256, 256);
+        let mut t = CdTuner::new(g, &measurer, CdConfig::default());
+        t.tune(96);
+        assert!(t.best_time.is_finite());
+        assert!(t.best_schedule.is_some());
+        assert!(t.restarts >= 2, "only {} restarts", t.restarts);
+        assert_eq!(t.trials_used, measurer.trials());
+        let times: Vec<f64> = t.trace.points.iter().map(|p| p.best_time).collect();
+        assert!(times.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn cd_checkpoint_restore_resumes_bit_identically() {
+        let g = workload::gemm(256, 256, 256);
+
+        let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut t_ref = CdTuner::new(g.clone(), &m_ref, CdConfig::default());
+        for _ in 0..2 {
+            t_ref.round(16);
+        }
+        let tuner_ckpt = serde_json::to_string(&t_ref.checkpoint_state()).unwrap();
+        let measurer_ckpt = serde_json::to_string(&m_ref.state()).unwrap();
+        for _ in 0..2 {
+            t_ref.round(16);
+        }
+
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        m2.restore_state(&serde_json::from_str(&measurer_ckpt).unwrap());
+        let mut t2 = CdTuner::new(g, &m2, CdConfig::default());
+        t2.restore_state(serde_json::from_str(&tuner_ckpt).unwrap());
+        for _ in 0..2 {
+            t2.round(16);
+        }
+
+        assert_eq!(t2.best_time.to_bits(), t_ref.best_time.to_bits());
+        assert_eq!(t2.trials_used, t_ref.trials_used);
+        assert_eq!(m2.trials(), m_ref.trials());
+    }
+
+    #[test]
+    fn cd_warm_start_queues_best_records() {
+        let g = workload::gemm(256, 256, 256);
+        let key = g.similarity_key();
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut cold = CdTuner::new(g.clone(), &m1, CdConfig::default());
+        cold.tune(32);
+        let best = cold.best_schedule.clone().unwrap();
+        let records = vec![MeasureRecord {
+            workload: cold.graph.name.clone(),
+            similarity_key: key,
+            sketch_id: best.sketch_id,
+            schedule: best,
+            time: cold.best_time,
+            flops_per_sec: cold.graph.flops() / cold.best_time,
+        }];
+
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut warm = CdTuner::new(g, &m2, CdConfig::default());
+        assert_eq!(warm.warm_start(&records), 1);
+        assert_eq!(warm.trials_used, 0);
+        // first round descends from the queued prior best
+        warm.round(8);
+        assert!(warm.best_time <= records[0].time);
+    }
+
+    #[test]
+    fn builders_validate_fields() {
+        assert!(FinetuneConfig::builder().build().is_ok());
+        let err = FinetuneConfig::builder().max_sweeps(0).build();
+        assert_eq!(err.unwrap_err().field, "finetune.max_sweeps");
+        let err = FinetuneConfig::builder().sweep_overhead(-1.0).build();
+        assert_eq!(err.unwrap_err().field, "finetune.sweep_overhead");
+        assert!(CdConfig::builder().build().is_ok());
+        let err = CdConfig::builder().measure_per_round(0).build();
+        assert_eq!(err.unwrap_err().field, "cd.measure_per_round");
+        let err = CdConfig::builder().round_overhead(f64::NAN).build();
+        assert_eq!(err.unwrap_err().field, "cd.round_overhead");
+    }
+}

@@ -1,0 +1,896 @@
+//! The UCT schedule searcher.
+//!
+//! One playout = UCB1 selection from a sketch root down the
+//! modification tree, one expansion (a fresh single-modification child),
+//! a short random rollout, batch-scoring the visited path through the
+//! GBT pipeline, and backing the best normalized score up the path.
+//! After `playouts_per_round` playouts the top-predicted unseen
+//! schedules are measured, the cost model is retrained, and the next
+//! round's playouts see the sharper model (the pipeline's score cache is
+//! cleared at the round boundary exactly like the other tuners).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use harl_gbt::{CostModel, GbtParams, ScoreStats, ScoringPipeline};
+use harl_par::ParallelismOpts;
+use harl_store::MeasureRecord;
+use harl_tensor_ir::{
+    extract_features, extract_features_into, generate_sketches, mutate, Schedule, Sketch, Subgraph,
+    Target,
+};
+use harl_tensor_sim::{ConfigError, Measurer, TuneTrace};
+use harl_verify::{Analyzer, LintStats};
+
+/// Configuration of the [`MctsTuner`].
+#[derive(Debug, Clone)]
+pub struct MctsConfig {
+    /// Measurement candidates per round.
+    pub measure_per_round: usize,
+    /// UCT playouts per round.
+    pub playouts_per_round: usize,
+    /// Random modifications applied per rollout.
+    pub rollout_depth: usize,
+    /// UCB1 exploration constant `c`.
+    pub exploration: f64,
+    /// Progressive-widening cap: children per node.
+    pub max_children: usize,
+    /// Tree-size cap; expansion stops (rollouts continue) once reached.
+    pub max_nodes: usize,
+    /// Cost-model parameters.
+    pub gbt: GbtParams,
+    /// Simulated seconds of fixed algorithm overhead charged per round.
+    pub round_overhead: f64,
+    /// Simulated seconds per cost-model evaluation during playouts.
+    pub eval_cost: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig {
+            measure_per_round: 64,
+            playouts_per_round: 128,
+            rollout_depth: 4,
+            exploration: 1.4,
+            max_children: 8,
+            max_nodes: 4096,
+            gbt: GbtParams::default(),
+            round_overhead: 2.0,
+            eval_cost: 5e-4,
+            seed: 0x3c75,
+        }
+    }
+}
+
+impl MctsConfig {
+    /// Starts a validating builder from the defaults.
+    pub fn builder() -> MctsConfigBuilder {
+        MctsConfigBuilder {
+            cfg: MctsConfig::default(),
+        }
+    }
+
+    /// Checks every field without consuming the config.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, v) in [
+            ("mcts.measure_per_round", self.measure_per_round),
+            ("mcts.playouts_per_round", self.playouts_per_round),
+            ("mcts.rollout_depth", self.rollout_depth),
+            ("mcts.max_children", self.max_children),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::new(field, "must be positive"));
+            }
+        }
+        if self.max_nodes < 2 {
+            return Err(ConfigError::new("mcts.max_nodes", "must be at least 2"));
+        }
+        if !self.exploration.is_finite() || self.exploration < 0.0 {
+            return Err(ConfigError::new(
+                "mcts.exploration",
+                "must be finite and non-negative",
+            ));
+        }
+        for (field, v) in [
+            ("mcts.round_overhead", self.round_overhead),
+            ("mcts.eval_cost", self.eval_cost),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ConfigError::new(field, "must be finite and non-negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`MctsConfig`].
+#[derive(Debug, Clone)]
+pub struct MctsConfigBuilder {
+    cfg: MctsConfig,
+}
+
+impl MctsConfigBuilder {
+    /// Measurement candidates per round.
+    pub fn measure_per_round(mut self, n: usize) -> Self {
+        self.cfg.measure_per_round = n;
+        self
+    }
+
+    /// UCT playouts per round.
+    pub fn playouts_per_round(mut self, n: usize) -> Self {
+        self.cfg.playouts_per_round = n;
+        self
+    }
+
+    /// Random modifications per rollout.
+    pub fn rollout_depth(mut self, n: usize) -> Self {
+        self.cfg.rollout_depth = n;
+        self
+    }
+
+    /// UCB1 exploration constant.
+    pub fn exploration(mut self, c: f64) -> Self {
+        self.cfg.exploration = c;
+        self
+    }
+
+    /// Progressive-widening cap per node.
+    pub fn max_children(mut self, n: usize) -> Self {
+        self.cfg.max_children = n;
+        self
+    }
+
+    /// Tree-size cap.
+    pub fn max_nodes(mut self, n: usize) -> Self {
+        self.cfg.max_nodes = n;
+        self
+    }
+
+    /// Cost-model parameters.
+    pub fn gbt(mut self, gbt: GbtParams) -> Self {
+        self.cfg.gbt = gbt;
+        self
+    }
+
+    /// Fixed simulated overhead charged per round.
+    pub fn round_overhead(mut self, secs: f64) -> Self {
+        self.cfg.round_overhead = secs;
+        self
+    }
+
+    /// Simulated seconds per cost-model evaluation.
+    pub fn eval_cost(mut self, secs: f64) -> Self {
+        self.cfg.eval_cost = secs;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<MctsConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// One node of the modification tree: a complete schedule reached by a
+/// chain of single modifications from its sketch's root schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MctsNode {
+    /// The schedule this node stands for.
+    pub schedule: Schedule,
+    /// Parent node index (`None` for sketch roots).
+    pub parent: Option<usize>,
+    /// Child node indices, in creation order.
+    pub children: Vec<usize>,
+    /// Playouts that passed through this node.
+    pub visits: u64,
+    /// Sum of backed-up rewards.
+    pub total_reward: f64,
+}
+
+/// Serializable snapshot of an [`MctsTuner`]'s mutable search state.
+///
+/// The graph, config, and measurer are *not* captured: restoring requires
+/// a tuner constructed with the identical workload, config, and seed,
+/// after which [`MctsTuner::restore_state`] overwrites the mutable fields
+/// (including the whole tree) so the search continues bit-identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MctsTunerState {
+    /// On-line cost model (dataset + fitted booster).
+    pub cost_model: CostModel,
+    /// The modification tree, index-addressed.
+    pub nodes: Vec<MctsNode>,
+    /// Node index of each sketch's root (empty before the first round).
+    pub roots: Vec<usize>,
+    /// Dedup keys of every schedule measured so far (sorted).
+    pub seen: Vec<u64>,
+    /// Schedules queued for forced measurement (warm-start bests).
+    pub pending_seeds: Vec<Schedule>,
+    /// Warm-start schedules to graft onto sketch roots at tree init.
+    pub warm_seeds: Vec<Schedule>,
+    /// Running maximum raw model score, the reward normalizer.
+    pub reward_scale: f64,
+    /// Best noise-free execution time found.
+    pub best_time: f64,
+    /// The schedule achieving `best_time`.
+    pub best_schedule: Option<Schedule>,
+    /// Hardware measurements consumed.
+    pub trials_used: u64,
+    /// Best-so-far curve.
+    pub trace: TuneTrace,
+    /// Lint counters.
+    pub lint_stats: LintStats,
+    /// Raw xoshiro256** state of the search RNG.
+    pub rng: [u64; 4],
+}
+
+/// Tunes one subgraph with UCT search over modification trees.
+pub struct MctsTuner<'m> {
+    /// The subgraph being tuned.
+    pub graph: Subgraph,
+    /// Its generated sketches (one tree root each).
+    pub sketches: Vec<Sketch>,
+    target: Target,
+    measurer: &'m Measurer,
+    cost_model: CostModel,
+    nodes: Vec<MctsNode>,
+    roots: Vec<usize>,
+    seen: HashSet<u64>,
+    pending_seeds: Vec<Schedule>,
+    warm_seeds: Vec<Schedule>,
+    reward_scale: f64,
+    /// Best noise-free execution time found.
+    pub best_time: f64,
+    /// The schedule achieving `best_time`.
+    pub best_schedule: Option<Schedule>,
+    /// Hardware measurements consumed so far.
+    pub trials_used: u64,
+    /// Best-so-far curve.
+    pub trace: TuneTrace,
+    /// Lint findings over every expanded candidate; rejected ones never
+    /// enter the tree or reach the measurer.
+    pub lint_stats: LintStats,
+    analyzer: Analyzer,
+    /// Batched rollout scoring (thread pool + feature cache). Runtime
+    /// machinery, deliberately outside [`MctsTunerState`]: its counters
+    /// and thread width must not leak into checkpoints, which stay
+    /// byte-equal across `HARL_SCORE_THREADS` settings.
+    pipeline: ScoringPipeline,
+    /// Observation only; like the pipeline, never part of checkpoints.
+    tracer: harl_obs::Tracer,
+    cfg: MctsConfig,
+    rng: StdRng,
+}
+
+impl<'m> MctsTuner<'m> {
+    /// Creates a tuner; sketches are generated for the measurer's target.
+    pub fn new(graph: Subgraph, measurer: &'m Measurer, cfg: MctsConfig) -> Self {
+        let target = measurer.hardware().target();
+        let sketches = generate_sketches(&graph, target);
+        let seed = cfg.seed ^ graph.name.len() as u64;
+        MctsTuner {
+            graph,
+            sketches,
+            target,
+            measurer,
+            cost_model: CostModel::new(cfg.gbt.clone()),
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            seen: HashSet::new(),
+            pending_seeds: Vec::new(),
+            warm_seeds: Vec::new(),
+            reward_scale: 0.0,
+            best_time: f64::INFINITY,
+            best_schedule: None,
+            trials_used: 0,
+            trace: TuneTrace::new(),
+            lint_stats: LintStats::new(),
+            analyzer: Analyzer::for_hardware(measurer.hardware()),
+            pipeline: ScoringPipeline::from_env(),
+            tracer: harl_obs::Tracer::disabled(),
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Attaches a tracer: rounds become `mcts_round` spans with
+    /// `playouts`/`measure`/`gbt_retrain` children. Tracing never changes
+    /// the search — checkpoints stay byte-equal with it on or off.
+    pub fn set_tracer(&mut self, tracer: harl_obs::Tracer) {
+        self.pipeline.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Counters of the batched scoring pipeline.
+    pub fn score_stats(&self) -> &ScoreStats {
+        self.pipeline.stats()
+    }
+
+    /// Applies thread-pool widths. MCTS has no PPO stage, so only the
+    /// scoring width applies; scores are bit-identical at any width.
+    pub fn set_parallelism(&mut self, opts: ParallelismOpts) {
+        self.pipeline.set_threads(opts.score_threads);
+    }
+
+    /// The on-line cost model (diagnostics; e.g. warm-start checks).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Nodes currently in the tree (diagnostics/tests).
+    pub fn tree_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Lazily builds one root per sketch (plus any warm-start grafts).
+    /// Runs at most once; the whole tree lives in the checkpoint, so a
+    /// restored tuner never re-enters this.
+    fn init_tree(&mut self) {
+        if !self.nodes.is_empty() {
+            return;
+        }
+        for sk in &self.sketches {
+            // draw a few candidates so roots start lint-clean when possible
+            let mut root = Schedule::random(sk, self.target, &mut self.rng);
+            for _ in 0..4 {
+                let diags = self.analyzer.analyze(&self.graph, sk, self.target, &root);
+                if !self.lint_stats.record(&diags) {
+                    break;
+                }
+                root = Schedule::random(sk, self.target, &mut self.rng);
+            }
+            let idx = self.nodes.len();
+            self.nodes.push(MctsNode {
+                schedule: root,
+                parent: None,
+                children: Vec::new(),
+                visits: 0,
+                total_reward: 0.0,
+            });
+            self.roots.push(idx);
+        }
+        // graft warm-start bests as unvisited root children: UCB1 visits
+        // unvisited children first, so prior-run knowledge is explored
+        // before fresh random modifications
+        let grafts = std::mem::take(&mut self.warm_seeds);
+        for s in grafts {
+            let root = self.roots[s.sketch_id];
+            if self.nodes[root].children.len() >= self.cfg.max_children {
+                continue;
+            }
+            let idx = self.nodes.len();
+            self.nodes.push(MctsNode {
+                schedule: s,
+                parent: Some(root),
+                children: Vec::new(),
+                visits: 0,
+                total_reward: 0.0,
+            });
+            self.nodes[root].children.push(idx);
+        }
+    }
+
+    /// UCB1 value of node `child` under a parent with `parent_visits`.
+    fn ucb(&self, child: usize, parent_visits: u64) -> f64 {
+        let n = &self.nodes[child];
+        if n.visits == 0 {
+            return f64::INFINITY;
+        }
+        let mean = n.total_reward / n.visits as f64;
+        let bonus =
+            self.cfg.exploration * (((parent_visits.max(1)) as f64).ln() / n.visits as f64).sqrt();
+        mean + bonus
+    }
+
+    /// Selects a leaf-ish node: root by UCB1 over sketch roots, then down
+    /// the tree until a node that wants expansion (or has no children).
+    fn select(&self) -> usize {
+        let total: u64 = self.roots.iter().map(|&r| self.nodes[r].visits).sum();
+        let mut cur = self.roots[0];
+        let mut best = f64::NEG_INFINITY;
+        for &r in &self.roots {
+            let v = self.ucb(r, total);
+            if v > best {
+                best = v;
+                cur = r;
+            }
+        }
+        loop {
+            let node = &self.nodes[cur];
+            let widen = node.children.len() < self.cfg.max_children
+                && node.children.len() as u64 <= node.visits
+                && self.nodes.len() < self.cfg.max_nodes;
+            if widen || node.children.is_empty() {
+                return cur;
+            }
+            let mut next = node.children[0];
+            let mut best = f64::NEG_INFINITY;
+            for &c in &node.children {
+                let v = self.ucb(c, node.visits);
+                if v > best {
+                    best = v;
+                    next = c;
+                }
+            }
+            cur = next;
+        }
+    }
+
+    /// Expands `at` with one fresh single-modification child; returns the
+    /// child index, or `None` when every attempt was a lint reject, a
+    /// sibling duplicate, or the tree is full.
+    fn expand(&mut self, at: usize) -> Option<usize> {
+        if self.nodes.len() >= self.cfg.max_nodes
+            || self.nodes[at].children.len() >= self.cfg.max_children
+        {
+            return None;
+        }
+        let sk = self.sketches[self.nodes[at].schedule.sketch_id].clone();
+        for _ in 0..8 {
+            let cand = mutate(&sk, self.target, &self.nodes[at].schedule, &mut self.rng);
+            let key = cand.dedup_key();
+            let dup = self.nodes[at]
+                .children
+                .iter()
+                .any(|&c| self.nodes[c].schedule.dedup_key() == key);
+            if dup {
+                continue;
+            }
+            let diags = self.analyzer.analyze(&self.graph, &sk, self.target, &cand);
+            if self.lint_stats.record(&diags) {
+                continue;
+            }
+            let idx = self.nodes.len();
+            self.nodes.push(MctsNode {
+                schedule: cand,
+                parent: Some(at),
+                children: Vec::new(),
+                visits: 0,
+                total_reward: 0.0,
+            });
+            self.nodes[at].children.push(idx);
+            return Some(idx);
+        }
+        None
+    }
+
+    /// One exploration round: playouts, top-K measurement, model retrain.
+    /// Returns the trials used (≤ `budget`).
+    pub fn round(&mut self, budget: usize) -> usize {
+        if budget == 0 {
+            return 0;
+        }
+        let round_span = self.tracer.span("mcts_round");
+        self.init_tree();
+        // cached scores are stale the moment the model retrains, so each
+        // round starts with a cold cache like every other tuner
+        self.pipeline.begin_episode();
+
+        let playout_span = self
+            .tracer
+            .span_with("playouts", &[("n", self.cfg.playouts_per_round.into())]);
+        // (score, schedule) candidates visited this round, playout order
+        let mut visited: Vec<(f64, Schedule)> = Vec::new();
+        let mut scored_evals = 0usize;
+        let mut scores = Vec::new();
+        for _ in 0..self.cfg.playouts_per_round {
+            let picked = self.select();
+            let leaf = self.expand(picked).unwrap_or(picked);
+            // rollout: a short chain of random modifications from the leaf
+            let sk = self.sketches[self.nodes[leaf].schedule.sketch_id].clone();
+            let mut path = vec![self.nodes[leaf].schedule.clone()];
+            for _ in 1..self.cfg.rollout_depth {
+                let cand = mutate(&sk, self.target, path.last().unwrap(), &mut self.rng);
+                let diags = self.analyzer.analyze(&self.graph, &sk, self.target, &cand);
+                if self.lint_stats.record(&diags) {
+                    continue;
+                }
+                path.push(cand);
+            }
+            let graph = &self.graph;
+            let sketches = &self.sketches;
+            let target = self.target;
+            let extract = |s: &Schedule, buf: &mut Vec<f32>| {
+                extract_features_into(graph, &sketches[s.sketch_id], target, s, buf)
+            };
+            self.pipeline.score_into(
+                &self.cost_model,
+                &path,
+                |s| s.fingerprint(),
+                extract,
+                &mut scores,
+            );
+            scored_evals += path.len();
+            // reward: best normalized predicted throughput along the path
+            // (the min-latency surrogate; scores are FLOP/s predictions)
+            let mut best_raw = 0.0f64;
+            for (s, &raw) in path.iter().zip(scores.iter()) {
+                if raw.is_finite() && raw > best_raw {
+                    best_raw = raw;
+                }
+                if !self.seen.contains(&s.dedup_key()) {
+                    visited.push((raw, s.clone()));
+                }
+            }
+            if best_raw > self.reward_scale {
+                self.reward_scale = best_raw;
+            }
+            let reward = if self.reward_scale > 0.0 {
+                best_raw / self.reward_scale
+            } else {
+                0.0
+            };
+            // backprop through the selected path up to the sketch root
+            let mut cur = Some(leaf);
+            while let Some(i) = cur {
+                self.nodes[i].visits += 1;
+                self.nodes[i].total_reward += reward;
+                cur = self.nodes[i].parent;
+            }
+        }
+        drop(playout_span);
+
+        // --- top-K measurement --------------------------------------------
+        let k = budget.min(self.cfg.measure_per_round);
+        let mut picks: Vec<Schedule> = Vec::with_capacity(k);
+        let mut local = HashSet::new();
+        // forced warm-start seeds jump the queue: prior-run bests are
+        // re-measured before any fresh candidates
+        while picks.len() < k {
+            let Some(s) = self.pending_seeds.pop() else {
+                break;
+            };
+            let key = s.dedup_key();
+            if self.seen.contains(&key) || !local.insert(key) {
+                continue;
+            }
+            picks.push(s);
+        }
+        visited.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (_, s) in &visited {
+            if picks.len() >= k {
+                break;
+            }
+            let key = s.dedup_key();
+            if self.seen.contains(&key) || !local.insert(key) {
+                continue;
+            }
+            picks.push(s.clone());
+        }
+        // fall back to random sampling when playouts stayed inside seen
+        // territory, so a round always makes progress
+        let mut guard = 0;
+        while picks.len() < k && guard < 50 * k {
+            guard += 1;
+            let sid = self.rng.gen_range(0..self.sketches.len());
+            let sk = &self.sketches[sid];
+            let s = Schedule::random(sk, self.target, &mut self.rng);
+            let diags = self.analyzer.analyze(&self.graph, sk, self.target, &s);
+            if self.lint_stats.record(&diags) {
+                continue;
+            }
+            let key = s.dedup_key();
+            if self.seen.contains(&key) || !local.insert(key) {
+                continue;
+            }
+            picks.push(s);
+        }
+        if picks.is_empty() {
+            return 0;
+        }
+
+        let measure_span = self
+            .tracer
+            .span_with("measure", &[("k", picks.len().into())]);
+        let mut updates = Vec::with_capacity(picks.len());
+        for s in &picks {
+            let sk = &self.sketches[s.sketch_id];
+            let m = self.measurer.measure(&self.graph, sk, s);
+            self.seen.insert(s.dedup_key());
+            let truth = self.measurer.true_time(&self.graph, sk, s);
+            if truth < self.best_time {
+                self.best_time = truth;
+                self.best_schedule = Some(s.clone());
+            }
+            updates.push((
+                extract_features(&self.graph, sk, self.target, s),
+                m.flops_per_sec,
+            ));
+        }
+        drop(measure_span);
+        {
+            let _retrain_span = self.tracer.span("gbt_retrain");
+            self.cost_model.update_batch(updates);
+        }
+
+        // simulated algorithm overhead: fixed + per-model-evaluation
+        self.measurer
+            .charge_search_time(self.cfg.round_overhead + scored_evals as f64 * self.cfg.eval_cost);
+        self.trials_used += picks.len() as u64;
+        self.trace.record(
+            self.measurer.trials(),
+            self.measurer.sim_seconds(),
+            self.best_time,
+        );
+        drop(round_span);
+        picks.len()
+    }
+
+    /// Runs rounds until `total_trials` measurements have been used.
+    pub fn tune(&mut self, total_trials: u64) {
+        while self.trials_used < total_trials {
+            let remaining = (total_trials - self.trials_used) as usize;
+            if self.round(remaining) == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Snapshots the mutable search state for checkpointing.
+    pub fn checkpoint_state(&self) -> MctsTunerState {
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        MctsTunerState {
+            cost_model: self.cost_model.clone(),
+            nodes: self.nodes.clone(),
+            roots: self.roots.clone(),
+            seen,
+            pending_seeds: self.pending_seeds.clone(),
+            warm_seeds: self.warm_seeds.clone(),
+            reward_scale: self.reward_scale,
+            best_time: self.best_time,
+            best_schedule: self.best_schedule.clone(),
+            trials_used: self.trials_used,
+            trace: self.trace.clone(),
+            lint_stats: self.lint_stats.clone(),
+            rng: self.rng.state(),
+        }
+    }
+
+    /// Overwrites the mutable search state from a checkpoint. The tuner
+    /// must have been constructed with the same graph, config, and seed.
+    pub fn restore_state(&mut self, state: MctsTunerState) {
+        self.cost_model = state.cost_model;
+        self.nodes = state.nodes;
+        self.roots = state.roots;
+        self.seen = state.seen.into_iter().collect();
+        self.pending_seeds = state.pending_seeds;
+        self.warm_seeds = state.warm_seeds;
+        self.reward_scale = if state.reward_scale.is_finite() {
+            state.reward_scale
+        } else {
+            0.0
+        };
+        // JSON has no Infinity literal; the writer emits null which
+        // decodes to NaN, so normalize "no best yet" back to +inf
+        self.best_time = if state.best_time.is_finite() {
+            state.best_time
+        } else {
+            f64::INFINITY
+        };
+        self.best_schedule = state.best_schedule;
+        self.trials_used = state.trials_used;
+        self.trace = state.trace;
+        self.lint_stats = state.lint_stats;
+        self.rng = StdRng::from_state(state.rng);
+    }
+
+    /// Coordinate-descent fine-tune pass over the current best schedule
+    /// (see [`crate::coordinate_descent`]); monotone — `best_time` never
+    /// regresses. Returns the trials spent.
+    pub fn finetune(&mut self, cfg: &crate::FinetuneConfig) -> u64 {
+        let _span = self.tracer.span("mcts_finetune");
+        let seen = &mut self.seen;
+        crate::finetune_fields(
+            cfg,
+            &self.graph,
+            &self.sketches,
+            self.target,
+            self.measurer,
+            &self.analyzer,
+            &mut self.lint_stats,
+            |s| {
+                seen.insert(s.dedup_key());
+            },
+            &mut self.best_time,
+            &mut self.best_schedule,
+            &mut self.trials_used,
+            &mut self.trace,
+        )
+    }
+
+    /// Warm-starts from prior measurement records of similar workloads:
+    /// pre-trains the cost model, grafts record schedules onto the sketch
+    /// roots (explored before fresh modifications), and queues the best
+    /// prior schedules for forced re-measurement. Returns how many
+    /// records were usable; costs no fresh trials.
+    pub fn warm_start(&mut self, records: &[MeasureRecord]) -> usize {
+        let key = self.graph.similarity_key();
+        let mut updates = Vec::new();
+        let mut usable: Vec<&MeasureRecord> = Vec::new();
+        for r in records {
+            if r.similarity_key != key || r.sketch_id >= self.sketches.len() {
+                continue;
+            }
+            let sk = &self.sketches[r.sketch_id];
+            if r.schedule.sketch_id != r.sketch_id || r.schedule.validate(sk, self.target).is_err()
+            {
+                continue;
+            }
+            updates.push((
+                extract_features(&self.graph, sk, self.target, &r.schedule),
+                r.flops_per_sec,
+            ));
+            usable.push(r);
+        }
+        let used = updates.len();
+        if used == 0 {
+            return 0;
+        }
+        self.cost_model.update_batch(updates);
+        let owned: Vec<MeasureRecord> = usable.into_iter().cloned().collect();
+        // queue the distinct best prior schedules, worst-first so `pop`
+        // measures the best one first
+        let mut best = harl_store::best_records(&owned, self.cfg.measure_per_round);
+        self.warm_seeds
+            .extend(best.iter().map(|r| r.schedule.clone()));
+        best.reverse();
+        self.pending_seeds
+            .extend(best.into_iter().map(|r| r.schedule));
+        used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harl_tensor_ir::workload;
+    use harl_tensor_sim::{Hardware, MeasureConfig};
+
+    fn small_cfg() -> MctsConfig {
+        MctsConfig {
+            measure_per_round: 16,
+            playouts_per_round: 48,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn tuning_improves_over_first_round() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(256, 256, 256);
+        let mut t = MctsTuner::new(g, &measurer, small_cfg());
+        t.round(16);
+        let first = t.best_time;
+        assert!(first.is_finite());
+        t.tune(160);
+        assert!(t.best_time <= first);
+        assert!(t.best_schedule.is_some());
+        assert!(t.trials_used >= 150, "used {}", t.trials_used);
+        assert!(t.tree_size() > t.sketches.len(), "tree never expanded");
+        assert!(
+            t.best_time < first * 0.999,
+            "no improvement: first {first}, final {}",
+            t.best_time
+        );
+    }
+
+    #[test]
+    fn trace_is_monotone_and_counts_trials() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(128, 128, 128);
+        let mut t = MctsTuner::new(g, &measurer, small_cfg());
+        t.tune(64);
+        assert_eq!(t.trace.total_trials(), measurer.trials());
+        let times: Vec<f64> = t.trace.points.iter().map(|p| p.best_time).collect();
+        assert!(times.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let g = workload::gemm(256, 256, 256);
+
+        let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut t_ref = MctsTuner::new(g.clone(), &m_ref, small_cfg());
+        for _ in 0..2 {
+            t_ref.round(16);
+        }
+        let tuner_ckpt = serde_json::to_string(&t_ref.checkpoint_state()).unwrap();
+        let measurer_ckpt = serde_json::to_string(&m_ref.state()).unwrap();
+        for _ in 0..2 {
+            t_ref.round(16);
+        }
+
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        m2.restore_state(&serde_json::from_str(&measurer_ckpt).unwrap());
+        let mut t2 = MctsTuner::new(g, &m2, small_cfg());
+        t2.restore_state(serde_json::from_str(&tuner_ckpt).unwrap());
+        for _ in 0..2 {
+            t2.round(16);
+        }
+
+        assert_eq!(t2.best_time.to_bits(), t_ref.best_time.to_bits());
+        assert_eq!(t2.trials_used, t_ref.trials_used);
+        assert_eq!(m2.trials(), m_ref.trials());
+        assert_eq!(m2.sim_seconds().to_bits(), m_ref.sim_seconds().to_bits());
+        // the serialized tree itself must round-trip byte-equal
+        let again = serde_json::to_string(&t2.checkpoint_state()).unwrap();
+        let reference = serde_json::to_string(&t_ref.checkpoint_state()).unwrap();
+        assert_eq!(again, reference);
+    }
+
+    #[test]
+    fn warm_start_pretrains_and_grafts_roots() {
+        let g = workload::gemm(256, 256, 256);
+        let key = g.similarity_key();
+
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut cold = MctsTuner::new(g.clone(), &m1, small_cfg());
+        cold.tune(48);
+        let best = cold.best_schedule.clone().unwrap();
+        let records = vec![MeasureRecord {
+            workload: cold.graph.name.clone(),
+            similarity_key: key,
+            sketch_id: best.sketch_id,
+            schedule: best,
+            time: cold.best_time,
+            flops_per_sec: cold.graph.flops() / cold.best_time,
+        }];
+
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let mut warm = MctsTuner::new(g, &m2, small_cfg());
+        let used = warm.warm_start(&records);
+        assert_eq!(used, 1);
+        assert!(warm.cost_model().is_trained());
+        assert_eq!(warm.trials_used, 0);
+        assert_eq!(m2.trials(), 0);
+        assert!(!warm.pending_seeds.is_empty());
+        // the first round measures the grafted seed before anything fresh
+        warm.round(4);
+        assert!(warm.best_time <= records[0].time * 1.05);
+
+        // mismatched similarity keys are ignored
+        let mut bogus = records.clone();
+        bogus[0].similarity_key ^= 1;
+        let m3 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g3 = workload::gemm(256, 256, 256);
+        let mut t3 = MctsTuner::new(g3, &m3, small_cfg());
+        assert_eq!(t3.warm_start(&bogus), 0);
+        assert!(!t3.cost_model().is_trained());
+    }
+
+    #[test]
+    fn builder_validates_fields() {
+        assert!(MctsConfig::builder().build().is_ok());
+        let err = MctsConfig::builder().measure_per_round(0).build();
+        assert_eq!(err.unwrap_err().field, "mcts.measure_per_round");
+        let err = MctsConfig::builder().playouts_per_round(0).build();
+        assert_eq!(err.unwrap_err().field, "mcts.playouts_per_round");
+        let err = MctsConfig::builder().exploration(f64::NAN).build();
+        assert_eq!(err.unwrap_err().field, "mcts.exploration");
+        let err = MctsConfig::builder().max_nodes(1).build();
+        assert_eq!(err.unwrap_err().field, "mcts.max_nodes");
+        let err = MctsConfig::builder().eval_cost(-1.0).build();
+        assert_eq!(err.unwrap_err().field, "mcts.eval_cost");
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let measurer = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let g = workload::gemm(128, 256, 128);
+        let mut t = MctsTuner::new(g, &measurer, small_cfg());
+        t.tune(50);
+        assert!(t.trials_used <= 50 || t.trials_used - 50 < 16);
+        assert_eq!(t.trials_used, measurer.trials());
+    }
+}

@@ -125,6 +125,7 @@ fn tiny_spec() -> JobSpec {
         priority: 0,
         target_ms: None,
         parallelism: None,
+        finetune: false,
     }
 }
 

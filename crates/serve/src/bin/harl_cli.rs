@@ -27,8 +27,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: harl-cli [--addr HOST:PORT] <command>\n\
          commands:\n\
-         \x20 submit WORKLOAD [--tuner harl|ansor|flextensor] [--preset tiny|fast|paper]\n\
-         \x20        [--hardware NAME] [--trials N] [--priority P] [--target-ms MS]\n\
+         \x20 submit WORKLOAD [--searcher harl|ansor|flextensor|mcts] [--finetune]\n\
+         \x20        [--preset tiny|fast|paper] [--hardware NAME] [--trials N]\n\
+         \x20        [--priority P] [--target-ms MS]\n\
          \x20        [--score-threads N] [--ppo-threads N] [--watch]\n\
          \x20 status JOB_ID      one job's live state\n\
          \x20 result JOB_ID      a finished job's metrics\n\
@@ -124,6 +125,7 @@ fn submit(client: &Client, rest: &[String]) {
         priority: 0,
         target_ms: None,
         parallelism: None,
+        finetune: false,
     };
     let mut watch_it = false;
     let mut flags = flags.iter();
@@ -134,7 +136,12 @@ fn submit(client: &Client, rest: &[String]) {
                 .unwrap_or_else(|| die(format!("{name} needs a value")))
         };
         match flag.as_str() {
-            "--tuner" => spec.tuner = TunerKind::parse(value("--tuner")).unwrap_or_else(|e| die(e)),
+            // --tuner is the historical spelling; --searcher matches the
+            // tournament vocabulary
+            "--tuner" | "--searcher" => {
+                spec.tuner = TunerKind::parse(value(flag)).unwrap_or_else(|e| die(e))
+            }
+            "--finetune" => spec.finetune = true,
             "--preset" => spec.preset = Preset::parse(value("--preset")).unwrap_or_else(|e| die(e)),
             "--hardware" => spec.hardware = value("--hardware").clone(),
             "--trials" => {

@@ -183,6 +183,8 @@ pub enum TunerKind {
     Ansor,
     /// The Flextensor-like fixed-length RL baseline.
     Flextensor,
+    /// UCT Monte-Carlo tree search over schedule modifications.
+    Mcts,
 }
 
 impl TunerKind {
@@ -192,6 +194,7 @@ impl TunerKind {
             TunerKind::Harl => "harl",
             TunerKind::Ansor => "ansor",
             TunerKind::Flextensor => "flextensor",
+            TunerKind::Mcts => "mcts",
         }
     }
 
@@ -201,8 +204,9 @@ impl TunerKind {
             "harl" => Ok(TunerKind::Harl),
             "ansor" => Ok(TunerKind::Ansor),
             "flextensor" => Ok(TunerKind::Flextensor),
+            "mcts" => Ok(TunerKind::Mcts),
             other => Err(format!(
-                "unknown tuner `{other}` (expected harl, ansor, or flextensor)"
+                "unknown tuner `{other}` (expected harl, ansor, flextensor, or mcts)"
             )),
         }
     }
@@ -276,6 +280,12 @@ pub struct JobSpec {
     /// environment (`HARL_SCORE_THREADS` / `HARL_PPO_THREADS`).
     #[serde(default)]
     pub parallelism: Option<ParallelismOpts>,
+    /// Run a coordinate-descent fine-tuning phase after the search
+    /// completes its budget. Unlike `parallelism`, this changes the search
+    /// result, so it is part of [`JobSpec::job_key`]. Defaults to off for
+    /// wire compatibility with older clients.
+    #[serde(default)]
+    pub finetune: bool,
 }
 
 impl JobSpec {
@@ -309,12 +319,13 @@ impl JobSpec {
     /// its checkpoint.
     pub fn job_key(&self) -> String {
         let canon = format!(
-            "{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|ft={}",
             self.workload.summary(),
             self.tuner.name(),
             self.preset.name(),
             self.hardware,
-            self.trials
+            self.trials,
+            self.finetune
         );
         // FNV-1a, the store's idiom for stable content hashes
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -429,6 +440,10 @@ pub struct JobOutcome {
     /// cost model, e.g. flextensor).
     #[serde(default)]
     pub score_stats: Option<ScoreStats>,
+    /// Trials spent by the coordinate-descent fine-tuning phase (absent
+    /// when the spec did not request fine-tuning).
+    #[serde(default)]
+    pub finetune_trials: Option<u64>,
 }
 
 impl JobOutcome {
@@ -450,6 +465,9 @@ impl JobOutcome {
                 " score_batches={} cache_hits={} cache_misses={}",
                 s.batch_count, s.cache_hits, s.cache_misses
             ));
+        }
+        if let Some(ft) = self.finetune_trials {
+            line.push_str(&format!(" finetune_trials={ft}"));
         }
         line
     }
@@ -473,6 +491,7 @@ mod tests {
             priority: 0,
             target_ms: None,
             parallelism: None,
+            finetune: false,
         }
     }
 
@@ -523,6 +542,15 @@ mod tests {
         let mut d = a.clone();
         d.tuner = TunerKind::Ansor;
         assert_ne!(a.job_key(), d.job_key());
+        let mut e = a.clone();
+        e.tuner = TunerKind::Mcts;
+        assert_ne!(a.job_key(), e.job_key());
+        // fine-tuning changes the search result, so it changes the key:
+        // a finetuned resubmission must not resume a non-finetuned
+        // checkpoint (or vice versa)
+        let mut f = a.clone();
+        f.finetune = true;
+        assert_ne!(a.job_key(), f.job_key());
     }
 
     #[test]
@@ -557,6 +585,7 @@ mod tests {
             resumed: false,
             sim_seconds: 33.0,
             score_stats: None,
+            finetune_trials: None,
         };
         assert_eq!(
             out.metrics_line(),
@@ -586,12 +615,13 @@ mod tests {
                 features_cached: 540,
                 threads: 1,
             }),
+            finetune_trials: Some(9),
         };
         assert_eq!(
             out.metrics_line(),
             "metrics: best_ms=1.250000000 trials=64 trials_to_best=40 \
              warm_records=0 resumed=false score_batches=12 cache_hits=100 \
-             cache_misses=540"
+             cache_misses=540 finetune_trials=9"
         );
     }
 }

@@ -169,6 +169,7 @@ mod tests {
                 priority: 1,
                 target_ms: Some(2.0),
                 parallelism: Some(harl_par::ParallelismOpts::uniform(2)),
+                finetune: true,
             }),
             Request::Status("j000001".into()),
             Request::Result("j000001".into()),

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use harl_ansor::{AnsorConfig, AnsorTuner, FlextensorConfig, FlextensorTuner};
 use harl_core::{HarlOperatorTuner, SessionControl, Tuner, TuningSession};
+use harl_mcts::{FinetuneConfig, MctsConfig, MctsTuner};
 use harl_store::RecordStore;
 use harl_tensor_sim::{Hardware, MeasureConfig, Measurer};
 
@@ -93,6 +94,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
             &measurer,
             FlextensorConfig::default(),
         )),
+        TunerKind::Mcts => Box::new(MctsTuner::new(graph, &measurer, MctsConfig::default())),
     };
     tuner.set_tracer(tracer.clone());
     let mut builder = TuningSession::builder()
@@ -171,8 +173,21 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
         return Ok(());
     }
 
-    // completed: collect the quickstart-style metrics, settle, and donate
-    // the job's records to the shared pool for future warm-starts
+    // completed: optionally descend from the best schedule before the
+    // metrics are collected. Never on the stopped path above — a resumed
+    // job must replay the search first, then fine-tune exactly once.
+    let finetune_trials = if spec.finetune {
+        let cfg = FinetuneConfig::builder()
+            .max_trials((spec.trials / 4).max(8) as usize)
+            .build()
+            .map_err(|e| ServeError::Job(format!("finetune config: {e}")))?;
+        Some(session.then_finetune(&cfg)?.trials)
+    } else {
+        None
+    };
+
+    // collect the quickstart-style metrics, settle, and donate the job's
+    // records to the shared pool for future warm-starts
     let best = session.best_latency();
     let trials_to_best = session
         .trace()
@@ -199,6 +214,7 @@ fn run_job(shared: &Arc<Shared>, id: &str) -> Result<(), ServeError> {
         resumed,
         sim_seconds: measurer.sim_seconds(),
         score_stats,
+        finetune_trials,
     };
     session.finish()?;
     // append_unique keeps the pool duplicate-free even when a federated

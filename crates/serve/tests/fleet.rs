@@ -29,6 +29,7 @@ fn gemm_spec(trials: u64) -> JobSpec {
         priority: 0,
         target_ms: None,
         parallelism: None,
+        finetune: false,
     }
 }
 

@@ -31,6 +31,7 @@ fn gemm_spec(trials: u64) -> JobSpec {
         priority: 0,
         target_ms: None,
         parallelism: None,
+        finetune: false,
     }
 }
 
@@ -247,6 +248,45 @@ fn second_job_warm_starts_from_first_jobs_records() {
         .wait(&third, Duration::from_millis(10), |_| {})
         .expect("third completes");
     assert_eq!(out3.warm_records, 0, "dissimilar workloads must not match");
+
+    client.shutdown().expect("shutdown");
+    daemon.wait();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn mcts_job_completes_donates_records_and_warm_starts_harl() {
+    let root = temp_root("mcts");
+    let (daemon, client) = start(&root, 1, 8);
+
+    // an MCTS job with fine-tuning runs end to end through the daemon
+    let mut mcts = gemm_spec(48);
+    mcts.tuner = TunerKind::Mcts;
+    mcts.finetune = true;
+    let first = client.submit(&mcts).expect("submit mcts");
+    let out1 = client
+        .wait(&first, Duration::from_millis(10), |_| {})
+        .expect("mcts job completes");
+    assert_eq!(out1.tuner, "mcts");
+    assert!(out1.best_ms.is_finite() && out1.best_ms > 0.0);
+    assert!(
+        out1.finetune_trials.is_some_and(|t| t > 0),
+        "finetune=true must report descent trials: {:?}",
+        out1.finetune_trials
+    );
+    assert!(out1.metrics_line().contains("finetune_trials="));
+
+    // its records landed in the shared pool: a HARL job on the same
+    // workload shape warm-starts from them
+    let second = client.submit(&gemm_spec(48)).expect("submit harl");
+    let out2 = client
+        .wait(&second, Duration::from_millis(10), |_| {})
+        .expect("harl job completes");
+    assert_eq!(out2.tuner, "harl");
+    assert!(
+        out2.warm_records > 0,
+        "harl job must warm-start from the mcts job's donated records"
+    );
 
     client.shutdown().expect("shutdown");
     daemon.wait();

@@ -1,0 +1,229 @@
+//! Five-searcher tournament: HARL, Ansor, Flextensor, MCTS, and
+//! coordinate-descent restarts fight over each operator class with identical
+//! measurement budgets, with and without the coordinate-descent fine-tuning
+//! phase composed after the search.
+//!
+//! ```text
+//! cargo run --release --example tournament [-- trials]
+//! ```
+//!
+//! Environment:
+//! - `HARL_TOURNAMENT_SMOKE=1` — CI smoke mode: two operator classes, a tiny
+//!   budget, and the kill/resume + monotonicity checks (the part CI gates).
+//! - `HARL_TOURNAMENT_TRIALS=n` — override the per-searcher trial budget.
+//!
+//! Every result row is machine readable:
+//!
+//! ```text
+//! tournament: class=GEMM-S searcher=mcts trials=160 best_ms=1.234 \
+//!     finetune_trials=12 finetuned_best_ms=1.201 sim_s=418
+//! ```
+
+use harl_repro::prelude::*;
+use std::sync::Arc;
+
+const SEARCHERS: [&str; 5] = ["harl", "ansor", "flextensor", "mcts", "cd"];
+
+fn make_tuner<'m>(searcher: &str, g: Subgraph, m: &'m Measurer) -> Box<dyn Tuner + 'm> {
+    match searcher {
+        "harl" => Box::new(HarlOperatorTuner::new(
+            g,
+            m,
+            harl_repro::harl::HarlConfigBuilder::from(HarlConfig::tiny())
+                .measure_per_round(16)
+                .build()
+                .expect("valid harl config"),
+        )),
+        "ansor" => Box::new(AnsorTuner::new(
+            g,
+            m,
+            AnsorConfig::builder()
+                .measure_per_round(16)
+                .build()
+                .expect("valid ansor config"),
+        )),
+        "flextensor" => Box::new(FlextensorTuner::new(g, m, Default::default())),
+        "mcts" => Box::new(MctsTuner::new(
+            g,
+            m,
+            MctsConfig::builder()
+                .measure_per_round(16)
+                .playouts_per_round(48)
+                .build()
+                .expect("valid mcts config"),
+        )),
+        "cd" => Box::new(CdTuner::new(
+            g,
+            m,
+            CdConfig::builder()
+                .measure_per_round(16)
+                .build()
+                .expect("valid cd config"),
+        )),
+        other => panic!("unknown searcher {other}"),
+    }
+}
+
+struct Row {
+    class: &'static str,
+    searcher: &'static str,
+    best: f64,
+    finetuned_best: f64,
+}
+
+fn ms(x: f64) -> String {
+    if x.is_finite() {
+        format!("{:.4}", x * 1e3)
+    } else {
+        "inf".to_string()
+    }
+}
+
+/// MCTS kill/resume bit-identity: an uninterrupted run and a killed-then-
+/// resumed run over the same budget must land on bit-equal best latencies
+/// and serialized tuner state.
+fn mcts_resume_check(g: &Subgraph, trials: u64) -> bool {
+    let cfg = || {
+        MctsConfig::builder()
+            .measure_per_round(16)
+            .playouts_per_round(48)
+            .build()
+            .expect("valid mcts config")
+    };
+
+    let m_ref = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let t_ref = MctsTuner::new(g.clone(), &m_ref, cfg());
+    let mut s_ref = TuningSession::builder()
+        .launch(Box::new(t_ref), &m_ref, None)
+        .expect("launch reference session");
+    s_ref.run(trials / 2).expect("reference first half");
+    s_ref
+        .run(trials - trials / 2)
+        .expect("reference second half");
+    let best_ref = s_ref.best_latency();
+    let state_ref = serde_json::to_string(&s_ref.tuner_state()).expect("serialize");
+
+    let dir = std::env::temp_dir().join(format!("harl-tournament-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let best_resumed;
+    let state_resumed;
+    {
+        let store = Arc::new(RecordStore::open(&dir).expect("open store"));
+        let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t1 = MctsTuner::new(g.clone(), &m1, cfg());
+        let mut s1 = TuningSession::builder()
+            .launch(Box::new(t1), &m1, Some(store))
+            .expect("launch first session");
+        s1.run(trials / 2).expect("first half");
+        drop(s1); // killed: checkpoint stays on disk
+
+        let store2 = Arc::new(RecordStore::open(&dir).expect("reopen store"));
+        let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let t2 = MctsTuner::new(g.clone(), &m2, cfg());
+        let mut s2 = TuningSession::builder()
+            .launch(Box::new(t2), &m2, Some(store2))
+            .expect("launch resumed session");
+        assert!(s2.resumed(), "second session must resume the checkpoint");
+        s2.run(trials - trials / 2).expect("second half");
+        best_resumed = s2.best_latency();
+        state_resumed = serde_json::to_string(&s2.tuner_state()).expect("serialize");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    best_ref.to_bits() == best_resumed.to_bits() && state_ref == state_resumed
+}
+
+fn main() {
+    let smoke = std::env::var("HARL_TOURNAMENT_SMOKE").as_deref() == Ok("1");
+    let trials: u64 = std::env::var("HARL_TOURNAMENT_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .or_else(|| std::env::args().nth(1).and_then(|s| s.parse().ok()))
+        .unwrap_or(if smoke { 48 } else { 160 });
+    let classes: &[OperatorClass] = if smoke {
+        &[OperatorClass::GemmS, OperatorClass::C1d]
+    } else {
+        &OperatorClass::ALL
+    };
+    let finetune_cfg = FinetuneConfig::builder()
+        .max_trials((trials / 4).max(8) as usize)
+        .build()
+        .expect("valid finetune config");
+
+    println!(
+        "tournament: {} classes x {} searchers, {trials} trials each{}",
+        classes.len(),
+        SEARCHERS.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    let mut monotone = true;
+    for class in classes {
+        let g = operator_suite(*class, 1)
+            .into_iter()
+            .next()
+            .expect("operator class has at least one subgraph");
+        for searcher in SEARCHERS {
+            let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+            let tuner = make_tuner(searcher, g.clone(), &m);
+            let mut session = TuningSession::builder()
+                .launch(tuner, &m, None)
+                .expect("launch session");
+            session.run(trials).expect("run session");
+            let best = session.best_latency();
+            let search_trials = session.trials_used();
+            let out = session.then_finetune(&finetune_cfg).expect("finetune");
+            monotone &= out.after <= out.before;
+            println!(
+                "tournament: class={} searcher={searcher} trials={} best_ms={} \
+                 finetune_trials={} finetuned_best_ms={} sim_s={:.0}",
+                class.name(),
+                search_trials,
+                ms(best),
+                out.trials,
+                ms(out.after),
+                m.sim_seconds()
+            );
+            rows.push(Row {
+                class: class.name(),
+                searcher,
+                best,
+                finetuned_best: out.after,
+            });
+        }
+    }
+
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>12}",
+        "class", "winner", "best_ms", "ft_ms"
+    );
+    for class in classes {
+        let winner = rows
+            .iter()
+            .filter(|r| r.class == class.name())
+            .min_by(|a, b| a.finetuned_best.total_cmp(&b.finetuned_best))
+            .expect("every class has rows");
+        println!(
+            "{:>8} {:>12} {:>12} {:>12}",
+            winner.class,
+            winner.searcher,
+            ms(winner.best),
+            ms(winner.finetuned_best)
+        );
+    }
+
+    println!("monotone={}", if monotone { "ok" } else { "VIOLATED" });
+    let resume_ok = mcts_resume_check(&operator_suite(classes[0], 1)[0], trials.clamp(16, 48));
+    println!(
+        "mcts_resume={}",
+        if resume_ok {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+    if !monotone || !resume_ok {
+        std::process::exit(1);
+    }
+}

@@ -50,6 +50,7 @@ pub use harl_ansor as ansor;
 pub use harl_bandit as bandit;
 pub use harl_core as harl;
 pub use harl_gbt as gbt;
+pub use harl_mcts as mcts;
 pub use harl_nn_models as models;
 pub use harl_nnet as nnet;
 pub use harl_obs as obs;
@@ -66,6 +67,7 @@ pub mod prelude {
         HarlConfig, HarlNetworkTuner, HarlOperatorTuner, ParallelismOpts, Tuner, TunerState,
         TuningSession,
     };
+    pub use harl_mcts::{CdConfig, CdTuner, FinetuneConfig, MctsConfig, MctsTuner};
     pub use harl_nn_models::{operator_suite, Network, OperatorClass};
     pub use harl_store::{MeasureRecord, RecordStore};
     pub use harl_tensor_ir::{generate_sketches, Schedule, Sketch, Subgraph, Target};

@@ -69,6 +69,24 @@ fn ansor_run(threads: usize, trials: u64) -> (u64, u64, String, String) {
     )
 }
 
+fn mcts_run(threads: usize, trials: u64) -> (u64, u64, String, String) {
+    let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut t = MctsTuner::new(gemm(), &m, MctsConfig::default());
+    t.set_parallelism(ParallelismOpts::uniform(threads));
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut t), &m, None)
+            .unwrap();
+        s.run(trials).unwrap();
+    }
+    (
+        t.best_time.to_bits(),
+        t.trials_used,
+        serde_json::to_string(&t.trace).unwrap(),
+        serde_json::to_string(&t.checkpoint_state()).unwrap(),
+    )
+}
+
 /// Serializes the tests that flip the process-wide forced SIMD backend.
 /// (Flipping mid-run is harmless for the *other* tests in this binary —
 /// every backend is bit-identical, which is exactly what this file pins —
@@ -229,6 +247,19 @@ fn harl_scoring_is_bit_identical_across_width_matrix() {
 fn ansor_scoring_is_bit_identical_at_widths_1_and_4() {
     let serial = ansor_run(1, 32);
     let pooled = ansor_run(4, 32);
+    assert_eq!(serial.0, pooled.0, "best latency must match bit-for-bit");
+    assert_eq!(serial.1, pooled.1, "trial count must match");
+    assert_eq!(serial.2, pooled.2, "trace must match byte-for-byte");
+    assert_eq!(serial.3, pooled.3, "checkpoint must match byte-for-byte");
+}
+
+#[test]
+fn mcts_scoring_is_bit_identical_at_widths_1_and_4() {
+    // MCTS rollouts score through the same batched pipeline; the search
+    // tree (serialized into the checkpoint) must come out byte-equal at
+    // any pool width
+    let serial = mcts_run(1, 48);
+    let pooled = mcts_run(4, 48);
     assert_eq!(serial.0, pooled.0, "best latency must match bit-for-bit");
     assert_eq!(serial.1, pooled.1, "trial count must match");
     assert_eq!(serial.2, pooled.2, "trace must match byte-for-byte");

@@ -176,3 +176,87 @@ fn warm_run_reaches_cold_best_in_strictly_fewer_trials() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn mcts_warm_run_reaches_cold_best_in_strictly_fewer_trials() {
+    let dir = temp_store("mcts-warmspeed");
+
+    // cold MCTS run: 160 trials from scratch
+    let store = Arc::new(RecordStore::open(&dir).unwrap());
+    let m1 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut cold = MctsTuner::new(gemm(), &m1, MctsConfig::default());
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut cold), &m1, Some(store.clone()))
+            .unwrap();
+        s.run(160).unwrap();
+        s.finish().unwrap();
+    }
+    drop(store);
+    let cold_best = cold.best_time;
+    let cold_to_best = cold
+        .trace
+        .first_reaching(cold_best)
+        .expect("cold run reached its own best")
+        .0;
+
+    // warm MCTS run against the same store: the best record jumps the
+    // measurement queue and seeds the search tree's roots
+    let store2 = Arc::new(RecordStore::open(&dir).unwrap());
+    let m2 = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+    let mut warm = MctsTuner::new(gemm(), &m2, MctsConfig::default());
+    {
+        let mut s = TuningSession::builder()
+            .launch(Box::new(&mut warm), &m2, Some(store2))
+            .unwrap();
+        assert!(s.warm_records() > 0);
+        s.run(160).unwrap();
+        s.finish().unwrap();
+    }
+    let warm_to_cold_best = warm
+        .trace
+        .first_reaching(cold_best)
+        .expect("warm run must reach the cold run's best")
+        .0;
+
+    assert!(
+        warm_to_cold_best < cold_to_best,
+        "warm-started MCTS must reach the cold best in strictly fewer trials: \
+         warm {warm_to_cold_best} vs cold {cold_to_best}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn then_finetune_is_monotone_for_every_searcher() {
+    let cfg = FinetuneConfig::builder().max_trials(24).build().unwrap();
+    let g = gemm();
+
+    // five sessions, one per searcher, all driven through the same trait
+    // object path the daemon uses; fine-tuning may only improve the best
+    for searcher in ["harl", "ansor", "flextensor", "mcts", "cd"] {
+        let m = Measurer::new(Hardware::cpu(), MeasureConfig::default());
+        let tuner: Box<dyn Tuner + '_> = match searcher {
+            "harl" => Box::new(HarlOperatorTuner::new(g.clone(), &m, HarlConfig::tiny())),
+            "ansor" => Box::new(AnsorTuner::new(g.clone(), &m, AnsorConfig::default())),
+            "flextensor" => Box::new(FlextensorTuner::new(g.clone(), &m, Default::default())),
+            "mcts" => Box::new(MctsTuner::new(g.clone(), &m, MctsConfig::default())),
+            _ => Box::new(CdTuner::new(g.clone(), &m, CdConfig::default())),
+        };
+        let mut session = TuningSession::builder().launch(tuner, &m, None).unwrap();
+        session.run(32).unwrap();
+        let out = session.then_finetune(&cfg).unwrap();
+        assert!(!out.skipped, "{searcher}: finetune must run");
+        assert!(
+            out.after <= out.before,
+            "{searcher}: finetune regressed {} -> {}",
+            out.before,
+            out.after
+        );
+        assert_eq!(
+            out.after.to_bits(),
+            session.best_latency().to_bits(),
+            "{searcher}: outcome and session must agree on the final best"
+        );
+    }
+}
